@@ -1,0 +1,29 @@
+//! Criterion bench for E2: one ADI iteration under each strategy.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vf_apps::adi::{run, AdiConfig, AdiStrategy};
+use vf_apps::workloads;
+use vf_core::prelude::{CostModel, Machine};
+
+fn bench_adi(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_adi_iteration");
+    group.sample_size(10);
+    let n = 48usize;
+    let initial = workloads::initial_grid(n, 23);
+    for (strategy, name) in [
+        (AdiStrategy::StaticColumns, "static_columns"),
+        (AdiStrategy::DynamicRedistribute, "dynamic_redistribute"),
+        (AdiStrategy::TwoCopies, "two_copies"),
+    ] {
+        group.bench_with_input(BenchmarkId::new(name, n), &n, |b, &n| {
+            b.iter(|| {
+                let machine = Machine::new(4, CostModel::ipsc860(4));
+                run(&AdiConfig { n, iterations: 1, strategy }, &machine, &initial)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_adi);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Criterion bench for E5: DCASE matching and the reaching-distribution
+//! analysis.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vf_bench::experiments::synthetic_program;
+use vf_core::analysis::ReachingDistributions;
+use vf_core::prelude::*;
+
+fn bench_dcase(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_queries");
+    group.sample_size(20);
+
+    // DCASE selection with a growing clause list.
+    for &clauses in &[4usize, 32] {
+        let mut scope: VfScope<f64> = VfScope::new(Machine::new(4, CostModel::zero()));
+        scope
+            .declare_dynamic(
+                DynamicDecl::new("B", IndexDomain::d2(16, 16)).initial(DistType::blocks2d()),
+            )
+            .unwrap();
+        let mut dcase = Dcase::new(["B"]);
+        for k in 0..clauses - 1 {
+            dcase = dcase.when_positional([DistPattern::dims(vec![
+                DimPattern::Cyclic(k + 2),
+                DimPattern::Star,
+            ])]);
+        }
+        dcase = dcase.when_positional([DistPattern::exact(&DistType::blocks2d())]);
+        group.bench_with_input(BenchmarkId::new("select_dcase", clauses), &clauses, |b, _| {
+            b.iter(|| dcase.select(&scope).unwrap())
+        });
+    }
+
+    // Reaching-distribution analysis on synthetic programs.
+    for &stmts in &[100usize, 1000] {
+        let program = synthetic_program(stmts);
+        group.bench_with_input(
+            BenchmarkId::new("reaching_analysis", stmts),
+            &stmts,
+            |b, _| b.iter(|| ReachingDistributions::analyze(&program)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dcase);
+criterion_main!(benches);

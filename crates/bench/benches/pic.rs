@@ -1,0 +1,39 @@
+//! Criterion bench for E3: PIC simulation steps under each load-balancing
+//! strategy.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vf_apps::pic::{run, PicConfig, PicStrategy};
+use vf_apps::workloads::{particles, ParticleLayout};
+use vf_core::prelude::{CostModel, Machine};
+
+fn bench_pic(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_pic_steps");
+    group.sample_size(10);
+    let ncell = 128usize;
+    let init = particles(
+        ncell,
+        1000,
+        ParticleLayout::Cluster { center: 0.2, width: 0.08 },
+        0.4,
+        29,
+    );
+    for (strategy, name) in [
+        (PicStrategy::StaticBlock, "static_block"),
+        (
+            PicStrategy::DynamicGenBlock { period: 10, threshold: 1.1 },
+            "gen_block_period10",
+        ),
+        (PicStrategy::Oracle, "gen_block_every_step"),
+    ] {
+        group.bench_with_input(BenchmarkId::new(name, ncell), &ncell, |b, &ncell| {
+            b.iter(|| {
+                let machine = Machine::new(8, CostModel::ipsc860(8));
+                run(&PicConfig { ncell, steps: 10, strategy }, &machine, &init)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pic);
+criterion_main!(benches);

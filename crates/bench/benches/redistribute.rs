@@ -1,0 +1,34 @@
+//! Criterion bench for E4: the DISTRIBUTE statement across distribution
+//! type pairs and planning strategies.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vf_core::prelude::*;
+
+fn bench_redistribute(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_redistribute");
+    group.sample_size(10);
+    let p = 8usize;
+    for &n in &[1usize << 12, 1 << 16] {
+        let procs = ProcessorView::linear(p);
+        let from =
+            Distribution::new(DistType::block1d(), IndexDomain::d1(n), procs.clone()).unwrap();
+        let to = Distribution::new(DistType::cyclic1d(1), IndexDomain::d1(n), procs).unwrap();
+        for (opts, name) in [
+            (RedistOptions::default(), "aggregated"),
+            (RedistOptions::element_wise(), "element_wise"),
+            (RedistOptions::notransfer(), "notransfer"),
+        ] {
+            group.bench_with_input(BenchmarkId::new(name, n), &n, |b, _| {
+                b.iter(|| {
+                    let tracker = CommTracker::new(p, CostModel::ipsc860(p));
+                    let mut a = DistArray::from_fn("A", from.clone(), |pt| pt.coord(0) as f64);
+                    redistribute(&mut a, to.clone(), &tracker, &opts).unwrap()
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_redistribute);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Criterion bench for E1: one smoothing step under each layout.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vf_apps::smoothing::{run, SmoothingConfig, SmoothingLayout};
+use vf_apps::workloads;
+use vf_core::prelude::{CostModel, Machine};
+
+fn bench_smoothing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_smoothing_step");
+    group.sample_size(10);
+    for &n in &[32usize, 64] {
+        let initial = workloads::initial_grid(n, 17);
+        for (layout, name) in [
+            (SmoothingLayout::Columns, "columns"),
+            (SmoothingLayout::Blocks2D, "blocks2d"),
+        ] {
+            group.bench_with_input(BenchmarkId::new(name, n), &n, |b, &n| {
+                b.iter(|| {
+                    let machine = Machine::new(4, CostModel::ipsc860(4));
+                    run(&SmoothingConfig { n, steps: 1, layout }, &machine, &initial)
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_smoothing);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Experiment E1 — choosing the smoothing grid distribution from runtime
+//! values (paper §4, the N/p argument).
+
+use vf_bench::experiments;
+use vf_core::prelude::CostModel;
+
+fn main() {
+    println!("# E1 — smoothing: column vs. 2-D block distribution\n");
+    println!("Analytic per-step communication time (paper's message-count argument).\n");
+
+    println!("## iPSC/860-like machine (alpha = 75 us, beta = 0.36 us/byte)\n");
+    println!(
+        "{}",
+        experiments::e1_analytic(
+            &CostModel::ipsc860(64),
+            &[64, 128, 256, 512, 1024, 2048, 4096],
+            &[4, 16, 64],
+        )
+    );
+
+    println!("## Latency-bound machine (alpha = 500 us)\n");
+    println!(
+        "{}",
+        experiments::e1_analytic(
+            &CostModel::latency_bound(),
+            &[64, 256, 1024, 4096],
+            &[16, 64],
+        )
+    );
+
+    println!("## Bandwidth-bound machine (beta = 1 us/byte)\n");
+    println!(
+        "{}",
+        experiments::e1_analytic(
+            &CostModel::bandwidth_bound(),
+            &[64, 256, 1024, 4096],
+            &[16, 64],
+        )
+    );
+
+    println!("## Simulated validation (measured messages/bytes/modelled time, p = 16)\n");
+    println!(
+        "{}",
+        experiments::e1_simulated(&CostModel::ipsc860(16), &[32, 64, 128], 16, 2)
+    );
+}

@@ -1,0 +1,19 @@
+//! Experiment E2 — the ADI iteration of Figure 1: static distributions vs.
+//! dynamic redistribution vs. two statically distributed copies.
+
+use vf_bench::experiments;
+use vf_core::prelude::CostModel;
+
+fn main() {
+    println!("# E2 — ADI: where does the communication go?\n");
+    println!("## iPSC/860-like machine, 2 ADI iterations\n");
+    println!(
+        "{}",
+        experiments::e2_adi(&CostModel::ipsc860(8), &[32, 64, 128], &[4, 8], 2)
+    );
+    println!("## Latency-bound machine, 2 ADI iterations\n");
+    println!(
+        "{}",
+        experiments::e2_adi(&CostModel::latency_bound(), &[64], &[4, 8, 16], 2)
+    );
+}

@@ -1,0 +1,19 @@
+//! Experiment E3 — the PIC load-balancing scenario of Figure 2: static
+//! BLOCK cells vs. general-block rebalancing.
+
+use vf_bench::experiments;
+use vf_core::prelude::CostModel;
+
+fn main() {
+    println!("# E3 — PIC: dynamic load balancing with B_BLOCK(BOUNDS)\n");
+    println!("## Clustered drifting particle cloud, NCELL = 256, 5000 particles, 50 steps, p = 8\n");
+    println!(
+        "{}",
+        experiments::e3_pic(&CostModel::ipsc860(8), 256, 5000, 50, 8)
+    );
+    println!("## Same workload, p = 16\n");
+    println!(
+        "{}",
+        experiments::e3_pic(&CostModel::ipsc860(16), 256, 5000, 50, 16)
+    );
+}

@@ -1,0 +1,19 @@
+//! Experiment E4 — the cost of the DISTRIBUTE statement itself, with the
+//! aggregation and NOTRANSFER ablations (paper §2.4 / §3.2.2).
+
+use vf_bench::experiments;
+use vf_core::prelude::CostModel;
+
+fn main() {
+    println!("# E4 — redistribution cost and ablations\n");
+    println!("## iPSC/860-like machine, p = 8\n");
+    println!(
+        "{}",
+        experiments::e4_redistribute(&CostModel::ipsc860(8), &[1 << 10, 1 << 14, 1 << 18], 8)
+    );
+    println!("## Modern-cluster cost model, p = 16\n");
+    println!(
+        "{}",
+        experiments::e4_redistribute(&CostModel::modern_cluster(), &[1 << 14, 1 << 18], 16)
+    );
+}

@@ -1,0 +1,12 @@
+//! Experiment E5 — DCASE query matching cost and the reaching-distribution
+//! analysis (paper §2.5 / §3.1).
+
+use vf_bench::experiments;
+
+fn main() {
+    println!("# E5 — distribution queries and compile-time analysis\n");
+    println!("## SELECT DCASE matching cost vs. number of clauses\n");
+    println!("{}", experiments::e5_queries(&[1, 4, 16, 64], 1000));
+    println!("## Reaching-distribution analysis on synthetic programs\n");
+    println!("{}", experiments::e5_analysis(&[10, 100, 1000, 10000]));
+}

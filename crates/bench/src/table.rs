@@ -1,0 +1,61 @@
+//! Minimal markdown table rendering for experiment output.
+
+/// Renders a markdown table from a header and rows of cells.
+pub fn markdown(header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    out.push('|');
+    for h in header {
+        out.push_str(&format!(" {h} |"));
+    }
+    out.push('\n');
+    out.push('|');
+    for _ in header {
+        out.push_str("---|");
+    }
+    out.push('\n');
+    for row in rows {
+        out.push('|');
+        for cell in row {
+            out.push_str(&format!(" {cell} |"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats a time in seconds with engineering-style units.
+pub fn fmt_time(seconds: f64) -> String {
+    if seconds == 0.0 {
+        "0".to_string()
+    } else if seconds < 1e-3 {
+        format!("{:.1} us", seconds * 1e6)
+    } else if seconds < 1.0 {
+        format!("{:.2} ms", seconds * 1e3)
+    } else {
+        format!("{seconds:.3} s")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_markdown() {
+        let t = markdown(
+            &["a", "b"],
+            &[vec!["1".into(), "2".into()], vec!["3".into(), "4".into()]],
+        );
+        assert!(t.contains("| a | b |"));
+        assert!(t.contains("|---|---|"));
+        assert!(t.contains("| 3 | 4 |"));
+    }
+
+    #[test]
+    fn formats_times() {
+        assert_eq!(fmt_time(0.0), "0");
+        assert!(fmt_time(5e-6).contains("us"));
+        assert!(fmt_time(5e-3).contains("ms"));
+        assert!(fmt_time(2.5).contains("s"));
+    }
+}

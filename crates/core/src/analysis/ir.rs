@@ -1,0 +1,179 @@
+//! A structured statement-level intermediate representation.
+//!
+//! The analysis does not need full Fortran: what matters for the reaching
+//! distribution problem is where arrays are redistributed, where they are
+//! accessed, and the control structure in between (conditionals, loops and
+//! `DCASE` constructs).  Distribution expressions whose parameters are only
+//! known at run time (e.g. `CYCLIC(K)` with a runtime `K`, or
+//! `B_BLOCK(BOUNDS)`) are represented by patterns such as `CYCLIC(*)`,
+//! exactly the abstraction the compiler has to work with.
+
+use crate::dcase::Condition;
+use vf_dist::DistPattern;
+
+/// A statement of the analysed program fragment.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// An executable `DISTRIBUTE` statement; `dist` is the (possibly
+    /// partially known) distribution type it establishes.
+    Distribute {
+        /// The redistributed (primary) array.
+        array: String,
+        /// The established distribution type (as a pattern when parameters
+        /// are runtime values).
+        dist: DistPattern,
+    },
+    /// An access (read or write) to a distributed array; `label` names the
+    /// program point so the analysis result can be queried.
+    Access {
+        /// The accessed array.
+        array: String,
+        /// A unique label for this access.
+        label: String,
+    },
+    /// A two-way conditional whose predicate is opaque to the analysis.
+    If {
+        /// Statements executed when the predicate holds.
+        then_branch: Vec<Stmt>,
+        /// Statements executed otherwise.
+        else_branch: Vec<Stmt>,
+    },
+    /// A loop executed an unknown number of times (possibly zero).
+    Loop {
+        /// The loop body.
+        body: Vec<Stmt>,
+    },
+    /// A `DCASE` construct over the given selectors.
+    Dcase {
+        /// Selector array names.
+        selectors: Vec<String>,
+        /// Condition–body pairs in evaluation order.
+        clauses: Vec<(Condition, Vec<Stmt>)>,
+    },
+}
+
+impl Stmt {
+    /// A `DISTRIBUTE` statement.
+    pub fn distribute(array: impl Into<String>, dist: DistPattern) -> Self {
+        Stmt::Distribute {
+            array: array.into(),
+            dist,
+        }
+    }
+
+    /// An array access with a label.
+    pub fn access(array: impl Into<String>, label: impl Into<String>) -> Self {
+        Stmt::Access {
+            array: array.into(),
+            label: label.into(),
+        }
+    }
+
+    /// An `IF` statement with both branches.
+    pub fn if_else(then_branch: Vec<Stmt>, else_branch: Vec<Stmt>) -> Self {
+        Stmt::If {
+            then_branch,
+            else_branch,
+        }
+    }
+
+    /// An `IF` statement with no `ELSE` part.
+    pub fn if_then(then_branch: Vec<Stmt>) -> Self {
+        Stmt::If {
+            then_branch,
+            else_branch: Vec::new(),
+        }
+    }
+
+    /// A loop.
+    pub fn loop_(body: Vec<Stmt>) -> Self {
+        Stmt::Loop { body }
+    }
+
+    /// A `DCASE` construct.
+    pub fn dcase(
+        selectors: impl IntoIterator<Item = impl Into<String>>,
+        clauses: Vec<(Condition, Vec<Stmt>)>,
+    ) -> Self {
+        Stmt::Dcase {
+            selectors: selectors.into_iter().map(Into::into).collect(),
+            clauses,
+        }
+    }
+}
+
+/// A program fragment to analyse: the distributions established by the
+/// declarations (initial distributions of static and dynamic arrays) plus
+/// the statement list of the procedure body.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Program {
+    initial: Vec<(String, DistPattern)>,
+    body: Vec<Stmt>,
+}
+
+impl Program {
+    /// An empty program.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records the initial (declaration-time) distribution of an array.
+    /// Arrays without an entry are treated as not yet distributed.
+    pub fn with_initial(mut self, array: impl Into<String>, dist: DistPattern) -> Self {
+        self.initial.push((array.into(), dist));
+        self
+    }
+
+    /// Appends a statement to the body.
+    pub fn stmt(mut self, stmt: Stmt) -> Self {
+        self.body.push(stmt);
+        self
+    }
+
+    /// Appends several statements to the body.
+    pub fn stmts(mut self, stmts: impl IntoIterator<Item = Stmt>) -> Self {
+        self.body.extend(stmts);
+        self
+    }
+
+    /// The declaration-time distributions.
+    pub fn initial(&self) -> &[(String, DistPattern)] {
+        &self.initial
+    }
+
+    /// The statement list.
+    pub fn body(&self) -> &[Stmt] {
+        &self.body
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vf_dist::{DimPattern, DistType};
+
+    #[test]
+    fn builders_produce_expected_shapes() {
+        let p = Program::new()
+            .with_initial("V", DistPattern::exact(&DistType::columns()))
+            .stmt(Stmt::access("V", "read1"))
+            .stmt(Stmt::distribute("V", DistPattern::exact(&DistType::rows())))
+            .stmt(Stmt::if_then(vec![Stmt::access("V", "read2")]))
+            .stmt(Stmt::loop_(vec![Stmt::access("V", "read3")]))
+            .stmt(Stmt::dcase(
+                ["V"],
+                vec![(
+                    crate::Condition::Positional(vec![DistPattern::dims(vec![
+                        DimPattern::Block,
+                        DimPattern::Star,
+                    ])]),
+                    vec![Stmt::access("V", "read4")],
+                )],
+            ));
+        assert_eq!(p.initial().len(), 1);
+        assert_eq!(p.body().len(), 5);
+        assert!(matches!(p.body()[0], Stmt::Access { .. }));
+        assert!(matches!(p.body()[2], Stmt::If { .. }));
+        assert!(matches!(p.body()[4], Stmt::Dcase { .. }));
+    }
+}

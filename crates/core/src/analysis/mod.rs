@@ -1,0 +1,18 @@
+//! Compiler-side analysis for dynamic distributions (paper §3.1).
+//!
+//! "The most important task in the analysis phase is solving the *reaching
+//! distribution problem*: the compiler must determine the range of
+//! distribution types which may reach a specific array access in the code."
+//! This module provides a statement-level intermediate representation
+//! ([`Stmt`], [`Program`]), the reaching-distribution dataflow analysis
+//! computing the *plausible distribution set* at every access
+//! ([`ReachingDistributions`]), and the partial evaluation of distribution
+//! queries (`IDT`/`DCASE`) against those sets ([`QueryOutcome`]).
+
+mod ir;
+mod partial_eval;
+mod reaching;
+
+pub use ir::{Program, Stmt};
+pub use partial_eval::{compatible, evaluate_condition, evaluate_query, QueryOutcome};
+pub use reaching::{AccessInfo, ReachingDistributions};

@@ -1,0 +1,226 @@
+//! Partial evaluation of distribution queries against plausible
+//! distribution sets.
+//!
+//! The compiler "performs a partial evaluation of distribution queries
+//! (both IDT and the dcase construct), by checking whether there is a
+//! plausible distribution which will match" (paper §3.1).  When the
+//! plausible set proves a query always (or never) matches, the runtime test
+//! — and the code for the branches that cannot execute — can be removed.
+
+use crate::dcase::Condition;
+use vf_dist::{DimPattern, DistPattern};
+
+/// The compile-time verdict on a runtime distribution query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryOutcome {
+    /// Every plausible distribution matches: the query is statically true.
+    Always,
+    /// No plausible distribution can match: the query is statically false.
+    Never,
+    /// Some plausible distributions match and others might not: the query
+    /// must be evaluated at run time.
+    Maybe,
+}
+
+/// Whether two per-dimension patterns can both match some concrete
+/// per-dimension distribution (a conservative compatibility test).
+fn dim_compatible(a: &DimPattern, b: &DimPattern) -> bool {
+    use DimPattern::*;
+    match (a, b) {
+        (Star, _) | (_, Star) => true,
+        (Block, Block) => true,
+        (Cyclic(x), Cyclic(y)) => x == y,
+        (Cyclic(_), CyclicAny) | (CyclicAny, Cyclic(_)) | (CyclicAny, CyclicAny) => true,
+        (GenBlock(x), GenBlock(y)) => x == y,
+        (GenBlock(_), GenBlockAny) | (GenBlockAny, GenBlock(_)) | (GenBlockAny, GenBlockAny) => {
+            true
+        }
+        (NotDistributed, NotDistributed) => true,
+        _ => false,
+    }
+}
+
+/// Whether two distribution-type patterns can both match some concrete
+/// distribution type.  Used both to refine plausible sets inside `DCASE`
+/// clauses and to prove queries unsatisfiable.
+pub fn compatible(a: &DistPattern, b: &DistPattern) -> bool {
+    match (a, b) {
+        (DistPattern::Any, _) | (_, DistPattern::Any) => true,
+        (DistPattern::Dims(xs), DistPattern::Dims(ys)) => {
+            xs.len() == ys.len() && xs.iter().zip(ys).all(|(x, y)| dim_compatible(x, y))
+        }
+    }
+}
+
+/// Partially evaluates a single query pattern against a plausible set.
+///
+/// An empty plausible set means the array cannot legally be accessed at
+/// this point (it has not been distributed); the query is reported as
+/// [`QueryOutcome::Never`].
+pub fn evaluate_query(plausible: &[DistPattern], query: &DistPattern) -> QueryOutcome {
+    if plausible.is_empty() {
+        return QueryOutcome::Never;
+    }
+    let all_subsumed = plausible.iter().all(|p| query.subsumes(p));
+    if all_subsumed {
+        return QueryOutcome::Always;
+    }
+    let any_compatible = plausible.iter().any(|p| compatible(p, query));
+    if any_compatible {
+        QueryOutcome::Maybe
+    } else {
+        QueryOutcome::Never
+    }
+}
+
+/// Partially evaluates a whole `DCASE` clause condition given the plausible
+/// set of every selector (in selector order).
+pub fn evaluate_condition(
+    selectors: &[String],
+    plausible: &[Vec<DistPattern>],
+    condition: &Condition,
+) -> QueryOutcome {
+    debug_assert_eq!(selectors.len(), plausible.len());
+    let queries: Vec<(usize, DistPattern)> = match condition {
+        Condition::Default => return QueryOutcome::Always,
+        Condition::Positional(patterns) => patterns
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (i, p.clone()))
+            .collect(),
+        Condition::NameTagged(tagged) => tagged
+            .iter()
+            .filter_map(|(name, p)| {
+                selectors
+                    .iter()
+                    .position(|s| s == name)
+                    .map(|i| (i, p.clone()))
+            })
+            .collect(),
+    };
+    let mut outcome = QueryOutcome::Always;
+    for (i, query) in queries {
+        if i >= plausible.len() {
+            return QueryOutcome::Never;
+        }
+        match evaluate_query(&plausible[i], &query) {
+            QueryOutcome::Never => return QueryOutcome::Never,
+            QueryOutcome::Maybe => outcome = QueryOutcome::Maybe,
+            QueryOutcome::Always => {}
+        }
+    }
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vf_dist::DistType;
+
+    fn block2() -> DistPattern {
+        DistPattern::exact(&DistType::blocks2d())
+    }
+
+    fn cols() -> DistPattern {
+        DistPattern::exact(&DistType::columns())
+    }
+
+    #[test]
+    fn compatibility_rules() {
+        assert!(compatible(&DistPattern::Any, &block2()));
+        assert!(compatible(&block2(), &DistPattern::Any));
+        assert!(compatible(&block2(), &block2()));
+        assert!(!compatible(&block2(), &cols()));
+        assert!(!compatible(
+            &DistPattern::dims(vec![DimPattern::Block]),
+            &block2()
+        ));
+        assert!(compatible(
+            &DistPattern::dims(vec![DimPattern::CyclicAny]),
+            &DistPattern::dims(vec![DimPattern::Cyclic(4)])
+        ));
+        assert!(compatible(
+            &DistPattern::dims(vec![DimPattern::GenBlockAny]),
+            &DistPattern::dims(vec![DimPattern::GenBlock(vec![1, 2])])
+        ));
+        assert!(!compatible(
+            &DistPattern::dims(vec![DimPattern::GenBlock(vec![3])]),
+            &DistPattern::dims(vec![DimPattern::GenBlock(vec![1, 2])])
+        ));
+        assert!(compatible(
+            &DistPattern::dims(vec![DimPattern::Star, DimPattern::Block]),
+            &cols()
+        ));
+    }
+
+    #[test]
+    fn query_outcomes() {
+        // Singleton plausible set matching the query exactly → Always.
+        assert_eq!(
+            evaluate_query(&[cols()], &cols()),
+            QueryOutcome::Always
+        );
+        // Wildcard query always matches any non-empty plausible set.
+        assert_eq!(
+            evaluate_query(&[cols(), block2()], &DistPattern::Any),
+            QueryOutcome::Always
+        );
+        // Mixed plausible set → Maybe.
+        assert_eq!(
+            evaluate_query(&[cols(), block2()], &cols()),
+            QueryOutcome::Maybe
+        );
+        // Disjoint → Never.
+        assert_eq!(
+            evaluate_query(&[block2()], &cols()),
+            QueryOutcome::Never
+        );
+        // Empty plausible set (array not yet distributed) → Never.
+        assert_eq!(evaluate_query(&[], &cols()), QueryOutcome::Never);
+        // Plausible CYCLIC(*) versus concrete CYCLIC(2): might match.
+        assert_eq!(
+            evaluate_query(
+                &[DistPattern::dims(vec![DimPattern::CyclicAny])],
+                &DistPattern::dims(vec![DimPattern::Cyclic(2)])
+            ),
+            QueryOutcome::Maybe
+        );
+    }
+
+    #[test]
+    fn condition_evaluation() {
+        let selectors = vec!["B1".to_string(), "B3".to_string()];
+        let plausible = vec![vec![cols()], vec![block2(), cols()]];
+        assert_eq!(
+            evaluate_condition(&selectors, &plausible, &Condition::Default),
+            QueryOutcome::Always
+        );
+        // Positional: B1 must be (:,BLOCK) (always), B3 must be (BLOCK,BLOCK) (maybe).
+        assert_eq!(
+            evaluate_condition(
+                &selectors,
+                &plausible,
+                &Condition::Positional(vec![cols(), block2()])
+            ),
+            QueryOutcome::Maybe
+        );
+        // Name-tagged query that can never match B1.
+        assert_eq!(
+            evaluate_condition(
+                &selectors,
+                &plausible,
+                &Condition::NameTagged(vec![("B1".into(), block2())])
+            ),
+            QueryOutcome::Never
+        );
+        // Name-tagged query that always matches B1.
+        assert_eq!(
+            evaluate_condition(
+                &selectors,
+                &plausible,
+                &Condition::NameTagged(vec![("B1".into(), cols())])
+            ),
+            QueryOutcome::Always
+        );
+    }
+}

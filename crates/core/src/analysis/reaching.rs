@@ -1,0 +1,311 @@
+//! The reaching-distribution dataflow analysis.
+
+use super::ir::{Program, Stmt};
+use super::partial_eval::compatible;
+use crate::dcase::Condition;
+use std::collections::HashMap;
+use vf_dist::DistPattern;
+
+/// The plausible distribution set of one array at one program point: the
+/// set of distribution types (as patterns) that may reach it.  An empty set
+/// means the array has not been distributed on any path — accessing it is
+/// illegal (paper §2.3).
+type PlausibleSet = Vec<DistPattern>;
+
+/// The analysis state: one plausible set per array.
+type State = HashMap<String, PlausibleSet>;
+
+fn insert_pattern(set: &mut PlausibleSet, p: &DistPattern) {
+    if !set.contains(p) {
+        set.push(p.clone());
+    }
+}
+
+fn join_states(a: &State, b: &State) -> State {
+    let mut out = a.clone();
+    for (k, set) in b {
+        let entry = out.entry(k.clone()).or_default();
+        for p in set {
+            insert_pattern(entry, p);
+        }
+    }
+    out
+}
+
+fn states_equal(a: &State, b: &State) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    a.iter().all(|(k, set)| {
+        b.get(k)
+            .map(|other| set.len() == other.len() && set.iter().all(|p| other.contains(p)))
+            .unwrap_or(false)
+    })
+}
+
+/// The plausible distribution set recorded at one labelled access.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AccessInfo {
+    /// The access label from the IR.
+    pub label: String,
+    /// The accessed array.
+    pub array: String,
+    /// The distribution-type patterns that may reach the access.
+    pub plausible: Vec<DistPattern>,
+}
+
+/// The result of the reaching-distribution analysis over a [`Program`].
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ReachingDistributions {
+    accesses: Vec<AccessInfo>,
+    final_state: State,
+}
+
+impl ReachingDistributions {
+    /// Runs the analysis.
+    pub fn analyze(program: &Program) -> Self {
+        let mut state: State = HashMap::new();
+        for (name, dist) in program.initial() {
+            state.insert(name.clone(), vec![dist.clone()]);
+        }
+        let mut result = ReachingDistributions::default();
+        let out = result.analyze_block(program.body(), state);
+        result.final_state = out;
+        result
+    }
+
+    fn analyze_block(&mut self, stmts: &[Stmt], mut state: State) -> State {
+        for stmt in stmts {
+            state = self.analyze_stmt(stmt, state);
+        }
+        state
+    }
+
+    fn analyze_stmt(&mut self, stmt: &Stmt, mut state: State) -> State {
+        match stmt {
+            Stmt::Distribute { array, dist } => {
+                // A DISTRIBUTE statement kills every previously reaching
+                // distribution of the array and establishes exactly one.
+                state.insert(array.clone(), vec![dist.clone()]);
+                state
+            }
+            Stmt::Access { array, label } => {
+                let plausible = state.get(array).cloned().unwrap_or_default();
+                self.accesses.push(AccessInfo {
+                    label: label.clone(),
+                    array: array.clone(),
+                    plausible,
+                });
+                state
+            }
+            Stmt::If {
+                then_branch,
+                else_branch,
+            } => {
+                let s1 = self.analyze_block(then_branch, state.clone());
+                let s2 = self.analyze_block(else_branch, state);
+                join_states(&s1, &s2)
+            }
+            Stmt::Loop { body } => {
+                // Iterate to a fixpoint: the loop may execute zero or more
+                // times, so the result is the join of the entry state with
+                // every iteration's exit state.
+                let mut current = state;
+                loop {
+                    // Accesses recorded during intermediate (non-final)
+                    // iterations would be duplicates; analyse on a scratch
+                    // recorder and only keep the last iteration's records.
+                    let mut scratch = ReachingDistributions::default();
+                    let body_out = scratch.analyze_block(body, current.clone());
+                    let next = join_states(&current, &body_out);
+                    if states_equal(&next, &current) {
+                        // Fixpoint reached: record the accesses of one body
+                        // execution under the stable state.
+                        let stable = self.analyze_block(body, current.clone());
+                        return join_states(&current, &stable);
+                    }
+                    current = next;
+                }
+            }
+            Stmt::Dcase { selectors, clauses } => {
+                // Each clause body is analysed under a state refined by its
+                // condition; the construct may also fall through without
+                // executing any clause.
+                let mut joined = state.clone();
+                for (condition, body) in clauses {
+                    let refined = refine_state(&state, selectors, condition);
+                    let out = self.analyze_block(body, refined);
+                    joined = join_states(&joined, &out);
+                }
+                joined
+            }
+        }
+    }
+
+    /// The recorded accesses, in program order.
+    pub fn accesses(&self) -> &[AccessInfo] {
+        &self.accesses
+    }
+
+    /// The plausible set recorded for the access with the given label.
+    pub fn plausible_at(&self, label: &str) -> Option<&[DistPattern]> {
+        self.accesses
+            .iter()
+            .find(|a| a.label == label)
+            .map(|a| a.plausible.as_slice())
+    }
+
+    /// The plausible set of an array at the end of the program.
+    pub fn final_plausible(&self, array: &str) -> &[DistPattern] {
+        self.final_state
+            .get(array)
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Accesses whose plausible set is empty — illegal accesses to arrays
+    /// that are not distributed on any path (paper §2.3).
+    pub fn undistributed_accesses(&self) -> Vec<&AccessInfo> {
+        self.accesses
+            .iter()
+            .filter(|a| a.plausible.is_empty())
+            .collect()
+    }
+}
+
+/// Refines a state with the knowledge that a `DCASE` condition matched: each
+/// queried selector's plausible set is filtered to the patterns compatible
+/// with its query.
+fn refine_state(state: &State, selectors: &[String], condition: &Condition) -> State {
+    let queries: Vec<(String, DistPattern)> = match condition {
+        Condition::Default => Vec::new(),
+        Condition::Positional(patterns) => selectors
+            .iter()
+            .zip(patterns.iter())
+            .map(|(s, p)| (s.clone(), p.clone()))
+            .collect(),
+        Condition::NameTagged(tagged) => tagged.clone(),
+    };
+    let mut refined = state.clone();
+    for (name, query) in queries {
+        if let Some(set) = refined.get_mut(&name) {
+            set.retain(|p| compatible(p, &query));
+        }
+    }
+    refined
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vf_dist::{DimPattern, DistType};
+
+    fn cols() -> DistPattern {
+        DistPattern::exact(&DistType::columns())
+    }
+
+    fn rows() -> DistPattern {
+        DistPattern::exact(&DistType::rows())
+    }
+
+    fn blocks() -> DistPattern {
+        DistPattern::exact(&DistType::blocks2d())
+    }
+
+    #[test]
+    fn straight_line_code_has_singleton_sets() {
+        // The ADI pattern of Figure 1: a redistribute between two accesses.
+        let program = Program::new()
+            .with_initial("V", cols())
+            .stmt(Stmt::access("V", "x_sweep"))
+            .stmt(Stmt::distribute("V", rows()))
+            .stmt(Stmt::access("V", "y_sweep"));
+        let result = ReachingDistributions::analyze(&program);
+        assert_eq!(result.plausible_at("x_sweep").unwrap(), &[cols()]);
+        assert_eq!(result.plausible_at("y_sweep").unwrap(), &[rows()]);
+        assert_eq!(result.final_plausible("V"), &[rows()]);
+        assert!(result.undistributed_accesses().is_empty());
+    }
+
+    #[test]
+    fn conditional_redistribution_merges_sets() {
+        let program = Program::new()
+            .with_initial("A", cols())
+            .stmt(Stmt::if_then(vec![Stmt::distribute("A", blocks())]))
+            .stmt(Stmt::access("A", "after_if"));
+        let result = ReachingDistributions::analyze(&program);
+        let set = result.plausible_at("after_if").unwrap();
+        assert_eq!(set.len(), 2);
+        assert!(set.contains(&cols()) && set.contains(&blocks()));
+    }
+
+    #[test]
+    fn loop_redistribution_reaches_fixpoint() {
+        // Inside the loop the array may carry either the entry distribution
+        // or the one set at the end of a previous iteration.
+        let program = Program::new()
+            .with_initial("F", DistPattern::dims(vec![DimPattern::Block]))
+            .stmt(Stmt::loop_(vec![
+                Stmt::access("F", "in_loop"),
+                Stmt::if_then(vec![Stmt::distribute(
+                    "F",
+                    DistPattern::dims(vec![DimPattern::GenBlockAny]),
+                )]),
+            ]))
+            .stmt(Stmt::access("F", "after_loop"));
+        let result = ReachingDistributions::analyze(&program);
+        let in_loop = result.plausible_at("in_loop").unwrap();
+        assert_eq!(in_loop.len(), 2);
+        let after = result.plausible_at("after_loop").unwrap();
+        assert_eq!(after.len(), 2);
+    }
+
+    #[test]
+    fn access_before_distribution_is_flagged() {
+        let program = Program::new()
+            .stmt(Stmt::access("B1", "too_early"))
+            .stmt(Stmt::distribute("B1", DistPattern::dims(vec![DimPattern::Block])))
+            .stmt(Stmt::access("B1", "ok"));
+        let result = ReachingDistributions::analyze(&program);
+        assert!(result.plausible_at("too_early").unwrap().is_empty());
+        assert_eq!(result.undistributed_accesses().len(), 1);
+        assert_eq!(result.plausible_at("ok").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn dcase_clauses_refine_the_plausible_set() {
+        // After the IF join the array may be (:,BLOCK) or (BLOCK,BLOCK); a
+        // DCASE clause testing (BLOCK,*) narrows the set inside its body.
+        let program = Program::new()
+            .with_initial("A", cols())
+            .stmt(Stmt::if_then(vec![Stmt::distribute("A", blocks())]))
+            .stmt(Stmt::dcase(
+                ["A"],
+                vec![
+                    (
+                        Condition::Positional(vec![DistPattern::dims(vec![
+                            DimPattern::Block,
+                            DimPattern::Star,
+                        ])]),
+                        vec![Stmt::access("A", "block_clause")],
+                    ),
+                    (Condition::Default, vec![Stmt::access("A", "default_clause")]),
+                ],
+            ));
+        let result = ReachingDistributions::analyze(&program);
+        assert_eq!(result.plausible_at("block_clause").unwrap(), &[blocks()]);
+        let default_set = result.plausible_at("default_clause").unwrap();
+        assert_eq!(default_set.len(), 2);
+    }
+
+    #[test]
+    fn distribute_kills_previous_distributions() {
+        let program = Program::new()
+            .with_initial("A", cols())
+            .stmt(Stmt::if_then(vec![Stmt::distribute("A", blocks())]))
+            .stmt(Stmt::distribute("A", rows()))
+            .stmt(Stmt::access("A", "after_kill"));
+        let result = ReachingDistributions::analyze(&program);
+        assert_eq!(result.plausible_at("after_kill").unwrap(), &[rows()]);
+    }
+}

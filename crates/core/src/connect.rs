@@ -1,0 +1,86 @@
+//! The connect equivalence relation between dynamically distributed arrays
+//! (paper §2.3).
+
+use vf_dist::Alignment;
+
+/// How a secondary array is connected to its primary array.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Connection {
+    /// Distribution extraction (`CONNECT (=B)`): the secondary always has
+    /// the same distribution *type* as the primary, applied to its own
+    /// index domain.
+    Extraction,
+    /// An alignment (`CONNECT A(I,J) WITH B(...)`): the secondary's
+    /// distribution is derived from the primary's with the paper's
+    /// `CONSTRUCT` operation.
+    Alignment(Alignment),
+}
+
+/// One equivalence class of the `connect` relation: a distinguished primary
+/// array plus zero or more secondary arrays, each with its connection.
+///
+/// The paper's rules (§2.3) are enforced by [`crate::VfScope`]:
+///
+/// 1. each class has exactly one primary array;
+/// 2. secondaries declare their connection in their own declaration;
+/// 3. `DISTRIBUTE` applies to primaries only and redistributes the entire
+///    class so that the connection is maintained;
+/// 4. classes are independent of each other;
+/// 5. the relation does not extend across procedure (scope) boundaries.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ConnectClass {
+    /// Names of the secondary arrays with their connections, in declaration
+    /// order.
+    members: Vec<(String, Connection)>,
+}
+
+impl ConnectClass {
+    /// An empty class (a primary with no secondaries yet).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a secondary array to the class.
+    pub fn add_secondary(&mut self, name: impl Into<String>, connection: Connection) {
+        self.members.push((name.into(), connection));
+    }
+
+    /// The secondary arrays of the class, in declaration order.
+    pub fn secondaries(&self) -> impl Iterator<Item = (&str, &Connection)> {
+        self.members.iter().map(|(n, c)| (n.as_str(), c))
+    }
+
+    /// Whether `name` is a secondary member of this class.
+    pub fn contains(&self, name: &str) -> bool {
+        self.members.iter().any(|(n, _)| n == name)
+    }
+
+    /// Number of secondary arrays.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the class has no secondary arrays.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_membership() {
+        let mut class = ConnectClass::new();
+        assert!(class.is_empty());
+        class.add_secondary("A1", Connection::Extraction);
+        class.add_secondary("A2", Connection::Alignment(Alignment::identity(2)));
+        assert_eq!(class.len(), 2);
+        assert!(class.contains("A1"));
+        assert!(class.contains("A2"));
+        assert!(!class.contains("B4"));
+        let names: Vec<&str> = class.secondaries().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["A1", "A2"]);
+    }
+}

@@ -1,0 +1,346 @@
+//! The `DCASE` construct and the `IDT` intrinsic (paper §2.5).
+
+use crate::{CoreError, Result, VfScope};
+use vf_dist::{DistPattern, DistType, ProcessorView};
+use vf_runtime::Element;
+
+/// The condition of one `DCASE` clause.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Condition {
+    /// `CASE DEFAULT` — always matches.
+    Default,
+    /// A positional query list: patterns are associated with the selectors
+    /// in order; selectors beyond the list length get an implicit `*`.
+    Positional(Vec<DistPattern>),
+    /// A name-tagged query list: each query names its selector explicitly;
+    /// selectors without a query get an implicit `*`.  The order of the
+    /// entries is semantically irrelevant.
+    NameTagged(Vec<(String, DistPattern)>),
+}
+
+/// One condition–action pair of a `DCASE` construct.  The *action* is
+/// represented by its index: [`Dcase::select`] returns the index of the
+/// first matching clause and the caller dispatches on it, which keeps the
+/// construct free of closures and easy to analyse.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DcaseClause {
+    /// The clause condition.
+    pub condition: Condition,
+    /// An optional human-readable label (useful in experiment output).
+    pub label: Option<String>,
+}
+
+/// The `SELECT DCASE (A1, ..., Ar)` construct: a list of selector arrays and
+/// a sequence of condition–action pairs, evaluated in order (paper §2.5.1).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Dcase {
+    selectors: Vec<String>,
+    clauses: Vec<DcaseClause>,
+}
+
+impl Dcase {
+    /// Starts a construct over the given selector arrays.
+    pub fn new(selectors: impl IntoIterator<Item = impl Into<String>>) -> Self {
+        Self {
+            selectors: selectors.into_iter().map(Into::into).collect(),
+            clauses: Vec::new(),
+        }
+    }
+
+    /// The selector array names.
+    pub fn selectors(&self) -> &[String] {
+        &self.selectors
+    }
+
+    /// The clauses in evaluation order.
+    pub fn clauses(&self) -> &[DcaseClause] {
+        &self.clauses
+    }
+
+    /// Adds a positional clause (`CASE (q1), (q2), ...`).
+    pub fn when_positional(mut self, patterns: impl IntoIterator<Item = DistPattern>) -> Self {
+        self.clauses.push(DcaseClause {
+            condition: Condition::Positional(patterns.into_iter().collect()),
+            label: None,
+        });
+        self
+    }
+
+    /// Adds a name-tagged clause (`CASE B1: (q1), B3: (q3)`).
+    pub fn when_tagged(
+        mut self,
+        queries: impl IntoIterator<Item = (impl Into<String>, DistPattern)>,
+    ) -> Self {
+        self.clauses.push(DcaseClause {
+            condition: Condition::NameTagged(
+                queries.into_iter().map(|(n, p)| (n.into(), p)).collect(),
+            ),
+            label: None,
+        });
+        self
+    }
+
+    /// Adds a `CASE DEFAULT` clause.
+    pub fn default_case(mut self) -> Self {
+        self.clauses.push(DcaseClause {
+            condition: Condition::Default,
+            label: None,
+        });
+        self
+    }
+
+    /// Attaches a label to the most recently added clause.
+    pub fn labelled(mut self, label: impl Into<String>) -> Self {
+        if let Some(last) = self.clauses.last_mut() {
+            last.label = Some(label.into());
+        }
+        self
+    }
+
+    /// Checks whether one clause condition matches the given selector
+    /// distribution types.
+    fn condition_matches(
+        &self,
+        condition: &Condition,
+        types: &[(String, DistType)],
+    ) -> Result<bool> {
+        match condition {
+            Condition::Default => Ok(true),
+            Condition::Positional(patterns) => {
+                if patterns.len() > types.len() {
+                    return Err(CoreError::InvalidDcase {
+                        reason: format!(
+                            "positional query list has {} entries for {} selectors",
+                            patterns.len(),
+                            types.len()
+                        ),
+                    });
+                }
+                Ok(patterns
+                    .iter()
+                    .zip(types.iter())
+                    .all(|(p, (_, t))| p.matches(t)))
+            }
+            Condition::NameTagged(queries) => {
+                for (name, pattern) in queries {
+                    let Some((_, t)) = types.iter().find(|(n, _)| n == name) else {
+                        return Err(CoreError::InvalidDcase {
+                            reason: format!("name-tagged query refers to {name}, which is not a selector"),
+                        });
+                    };
+                    if !pattern.matches(t) {
+                        return Ok(false);
+                    }
+                }
+                Ok(true)
+            }
+        }
+    }
+
+    /// Evaluates the construct against the current state of `scope` and
+    /// returns the index of the first matching clause, or `None` when no
+    /// clause matches (in which case the construct completes without
+    /// executing an action, per the paper).
+    ///
+    /// Every selector must currently be associated with a distribution.
+    pub fn select<T: Element>(&self, scope: &VfScope<T>) -> Result<Option<usize>> {
+        if self.selectors.is_empty() {
+            return Err(CoreError::InvalidDcase {
+                reason: "a DCASE construct needs at least one selector".into(),
+            });
+        }
+        let types: Vec<(String, DistType)> = self
+            .selectors
+            .iter()
+            .map(|name| Ok((name.clone(), scope.current_dist_type(name)?)))
+            .collect::<Result<_>>()?;
+        for (i, clause) in self.clauses.iter().enumerate() {
+            if self.condition_matches(&clause.condition, &types)? {
+                return Ok(Some(i));
+            }
+        }
+        Ok(None)
+    }
+}
+
+/// The `IDT` intrinsic: tests whether the distribution type currently
+/// associated with `array` matches `pattern` (paper §2.5.2).
+pub fn idt<T: Element>(scope: &VfScope<T>, array: &str, pattern: &DistPattern) -> Result<bool> {
+    scope.idt(array, pattern)
+}
+
+/// The `IDT` intrinsic with an explicit processor-section test: the
+/// distribution type must match *and* the array must currently be mapped to
+/// exactly the processors of `procs`.
+pub fn idt_on<T: Element>(
+    scope: &VfScope<T>,
+    array: &str,
+    pattern: &DistPattern,
+    procs: &ProcessorView,
+) -> Result<bool> {
+    if !scope.idt(array, pattern)? {
+        return Ok(false);
+    }
+    let current = scope.array(array)?.dist().procs().clone();
+    Ok(current == *procs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DistributeStmt, DynamicDecl};
+    use vf_dist::{DimDist, DimPattern};
+    use vf_index::IndexDomain;
+    use vf_machine::{CostModel, Machine};
+
+    /// Builds the scope of the paper's Example 4.
+    fn example4_scope() -> VfScope<f64> {
+        let mut s: VfScope<f64> = VfScope::new(Machine::new(4, CostModel::zero()));
+        s.declare_dynamic(
+            DynamicDecl::new("B1", IndexDomain::d1(16)).initial(DistType::block1d()),
+        )
+        .unwrap();
+        s.declare_dynamic(
+            DynamicDecl::new("B2", IndexDomain::d1(16)).initial(DistType::block1d()),
+        )
+        .unwrap();
+        s.declare_dynamic(
+            DynamicDecl::new("B3", IndexDomain::d2(8, 8))
+                .initial(DistType::new(vec![DimDist::Cyclic(2), DimDist::Cyclic(1)])),
+        )
+        .unwrap();
+        s
+    }
+
+    fn example4_dcase() -> Dcase {
+        Dcase::new(["B1", "B2", "B3"])
+            // CASE (BLOCK),(BLOCK),(CYCLIC(2),CYCLIC)
+            .when_positional([
+                DistPattern::dims(vec![DimPattern::Block]),
+                DistPattern::dims(vec![DimPattern::Block]),
+                DistPattern::dims(vec![DimPattern::Cyclic(2), DimPattern::Cyclic(1)]),
+            ])
+            .labelled("a1")
+            // CASE B1: (CYCLIC), B3: (BLOCK, *)
+            .when_tagged([
+                ("B1", DistPattern::dims(vec![DimPattern::Cyclic(1)])),
+                (
+                    "B3",
+                    DistPattern::dims(vec![DimPattern::Block, DimPattern::Star]),
+                ),
+            ])
+            .labelled("a2")
+            // CASE B3: (BLOCK, CYCLIC)
+            .when_tagged([(
+                "B3",
+                DistPattern::dims(vec![DimPattern::Block, DimPattern::Cyclic(1)]),
+            )])
+            .labelled("a3")
+            // CASE DEFAULT
+            .default_case()
+            .labelled("a4")
+    }
+
+    #[test]
+    fn example4_first_clause_matches_initial_state() {
+        let s = example4_scope();
+        let dcase = example4_dcase();
+        assert_eq!(dcase.select(&s).unwrap(), Some(0));
+        assert_eq!(dcase.clauses()[0].label.as_deref(), Some("a1"));
+    }
+
+    #[test]
+    fn example4_second_clause_after_redistribution() {
+        let mut s = example4_scope();
+        // t1 = (CYCLIC), t3 = (BLOCK, anything) → clause a2.
+        s.distribute(DistributeStmt::new("B1", DistType::cyclic1d(1))).unwrap();
+        s.distribute(DistributeStmt::new(
+            "B3",
+            DistType::new(vec![DimDist::Block, DimDist::Cyclic(4)]),
+        ))
+        .unwrap();
+        assert_eq!(example4_dcase().select(&s).unwrap(), Some(1));
+        // t3 = (BLOCK, CYCLIC) with t1 back to BLOCK → clause a3 (a2 needs CYCLIC t1).
+        s.distribute(DistributeStmt::new("B1", DistType::block1d())).unwrap();
+        s.distribute(DistributeStmt::new(
+            "B3",
+            DistType::new(vec![DimDist::Block, DimDist::Cyclic(1)]),
+        ))
+        .unwrap();
+        // B2 is still BLOCK so clause a1 requires t3=(CYCLIC(2),CYCLIC): no.
+        assert_eq!(example4_dcase().select(&s).unwrap(), Some(2));
+    }
+
+    #[test]
+    fn example4_default_clause() {
+        let mut s = example4_scope();
+        s.distribute(DistributeStmt::new("B2", DistType::cyclic1d(1))).unwrap();
+        s.distribute(DistributeStmt::new(
+            "B3",
+            DistType::new(vec![DimDist::Cyclic(1), DimDist::Block]),
+        ))
+        .unwrap();
+        assert_eq!(example4_dcase().select(&s).unwrap(), Some(3));
+    }
+
+    #[test]
+    fn construct_without_matching_clause_selects_nothing() {
+        let s = example4_scope();
+        let dcase = Dcase::new(["B1"]).when_positional([DistPattern::dims(vec![
+            DimPattern::Cyclic(7),
+        ])]);
+        assert_eq!(dcase.select(&s).unwrap(), None);
+    }
+
+    #[test]
+    fn shorter_positional_lists_pad_with_star() {
+        let s = example4_scope();
+        // Only constrain B1; B2 and B3 get implicit '*'.
+        let dcase = Dcase::new(["B1", "B2", "B3"])
+            .when_positional([DistPattern::dims(vec![DimPattern::Block])]);
+        assert_eq!(dcase.select(&s).unwrap(), Some(0));
+    }
+
+    #[test]
+    fn malformed_constructs_are_rejected() {
+        let s = example4_scope();
+        // No selectors.
+        assert!(matches!(
+            Dcase::new(Vec::<String>::new()).default_case().select(&s),
+            Err(CoreError::InvalidDcase { .. })
+        ));
+        // More positional queries than selectors.
+        let too_many = Dcase::new(["B1"]).when_positional([
+            DistPattern::Any,
+            DistPattern::Any,
+        ]);
+        assert!(matches!(
+            too_many.select(&s),
+            Err(CoreError::InvalidDcase { .. })
+        ));
+        // Name tag that is not a selector.
+        let bad_tag = Dcase::new(["B1"]).when_tagged([("B9", DistPattern::Any)]);
+        assert!(matches!(
+            bad_tag.select(&s),
+            Err(CoreError::InvalidDcase { .. })
+        ));
+        // Selector without a distribution.
+        let mut s2: VfScope<f64> = VfScope::new(Machine::new(2, CostModel::zero()));
+        s2.declare_dynamic(DynamicDecl::new("B1", IndexDomain::d1(4))).unwrap();
+        assert!(matches!(
+            Dcase::new(["B1"]).default_case().select(&s2),
+            Err(CoreError::NotYetDistributed { .. })
+        ));
+    }
+
+    #[test]
+    fn idt_with_processor_section() {
+        let s = example4_scope();
+        // The paper's explicit-IF formulation of the second DCASE clause.
+        let block = DistPattern::dims(vec![DimPattern::Block]);
+        assert!(idt(&s, "B1", &block).unwrap());
+        assert!(idt_on(&s, "B1", &block, &ProcessorView::linear(4)).unwrap());
+        // Same pattern, different processor section → false.
+        assert!(!idt_on(&s, "B1", &block, &ProcessorView::linear(2)).unwrap());
+    }
+}

@@ -1,0 +1,220 @@
+//! Array declarations: static, dynamic primary and dynamic secondary
+//! (paper §2.3).
+
+use crate::connect::Connection;
+use vf_dist::{DistPattern, DistType, ProcessorView};
+use vf_index::IndexDomain;
+
+/// The declaration kind of an array in a scope.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DeclKind {
+    /// A statically distributed array: the association between the array
+    /// and its distribution is invariant in the scope.
+    Static {
+        /// The (permanent) distribution type.
+        dist_type: DistType,
+        /// Optional explicit target processor view (`TO R(...)`).
+        target: Option<ProcessorView>,
+    },
+    /// A dynamically distributed *primary* array (the distinguished member
+    /// of its connect equivalence class).
+    DynamicPrimary {
+        /// The `RANGE` attribute: the set of distribution-type patterns the
+        /// array may assume; empty means unrestricted.
+        range: Vec<DistPattern>,
+        /// The initial distribution, evaluated when the array is allocated;
+        /// `None` means the array may not be accessed until a `DISTRIBUTE`
+        /// statement (or procedure call) gives it one.
+        initial: Option<DistType>,
+        /// Optional explicit target processor view for the initial
+        /// distribution.
+        target: Option<ProcessorView>,
+    },
+    /// A dynamically distributed *secondary* array, connected to a primary
+    /// array; its distribution always follows the primary's.
+    DynamicSecondary {
+        /// Name of the primary array of the class.
+        primary: String,
+        /// How the secondary is connected (distribution extraction or
+        /// alignment).
+        connection: Connection,
+    },
+}
+
+/// A declaration of a statically distributed array, e.g.
+/// `REAL U(NX, NY) DIST (:, BLOCK)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StaticDecl {
+    /// Array name.
+    pub name: String,
+    /// Index domain.
+    pub domain: IndexDomain,
+    /// Distribution type.
+    pub dist_type: DistType,
+    /// Optional explicit processor view.
+    pub target: Option<ProcessorView>,
+}
+
+impl StaticDecl {
+    /// Declares a statically distributed array on the scope's default
+    /// processors.
+    pub fn new(name: impl Into<String>, domain: IndexDomain, dist_type: DistType) -> Self {
+        Self {
+            name: name.into(),
+            domain,
+            dist_type,
+            target: None,
+        }
+    }
+
+    /// Targets an explicit processor view (`TO R(...)`).
+    pub fn to(mut self, target: ProcessorView) -> Self {
+        self.target = Some(target);
+        self
+    }
+}
+
+/// A declaration of a dynamically distributed primary array, e.g.
+/// `REAL B3(N,N) DYNAMIC, RANGE ((BLOCK,BLOCK),(*,CYCLIC)), DIST (BLOCK, CYCLIC)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DynamicDecl {
+    /// Array name.
+    pub name: String,
+    /// Index domain.
+    pub domain: IndexDomain,
+    /// `RANGE` patterns (empty = unrestricted).
+    pub range: Vec<DistPattern>,
+    /// Initial distribution, if any.
+    pub initial: Option<DistType>,
+    /// Optional explicit processor view for the initial distribution.
+    pub target: Option<ProcessorView>,
+}
+
+impl DynamicDecl {
+    /// Declares a dynamic primary array with no range restriction and no
+    /// initial distribution (like `B1` in the paper's Example 2).
+    pub fn new(name: impl Into<String>, domain: IndexDomain) -> Self {
+        Self {
+            name: name.into(),
+            domain,
+            range: Vec::new(),
+            initial: None,
+            target: None,
+        }
+    }
+
+    /// Adds a `RANGE` attribute restricting the admissible distribution
+    /// types.
+    pub fn range(mut self, patterns: impl IntoIterator<Item = DistPattern>) -> Self {
+        self.range = patterns.into_iter().collect();
+        self
+    }
+
+    /// Adds an initial distribution (`DIST (...)`).
+    pub fn initial(mut self, dist_type: DistType) -> Self {
+        self.initial = Some(dist_type);
+        self
+    }
+
+    /// Targets an explicit processor view for the initial distribution.
+    pub fn to(mut self, target: ProcessorView) -> Self {
+        self.target = Some(target);
+        self
+    }
+}
+
+/// A declaration of a dynamic secondary array, e.g.
+/// `REAL A1(N,N) DYNAMIC, CONNECT (=B4)` or
+/// `REAL A2(N,N) DYNAMIC, CONNECT A2(I,J) WITH B4(I,J)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SecondaryDecl {
+    /// Array name.
+    pub name: String,
+    /// Index domain.
+    pub domain: IndexDomain,
+    /// The primary array this secondary is connected to.
+    pub primary: String,
+    /// The connection (distribution extraction or alignment).
+    pub connection: Connection,
+}
+
+impl SecondaryDecl {
+    /// Declares a secondary array connected to `primary` by distribution
+    /// extraction (`CONNECT (=primary)`).
+    pub fn extraction(
+        name: impl Into<String>,
+        domain: IndexDomain,
+        primary: impl Into<String>,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            domain,
+            primary: primary.into(),
+            connection: Connection::Extraction,
+        }
+    }
+
+    /// Declares a secondary array connected to `primary` by an alignment
+    /// (`CONNECT name(...) WITH primary(...)`).
+    pub fn aligned(
+        name: impl Into<String>,
+        domain: IndexDomain,
+        primary: impl Into<String>,
+        alignment: vf_dist::Alignment,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            domain,
+            primary: primary.into(),
+            connection: Connection::Alignment(alignment),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vf_dist::{Alignment, DimPattern};
+
+    #[test]
+    fn static_decl_builder() {
+        let d = StaticDecl::new("U", IndexDomain::d2(100, 100), DistType::columns())
+            .to(ProcessorView::linear(4));
+        assert_eq!(d.name, "U");
+        assert!(d.target.is_some());
+    }
+
+    #[test]
+    fn dynamic_decl_builder_matches_example2() {
+        // REAL B3(N,N) DYNAMIC, RANGE ((BLOCK,BLOCK),(*,CYCLIC)), DIST(BLOCK,CYCLIC)
+        let d = DynamicDecl::new("B3", IndexDomain::d2(10, 10))
+            .range([
+                DistPattern::dims(vec![DimPattern::Block, DimPattern::Block]),
+                DistPattern::dims(vec![DimPattern::Star, DimPattern::Cyclic(1)]),
+            ])
+            .initial(DistType::new(vec![
+                vf_dist::DimDist::Block,
+                vf_dist::DimDist::Cyclic(1),
+            ]));
+        assert_eq!(d.range.len(), 2);
+        assert!(d.initial.is_some());
+        // REAL B1(M) DYNAMIC — no range, no initial distribution.
+        let b1 = DynamicDecl::new("B1", IndexDomain::d1(8));
+        assert!(b1.range.is_empty());
+        assert!(b1.initial.is_none());
+    }
+
+    #[test]
+    fn secondary_decl_builders() {
+        let a1 = SecondaryDecl::extraction("A1", IndexDomain::d2(10, 10), "B4");
+        assert_eq!(a1.connection, Connection::Extraction);
+        let a2 = SecondaryDecl::aligned(
+            "A2",
+            IndexDomain::d2(10, 10),
+            "B4",
+            Alignment::identity(2),
+        );
+        assert!(matches!(a2.connection, Connection::Alignment(_)));
+        assert_eq!(a2.primary, "B4");
+    }
+}

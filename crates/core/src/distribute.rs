@@ -1,0 +1,209 @@
+//! The executable `DISTRIBUTE` statement (paper §2.4).
+
+use vf_dist::{DimDist, DistType, ProcessorView};
+use vf_runtime::RedistReport;
+
+/// One entry of a distribution expression in a `DISTRIBUTE` statement:
+/// either an explicit per-dimension distribution function or a distribution
+/// extraction from another array's current distribution, as in the paper's
+/// `DISTRIBUTE B4 :: (=B1, CYCLIC(3))`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DimSpec {
+    /// An explicit per-dimension distribution function.
+    Dist(DimDist),
+    /// `=A`: extract the per-dimension distribution from dimension `dim`
+    /// of array `array`'s *current* distribution type.
+    ExtractFrom {
+        /// Array whose distribution is extracted.
+        array: String,
+        /// Dimension (0-based) of that array's distribution type.
+        dim: usize,
+    },
+}
+
+impl From<DimDist> for DimSpec {
+    fn from(d: DimDist) -> Self {
+        DimSpec::Dist(d)
+    }
+}
+
+/// A distribution expression: per-dimension specs plus an optional explicit
+/// target processor section.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DistExpr {
+    /// Per-dimension specifications.
+    pub dims: Vec<DimSpec>,
+    /// Optional target processor view (`TO R(...)`).
+    pub target: Option<ProcessorView>,
+}
+
+impl DistExpr {
+    /// An expression from explicit per-dimension distribution functions.
+    pub fn of_type(dist_type: &DistType) -> Self {
+        Self {
+            dims: dist_type.dims().iter().cloned().map(DimSpec::Dist).collect(),
+            target: None,
+        }
+    }
+
+    /// An expression from per-dimension specs.
+    pub fn new(dims: Vec<DimSpec>) -> Self {
+        Self { dims, target: None }
+    }
+
+    /// Targets an explicit processor view.
+    pub fn to(mut self, target: ProcessorView) -> Self {
+        self.target = Some(target);
+        self
+    }
+}
+
+/// An executable `DISTRIBUTE` statement:
+///
+/// ```text
+/// DISTRIBUTE B1, B2 :: (CYCLIC(K)) [ TO R(...) ] [ NOTRANSFER (A1, ...) ]
+/// ```
+///
+/// The statement names one or more *primary* arrays; executing it
+/// redistributes each named array and every secondary array of its connect
+/// equivalence class (paper §2.4).  Secondary arrays listed in the
+/// `NOTRANSFER` attribute have only their access function changed — the
+/// data is not physically moved.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DistributeStmt {
+    /// The primary arrays to redistribute.
+    pub arrays: Vec<String>,
+    /// The distribution expression.
+    pub expr: DistExpr,
+    /// Arrays excluded from data motion.
+    pub notransfer: Vec<String>,
+}
+
+impl DistributeStmt {
+    /// `DISTRIBUTE array :: dist_type`.
+    pub fn new(array: impl Into<String>, dist_type: DistType) -> Self {
+        Self {
+            arrays: vec![array.into()],
+            expr: DistExpr::of_type(&dist_type),
+            notransfer: Vec::new(),
+        }
+    }
+
+    /// `DISTRIBUTE a1, a2, ... :: dist_type`.
+    pub fn multi(arrays: impl IntoIterator<Item = impl Into<String>>, dist_type: DistType) -> Self {
+        Self {
+            arrays: arrays.into_iter().map(Into::into).collect(),
+            expr: DistExpr::of_type(&dist_type),
+            notransfer: Vec::new(),
+        }
+    }
+
+    /// `DISTRIBUTE array :: expr` with a general distribution expression
+    /// (possibly containing distribution extraction).
+    pub fn with_expr(array: impl Into<String>, expr: DistExpr) -> Self {
+        Self {
+            arrays: vec![array.into()],
+            expr,
+            notransfer: Vec::new(),
+        }
+    }
+
+    /// Adds an explicit target processor view.
+    pub fn to(mut self, target: ProcessorView) -> Self {
+        self.expr.target = Some(target);
+        self
+    }
+
+    /// Adds a `NOTRANSFER` attribute naming secondary arrays whose data
+    /// should not be moved.
+    pub fn notransfer(mut self, names: impl IntoIterator<Item = impl Into<String>>) -> Self {
+        self.notransfer = names.into_iter().map(Into::into).collect();
+        self
+    }
+}
+
+/// What executing a `DISTRIBUTE` statement did: one redistribution report
+/// per affected array (primaries and secondaries), in execution order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DistributeReport {
+    /// Per-array reports: `(array name, redistribution report)`.
+    pub per_array: Vec<(String, RedistReport)>,
+}
+
+impl DistributeReport {
+    /// Total elements moved across processors.
+    pub fn moved_elements(&self) -> usize {
+        self.per_array.iter().map(|(_, r)| r.moved_elements).sum()
+    }
+
+    /// Total messages charged.
+    pub fn messages(&self) -> usize {
+        self.per_array.iter().map(|(_, r)| r.messages).sum()
+    }
+
+    /// Total bytes charged.
+    pub fn bytes(&self) -> usize {
+        self.per_array.iter().map(|(_, r)| r.bytes).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn statement_builders() {
+        let s = DistributeStmt::new("B1", DistType::block1d());
+        assert_eq!(s.arrays, vec!["B1"]);
+        assert_eq!(s.expr.dims.len(), 1);
+        assert!(s.notransfer.is_empty());
+
+        let s = DistributeStmt::multi(["B1", "B2"], DistType::cyclic1d(3))
+            .notransfer(["A1"])
+            .to(ProcessorView::linear(4));
+        assert_eq!(s.arrays.len(), 2);
+        assert_eq!(s.notransfer, vec!["A1"]);
+        assert!(s.expr.target.is_some());
+    }
+
+    #[test]
+    fn extraction_expression() {
+        // DISTRIBUTE B4 :: (=B1, CYCLIC(3))
+        let expr = DistExpr::new(vec![
+            DimSpec::ExtractFrom {
+                array: "B1".into(),
+                dim: 0,
+            },
+            DimDist::Cyclic(3).into(),
+        ]);
+        let s = DistributeStmt::with_expr("B4", expr);
+        assert!(matches!(s.expr.dims[0], DimSpec::ExtractFrom { .. }));
+        assert!(matches!(s.expr.dims[1], DimSpec::Dist(DimDist::Cyclic(3))));
+    }
+
+    #[test]
+    fn report_totals() {
+        let mut report = DistributeReport::default();
+        report.per_array.push((
+            "B".into(),
+            RedistReport {
+                moved_elements: 10,
+                stayed_elements: 6,
+                messages: 3,
+                bytes: 80,
+            },
+        ));
+        report.per_array.push((
+            "A".into(),
+            RedistReport {
+                moved_elements: 4,
+                stayed_elements: 12,
+                messages: 2,
+                bytes: 32,
+            },
+        ));
+        assert_eq!(report.moved_elements(), 14);
+        assert_eq!(report.messages(), 5);
+        assert_eq!(report.bytes(), 112);
+    }
+}

@@ -1,0 +1,191 @@
+//! Error type for the language layer.
+
+use std::fmt;
+use vf_dist::DistError;
+use vf_index::IndexError;
+use vf_runtime::RuntimeError;
+
+/// Errors produced by the Vienna Fortran language layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// An array name was declared twice in the same scope.
+    DuplicateDeclaration {
+        /// The offending name.
+        name: String,
+    },
+    /// A referenced array is not declared in the scope.
+    UnknownArray {
+        /// The unknown name.
+        name: String,
+    },
+    /// A referenced processor array/section is not declared in the scope.
+    UnknownProcessors {
+        /// The unknown name.
+        name: String,
+    },
+    /// A `DISTRIBUTE` statement targeted an array that is not a dynamic
+    /// primary array (paper §2.3 rule 3: "distribute statements are
+    /// explicitly applied to primary arrays only").
+    NotAPrimaryArray {
+        /// The offending name.
+        name: String,
+    },
+    /// A dynamically distributed array was accessed before any distribution
+    /// was associated with it (paper §2.3: such an array "cannot be legally
+    /// accessed before it has been explicitly associated with a
+    /// distribution").
+    NotYetDistributed {
+        /// The offending name.
+        name: String,
+    },
+    /// The distribution requested by a `DISTRIBUTE` statement violates the
+    /// array's `RANGE` attribute.
+    OutsideRange {
+        /// The array being distributed.
+        name: String,
+        /// Rendering of the offending distribution type.
+        dist_type: String,
+    },
+    /// A secondary array declaration referred to a primary array in a
+    /// different (or no) class, or a secondary was itself used as a primary.
+    InvalidConnection {
+        /// The secondary array.
+        secondary: String,
+        /// The primary array it referred to.
+        primary: String,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A `NOTRANSFER` attribute named an array that is not a secondary of
+    /// the distributed primary's class.
+    InvalidNoTransfer {
+        /// The named array.
+        name: String,
+        /// The primary array of the statement.
+        primary: String,
+    },
+    /// A `DCASE` construct was malformed (no selectors, or a selector
+    /// without a defined distribution).
+    InvalidDcase {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A distribution-layer error.
+    Dist(DistError),
+    /// A runtime-layer error.
+    Runtime(RuntimeError),
+    /// An index-layer error.
+    Index(IndexError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::DuplicateDeclaration { name } => {
+                write!(f, "array {name} is already declared in this scope")
+            }
+            CoreError::UnknownArray { name } => write!(f, "array {name} is not declared"),
+            CoreError::UnknownProcessors { name } => {
+                write!(f, "processor structure {name} is not declared")
+            }
+            CoreError::NotAPrimaryArray { name } => {
+                write!(f, "DISTRIBUTE may only be applied to primary arrays; {name} is not one")
+            }
+            CoreError::NotYetDistributed { name } => write!(
+                f,
+                "array {name} is DYNAMIC without an initial distribution and has not been distributed yet"
+            ),
+            CoreError::OutsideRange { name, dist_type } => write!(
+                f,
+                "distribution {dist_type} is outside the RANGE declared for {name}"
+            ),
+            CoreError::InvalidConnection {
+                secondary,
+                primary,
+                reason,
+            } => write!(
+                f,
+                "invalid CONNECT of {secondary} to {primary}: {reason}"
+            ),
+            CoreError::InvalidNoTransfer { name, primary } => write!(
+                f,
+                "NOTRANSFER names {name}, which is not a secondary array of {primary}'s class"
+            ),
+            CoreError::InvalidDcase { reason } => write!(f, "invalid DCASE construct: {reason}"),
+            CoreError::Dist(e) => write!(f, "{e}"),
+            CoreError::Runtime(e) => write!(f, "{e}"),
+            CoreError::Index(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Dist(e) => Some(e),
+            CoreError::Runtime(e) => Some(e),
+            CoreError::Index(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DistError> for CoreError {
+    fn from(e: DistError) -> Self {
+        CoreError::Dist(e)
+    }
+}
+
+impl From<RuntimeError> for CoreError {
+    fn from(e: RuntimeError) -> Self {
+        CoreError::Runtime(e)
+    }
+}
+
+impl From<IndexError> for CoreError {
+    fn from(e: IndexError) -> Self {
+        CoreError::Index(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_sources() {
+        let cases = vec![
+            CoreError::DuplicateDeclaration { name: "A".into() },
+            CoreError::UnknownArray { name: "A".into() },
+            CoreError::UnknownProcessors { name: "R".into() },
+            CoreError::NotAPrimaryArray { name: "A1".into() },
+            CoreError::NotYetDistributed { name: "B1".into() },
+            CoreError::OutsideRange {
+                name: "B3".into(),
+                dist_type: "(CYCLIC, CYCLIC)".into(),
+            },
+            CoreError::InvalidConnection {
+                secondary: "A1".into(),
+                primary: "B4".into(),
+                reason: "primary is itself secondary".into(),
+            },
+            CoreError::InvalidNoTransfer {
+                name: "A9".into(),
+                primary: "B4".into(),
+            },
+            CoreError::InvalidDcase {
+                reason: "no selectors".into(),
+            },
+        ];
+        for c in cases {
+            assert!(!c.to_string().is_empty());
+            assert!(std::error::Error::source(&c).is_none());
+        }
+        let wrapped: CoreError = DistError::ZeroCyclicWidth.into();
+        assert!(std::error::Error::source(&wrapped).is_some());
+        let wrapped: CoreError = RuntimeError::NoContiguousSegment { array: "V".into() }.into();
+        assert!(wrapped.to_string().contains('V'));
+        let wrapped: CoreError = IndexError::RankTooLarge { requested: 9 }.into();
+        assert!(wrapped.to_string().contains('9'));
+    }
+}

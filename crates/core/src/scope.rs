@@ -1,0 +1,719 @@
+//! The procedure scope: declared arrays, connect classes and statement
+//! execution.
+
+use crate::connect::{ConnectClass, Connection};
+use crate::decl::{DeclKind, DynamicDecl, SecondaryDecl, StaticDecl};
+use crate::distribute::{DimSpec, DistributeReport, DistributeStmt};
+use crate::{CoreError, Result};
+use std::collections::HashMap;
+use vf_dist::{construct, DistPattern, DistType, Distribution, ProcessorView};
+use vf_index::IndexDomain;
+use vf_machine::{CommStats, CommTracker, Machine};
+use vf_runtime::{redistribute, ArrayDescriptor, DistArray, Element, RedistOptions};
+
+struct Entry<T: Element> {
+    kind: DeclKind,
+    domain: IndexDomain,
+    data: Option<DistArray<T>>,
+}
+
+/// A Vienna Fortran procedure scope.
+///
+/// The scope owns the declared arrays (static and dynamic), their connect
+/// equivalence classes, and the machine/communication-tracker pair the
+/// program runs on.  Statements (`DISTRIBUTE`, `DCASE`, `IDT`) execute
+/// against the scope; array data is accessed through
+/// [`VfScope::array`] / [`VfScope::array_mut`].
+///
+/// The connect relation "does not extend across procedure boundaries"
+/// (paper §2.3, rule 5): creating a new scope starts with empty classes.
+/// All arrays in one scope share the element type `T` (the paper's examples
+/// are all `REAL`; use several scopes or the runtime layer directly for
+/// mixed-type programs).
+pub struct VfScope<T: Element = f64> {
+    machine: Machine,
+    tracker: CommTracker,
+    default_procs: ProcessorView,
+    arrays: HashMap<String, Entry<T>>,
+    order: Vec<String>,
+    classes: HashMap<String, ConnectClass>,
+}
+
+impl<T: Element> VfScope<T> {
+    /// Creates a scope executing on `machine`, with the default processor
+    /// arrangement `$NP` = `machine.num_procs()` in one dimension.
+    pub fn new(machine: Machine) -> Self {
+        let tracker = machine.tracker();
+        let default_procs = ProcessorView::linear(machine.num_procs());
+        Self {
+            machine,
+            tracker,
+            default_procs,
+            arrays: HashMap::new(),
+            order: Vec::new(),
+            classes: HashMap::new(),
+        }
+    }
+
+    /// Creates a scope with an explicit default processor view (e.g. a 2-D
+    /// grid `PROCESSORS R(1:M,1:M)`).
+    pub fn with_processors(machine: Machine, default_procs: ProcessorView) -> Self {
+        let tracker = machine.tracker();
+        Self {
+            machine,
+            tracker,
+            default_procs,
+            arrays: HashMap::new(),
+            order: Vec::new(),
+            classes: HashMap::new(),
+        }
+    }
+
+    /// The machine the scope executes on.
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    /// The `$NP` intrinsic: the number of executing processors.
+    pub fn num_procs(&self) -> usize {
+        self.machine.num_procs()
+    }
+
+    /// The scope's communication tracker.
+    pub fn tracker(&self) -> &CommTracker {
+        &self.tracker
+    }
+
+    /// The default processor view used when declarations and statements do
+    /// not name an explicit target.
+    pub fn default_procs(&self) -> &ProcessorView {
+        &self.default_procs
+    }
+
+    /// A snapshot of the communication statistics accumulated so far.
+    pub fn stats(&self) -> CommStats {
+        self.tracker.snapshot()
+    }
+
+    /// Returns and resets the accumulated communication statistics —
+    /// convenient for per-phase accounting in the experiments.
+    pub fn take_stats(&self) -> CommStats {
+        self.tracker.take()
+    }
+
+    /// Names of all declared arrays, in declaration order.
+    pub fn declared_names(&self) -> &[String] {
+        &self.order
+    }
+
+    fn insert_entry(&mut self, name: &str, entry: Entry<T>) -> Result<()> {
+        if self.arrays.contains_key(name) {
+            return Err(CoreError::DuplicateDeclaration { name: name.into() });
+        }
+        self.arrays.insert(name.to_string(), entry);
+        self.order.push(name.to_string());
+        Ok(())
+    }
+
+    /// Declares a statically distributed array and allocates it
+    /// immediately.
+    pub fn declare_static(&mut self, decl: StaticDecl) -> Result<()> {
+        let procs = decl.target.clone().unwrap_or_else(|| self.default_procs.clone());
+        let dist = Distribution::new(decl.dist_type.clone(), decl.domain.clone(), procs)?;
+        let data = DistArray::new(decl.name.clone(), dist);
+        self.insert_entry(
+            &decl.name,
+            Entry {
+                kind: DeclKind::Static {
+                    dist_type: decl.dist_type,
+                    target: decl.target,
+                },
+                domain: decl.domain,
+                data: Some(data),
+            },
+        )
+    }
+
+    /// Declares a dynamically distributed primary array.  If the
+    /// declaration carries an initial distribution the array is allocated
+    /// and distributed immediately; otherwise it may not be accessed until
+    /// a `DISTRIBUTE` statement executes (paper §2.3).
+    pub fn declare_dynamic(&mut self, decl: DynamicDecl) -> Result<()> {
+        let data = if let Some(initial) = &decl.initial {
+            if !decl.range.is_empty() && !decl.range.iter().any(|p| p.matches(initial)) {
+                return Err(CoreError::OutsideRange {
+                    name: decl.name.clone(),
+                    dist_type: initial.to_string(),
+                });
+            }
+            let procs = decl.target.clone().unwrap_or_else(|| self.default_procs.clone());
+            let dist = Distribution::new(initial.clone(), decl.domain.clone(), procs)?;
+            Some(DistArray::new(decl.name.clone(), dist))
+        } else {
+            None
+        };
+        self.classes.insert(decl.name.clone(), ConnectClass::new());
+        self.insert_entry(
+            &decl.name,
+            Entry {
+                kind: DeclKind::DynamicPrimary {
+                    range: decl.range,
+                    initial: decl.initial,
+                    target: decl.target,
+                },
+                domain: decl.domain,
+                data,
+            },
+        )
+    }
+
+    /// Declares a dynamic secondary array connected to an existing primary.
+    /// If the primary is currently distributed, the secondary is allocated
+    /// with the derived distribution right away.
+    pub fn declare_secondary(&mut self, decl: SecondaryDecl) -> Result<()> {
+        let primary_entry = self
+            .arrays
+            .get(&decl.primary)
+            .ok_or_else(|| CoreError::UnknownArray {
+                name: decl.primary.clone(),
+            })?;
+        if !matches!(primary_entry.kind, DeclKind::DynamicPrimary { .. }) {
+            return Err(CoreError::InvalidConnection {
+                secondary: decl.name.clone(),
+                primary: decl.primary.clone(),
+                reason: "the named array is not a dynamic primary array".into(),
+            });
+        }
+        let data = match &primary_entry.data {
+            Some(primary_data) => Some(DistArray::new(
+                decl.name.clone(),
+                Self::derive_secondary_dist(&decl.connection, primary_data.dist(), &decl.domain)?,
+            )),
+            None => None,
+        };
+        self.classes
+            .get_mut(&decl.primary)
+            .expect("class created with the primary")
+            .add_secondary(decl.name.clone(), decl.connection.clone());
+        self.insert_entry(
+            &decl.name,
+            Entry {
+                kind: DeclKind::DynamicSecondary {
+                    primary: decl.primary,
+                    connection: decl.connection,
+                },
+                domain: decl.domain,
+                data,
+            },
+        )
+    }
+
+    fn derive_secondary_dist(
+        connection: &Connection,
+        primary_dist: &Distribution,
+        secondary_domain: &IndexDomain,
+    ) -> Result<Distribution> {
+        match connection {
+            Connection::Extraction => Ok(Distribution::new(
+                primary_dist.dist_type().clone(),
+                secondary_domain.clone(),
+                primary_dist.procs().clone(),
+            )?),
+            Connection::Alignment(a) => Ok(construct(a, primary_dist, secondary_domain)?),
+        }
+    }
+
+    /// The connect equivalence class of a primary array.
+    pub fn connect_class(&self, primary: &str) -> Result<&ConnectClass> {
+        self.classes
+            .get(primary)
+            .ok_or_else(|| CoreError::UnknownArray {
+                name: primary.into(),
+            })
+    }
+
+    /// Whether `name` is declared and currently associated with a
+    /// distribution.
+    pub fn is_distributed(&self, name: &str) -> bool {
+        self.arrays
+            .get(name)
+            .map(|e| e.data.is_some())
+            .unwrap_or(false)
+    }
+
+    /// Read access to an array's data.
+    pub fn array(&self, name: &str) -> Result<&DistArray<T>> {
+        let entry = self
+            .arrays
+            .get(name)
+            .ok_or_else(|| CoreError::UnknownArray { name: name.into() })?;
+        entry
+            .data
+            .as_ref()
+            .ok_or_else(|| CoreError::NotYetDistributed { name: name.into() })
+    }
+
+    /// Mutable access to an array's data.
+    pub fn array_mut(&mut self, name: &str) -> Result<&mut DistArray<T>> {
+        let entry = self
+            .arrays
+            .get_mut(name)
+            .ok_or_else(|| CoreError::UnknownArray { name: name.into() })?;
+        entry
+            .data
+            .as_mut()
+            .ok_or_else(|| CoreError::NotYetDistributed { name: name.into() })
+    }
+
+    /// The distribution type currently associated with `name`.
+    pub fn current_dist_type(&self, name: &str) -> Result<DistType> {
+        Ok(self.array(name)?.dist().dist_type().clone())
+    }
+
+    /// The run-time descriptor (paper §3.2.1) of an array.
+    pub fn descriptor(&self, name: &str) -> Result<ArrayDescriptor> {
+        Ok(ArrayDescriptor::of(self.array(name)?))
+    }
+
+    /// The `IDT` intrinsic restricted to distribution types: whether the
+    /// current distribution type of `name` matches `pattern`.
+    pub fn idt(&self, name: &str, pattern: &DistPattern) -> Result<bool> {
+        Ok(pattern.matches(&self.current_dist_type(name)?))
+    }
+
+    /// Resolves a distribution expression against the current scope state
+    /// (evaluating distribution extraction entries).
+    fn resolve_expr(&self, stmt: &DistributeStmt) -> Result<(DistType, Option<ProcessorView>)> {
+        let mut dims = Vec::with_capacity(stmt.expr.dims.len());
+        for spec in &stmt.expr.dims {
+            match spec {
+                DimSpec::Dist(d) => dims.push(d.clone()),
+                DimSpec::ExtractFrom { array, dim } => {
+                    let t = self.current_dist_type(array)?;
+                    if *dim >= t.rank() {
+                        return Err(CoreError::Dist(vf_dist::DistError::RankMismatch {
+                            array_rank: t.rank(),
+                            dist_rank: dim + 1,
+                        }));
+                    }
+                    dims.push(t.dim(*dim).clone());
+                }
+            }
+        }
+        Ok((DistType::new(dims), stmt.expr.target.clone()))
+    }
+
+    /// Executes a `DISTRIBUTE` statement (paper §2.4 / §3.2.2): validates
+    /// the statement, redistributes every named primary array, and
+    /// propagates the redistribution to every secondary array of the
+    /// affected connect classes, honouring `NOTRANSFER`.
+    pub fn distribute(&mut self, stmt: DistributeStmt) -> Result<DistributeReport> {
+        let (dist_type, explicit_target) = self.resolve_expr(&stmt)?;
+
+        // Validate NOTRANSFER: every name must be a secondary array in one
+        // of the affected classes.
+        for nt in &stmt.notransfer {
+            let ok = stmt.arrays.iter().any(|primary| {
+                self.classes
+                    .get(primary)
+                    .map(|c| c.contains(nt))
+                    .unwrap_or(false)
+            });
+            if !ok {
+                return Err(CoreError::InvalidNoTransfer {
+                    name: nt.clone(),
+                    primary: stmt.arrays.join(","),
+                });
+            }
+        }
+
+        let mut report = DistributeReport::default();
+        for primary in &stmt.arrays {
+            self.distribute_one(primary, &dist_type, explicit_target.as_ref(), &stmt, &mut report)?;
+        }
+        Ok(report)
+    }
+
+    fn distribute_one(
+        &mut self,
+        primary: &str,
+        dist_type: &DistType,
+        explicit_target: Option<&ProcessorView>,
+        stmt: &DistributeStmt,
+        report: &mut DistributeReport,
+    ) -> Result<()> {
+        // Validate the primary.
+        let entry = self
+            .arrays
+            .get(primary)
+            .ok_or_else(|| CoreError::UnknownArray {
+                name: primary.into(),
+            })?;
+        let (range, decl_target) = match &entry.kind {
+            DeclKind::DynamicPrimary { range, target, .. } => (range.clone(), target.clone()),
+            _ => {
+                return Err(CoreError::NotAPrimaryArray {
+                    name: primary.into(),
+                })
+            }
+        };
+        if !range.is_empty() && !range.iter().any(|p| p.matches(dist_type)) {
+            return Err(CoreError::OutsideRange {
+                name: primary.into(),
+                dist_type: dist_type.to_string(),
+            });
+        }
+
+        // Step 1 (paper §3.2.2): evaluate the new distribution of the
+        // primary.
+        let procs = explicit_target
+            .cloned()
+            .or(decl_target)
+            .unwrap_or_else(|| self.default_procs.clone());
+        let new_dist = Distribution::new(dist_type.clone(), entry.domain.clone(), procs)?;
+
+        // Step 3 for the primary: move the data (or allocate on first
+        // distribution).
+        let primary_report = {
+            let entry = self.arrays.get_mut(primary).expect("checked above");
+            match entry.data.as_mut() {
+                Some(data) => {
+                    redistribute(data, new_dist.clone(), &self.tracker, &RedistOptions::default())?
+                }
+                None => {
+                    entry.data = Some(DistArray::new(primary.to_string(), new_dist.clone()));
+                    Default::default()
+                }
+            }
+        };
+        report.per_array.push((primary.to_string(), primary_report));
+
+        // Step 2 + 3 for every connected secondary array.
+        let class = self.classes.get(primary).cloned().unwrap_or_default();
+        for (secondary, connection) in class.secondaries() {
+            let sec_domain = self
+                .arrays
+                .get(secondary)
+                .expect("secondary declared before being added to the class")
+                .domain
+                .clone();
+            let sec_dist = Self::derive_secondary_dist(connection, &new_dist, &sec_domain)?;
+            let opts = if stmt.notransfer.iter().any(|n| n == secondary) {
+                RedistOptions::notransfer()
+            } else {
+                RedistOptions::default()
+            };
+            let sec_report = {
+                let entry = self.arrays.get_mut(secondary).expect("declared");
+                match entry.data.as_mut() {
+                    Some(data) => redistribute(data, sec_dist, &self.tracker, &opts)?,
+                    None => {
+                        entry.data = Some(DistArray::new(secondary.to_string(), sec_dist));
+                        Default::default()
+                    }
+                }
+            };
+            report.per_array.push((secondary.to_string(), sec_report));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vf_dist::{Alignment, DimDist, DimPattern};
+    use vf_index::Point;
+    use vf_machine::CostModel;
+
+    fn scope(p: usize) -> VfScope<f64> {
+        VfScope::new(Machine::new(p, CostModel::zero()))
+    }
+
+    #[test]
+    fn static_arrays_are_allocated_immediately() {
+        let mut s = scope(4);
+        s.declare_static(StaticDecl::new(
+            "U",
+            IndexDomain::d2(8, 8),
+            DistType::columns(),
+        ))
+        .unwrap();
+        assert!(s.is_distributed("U"));
+        assert_eq!(s.current_dist_type("U").unwrap(), DistType::columns());
+        assert_eq!(s.array("U").unwrap().domain().size(), 64);
+        assert_eq!(s.num_procs(), 4);
+        // Re-declaration is rejected.
+        assert!(matches!(
+            s.declare_static(StaticDecl::new("U", IndexDomain::d1(4), DistType::block1d())),
+            Err(CoreError::DuplicateDeclaration { .. })
+        ));
+    }
+
+    #[test]
+    fn example2_declarations() {
+        // The paper's Example 2, executed.
+        let mut s = scope(4);
+        s.declare_dynamic(DynamicDecl::new("B1", IndexDomain::d1(8))).unwrap();
+        s.declare_dynamic(
+            DynamicDecl::new("B2", IndexDomain::d1(12)).initial(DistType::block1d()),
+        )
+        .unwrap();
+        s.declare_dynamic(
+            DynamicDecl::new("B3", IndexDomain::d2(8, 8))
+                .range([
+                    DistPattern::dims(vec![DimPattern::Block, DimPattern::Block]),
+                    DistPattern::dims(vec![DimPattern::Star, DimPattern::Cyclic(1)]),
+                ])
+                .initial(DistType::new(vec![DimDist::Block, DimDist::Cyclic(1)])),
+        )
+        .unwrap();
+        s.declare_dynamic(
+            DynamicDecl::new("B4", IndexDomain::d2(8, 8))
+                .initial(DistType::new(vec![DimDist::Block, DimDist::Cyclic(1)])),
+        )
+        .unwrap();
+        s.declare_secondary(SecondaryDecl::extraction("A1", IndexDomain::d2(8, 8), "B4"))
+            .unwrap();
+        s.declare_secondary(SecondaryDecl::aligned(
+            "A2",
+            IndexDomain::d2(8, 8),
+            "B4",
+            Alignment::identity(2),
+        ))
+        .unwrap();
+
+        // B1 has no initial distribution: access is illegal until DISTRIBUTE.
+        assert!(matches!(
+            s.array("B1"),
+            Err(CoreError::NotYetDistributed { .. })
+        ));
+        assert!(s.is_distributed("B2"));
+        // The connections put A1 and A2 into C(B4).
+        let class = s.connect_class("B4").unwrap();
+        assert!(class.contains("A1") && class.contains("A2"));
+        // Secondaries follow B4's distribution type immediately.
+        assert_eq!(
+            s.current_dist_type("A1").unwrap(),
+            s.current_dist_type("B4").unwrap()
+        );
+    }
+
+    #[test]
+    fn example3_distribute_statements() {
+        // The paper's Example 3, executed in order.
+        let mut s = scope(4);
+        s.declare_dynamic(DynamicDecl::new("B1", IndexDomain::d1(16))).unwrap();
+        s.declare_dynamic(
+            DynamicDecl::new("B2", IndexDomain::d1(16)).initial(DistType::block1d()),
+        )
+        .unwrap();
+        s.declare_dynamic(
+            DynamicDecl::new("B3", IndexDomain::d2(8, 8))
+                .initial(DistType::new(vec![DimDist::Block, DimDist::Cyclic(1)])),
+        )
+        .unwrap();
+        s.declare_dynamic(
+            DynamicDecl::new("B4", IndexDomain::d2(8, 8))
+                .initial(DistType::new(vec![DimDist::Block, DimDist::Cyclic(1)])),
+        )
+        .unwrap();
+        s.declare_secondary(SecondaryDecl::extraction("A1", IndexDomain::d2(8, 8), "B4"))
+            .unwrap();
+
+        // DISTRIBUTE B1 :: (BLOCK)
+        s.distribute(DistributeStmt::new("B1", DistType::block1d())).unwrap();
+        assert_eq!(s.current_dist_type("B1").unwrap(), DistType::block1d());
+
+        // K = 2; DISTRIBUTE B1, B2 :: (CYCLIC(K))
+        let k = 2;
+        s.distribute(DistributeStmt::multi(["B1", "B2"], DistType::cyclic1d(k)))
+            .unwrap();
+        assert_eq!(s.current_dist_type("B1").unwrap(), DistType::cyclic1d(2));
+        assert_eq!(s.current_dist_type("B2").unwrap(), DistType::cyclic1d(2));
+
+        // DISTRIBUTE B3 :: (BLOCK, CYCLIC)
+        s.distribute(DistributeStmt::new(
+            "B3",
+            DistType::new(vec![DimDist::Block, DimDist::Cyclic(1)]),
+        ))
+        .unwrap();
+
+        // DISTRIBUTE B4 :: (=B1, CYCLIC(3)) — extraction of B1's (CYCLIC(2)).
+        let expr = crate::DistExpr::new(vec![
+            DimSpec::ExtractFrom {
+                array: "B1".into(),
+                dim: 0,
+            },
+            DimDist::Cyclic(3).into(),
+        ]);
+        let report = s
+            .distribute(DistributeStmt::with_expr("B4", expr))
+            .unwrap();
+        let expected = DistType::new(vec![DimDist::Cyclic(2), DimDist::Cyclic(3)]);
+        assert_eq!(s.current_dist_type("B4").unwrap(), expected);
+        // The secondary A1 followed along.
+        assert_eq!(s.current_dist_type("A1").unwrap(), expected);
+        assert_eq!(report.per_array.len(), 2);
+    }
+
+    #[test]
+    fn range_attribute_is_enforced() {
+        let mut s = scope(4);
+        s.declare_dynamic(
+            DynamicDecl::new("B3", IndexDomain::d2(8, 8))
+                .range([DistPattern::dims(vec![DimPattern::Block, DimPattern::Block])])
+                .initial(DistType::blocks2d()),
+        )
+        .unwrap();
+        let err = s.distribute(DistributeStmt::new(
+            "B3",
+            DistType::new(vec![DimDist::Cyclic(1), DimDist::Cyclic(1)]),
+        ));
+        assert!(matches!(err, Err(CoreError::OutsideRange { .. })));
+        // An initial distribution outside the declared range is rejected too.
+        let err = s.declare_dynamic(
+            DynamicDecl::new("B5", IndexDomain::d1(8))
+                .range([DistPattern::exact(&DistType::block1d())])
+                .initial(DistType::cyclic1d(1)),
+        );
+        assert!(matches!(err, Err(CoreError::OutsideRange { .. })));
+    }
+
+    #[test]
+    fn distribute_rejects_non_primaries_and_bad_notransfer() {
+        let mut s = scope(2);
+        s.declare_static(StaticDecl::new("U", IndexDomain::d1(8), DistType::block1d()))
+            .unwrap();
+        s.declare_dynamic(
+            DynamicDecl::new("B", IndexDomain::d1(8)).initial(DistType::block1d()),
+        )
+        .unwrap();
+        s.declare_secondary(SecondaryDecl::extraction("A", IndexDomain::d1(8), "B"))
+            .unwrap();
+        assert!(matches!(
+            s.distribute(DistributeStmt::new("U", DistType::cyclic1d(1))),
+            Err(CoreError::NotAPrimaryArray { .. })
+        ));
+        assert!(matches!(
+            s.distribute(DistributeStmt::new("A", DistType::cyclic1d(1))),
+            Err(CoreError::NotAPrimaryArray { .. })
+        ));
+        assert!(matches!(
+            s.distribute(DistributeStmt::new("B", DistType::cyclic1d(1)).notransfer(["U"])),
+            Err(CoreError::InvalidNoTransfer { .. })
+        ));
+        assert!(matches!(
+            s.distribute(DistributeStmt::new("ZZZ", DistType::cyclic1d(1))),
+            Err(CoreError::UnknownArray { .. })
+        ));
+    }
+
+    #[test]
+    fn redistribution_preserves_data_and_propagates_to_secondaries() {
+        let mut s = scope(4);
+        s.declare_dynamic(
+            DynamicDecl::new("B", IndexDomain::d1(16)).initial(DistType::block1d()),
+        )
+        .unwrap();
+        s.declare_secondary(SecondaryDecl::extraction("A", IndexDomain::d1(16), "B"))
+            .unwrap();
+        // Fill both arrays.
+        for i in 1..=16i64 {
+            s.array_mut("B").unwrap().set(&Point::d1(i), i as f64).unwrap();
+            s.array_mut("A").unwrap().set(&Point::d1(i), -(i as f64)).unwrap();
+        }
+        let report = s
+            .distribute(DistributeStmt::new("B", DistType::cyclic1d(1)))
+            .unwrap();
+        assert_eq!(report.per_array.len(), 2);
+        assert!(report.moved_elements() > 0);
+        for i in 1..=16i64 {
+            assert_eq!(s.array("B").unwrap().get(&Point::d1(i)).unwrap(), i as f64);
+            assert_eq!(s.array("A").unwrap().get(&Point::d1(i)).unwrap(), -(i as f64));
+        }
+        // The scope's tracker saw the traffic.
+        assert!(s.stats().total_messages() > 0);
+        let taken = s.take_stats();
+        assert_eq!(taken.total_messages(), report.messages() );
+        assert_eq!(s.stats().total_messages(), 0);
+    }
+
+    #[test]
+    fn notransfer_skips_data_motion_for_named_secondary() {
+        let mut s = scope(4);
+        s.declare_dynamic(
+            DynamicDecl::new("B", IndexDomain::d1(16)).initial(DistType::block1d()),
+        )
+        .unwrap();
+        s.declare_secondary(SecondaryDecl::extraction("A", IndexDomain::d1(16), "B"))
+            .unwrap();
+        for i in 1..=16i64 {
+            s.array_mut("A").unwrap().set(&Point::d1(i), 1.0).unwrap();
+        }
+        let report = s
+            .distribute(DistributeStmt::new("B", DistType::cyclic1d(1)).notransfer(["A"]))
+            .unwrap();
+        let a_report = report
+            .per_array
+            .iter()
+            .find(|(n, _)| n == "A")
+            .map(|(_, r)| r.clone())
+            .unwrap();
+        assert_eq!(a_report.moved_elements, 0);
+        assert_eq!(a_report.bytes, 0);
+        // A's descriptor changed even though the data was not moved.
+        assert_eq!(s.current_dist_type("A").unwrap(), DistType::cyclic1d(1));
+    }
+
+    #[test]
+    fn deferred_first_distribution_allocates() {
+        let mut s = scope(2);
+        s.declare_dynamic(DynamicDecl::new("B1", IndexDomain::d1(8))).unwrap();
+        s.declare_secondary(SecondaryDecl::extraction("A1", IndexDomain::d1(8), "B1"))
+            .unwrap();
+        assert!(!s.is_distributed("B1"));
+        assert!(!s.is_distributed("A1"));
+        let report = s
+            .distribute(DistributeStmt::new("B1", DistType::block1d()))
+            .unwrap();
+        assert!(s.is_distributed("B1"));
+        assert!(s.is_distributed("A1"));
+        assert_eq!(report.moved_elements(), 0);
+        assert_eq!(s.descriptor("B1").unwrap().dist_type, DistType::block1d());
+    }
+
+    #[test]
+    fn idt_checks_current_distribution() {
+        let mut s = scope(4);
+        s.declare_dynamic(
+            DynamicDecl::new("V", IndexDomain::d2(8, 8)).initial(DistType::columns()),
+        )
+        .unwrap();
+        assert!(s.idt("V", &DistPattern::exact(&DistType::columns())).unwrap());
+        assert!(!s.idt("V", &DistPattern::exact(&DistType::rows())).unwrap());
+        assert!(s
+            .idt(
+                "V",
+                &DistPattern::dims(vec![DimPattern::Star, DimPattern::Block])
+            )
+            .unwrap());
+        s.distribute(DistributeStmt::new("V", DistType::rows())).unwrap();
+        assert!(s.idt("V", &DistPattern::exact(&DistType::rows())).unwrap());
+    }
+
+    #[test]
+    fn secondary_with_unknown_or_invalid_primary_rejected() {
+        let mut s = scope(2);
+        assert!(matches!(
+            s.declare_secondary(SecondaryDecl::extraction("A", IndexDomain::d1(4), "NOPE")),
+            Err(CoreError::UnknownArray { .. })
+        ));
+        s.declare_static(StaticDecl::new("U", IndexDomain::d1(4), DistType::block1d()))
+            .unwrap();
+        assert!(matches!(
+            s.declare_secondary(SecondaryDecl::extraction("A", IndexDomain::d1(4), "U")),
+            Err(CoreError::InvalidConnection { .. })
+        ));
+    }
+}

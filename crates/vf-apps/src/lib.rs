@@ -1,0 +1,36 @@
+//! Application kernels from the paper's §4, built on the Vienna Fortran
+//! dynamic-distribution library.
+//!
+//! The paper motivates dynamic data distributions with three scenarios and
+//! two program figures; each has a full implementation here so that the
+//! experiment harness (crate `vf-bench`) can reproduce the corresponding
+//! comparisons:
+//!
+//! * [`smoothing`] — the grid-smoothing example of §4: a 5-point relaxation
+//!   whose best distribution (column `( : , BLOCK)` versus 2-D
+//!   `(BLOCK, BLOCK)`) depends on the ratio `N/p` and the machine's message
+//!   cost parameters; includes the runtime distribution chooser the paper
+//!   proposes (select the distribution when the grid size is an input).
+//! * [`adi`] — the ADI (Alternating Direction Implicit) iteration of
+//!   Figure 1: tridiagonal solves along x-lines and then y-lines, run with
+//!   a static distribution (communication inside one of the two sweeps) or
+//!   with dynamic redistribution between the sweeps (all communication
+//!   confined to the `DISTRIBUTE`), plus the two-copy array-assignment
+//!   baseline discussed in the text.
+//! * [`pic`] — the particle-in-cell simulation of Figure 2: cells
+//!   distributed `BLOCK` or general-block (`B_BLOCK(BOUNDS)`), particles
+//!   drifting across cells, periodic load-balance checks and
+//!   redistribution.
+//! * [`tridiag`] — the constant-coefficient tridiagonal (Thomas) solver the
+//!   ADI code calls (`TRIDIAG` in Figure 1).
+//! * [`workloads`] — deterministic workload generators (particle clouds,
+//!   initial fields) used by tests, examples and benches.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adi;
+pub mod pic;
+pub mod smoothing;
+pub mod tridiag;
+pub mod workloads;

@@ -1,0 +1,290 @@
+//! The grid-smoothing example of §4: choosing a distribution from runtime
+//! values.
+//!
+//! "In a grid based computation, such as smoothing, the value at a grid
+//! point is based on its 4 nearest neighbors.  A column distribution of the
+//! N × N grid will give rise to 2 messages per processor, each of size N,
+//! per computation step.  On the other hand, if the grid is distributed by
+//! blocks in two dimensions across a p² processor array, then each
+//! computation step requires 4 messages of size N/p each on each processor.
+//! Thus, given the startup overhead and cost per byte of each message of
+//! the target machine, the ratio N/p will determine the most appropriate
+//! distribution."  (paper §4)
+//!
+//! This module implements the smoothing step under both layouts, the
+//! analytic per-step cost model quoted above, and the runtime chooser that
+//! a Vienna Fortran program would express with `DISTRIBUTE` inside an `IF`.
+
+use vf_dist::{DistType, Distribution, ProcessorView};
+use vf_index::{IndexDomain, Point};
+use vf_machine::{CommStats, CostModel, Machine};
+use vf_runtime::ghost::{exchange_ghosts, get_with_ghosts};
+use vf_runtime::DistArray;
+
+/// The two candidate layouts of the N×N grid discussed in §4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SmoothingLayout {
+    /// `( : , BLOCK)`: whole columns per processor — 2 neighbour messages of
+    /// N elements per processor and step.
+    Columns,
+    /// `(BLOCK, BLOCK)` on a (roughly) square processor grid — 4 neighbour
+    /// messages of about N/√p elements per processor and step.
+    Blocks2D,
+}
+
+impl SmoothingLayout {
+    /// The Vienna Fortran distribution type of the layout.
+    pub fn dist_type(self) -> DistType {
+        match self {
+            SmoothingLayout::Columns => DistType::columns(),
+            SmoothingLayout::Blocks2D => DistType::blocks2d(),
+        }
+    }
+}
+
+/// Configuration of a smoothing run.
+#[derive(Debug, Clone)]
+pub struct SmoothingConfig {
+    /// Grid size N (the grid is N×N).
+    pub n: usize,
+    /// Number of relaxation steps.
+    pub steps: usize,
+    /// Grid layout.
+    pub layout: SmoothingLayout,
+}
+
+/// Result of a smoothing run.
+#[derive(Debug, Clone)]
+pub struct SmoothingResult {
+    /// Communication/computation statistics of the whole run.
+    pub stats: CommStats,
+    /// Messages exchanged in one step (from the first step).
+    pub messages_per_step: usize,
+    /// Bytes exchanged in one step (from the first step).
+    pub bytes_per_step: usize,
+    /// Sum of the final field (for cross-checking against the sequential
+    /// reference).
+    pub checksum: f64,
+    /// The final field in dense column-major order.
+    pub field: Vec<f64>,
+}
+
+/// Flops charged per updated grid point (4 adds + 1 multiply).
+const FLOPS_PER_POINT: usize = 5;
+
+/// One Jacobi relaxation step on a dense column-major grid — the sequential
+/// reference the distributed runs are validated against.
+pub fn sequential_step(n: usize, field: &[f64]) -> Vec<f64> {
+    let idx = |i: usize, j: usize| i + j * n;
+    let mut out = field.to_vec();
+    for j in 1..n - 1 {
+        for i in 1..n - 1 {
+            out[idx(i, j)] = 0.25
+                * (field[idx(i - 1, j)]
+                    + field[idx(i + 1, j)]
+                    + field[idx(i, j - 1)]
+                    + field[idx(i, j + 1)]);
+        }
+    }
+    out
+}
+
+/// Runs `steps` sequential reference steps.
+pub fn sequential_reference(n: usize, steps: usize, initial: &[f64]) -> Vec<f64> {
+    let mut field = initial.to_vec();
+    for _ in 0..steps {
+        field = sequential_step(n, &field);
+    }
+    field
+}
+
+/// The analytic per-step communication time of one processor under the
+/// paper's message-count argument.
+pub fn predicted_step_time(layout: SmoothingLayout, n: usize, p: usize, cost: &CostModel) -> f64 {
+    let elem = 8.0; // f64
+    match layout {
+        SmoothingLayout::Columns => 2.0 * (cost.alpha + cost.beta * elem * n as f64),
+        SmoothingLayout::Blocks2D => {
+            let side = (p as f64).sqrt().max(1.0);
+            4.0 * (cost.alpha + cost.beta * elem * (n as f64 / side))
+        }
+    }
+}
+
+/// The runtime distribution chooser of §4: picks the layout with the lower
+/// predicted per-step communication time given N, the number of processors
+/// (`$NP`) and the machine's α/β parameters.
+pub fn choose_layout(n: usize, p: usize, cost: &CostModel) -> SmoothingLayout {
+    if predicted_step_time(SmoothingLayout::Columns, n, p, cost)
+        <= predicted_step_time(SmoothingLayout::Blocks2D, n, p, cost)
+    {
+        SmoothingLayout::Columns
+    } else {
+        SmoothingLayout::Blocks2D
+    }
+}
+
+/// Builds the distribution of the grid for a layout on `machine`.
+pub fn grid_distribution(
+    layout: SmoothingLayout,
+    n: usize,
+    machine: &Machine,
+) -> Distribution {
+    let procs = ProcessorView::linear(machine.num_procs());
+    Distribution::new(layout.dist_type(), IndexDomain::d2(n, n), procs)
+        .expect("square grid distributions are always valid")
+}
+
+/// Runs the distributed smoothing kernel and returns statistics plus the
+/// final field.
+pub fn run(config: &SmoothingConfig, machine: &Machine, initial: &[f64]) -> SmoothingResult {
+    let tracker = machine.tracker();
+    let dist = grid_distribution(config.layout, config.n, machine);
+    let domain = dist.domain().clone();
+    let mut current = DistArray::from_dense("U", dist.clone(), initial)
+        .expect("initial field has N*N elements");
+    let mut next: DistArray<f64> = DistArray::new("V", dist.clone());
+
+    let n = config.n as i64;
+    let mut messages_per_step = 0;
+    let mut bytes_per_step = 0;
+
+    for step in 0..config.steps {
+        let (ghosts, report) =
+            exchange_ghosts(&current, &[(1, 1), (1, 1)], &tracker).expect("block layouts");
+        if step == 0 {
+            messages_per_step = report.messages;
+            bytes_per_step = report.bytes;
+        }
+        for &p in dist.proc_ids().to_vec().iter() {
+            let points = dist.local_points(p);
+            let mut interior = 0usize;
+            for (l, point) in points.into_iter().enumerate() {
+                let (i, j) = (point.coord(0), point.coord(1));
+                let value = if i == 1 || i == n || j == 1 || j == n {
+                    current.get(&point).expect("point in domain")
+                } else {
+                    interior += 1;
+                    let read = |q: Point| {
+                        get_with_ghosts(&current, &ghosts, p, &q)
+                            .expect("neighbour within 1-wide halo")
+                    };
+                    0.25 * (read(point.offset(0, -1))
+                        + read(point.offset(0, 1))
+                        + read(point.offset(1, -1))
+                        + read(point.offset(1, 1)))
+                };
+                next.local_mut(p)[l] = value;
+            }
+            tracker.compute(p.0, interior * FLOPS_PER_POINT);
+        }
+        std::mem::swap(&mut current, &mut next);
+    }
+
+    let field = current.to_dense();
+    let checksum = field.iter().sum();
+    let _ = domain;
+    SmoothingResult {
+        stats: tracker.snapshot(),
+        messages_per_step,
+        bytes_per_step,
+        checksum,
+        field,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads;
+
+    #[test]
+    fn distributed_matches_sequential_for_both_layouts() {
+        let n = 12;
+        let initial = workloads::initial_grid(n, 7);
+        let reference = sequential_reference(n, 3, &initial);
+        for layout in [SmoothingLayout::Columns, SmoothingLayout::Blocks2D] {
+            let machine = Machine::new(4, CostModel::zero());
+            let result = run(
+                &SmoothingConfig { n, steps: 3, layout },
+                &machine,
+                &initial,
+            );
+            for (a, b) in result.field.iter().zip(reference.iter()) {
+                assert!((a - b).abs() < 1e-12, "{layout:?} diverges from reference");
+            }
+        }
+    }
+
+    #[test]
+    fn message_counts_follow_the_paper_analysis() {
+        let n = 32;
+        let p = 4;
+        let initial = workloads::initial_grid(n, 3);
+        let machine = Machine::new(p, CostModel::zero());
+        let cols = run(
+            &SmoothingConfig { n, steps: 1, layout: SmoothingLayout::Columns },
+            &machine,
+            &initial,
+        );
+        // Column layout: interior processors receive 2 faces of N, edge
+        // processors 1 → 2(p-1) messages in total, N elements each.
+        assert_eq!(cols.messages_per_step, 2 * (p - 1));
+        assert_eq!(cols.bytes_per_step, 2 * (p - 1) * n * 8);
+
+        let machine = Machine::new(p, CostModel::zero());
+        let blocks = run(
+            &SmoothingConfig { n, steps: 1, layout: SmoothingLayout::Blocks2D },
+            &machine,
+            &initial,
+        );
+        // 2x2 processor grid: each processor has 2 face neighbours and 1
+        // corner neighbour → 12 messages; faces carry N/2 elements.
+        assert_eq!(blocks.messages_per_step, 12);
+        // More messages but fewer bytes per message than the column layout.
+        assert!(blocks.messages_per_step > cols.messages_per_step);
+    }
+
+    #[test]
+    fn chooser_follows_alpha_beta_tradeoff() {
+        // Latency-bound machine: fewer messages win → columns.
+        let latency = CostModel::latency_bound();
+        assert_eq!(choose_layout(256, 16, &latency), SmoothingLayout::Columns);
+        // Bandwidth-bound machine with many processors: smaller messages win.
+        let bandwidth = CostModel::bandwidth_bound();
+        assert_eq!(
+            choose_layout(4096, 64, &bandwidth),
+            SmoothingLayout::Blocks2D
+        );
+        // The predicted cost is what the chooser minimises.
+        let n = 1024;
+        let p = 16;
+        let chosen = choose_layout(n, p, &bandwidth);
+        let other = match chosen {
+            SmoothingLayout::Columns => SmoothingLayout::Blocks2D,
+            SmoothingLayout::Blocks2D => SmoothingLayout::Columns,
+        };
+        assert!(
+            predicted_step_time(chosen, n, p, &bandwidth)
+                <= predicted_step_time(other, n, p, &bandwidth)
+        );
+    }
+
+    #[test]
+    fn modelled_time_tracks_prediction_direction() {
+        // On a latency-bound machine the measured (modelled) critical time
+        // of the column layout must beat the 2-D layout, matching the
+        // analytic prediction.
+        let n = 64;
+        let p = 16;
+        let initial = workloads::initial_grid(n, 1);
+        let cost = CostModel::latency_bound();
+        let run_one = |layout| {
+            let machine = Machine::new(p, cost.clone());
+            run(&SmoothingConfig { n, steps: 2, layout }, &machine, &initial)
+                .stats
+                .critical_time()
+        };
+        assert!(run_one(SmoothingLayout::Columns) < run_one(SmoothingLayout::Blocks2D));
+    }
+}

@@ -1,0 +1,180 @@
+//! Error type for the distribution layer.
+
+use std::fmt;
+use vf_index::IndexError;
+
+/// Errors produced when building or evaluating distributions and alignments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DistError {
+    /// The number of per-dimension distribution entries does not match the
+    /// rank of the array being distributed.
+    RankMismatch {
+        /// Rank of the array's index domain.
+        array_rank: usize,
+        /// Number of entries in the distribution expression.
+        dist_rank: usize,
+    },
+    /// The number of *distributed* dimensions does not match the rank of the
+    /// target processor view (and the fallback 1-D flattening does not
+    /// apply either).
+    ProcessorRankMismatch {
+        /// Number of distributed (non-`:`) dimensions in the expression.
+        distributed_dims: usize,
+        /// Rank of the processor view.
+        proc_rank: usize,
+    },
+    /// The block sizes of a general block (`B_BLOCK`) distribution do not
+    /// cover the dimension exactly.
+    GenBlockSizeMismatch {
+        /// Sum of the supplied block sizes.
+        total: usize,
+        /// Extent of the array dimension being distributed.
+        extent: usize,
+    },
+    /// The number of general-block sizes differs from the number of
+    /// processors in the target dimension.
+    GenBlockCountMismatch {
+        /// Number of block sizes supplied.
+        sizes: usize,
+        /// Number of processors in the corresponding processor dimension.
+        procs: usize,
+    },
+    /// A `CYCLIC(k)` distribution was given a zero block width.
+    ZeroCyclicWidth,
+    /// An alignment's rank is inconsistent with the arrays it connects.
+    AlignmentRankMismatch {
+        /// Expected rank (of the source array).
+        expected: usize,
+        /// Rank found in the alignment expression.
+        found: usize,
+    },
+    /// An alignment mapped an index outside the target array's domain.
+    AlignmentOutOfDomain {
+        /// Rendering of the offending target point.
+        point: String,
+    },
+    /// A point was passed to a distribution that does not own it on the
+    /// queried processor.
+    NotLocal {
+        /// The queried processor.
+        proc: usize,
+        /// Rendering of the global point.
+        point: String,
+    },
+    /// The queried processor id is outside the processor view.
+    NoSuchProcessor {
+        /// The offending processor id.
+        proc: usize,
+        /// Number of processors in the view.
+        count: usize,
+    },
+    /// An index-domain level error.
+    Index(IndexError),
+}
+
+impl fmt::Display for DistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DistError::RankMismatch {
+                array_rank,
+                dist_rank,
+            } => write!(
+                f,
+                "distribution expression has {dist_rank} entries but the array has rank {array_rank}"
+            ),
+            DistError::ProcessorRankMismatch {
+                distributed_dims,
+                proc_rank,
+            } => write!(
+                f,
+                "{distributed_dims} distributed dimension(s) cannot be mapped onto a rank-{proc_rank} processor view"
+            ),
+            DistError::GenBlockSizeMismatch { total, extent } => write!(
+                f,
+                "general block sizes sum to {total} but the dimension extent is {extent}"
+            ),
+            DistError::GenBlockCountMismatch { sizes, procs } => write!(
+                f,
+                "general block distribution supplies {sizes} sizes for {procs} processors"
+            ),
+            DistError::ZeroCyclicWidth => write!(f, "CYCLIC(k) requires k >= 1"),
+            DistError::AlignmentRankMismatch { expected, found } => write!(
+                f,
+                "alignment rank mismatch: expected {expected}, found {found}"
+            ),
+            DistError::AlignmentOutOfDomain { point } => {
+                write!(f, "alignment maps to {point}, outside the target domain")
+            }
+            DistError::NotLocal { proc, point } => {
+                write!(f, "element {point} is not local to processor {proc}")
+            }
+            DistError::NoSuchProcessor { proc, count } => {
+                write!(f, "processor {proc} out of range (view has {count} processors)")
+            }
+            DistError::Index(e) => write!(f, "index error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DistError::Index(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<IndexError> for DistError {
+    fn from(e: IndexError) -> Self {
+        DistError::Index(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_variants() {
+        let cases: Vec<DistError> = vec![
+            DistError::RankMismatch {
+                array_rank: 2,
+                dist_rank: 3,
+            },
+            DistError::ProcessorRankMismatch {
+                distributed_dims: 2,
+                proc_rank: 1,
+            },
+            DistError::GenBlockSizeMismatch {
+                total: 90,
+                extent: 100,
+            },
+            DistError::GenBlockCountMismatch { sizes: 3, procs: 4 },
+            DistError::ZeroCyclicWidth,
+            DistError::AlignmentRankMismatch {
+                expected: 3,
+                found: 2,
+            },
+            DistError::AlignmentOutOfDomain {
+                point: "(11, 1)".into(),
+            },
+            DistError::NotLocal {
+                proc: 2,
+                point: "(5)".into(),
+            },
+            DistError::NoSuchProcessor { proc: 9, count: 4 },
+            DistError::Index(IndexError::InvalidStride { stride: 0 }),
+        ];
+        for c in cases {
+            assert!(!c.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn from_index_error() {
+        let e: DistError = IndexError::RankTooLarge { requested: 9 }.into();
+        assert!(matches!(e, DistError::Index(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,50 @@
+//! Processor arrays, distribution types, alignments and evaluated
+//! distributions — the data-mapping layer of Vienna Fortran (paper §2).
+//!
+//! Vienna Fortran maps each array onto a *processor array* through a
+//! *distribution*: an index mapping `δ_A : I^A → P(I^R) − {∅}` from the
+//! array's index domain to (non-empty sets of) processor indices
+//! (Definition 1).  An *alignment* `α_A : I^A → I^B` places the elements of
+//! one array relative to another (Definition 2); the distribution of an
+//! aligned array is obtained with the paper's `CONSTRUCT` operation:
+//! `δ_A(i) = ⋃_{j ∈ α(i)} δ_B(j)`.
+//!
+//! This crate provides:
+//!
+//! * [`ProcessorArray`] / [`ProcessorView`] — the `PROCESSORS R(1:M,1:M)`
+//!   declarations and sections thereof,
+//! * [`DimDist`] — the intrinsic per-dimension distribution functions
+//!   `BLOCK`, `CYCLIC(k)`, general block (`B_BLOCK`/`S_BLOCK`) and the `:`
+//!   elision,
+//! * [`DistType`] — a distribution *type* (a list of per-dimension
+//!   distribution functions, e.g. `(BLOCK, CYCLIC(K))`),
+//! * [`DistPattern`] / [`DimPattern`] — the wildcard patterns used in
+//!   `RANGE` attributes and `DCASE`/`IDT` queries (`*`, `CYCLIC(*)`, …),
+//! * [`Alignment`] — affine/permutation alignments such as
+//!   `ALIGN D(I,J,K) WITH C(J,I,K)`,
+//! * [`Distribution`] — a distribution type *applied* to an array index
+//!   domain and a processor view: ownership lookup, local segments,
+//!   `loc_map` local addressing, local↔global conversion, and the
+//!   `CONSTRUCT` operation for connected (secondary) arrays.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod alignment;
+mod dimdist;
+mod dist_type;
+mod distribution;
+mod error;
+mod pattern;
+mod processors;
+
+pub use alignment::{AlignExpr, Alignment};
+pub use dimdist::{DimDist, DimSegment};
+pub use dist_type::DistType;
+pub use distribution::{construct, Distribution, LocalLayout};
+pub use error::DistError;
+pub use pattern::{DimPattern, DistPattern};
+pub use processors::{ProcId, ProcessorArray, ProcessorView};
+
+/// Convenience result alias for fallible distribution operations.
+pub type Result<T> = std::result::Result<T, DistError>;

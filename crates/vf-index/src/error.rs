@@ -1,0 +1,122 @@
+//! Error type for index-domain operations.
+
+use std::fmt;
+
+/// Errors produced by index-domain and section operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IndexError {
+    /// The rank of a point, section or domain did not match the expected rank.
+    RankMismatch {
+        /// Rank that was expected by the operation.
+        expected: usize,
+        /// Rank that was supplied.
+        found: usize,
+    },
+    /// A rank larger than [`crate::MAX_RANK`] was requested.
+    RankTooLarge {
+        /// The requested rank.
+        requested: usize,
+    },
+    /// A point lies outside the index domain it was used with.
+    OutOfBounds {
+        /// Dimension in which the violation occurred (0-based).
+        dim: usize,
+        /// The offending index value.
+        index: i64,
+        /// Lower bound of the dimension.
+        lower: i64,
+        /// Upper bound of the dimension.
+        upper: i64,
+    },
+    /// A dimension range with `upper < lower - 1` (i.e. "more than empty")
+    /// or another malformed bound was supplied.
+    InvalidBounds {
+        /// Lower bound supplied.
+        lower: i64,
+        /// Upper bound supplied.
+        upper: i64,
+    },
+    /// A section triplet had a zero or negative stride.
+    InvalidStride {
+        /// The offending stride.
+        stride: i64,
+    },
+    /// A linear offset was outside the domain size.
+    LinearOutOfBounds {
+        /// The offending linear offset.
+        offset: usize,
+        /// The total number of elements in the domain.
+        size: usize,
+    },
+}
+
+impl fmt::Display for IndexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IndexError::RankMismatch { expected, found } => {
+                write!(f, "rank mismatch: expected {expected}, found {found}")
+            }
+            IndexError::RankTooLarge { requested } => {
+                write!(
+                    f,
+                    "rank {requested} exceeds MAX_RANK = {}",
+                    crate::MAX_RANK
+                )
+            }
+            IndexError::OutOfBounds {
+                dim,
+                index,
+                lower,
+                upper,
+            } => write!(
+                f,
+                "index {index} out of bounds {lower}:{upper} in dimension {dim}"
+            ),
+            IndexError::InvalidBounds { lower, upper } => {
+                write!(f, "invalid dimension bounds {lower}:{upper}")
+            }
+            IndexError::InvalidStride { stride } => {
+                write!(f, "invalid section stride {stride} (must be >= 1)")
+            }
+            IndexError::LinearOutOfBounds { offset, size } => {
+                write!(f, "linear offset {offset} out of bounds for domain of size {size}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IndexError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = IndexError::OutOfBounds {
+            dim: 1,
+            index: 12,
+            lower: 1,
+            upper: 10,
+        };
+        let s = e.to_string();
+        assert!(s.contains("12"));
+        assert!(s.contains("1:10"));
+        assert!(s.contains("dimension 1"));
+    }
+
+    #[test]
+    fn rank_mismatch_display() {
+        let e = IndexError::RankMismatch {
+            expected: 2,
+            found: 3,
+        };
+        assert_eq!(e.to_string(), "rank mismatch: expected 2, found 3");
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn std::error::Error> = Box::new(IndexError::InvalidStride { stride: 0 });
+        assert!(e.to_string().contains("stride"));
+    }
+}

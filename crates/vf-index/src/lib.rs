@@ -1,0 +1,46 @@
+//! Index domains, points and sections for the Vienna Fortran reproduction.
+//!
+//! Vienna Fortran (Chapman, Mehrotra, Moritsch, Zima; Supercomputing '93)
+//! models every array `A` by an *index domain* `I^A` — the set of valid
+//! index tuples — and defines distributions and alignments as mappings
+//! between index domains (paper, Definitions 1 and 2).  This crate provides
+//! the index-domain substrate used by every other crate in the workspace:
+//!
+//! * [`DimRange`] — an inclusive, Fortran-style per-dimension bound
+//!   (`lower:upper`), possibly with a non-unit lower bound.
+//! * [`Point`] — a fixed-capacity multi-dimensional index tuple (rank ≤
+//!   [`MAX_RANK`]), cheap to copy and free of heap allocation so it can be
+//!   used in inner loops.
+//! * [`IndexDomain`] — a rectangular index domain with iteration,
+//!   column-major (Fortran) and row-major linearisation, and containment
+//!   checks.
+//! * [`Section`] — a regular array section described by per-dimension
+//!   triplets `lower:upper:stride`, as used by array arguments such as
+//!   `V(:, J)` and `V(I, :)` in the paper's Figure 1.
+//!
+//! The conventions follow Fortran: indices are `i64`, bounds are inclusive,
+//! and the *first* index varies fastest in column-major order (the default
+//! linearisation used throughout the workspace).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dim;
+mod domain;
+mod error;
+mod point;
+mod section;
+
+pub use dim::DimRange;
+pub use domain::{DomainIter, IndexDomain};
+pub use error::IndexError;
+pub use point::Point;
+pub use section::{Section, SectionIter, Triplet};
+
+/// Maximum rank (number of dimensions) supported for arrays and processor
+/// arrays.  Fortran 77 allows seven dimensions; every example in the paper
+/// uses at most three.
+pub const MAX_RANK: usize = 7;
+
+/// Convenience result alias for fallible index operations.
+pub type Result<T> = std::result::Result<T, IndexError>;

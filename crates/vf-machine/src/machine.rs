@@ -1,0 +1,72 @@
+//! The simulated machine description.
+
+use crate::{CommTracker, CostModel};
+use serde::{Deserialize, Serialize};
+
+/// A simulated distributed-memory machine: a number of processors plus a
+/// [`CostModel`].
+///
+/// The paper's `$NP` intrinsic (the number of executing processors, used to
+/// choose distributions at run time in §4) corresponds to
+/// [`Machine::num_procs`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Machine {
+    num_procs: usize,
+    cost: CostModel,
+}
+
+impl Machine {
+    /// Creates a machine with `num_procs` processors and the given cost
+    /// model.
+    pub fn new(num_procs: usize, cost: CostModel) -> Self {
+        assert!(num_procs > 0, "a machine needs at least one processor");
+        Self { num_procs, cost }
+    }
+
+    /// A machine with `num_procs` processors and the default (iPSC-like)
+    /// cost model.
+    pub fn with_procs(num_procs: usize) -> Self {
+        Self::new(num_procs, CostModel::ipsc860(num_procs))
+    }
+
+    /// Number of processors — the `$NP` intrinsic.
+    pub fn num_procs(&self) -> usize {
+        self.num_procs
+    }
+
+    /// The machine's cost model.
+    pub fn cost(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// Creates a fresh communication tracker for this machine.
+    pub fn tracker(&self) -> CommTracker {
+        CommTracker::new(self.num_procs, self.cost.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn machine_construction() {
+        let m = Machine::with_procs(8);
+        assert_eq!(m.num_procs(), 8);
+        assert!(m.cost().alpha > 0.0);
+        let t = m.tracker();
+        assert_eq!(t.num_procs(), 8);
+    }
+
+    #[test]
+    fn custom_cost_model() {
+        let m = Machine::new(4, CostModel::zero());
+        assert_eq!(m.cost().alpha, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one processor")]
+    fn zero_processors_rejected() {
+        let _ = Machine::with_procs(0);
+    }
+}

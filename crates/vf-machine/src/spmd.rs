@@ -1,0 +1,339 @@
+//! A thread-backed SPMD executor.
+//!
+//! The Vienna Fortran compilation system generates SPMD code: "each
+//! processor executes essentially the same code, but on a local data set"
+//! (paper §1).  This module realises that execution model with one OS
+//! thread per simulated processor, private per-processor state, and
+//! explicit message passing over channels; every message is also charged to
+//! the shared [`CommTracker`] so the modelled cost of a threaded run matches
+//! the master-managed simulation.
+
+use crate::CommTracker;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::sync::{Arc, Barrier};
+
+/// A message exchanged between simulated processors.
+#[derive(Debug, Clone)]
+struct Msg {
+    src: usize,
+    tag: u64,
+    payload: Vec<u8>,
+}
+
+/// Per-processor execution context handed to the SPMD body.
+pub struct ProcCtx {
+    rank: usize,
+    num_procs: usize,
+    senders: Vec<Sender<Msg>>,
+    receiver: Receiver<Msg>,
+    pending: Vec<Msg>,
+    barrier: Arc<Barrier>,
+    tracker: CommTracker,
+}
+
+impl ProcCtx {
+    /// This processor's rank (0-based).
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of processors participating in the SPMD region.
+    pub fn num_procs(&self) -> usize {
+        self.num_procs
+    }
+
+    /// The shared communication tracker.
+    pub fn tracker(&self) -> &CommTracker {
+        &self.tracker
+    }
+
+    /// Sends `payload` to processor `dst` under message tag `tag`.
+    pub fn send(&self, dst: usize, tag: u64, payload: Vec<u8>) {
+        self.tracker.send(self.rank, dst, payload.len());
+        self.senders[dst]
+            .send(Msg {
+                src: self.rank,
+                tag,
+                payload,
+            })
+            .expect("receiver thread alive for the duration of the SPMD region");
+    }
+
+    /// Sends a slice of `f64` values to `dst` (little-endian encoding).
+    pub fn send_f64s(&self, dst: usize, tag: u64, values: &[f64]) {
+        self.send(dst, tag, f64s_to_bytes(values));
+    }
+
+    /// Receives the next message with tag `tag`, optionally from a specific
+    /// source, blocking until it arrives.  Returns the source rank and the
+    /// payload.
+    pub fn recv(&mut self, src: Option<usize>, tag: u64) -> (usize, Vec<u8>) {
+        // First look in the pending queue for an already-delivered match.
+        if let Some(pos) = self
+            .pending
+            .iter()
+            .position(|m| m.tag == tag && src.map(|s| s == m.src).unwrap_or(true))
+        {
+            let m = self.pending.remove(pos);
+            return (m.src, m.payload);
+        }
+        loop {
+            let m = self
+                .receiver
+                .recv()
+                .expect("senders alive for the duration of the SPMD region");
+            if m.tag == tag && src.map(|s| s == m.src).unwrap_or(true) {
+                return (m.src, m.payload);
+            }
+            self.pending.push(m);
+        }
+    }
+
+    /// Receives a slice of `f64` values (see [`ProcCtx::send_f64s`]).
+    pub fn recv_f64s(&mut self, src: Option<usize>, tag: u64) -> (usize, Vec<f64>) {
+        let (s, bytes) = self.recv(src, tag);
+        (s, bytes_to_f64s(&bytes))
+    }
+
+    /// Synchronises all processors.
+    pub fn barrier(&self) {
+        self.barrier.wait();
+    }
+
+    /// Charges `flops` floating-point operations of local work to this
+    /// processor in the cost model.
+    pub fn charge_compute(&self, flops: usize) {
+        self.tracker.compute(self.rank, flops);
+    }
+
+    /// Global sum of one value per processor; every processor receives the
+    /// result (gather to rank 0, then broadcast).
+    pub fn allreduce_sum(&mut self, value: f64) -> f64 {
+        const TAG_GATHER: u64 = u64::MAX - 1;
+        const TAG_BCAST: u64 = u64::MAX - 2;
+        if self.num_procs == 1 {
+            return value;
+        }
+        if self.rank == 0 {
+            let mut acc = value;
+            for _ in 1..self.num_procs {
+                let (_, v) = self.recv_f64s(None, TAG_GATHER);
+                acc += v[0];
+            }
+            for dst in 1..self.num_procs {
+                self.send_f64s(dst, TAG_BCAST, &[acc]);
+            }
+            acc
+        } else {
+            self.send_f64s(0, TAG_GATHER, &[value]);
+            let (_, v) = self.recv_f64s(Some(0), TAG_BCAST);
+            v[0]
+        }
+    }
+
+    /// Global maximum of one value per processor.
+    pub fn allreduce_max(&mut self, value: f64) -> f64 {
+        const TAG_GATHER: u64 = u64::MAX - 3;
+        const TAG_BCAST: u64 = u64::MAX - 4;
+        if self.num_procs == 1 {
+            return value;
+        }
+        if self.rank == 0 {
+            let mut acc = value;
+            for _ in 1..self.num_procs {
+                let (_, v) = self.recv_f64s(None, TAG_GATHER);
+                acc = acc.max(v[0]);
+            }
+            for dst in 1..self.num_procs {
+                self.send_f64s(dst, TAG_BCAST, &[acc]);
+            }
+            acc
+        } else {
+            self.send_f64s(0, TAG_GATHER, &[value]);
+            let (_, v) = self.recv_f64s(Some(0), TAG_BCAST);
+            v[0]
+        }
+    }
+
+    /// Gathers one `f64` slice from every processor onto rank 0; rank 0
+    /// receives all slices ordered by rank, other ranks receive an empty
+    /// vector.
+    pub fn gather_to_root(&mut self, values: &[f64]) -> Vec<Vec<f64>> {
+        const TAG: u64 = u64::MAX - 5;
+        if self.rank == 0 {
+            let mut out = vec![Vec::new(); self.num_procs];
+            out[0] = values.to_vec();
+            for _ in 1..self.num_procs {
+                let (src, v) = self.recv_f64s(None, TAG);
+                out[src] = v;
+            }
+            out
+        } else {
+            self.send_f64s(0, TAG, values);
+            Vec::new()
+        }
+    }
+}
+
+/// Encodes a slice of `f64` as little-endian bytes.
+pub fn f64s_to_bytes(values: &[f64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(values.len() * 8);
+    for v in values {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+/// Decodes a little-endian byte buffer into `f64` values.
+pub fn bytes_to_f64s(bytes: &[u8]) -> Vec<f64> {
+    bytes
+        .chunks_exact(8)
+        .map(|c| f64::from_le_bytes(c.try_into().expect("chunk of 8 bytes")))
+        .collect()
+}
+
+/// Runs `body` as an SPMD region over `num_procs` simulated processors,
+/// one OS thread per processor, and returns the per-processor results in
+/// rank order.
+///
+/// Deadlocks in the body (e.g. mismatched sends/receives) will hang the
+/// call, exactly as they would on a real message-passing machine.
+pub fn run<R, F>(num_procs: usize, tracker: &CommTracker, body: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(&mut ProcCtx) -> R + Sync,
+{
+    assert!(num_procs > 0, "SPMD region needs at least one processor");
+    let mut senders = Vec::with_capacity(num_procs);
+    let mut receivers = Vec::with_capacity(num_procs);
+    for _ in 0..num_procs {
+        let (s, r) = unbounded();
+        senders.push(s);
+        receivers.push(r);
+    }
+    let barrier = Arc::new(Barrier::new(num_procs));
+    let body = &body;
+
+    let mut contexts: Vec<ProcCtx> = receivers
+        .into_iter()
+        .enumerate()
+        .map(|(rank, receiver)| ProcCtx {
+            rank,
+            num_procs,
+            senders: senders.clone(),
+            receiver,
+            pending: Vec::new(),
+            barrier: Arc::clone(&barrier),
+            tracker: tracker.clone(),
+        })
+        .collect();
+    // Drop the original sender handles so channels close when contexts drop.
+    drop(senders);
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(num_procs);
+        for mut ctx in contexts.drain(..) {
+            handles.push(scope.spawn(move || body(&mut ctx)));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("SPMD processor thread panicked"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CostModel;
+
+    #[test]
+    fn ring_shift() {
+        let tracker = CommTracker::new(4, CostModel::from_alpha_beta(1.0, 0.0));
+        let results = run(4, &tracker, |ctx| {
+            let right = (ctx.rank() + 1) % ctx.num_procs();
+            ctx.send_f64s(right, 7, &[ctx.rank() as f64]);
+            let (src, v) = ctx.recv_f64s(None, 7);
+            (src, v[0])
+        });
+        for (rank, (src, v)) in results.iter().enumerate() {
+            let left = (rank + 4 - 1) % 4;
+            assert_eq!(*src, left);
+            assert_eq!(*v, left as f64);
+        }
+        let stats = tracker.snapshot();
+        assert_eq!(stats.total_messages(), 4);
+        assert_eq!(stats.total_bytes(), 4 * 8);
+    }
+
+    #[test]
+    fn allreduce_sum_and_max() {
+        let tracker = CommTracker::new(5, CostModel::zero());
+        let sums = run(5, &tracker, |ctx| ctx.allreduce_sum((ctx.rank() + 1) as f64));
+        assert!(sums.iter().all(|&s| s == 15.0));
+        let maxes = run(5, &tracker, |ctx| ctx.allreduce_max(ctx.rank() as f64));
+        assert!(maxes.iter().all(|&m| m == 4.0));
+    }
+
+    #[test]
+    fn single_processor_allreduce_is_identity() {
+        let tracker = CommTracker::new(1, CostModel::zero());
+        let r = run(1, &tracker, |ctx| ctx.allreduce_sum(42.0));
+        assert_eq!(r, vec![42.0]);
+        assert_eq!(tracker.snapshot().total_messages(), 0);
+    }
+
+    #[test]
+    fn gather_to_root_collects_in_rank_order() {
+        let tracker = CommTracker::new(3, CostModel::zero());
+        let results = run(3, &tracker, |ctx| {
+            let data = vec![ctx.rank() as f64; ctx.rank() + 1];
+            ctx.gather_to_root(&data)
+        });
+        let root = &results[0];
+        assert_eq!(root.len(), 3);
+        assert_eq!(root[0], vec![0.0]);
+        assert_eq!(root[1], vec![1.0, 1.0]);
+        assert_eq!(root[2], vec![2.0, 2.0, 2.0]);
+        assert!(results[1].is_empty());
+    }
+
+    #[test]
+    fn tagged_receives_are_matched_out_of_order() {
+        let tracker = CommTracker::new(2, CostModel::zero());
+        let results = run(2, &tracker, |ctx| {
+            if ctx.rank() == 0 {
+                ctx.send_f64s(1, 1, &[1.0]);
+                ctx.send_f64s(1, 2, &[2.0]);
+                0.0
+            } else {
+                // Receive tag 2 first even though tag 1 was sent first.
+                let (_, b) = ctx.recv_f64s(Some(0), 2);
+                let (_, a) = ctx.recv_f64s(Some(0), 1);
+                a[0] * 10.0 + b[0]
+            }
+        });
+        assert_eq!(results[1], 12.0);
+    }
+
+    #[test]
+    fn barrier_and_compute_charging() {
+        let mut cost = CostModel::zero();
+        cost.compute_per_flop = 1.0;
+        let tracker = CommTracker::new(3, cost);
+        run(3, &tracker, |ctx| {
+            ctx.charge_compute(ctx.rank() * 10);
+            ctx.barrier();
+        });
+        let s = tracker.snapshot();
+        assert_eq!(s.max_compute_time(), 20.0);
+        assert_eq!(s.total_compute_time(), 30.0);
+    }
+
+    #[test]
+    fn f64_byte_round_trip() {
+        let values = vec![1.5, -2.25, 0.0, f64::MAX];
+        assert_eq!(bytes_to_f64s(&f64s_to_bytes(&values)), values);
+        assert!(bytes_to_f64s(&[]).is_empty());
+    }
+}

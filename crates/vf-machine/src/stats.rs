@@ -1,0 +1,265 @@
+//! Communication and computation statistics.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::AddAssign;
+
+/// Statistics accumulated for a single simulated processor.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct ProcStats {
+    /// Number of point-to-point messages sent by the processor.
+    pub messages_sent: usize,
+    /// Number of point-to-point messages received by the processor.
+    pub messages_received: usize,
+    /// Bytes sent by the processor.
+    pub bytes_sent: usize,
+    /// Bytes received by the processor.
+    pub bytes_received: usize,
+    /// Modelled communication time spent by the processor in seconds.
+    pub comm_time: f64,
+    /// Modelled computation time spent by the processor in seconds.
+    pub compute_time: f64,
+}
+
+impl ProcStats {
+    /// Modelled total busy time of the processor.
+    pub fn total_time(&self) -> f64 {
+        self.comm_time + self.compute_time
+    }
+}
+
+impl AddAssign for ProcStats {
+    fn add_assign(&mut self, rhs: Self) {
+        self.messages_sent += rhs.messages_sent;
+        self.messages_received += rhs.messages_received;
+        self.bytes_sent += rhs.bytes_sent;
+        self.bytes_received += rhs.bytes_received;
+        self.comm_time += rhs.comm_time;
+        self.compute_time += rhs.compute_time;
+    }
+}
+
+/// Aggregated statistics for a whole operation or program phase.
+///
+/// The modelled *execution time* of an SPMD phase is the maximum over
+/// processors of their busy time ([`CommStats::critical_time`]), which is
+/// what the experiment harness reports alongside raw message and byte
+/// counts.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CommStats {
+    per_proc: Vec<ProcStats>,
+}
+
+impl CommStats {
+    /// Creates empty statistics for `num_procs` processors.
+    pub fn new(num_procs: usize) -> Self {
+        Self {
+            per_proc: vec![ProcStats::default(); num_procs],
+        }
+    }
+
+    /// Number of processors tracked.
+    pub fn num_procs(&self) -> usize {
+        self.per_proc.len()
+    }
+
+    /// The per-processor statistics.
+    pub fn per_proc(&self) -> &[ProcStats] {
+        &self.per_proc
+    }
+
+    /// Mutable access to one processor's statistics.
+    pub fn proc_mut(&mut self, proc: usize) -> &mut ProcStats {
+        &mut self.per_proc[proc]
+    }
+
+    /// Records a point-to-point message of `bytes` bytes from `src` to
+    /// `dst` with modelled duration `time` (charged to both endpoints).
+    pub fn record_message(&mut self, src: usize, dst: usize, bytes: usize, time: f64) {
+        if src == dst {
+            return; // local copies are free in the model
+        }
+        let s = &mut self.per_proc[src];
+        s.messages_sent += 1;
+        s.bytes_sent += bytes;
+        s.comm_time += time;
+        let d = &mut self.per_proc[dst];
+        d.messages_received += 1;
+        d.bytes_received += bytes;
+        d.comm_time += time;
+    }
+
+    /// Records `flops` floating-point operations on `proc` with modelled
+    /// duration `time`.
+    pub fn record_compute(&mut self, proc: usize, time: f64) {
+        self.per_proc[proc].compute_time += time;
+    }
+
+    /// Total number of point-to-point messages (counted once per message).
+    pub fn total_messages(&self) -> usize {
+        self.per_proc.iter().map(|p| p.messages_sent).sum()
+    }
+
+    /// Total bytes transferred (counted once per message).
+    pub fn total_bytes(&self) -> usize {
+        self.per_proc.iter().map(|p| p.bytes_sent).sum()
+    }
+
+    /// Total modelled compute time summed over processors.
+    pub fn total_compute_time(&self) -> f64 {
+        self.per_proc.iter().map(|p| p.compute_time).sum()
+    }
+
+    /// Total modelled communication time summed over processors.
+    pub fn total_comm_time(&self) -> f64 {
+        self.per_proc.iter().map(|p| p.comm_time).sum()
+    }
+
+    /// The modelled execution time of the phase: the maximum over
+    /// processors of communication plus computation time.
+    pub fn critical_time(&self) -> f64 {
+        self.per_proc
+            .iter()
+            .map(|p| p.total_time())
+            .fold(0.0, f64::max)
+    }
+
+    /// Maximum over processors of the modelled compute time — used together
+    /// with [`CommStats::avg_compute_time`] to quantify load imbalance in
+    /// the PIC experiment (E3).
+    pub fn max_compute_time(&self) -> f64 {
+        self.per_proc
+            .iter()
+            .map(|p| p.compute_time)
+            .fold(0.0, f64::max)
+    }
+
+    /// Mean over processors of the modelled compute time.
+    pub fn avg_compute_time(&self) -> f64 {
+        if self.per_proc.is_empty() {
+            return 0.0;
+        }
+        self.total_compute_time() / self.per_proc.len() as f64
+    }
+
+    /// Load imbalance factor: max/avg compute time (1.0 = perfectly
+    /// balanced).  Returns 1.0 when there is no compute at all.
+    pub fn load_imbalance(&self) -> f64 {
+        let avg = self.avg_compute_time();
+        if avg == 0.0 {
+            1.0
+        } else {
+            self.max_compute_time() / avg
+        }
+    }
+
+    /// Merges another statistics object (same processor count) into this
+    /// one.
+    pub fn merge(&mut self, other: &CommStats) {
+        assert_eq!(
+            self.per_proc.len(),
+            other.per_proc.len(),
+            "cannot merge statistics for different processor counts"
+        );
+        for (a, b) in self.per_proc.iter_mut().zip(other.per_proc.iter()) {
+            *a += *b;
+        }
+    }
+
+    /// Resets all counters to zero.
+    pub fn reset(&mut self) {
+        for p in &mut self.per_proc {
+            *p = ProcStats::default();
+        }
+    }
+}
+
+impl fmt::Display for CommStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} msgs, {} bytes, comm {:.3e}s, compute {:.3e}s, critical {:.3e}s, imbalance {:.2}",
+            self.total_messages(),
+            self.total_bytes(),
+            self.total_comm_time(),
+            self.total_compute_time(),
+            self.critical_time(),
+            self.load_imbalance()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_aggregate() {
+        let mut s = CommStats::new(4);
+        s.record_message(0, 1, 100, 2.0);
+        s.record_message(1, 2, 50, 1.0);
+        s.record_compute(3, 5.0);
+        assert_eq!(s.total_messages(), 2);
+        assert_eq!(s.total_bytes(), 150);
+        assert_eq!(s.per_proc()[0].messages_sent, 1);
+        assert_eq!(s.per_proc()[1].messages_received, 1);
+        assert_eq!(s.per_proc()[1].messages_sent, 1);
+        assert_eq!(s.per_proc()[2].bytes_received, 50);
+        assert!((s.total_comm_time() - 6.0).abs() < 1e-12);
+        assert!((s.critical_time() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn self_messages_are_free() {
+        let mut s = CommStats::new(2);
+        s.record_message(1, 1, 1000, 9.0);
+        assert_eq!(s.total_messages(), 0);
+        assert_eq!(s.total_bytes(), 0);
+        assert_eq!(s.critical_time(), 0.0);
+    }
+
+    #[test]
+    fn load_imbalance() {
+        let mut s = CommStats::new(4);
+        for p in 0..4 {
+            s.record_compute(p, 1.0);
+        }
+        assert!((s.load_imbalance() - 1.0).abs() < 1e-12);
+        s.record_compute(0, 3.0);
+        // max = 4, avg = 7/4 = 1.75 → imbalance ≈ 2.2857
+        assert!((s.load_imbalance() - 4.0 / 1.75).abs() < 1e-12);
+        let empty = CommStats::new(4);
+        assert_eq!(empty.load_imbalance(), 1.0);
+    }
+
+    #[test]
+    fn merge_and_reset() {
+        let mut a = CommStats::new(2);
+        let mut b = CommStats::new(2);
+        a.record_message(0, 1, 10, 1.0);
+        b.record_message(1, 0, 20, 2.0);
+        a.merge(&b);
+        assert_eq!(a.total_messages(), 2);
+        assert_eq!(a.total_bytes(), 30);
+        a.reset();
+        assert_eq!(a.total_messages(), 0);
+        assert_eq!(a.critical_time(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "different processor counts")]
+    fn merge_requires_same_size() {
+        let mut a = CommStats::new(2);
+        let b = CommStats::new(3);
+        a.merge(&b);
+    }
+
+    #[test]
+    fn display_summarises() {
+        let mut s = CommStats::new(2);
+        s.record_message(0, 1, 8, 0.5);
+        let txt = s.to_string();
+        assert!(txt.contains("1 msgs"));
+        assert!(txt.contains("8 bytes"));
+    }
+}

@@ -1,0 +1,182 @@
+//! Shared communication tracker used by the master-managed runtime.
+
+use crate::{CommStats, CostModel};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// The kind of a collective operation, used for cost accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CollectiveKind {
+    /// Synchronisation barrier (payload-free tree exchange).
+    Barrier,
+    /// Reduction to a single root (tree).
+    Reduce,
+    /// Reduction followed by a broadcast (two trees).
+    AllReduce,
+    /// Broadcast from a root (tree).
+    Broadcast,
+}
+
+/// A thread-safe accumulator of communication and computation events,
+/// evaluated against a [`CostModel`].
+///
+/// The Vienna Fortran Engine's runtime operations (ghost-area exchange,
+/// `DISTRIBUTE` data motion, inspector/executor gathers, reductions) report
+/// every simulated message here; the experiment harness then reads the
+/// resulting [`CommStats`].  The tracker is cheaply cloneable (an `Arc`
+/// around a mutex-protected interior) so that the runtime, applications and
+/// benches can all hold handles to the same accounting state.
+#[derive(Debug, Clone)]
+pub struct CommTracker {
+    cost: CostModel,
+    stats: Arc<Mutex<CommStats>>,
+}
+
+impl CommTracker {
+    /// Creates a tracker for `num_procs` processors under `cost`.
+    pub fn new(num_procs: usize, cost: CostModel) -> Self {
+        Self {
+            cost,
+            stats: Arc::new(Mutex::new(CommStats::new(num_procs))),
+        }
+    }
+
+    /// The cost model in use.
+    pub fn cost(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// Number of processors being tracked.
+    pub fn num_procs(&self) -> usize {
+        self.stats.lock().num_procs()
+    }
+
+    /// Records a point-to-point message of `bytes` bytes from `src` to
+    /// `dst`; messages to self are free.
+    pub fn send(&self, src: usize, dst: usize, bytes: usize) {
+        if src == dst {
+            return;
+        }
+        let t = self.cost.message_time_between(bytes, src, dst);
+        self.stats.lock().record_message(src, dst, bytes, t);
+    }
+
+    /// Records `flops` floating-point operations on `proc`.
+    pub fn compute(&self, proc: usize, flops: usize) {
+        if flops == 0 {
+            return;
+        }
+        let t = self.cost.compute_time(flops);
+        self.stats.lock().record_compute(proc, t);
+    }
+
+    /// Records a collective operation over all processors with per-stage
+    /// payload `bytes`; the modelled cost is charged as communication time
+    /// to every participant (log₂ P stages of one message each).
+    pub fn collective(&self, kind: CollectiveKind, bytes: usize) {
+        let mut stats = self.stats.lock();
+        let n = stats.num_procs();
+        if n <= 1 {
+            return;
+        }
+        let stages = match kind {
+            CollectiveKind::AllReduce => 2.0,
+            _ => 1.0,
+        } * (n as f64).log2().ceil();
+        let per_proc_time = stages * self.cost.message_time(bytes);
+        let per_proc_msgs = stages as usize;
+        for p in 0..n {
+            let s = stats.proc_mut(p);
+            s.messages_sent += per_proc_msgs;
+            s.messages_received += per_proc_msgs;
+            s.bytes_sent += per_proc_msgs * bytes;
+            s.bytes_received += per_proc_msgs * bytes;
+            s.comm_time += per_proc_time;
+        }
+    }
+
+    /// A snapshot of the accumulated statistics.
+    pub fn snapshot(&self) -> CommStats {
+        self.stats.lock().clone()
+    }
+
+    /// Resets the accumulated statistics to zero and returns the previous
+    /// values — convenient for per-phase accounting.
+    pub fn take(&self) -> CommStats {
+        let mut stats = self.stats.lock();
+        let out = stats.clone();
+        stats.reset();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracker_accumulates_messages() {
+        let t = CommTracker::new(4, CostModel::from_alpha_beta(1.0, 0.5));
+        t.send(0, 1, 10);
+        t.send(0, 0, 10); // free
+        t.send(2, 3, 4);
+        let s = t.snapshot();
+        assert_eq!(s.total_messages(), 2);
+        assert_eq!(s.total_bytes(), 14);
+        assert!((s.per_proc()[0].comm_time - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let t = CommTracker::new(2, CostModel::zero());
+        let t2 = t.clone();
+        t2.send(0, 1, 100);
+        assert_eq!(t.snapshot().total_bytes(), 100);
+        assert_eq!(t.num_procs(), 2);
+    }
+
+    #[test]
+    fn compute_charges_flops() {
+        let mut cost = CostModel::zero();
+        cost.compute_per_flop = 2.0;
+        let t = CommTracker::new(2, cost);
+        t.compute(1, 5);
+        t.compute(1, 0);
+        let s = t.snapshot();
+        assert!((s.per_proc()[1].compute_time - 10.0).abs() < 1e-12);
+        assert_eq!(s.per_proc()[0].compute_time, 0.0);
+    }
+
+    #[test]
+    fn collective_charges_every_processor() {
+        let t = CommTracker::new(8, CostModel::from_alpha_beta(1.0, 0.0));
+        t.collective(CollectiveKind::Reduce, 8);
+        let s = t.snapshot();
+        // log2(8) = 3 stages of one message on each processor.
+        for p in s.per_proc() {
+            assert_eq!(p.messages_sent, 3);
+            assert!((p.comm_time - 3.0).abs() < 1e-12);
+        }
+        let t1 = CommTracker::new(1, CostModel::from_alpha_beta(1.0, 0.0));
+        t1.collective(CollectiveKind::Barrier, 0);
+        assert_eq!(t1.snapshot().total_messages(), 0);
+    }
+
+    #[test]
+    fn allreduce_is_two_trees() {
+        let t = CommTracker::new(4, CostModel::from_alpha_beta(1.0, 0.0));
+        t.collective(CollectiveKind::AllReduce, 0);
+        let s = t.snapshot();
+        assert_eq!(s.per_proc()[0].messages_sent, 4); // 2 * log2(4)
+    }
+
+    #[test]
+    fn take_resets() {
+        let t = CommTracker::new(2, CostModel::zero());
+        t.send(0, 1, 7);
+        let first = t.take();
+        assert_eq!(first.total_bytes(), 7);
+        assert_eq!(t.snapshot().total_bytes(), 0);
+    }
+}

@@ -1,0 +1,103 @@
+//! The element trait for distributed arrays.
+
+/// Types that can be stored in a [`crate::DistArray`] and shipped between
+/// simulated processors.
+///
+/// `BYTES` is used for message-size accounting in the cost model; the
+/// byte-level encoding itself (little-endian) is only exercised by the
+/// thread-backed SPMD paths, since the master-managed simulation moves
+/// values directly.
+pub trait Element: Copy + Send + Sync + Default + PartialEq + std::fmt::Debug + 'static {
+    /// Number of bytes one element occupies on the wire.
+    const BYTES: usize;
+
+    /// Appends the little-endian encoding of the value to `out`.
+    fn write_bytes(&self, out: &mut Vec<u8>);
+
+    /// Decodes a value from exactly [`Element::BYTES`] bytes.
+    fn read_bytes(bytes: &[u8]) -> Self;
+}
+
+macro_rules! impl_element_num {
+    ($($t:ty => $n:expr),* $(,)?) => {
+        $(
+            impl Element for $t {
+                const BYTES: usize = $n;
+
+                fn write_bytes(&self, out: &mut Vec<u8>) {
+                    out.extend_from_slice(&self.to_le_bytes());
+                }
+
+                fn read_bytes(bytes: &[u8]) -> Self {
+                    <$t>::from_le_bytes(bytes[..$n].try_into().expect("enough bytes"))
+                }
+            }
+        )*
+    };
+}
+
+impl_element_num!(
+    f64 => 8,
+    f32 => 4,
+    i64 => 8,
+    i32 => 4,
+    u64 => 8,
+    u32 => 4,
+    u8 => 1,
+);
+
+impl Element for bool {
+    const BYTES: usize = 1;
+
+    fn write_bytes(&self, out: &mut Vec<u8>) {
+        out.push(u8::from(*self));
+    }
+
+    fn read_bytes(bytes: &[u8]) -> Self {
+        bytes[0] != 0
+    }
+}
+
+/// Encodes a slice of elements to a byte buffer.
+pub fn encode_slice<T: Element>(values: &[T]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(values.len() * T::BYTES);
+    for v in values {
+        v.write_bytes(&mut out);
+    }
+    out
+}
+
+/// Decodes a byte buffer produced by [`encode_slice`].
+pub fn decode_slice<T: Element>(bytes: &[u8]) -> Vec<T> {
+    bytes.chunks_exact(T::BYTES).map(T::read_bytes).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_round_trips() {
+        fn check<T: Element>(values: &[T]) {
+            let encoded = encode_slice(values);
+            assert_eq!(encoded.len(), values.len() * T::BYTES);
+            assert_eq!(decode_slice::<T>(&encoded), values);
+        }
+        check(&[1.5f64, -2.0, 0.0]);
+        check(&[1.5f32, -2.0]);
+        check(&[-7i64, 9]);
+        check(&[-7i32, 9]);
+        check(&[7u64, 9]);
+        check(&[7u32, 9]);
+        check(&[0u8, 255]);
+        check(&[true, false, true]);
+    }
+
+    #[test]
+    fn sizes_match_wire_format() {
+        assert_eq!(<f64 as Element>::BYTES, 8);
+        assert_eq!(<f32 as Element>::BYTES, 4);
+        assert_eq!(<u8 as Element>::BYTES, 1);
+        assert_eq!(<bool as Element>::BYTES, 1);
+    }
+}

@@ -1,0 +1,119 @@
+//! Error type for the runtime layer.
+
+use std::fmt;
+use vf_dist::DistError;
+use vf_index::IndexError;
+
+/// Errors produced by Vienna Fortran Engine operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RuntimeError {
+    /// A distribution-layer error.
+    Dist(DistError),
+    /// An index-domain error.
+    Index(IndexError),
+    /// Two arrays involved in an operation have different index domains.
+    DomainMismatch {
+        /// Description of the left operand.
+        left: String,
+        /// Description of the right operand.
+        right: String,
+    },
+    /// The new distribution passed to `redistribute` targets a different
+    /// number of processors than the communication tracker models.
+    TrackerMismatch {
+        /// Processors known to the tracker.
+        tracker_procs: usize,
+        /// Processors required by the distribution.
+        dist_procs: usize,
+    },
+    /// An operation required a rectangular local segment (e.g. face-based
+    /// ghost exchange) but the distribution scatters elements cyclically.
+    NoContiguousSegment {
+        /// Name of the array involved.
+        array: String,
+    },
+    /// A ghost (overlap) access fell outside both the local segment and the
+    /// declared overlap width.
+    GhostWidthExceeded {
+        /// The dimension in which the access overflowed.
+        dim: usize,
+        /// The declared width in that dimension.
+        width: usize,
+    },
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::Dist(e) => write!(f, "distribution error: {e}"),
+            RuntimeError::Index(e) => write!(f, "index error: {e}"),
+            RuntimeError::DomainMismatch { left, right } => {
+                write!(f, "index domains differ: {left} vs {right}")
+            }
+            RuntimeError::TrackerMismatch {
+                tracker_procs,
+                dist_procs,
+            } => write!(
+                f,
+                "communication tracker models {tracker_procs} processors but the distribution needs {dist_procs}"
+            ),
+            RuntimeError::NoContiguousSegment { array } => write!(
+                f,
+                "array {array} has no contiguous local segment on some processor (cyclic distribution?)"
+            ),
+            RuntimeError::GhostWidthExceeded { dim, width } => write!(
+                f,
+                "access exceeds the declared overlap width {width} in dimension {dim}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RuntimeError::Dist(e) => Some(e),
+            RuntimeError::Index(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DistError> for RuntimeError {
+    fn from(e: DistError) -> Self {
+        RuntimeError::Dist(e)
+    }
+}
+
+impl From<IndexError> for RuntimeError {
+    fn from(e: IndexError) -> Self {
+        RuntimeError::Index(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: RuntimeError = DistError::ZeroCyclicWidth.into();
+        assert!(e.to_string().contains("CYCLIC"));
+        let e: RuntimeError = IndexError::RankTooLarge { requested: 9 }.into();
+        assert!(e.to_string().contains("index error"));
+        let e = RuntimeError::DomainMismatch {
+            left: "[1:4]".into(),
+            right: "[1:5]".into(),
+        };
+        assert!(e.to_string().contains("[1:5]"));
+        let e = RuntimeError::NoContiguousSegment { array: "V".into() };
+        assert!(e.to_string().contains('V'));
+        let e = RuntimeError::GhostWidthExceeded { dim: 1, width: 1 };
+        assert!(e.to_string().contains("overlap"));
+        let e = RuntimeError::TrackerMismatch {
+            tracker_procs: 4,
+            dist_procs: 8,
+        };
+        assert!(std::error::Error::source(&e).is_none());
+    }
+}

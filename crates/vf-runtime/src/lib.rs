@@ -1,0 +1,49 @@
+//! The Vienna Fortran Engine (VFE) — the run-time support layer of the
+//! paper's §3.2, realised as a library over the simulated distributed-memory
+//! machine of [`vf_machine`].
+//!
+//! The VFE is "an abstract machine that executes Vienna Fortran object
+//! programs … realised by a set of run time libraries" (paper §3.2).  This
+//! crate provides those libraries:
+//!
+//! * [`DistArray`] — a distributed array with per-processor local storage,
+//!   the `loc_map`/`segment` access functions of §3.2.1, and a global-view
+//!   accessor for the single logical thread of control;
+//! * [`redistribute`] — the three-step realisation of the executable
+//!   `DISTRIBUTE` statement of §3.2.2 (evaluate the new distribution,
+//!   derive the distributions of connected arrays, communicate), including
+//!   the `NOTRANSFER` attribute and aggregated ("pre-compiled routine")
+//!   versus element-wise communication planning;
+//! * [`ghost`] — overlap-area (halo) exchange for regular stencil accesses,
+//!   with face-aggregated messages (the paper's "sophisticated buffering
+//!   schemes for accesses to non-local objects");
+//! * [`parti`] — PARTI-style translation tables, inspector/executor
+//!   communication schedules and gather/scatter executors for irregular
+//!   accesses (§3.2, item 1, citing Saltz et al.);
+//! * [`reduce`] — global reductions charged as tree collectives;
+//! * [`assign`] — array assignment between differently distributed arrays
+//!   (the storage-wasting alternative to dynamic redistribution discussed
+//!   in §4);
+//! * [`ArrayDescriptor`] — the per-processor descriptor record of §3.2.1.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod array;
+pub mod assign;
+mod descriptor;
+mod element;
+mod error;
+pub mod ghost;
+pub mod parti;
+pub mod reduce;
+mod redistribute_impl;
+
+pub use array::DistArray;
+pub use descriptor::ArrayDescriptor;
+pub use element::{decode_slice, encode_slice, Element};
+pub use error::RuntimeError;
+pub use redistribute_impl::{redistribute, RedistOptions, RedistReport};
+
+/// Convenience result alias for fallible runtime operations.
+pub type Result<T> = std::result::Result<T, RuntimeError>;

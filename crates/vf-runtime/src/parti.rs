@@ -1,0 +1,316 @@
+//! PARTI-style runtime support for irregular accesses.
+//!
+//! The paper's §3.2 lists, among the VFE's data-organisation features, "the
+//! implementation of irregular accesses via translation tables and
+//! sophisticated buffering schemes for accesses to non-local objects, as
+//! implemented in the PARTI routines" and notes that the particle motion of
+//! the PIC code (Figure 2) requires "runtime code using the
+//! inspector/executor paradigm".  This module provides those pieces:
+//!
+//! * [`TranslationTable`] — global index → (owner, local offset),
+//! * [`inspector`] — builds a deduplicated [`CommSchedule`] from the
+//!   non-local accesses each processor intends to make,
+//! * [`execute_gather`] — fetches the scheduled elements, one aggregated
+//!   message per (owner → reader) pair,
+//! * [`execute_scatter`] — pushes updates to owners with a user-supplied
+//!   combine function (e.g. accumulation of particle contributions).
+
+use crate::{DistArray, Element, Result};
+use std::collections::{BTreeMap, HashMap};
+use vf_dist::{Distribution, ProcId};
+use vf_index::Point;
+use vf_machine::CommTracker;
+
+/// A translation table: for every element (by column-major global offset)
+/// the owning processor and the local offset on that owner.
+///
+/// For regular distributions this information is computable in closed form;
+/// the table materialises it so that irregular accesses can be resolved in
+/// O(1) per access, exactly as PARTI does.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TranslationTable {
+    owners: Vec<usize>,
+    local_offsets: Vec<usize>,
+}
+
+impl TranslationTable {
+    /// Builds the table for a distribution.
+    pub fn build(dist: &Distribution) -> Result<Self> {
+        let size = dist.domain().size();
+        let mut owners = Vec::with_capacity(size);
+        let mut local_offsets = Vec::with_capacity(size);
+        for point in dist.domain().iter() {
+            let o = dist.owner(&point)?;
+            owners.push(o.0);
+            local_offsets.push(dist.loc_map(o, &point)?);
+        }
+        Ok(Self {
+            owners,
+            local_offsets,
+        })
+    }
+
+    /// Number of elements covered.
+    pub fn len(&self) -> usize {
+        self.owners.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.owners.is_empty()
+    }
+
+    /// Owner and local offset of the element with global linear offset
+    /// `lin`.
+    pub fn lookup(&self, lin: usize) -> (ProcId, usize) {
+        (ProcId(self.owners[lin]), self.local_offsets[lin])
+    }
+}
+
+/// A communication schedule built by the [`inspector`]: for every requesting
+/// processor, the global offsets it must fetch from every owner.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CommSchedule {
+    /// `requests[p]` maps owner → sorted, deduplicated global offsets.
+    requests: Vec<BTreeMap<usize, Vec<usize>>>,
+}
+
+impl CommSchedule {
+    /// Number of aggregated messages the schedule will generate.
+    pub fn num_messages(&self) -> usize {
+        self.requests.iter().map(|m| m.len()).sum()
+    }
+
+    /// Total number of elements that will be fetched.
+    pub fn num_elements(&self) -> usize {
+        self.requests
+            .iter()
+            .flat_map(|m| m.values())
+            .map(|v| v.len())
+            .sum()
+    }
+
+    /// The owners contacted by processor `proc`.
+    pub fn owners_for(&self, proc: ProcId) -> Vec<ProcId> {
+        self.requests
+            .get(proc.0)
+            .map(|m| m.keys().map(|&o| ProcId(o)).collect())
+            .unwrap_or_default()
+    }
+}
+
+/// The inspector phase: analyses the non-local accesses each processor
+/// intends to make and produces a deduplicated [`CommSchedule`].  Local
+/// accesses are dropped; repeated accesses to the same element are fetched
+/// once (the "buffering scheme" of the PARTI routines).
+pub fn inspector(dist: &Distribution, accesses: &[(ProcId, Point)]) -> Result<CommSchedule> {
+    let total_procs = dist.procs().array().num_procs();
+    let mut requests: Vec<BTreeMap<usize, Vec<usize>>> = vec![BTreeMap::new(); total_procs];
+    for (proc, point) in accesses {
+        let owner = dist.owner(point)?;
+        if owner == *proc || dist.is_local(*proc, point) {
+            continue;
+        }
+        let lin = dist.domain().linearize(point)?;
+        requests[proc.0].entry(owner.0).or_default().push(lin);
+    }
+    for per_proc in &mut requests {
+        for offsets in per_proc.values_mut() {
+            offsets.sort_unstable();
+            offsets.dedup();
+        }
+    }
+    Ok(CommSchedule { requests })
+}
+
+/// The values fetched by [`execute_gather`], addressable by global index.
+#[derive(Debug, Clone)]
+pub struct GatherResult<T> {
+    values: Vec<HashMap<usize, T>>,
+}
+
+impl<T: Copy> GatherResult<T> {
+    /// The fetched value of `point` on behalf of `proc`, if scheduled.
+    pub fn get(&self, proc: ProcId, dist: &Distribution, point: &Point) -> Option<T> {
+        let lin = dist.domain().linearize(point).ok()?;
+        self.values.get(proc.0).and_then(|m| m.get(&lin)).copied()
+    }
+
+    /// Number of fetched elements held for `proc`.
+    pub fn len(&self, proc: ProcId) -> usize {
+        self.values.get(proc.0).map(|m| m.len()).unwrap_or(0)
+    }
+
+    /// Whether nothing was fetched for `proc`.
+    pub fn is_empty(&self, proc: ProcId) -> bool {
+        self.len(proc) == 0
+    }
+}
+
+/// The executor phase for reads: performs the communication described by a
+/// schedule, charging one aggregated message per (owner → reader) pair.
+pub fn execute_gather<T: Element>(
+    array: &DistArray<T>,
+    schedule: &CommSchedule,
+    tracker: &CommTracker,
+) -> Result<GatherResult<T>> {
+    let dist = array.dist();
+    let mut values: Vec<HashMap<usize, T>> = vec![HashMap::new(); schedule.requests.len()];
+    for (proc, per_owner) in schedule.requests.iter().enumerate() {
+        for (&owner, offsets) in per_owner {
+            if offsets.is_empty() {
+                continue;
+            }
+            tracker.send(owner, proc, offsets.len() * T::BYTES);
+            for &lin in offsets {
+                let point = dist.domain().delinearize(lin)?;
+                values[proc].insert(lin, array.get(&point)?);
+            }
+        }
+    }
+    Ok(GatherResult { values })
+}
+
+/// The executor phase for writes: each update `(from, point, value)` is
+/// applied at the owner of `point` with `combine(current, value)`; updates
+/// that cross processors are aggregated into one message per (source →
+/// owner) pair.
+pub fn execute_scatter<T: Element>(
+    array: &mut DistArray<T>,
+    updates: &[(ProcId, Point, T)],
+    tracker: &CommTracker,
+    mut combine: impl FnMut(T, T) -> T,
+) -> Result<usize> {
+    let dist = array.dist().clone();
+    let mut pair_counts: HashMap<(usize, usize), usize> = HashMap::new();
+    for (from, point, value) in updates {
+        let owner = dist.owner(point)?;
+        if owner != *from {
+            *pair_counts.entry((from.0, owner.0)).or_insert(0) += 1;
+        }
+        let current = array.get(point)?;
+        array.set(point, combine(current, *value))?;
+    }
+    let mut messages = 0;
+    for (&(src, dst), &count) in &pair_counts {
+        tracker.send(src, dst, count * T::BYTES);
+        messages += 1;
+    }
+    Ok(messages)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vf_dist::{DistType, ProcessorView};
+    use vf_index::IndexDomain;
+    use vf_machine::CostModel;
+
+    fn cyclic_array(n: usize, p: usize) -> DistArray<f64> {
+        let dist = Distribution::new(
+            DistType::cyclic1d(1),
+            IndexDomain::d1(n),
+            ProcessorView::linear(p),
+        )
+        .unwrap();
+        DistArray::from_fn("X", dist, |pt| pt.coord(0) as f64)
+    }
+
+    #[test]
+    fn translation_table_matches_distribution() {
+        let a = cyclic_array(10, 3);
+        let table = TranslationTable::build(a.dist()).unwrap();
+        assert_eq!(table.len(), 10);
+        assert!(!table.is_empty());
+        for point in a.domain().iter() {
+            let lin = a.domain().linearize(&point).unwrap();
+            let (owner, off) = table.lookup(lin);
+            assert_eq!(owner, a.dist().owner(&point).unwrap());
+            assert_eq!(off, a.dist().loc_map(owner, &point).unwrap());
+        }
+    }
+
+    #[test]
+    fn inspector_dedups_and_skips_local() {
+        let a = cyclic_array(12, 4);
+        // P0 wants elements 1 (local), 2 (on P1), 2 again, and 3 (on P2).
+        let accesses = vec![
+            (ProcId(0), Point::d1(1)),
+            (ProcId(0), Point::d1(2)),
+            (ProcId(0), Point::d1(2)),
+            (ProcId(0), Point::d1(3)),
+            (ProcId(3), Point::d1(1)),
+        ];
+        let schedule = inspector(a.dist(), &accesses).unwrap();
+        assert_eq!(schedule.num_elements(), 3);
+        assert_eq!(schedule.num_messages(), 3);
+        assert_eq!(schedule.owners_for(ProcId(0)), vec![ProcId(1), ProcId(2)]);
+        assert_eq!(schedule.owners_for(ProcId(3)), vec![ProcId(0)]);
+        assert!(schedule.owners_for(ProcId(1)).is_empty());
+    }
+
+    #[test]
+    fn gather_fetches_scheduled_values() {
+        let a = cyclic_array(12, 4);
+        let accesses = vec![
+            (ProcId(0), Point::d1(2)),
+            (ProcId(0), Point::d1(6)),
+            (ProcId(1), Point::d1(12)),
+        ];
+        let schedule = inspector(a.dist(), &accesses).unwrap();
+        let tracker = CommTracker::new(4, CostModel::from_alpha_beta(1.0, 0.0));
+        let gathered = execute_gather(&a, &schedule, &tracker).unwrap();
+        assert_eq!(
+            gathered.get(ProcId(0), a.dist(), &Point::d1(2)),
+            Some(2.0)
+        );
+        assert_eq!(
+            gathered.get(ProcId(0), a.dist(), &Point::d1(6)),
+            Some(6.0)
+        );
+        assert_eq!(
+            gathered.get(ProcId(1), a.dist(), &Point::d1(12)),
+            Some(12.0)
+        );
+        assert_eq!(gathered.get(ProcId(1), a.dist(), &Point::d1(2)), None);
+        assert_eq!(gathered.len(ProcId(0)), 2);
+        assert!(gathered.is_empty(ProcId(2)));
+        // Elements 2 and 6 both live on P1 → one aggregated message to P0,
+        // plus one message P3 → P1 for element 12.
+        let stats = tracker.snapshot();
+        assert_eq!(stats.total_messages(), 2);
+        assert_eq!(stats.total_bytes(), 3 * 8);
+    }
+
+    #[test]
+    fn scatter_accumulates_at_owner() {
+        let mut a = cyclic_array(8, 2);
+        let tracker = CommTracker::new(2, CostModel::zero());
+        let updates = vec![
+            (ProcId(0), Point::d1(2), 10.0), // element 2 owned by P1 → message
+            (ProcId(0), Point::d1(1), 5.0),  // local → no message
+            (ProcId(1), Point::d1(2), 1.0),  // local → no message
+        ];
+        let messages = execute_scatter(&mut a, &updates, &tracker, |a, b| a + b).unwrap();
+        assert_eq!(messages, 1);
+        assert_eq!(a.get(&Point::d1(2)).unwrap(), 2.0 + 10.0 + 1.0);
+        assert_eq!(a.get(&Point::d1(1)).unwrap(), 1.0 + 5.0);
+        assert_eq!(tracker.snapshot().total_messages(), 1);
+    }
+
+    #[test]
+    fn schedule_reuse_costs_the_same_every_time() {
+        // The schedule can be reused while the distribution is unchanged —
+        // the ablation of DESIGN.md §5 (inspector reuse).
+        let a = cyclic_array(16, 4);
+        let accesses: Vec<_> = (1..=16)
+            .map(|i| (ProcId(0), Point::d1(i)))
+            .collect();
+        let schedule = inspector(a.dist(), &accesses).unwrap();
+        let tracker = CommTracker::new(4, CostModel::zero());
+        let g1 = execute_gather(&a, &schedule, &tracker).unwrap();
+        let g2 = execute_gather(&a, &schedule, &tracker).unwrap();
+        assert_eq!(g1.len(ProcId(0)), g2.len(ProcId(0)));
+        assert_eq!(tracker.snapshot().total_messages(), 2 * schedule.num_messages());
+    }
+}

@@ -1,0 +1,50 @@
+//! The grid-smoothing scenario of §4: the best distribution of the N×N grid
+//! depends on a runtime value (N), the number of processors ($NP) and the
+//! machine's message cost parameters — so the program chooses it at run
+//! time and issues the corresponding DISTRIBUTE.
+//!
+//! Run with `cargo run -p vf-examples --bin autotune_smoothing [N] [procs]`.
+
+use vf_apps::smoothing::{self, SmoothingConfig, SmoothingLayout};
+use vf_apps::workloads;
+use vf_core::prelude::*;
+
+fn arg(n: usize, default: usize) -> usize {
+    std::env::args()
+        .nth(n)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let n = arg(1, 64);
+    let procs = arg(2, 16);
+    let steps = 4;
+
+    for (cost, label) in [
+        (CostModel::latency_bound(), "latency-bound machine"),
+        (CostModel::bandwidth_bound(), "bandwidth-bound machine"),
+        (CostModel::ipsc860(procs), "iPSC/860-like machine"),
+    ] {
+        // The runtime choice the paper describes: compare the predicted
+        // per-step cost of the two layouts for this N, $NP and machine.
+        let chosen = smoothing::choose_layout(n, procs, &cost);
+        println!("{label}: N = {n}, p = {procs} -> choose {chosen:?}");
+        for layout in [SmoothingLayout::Columns, SmoothingLayout::Blocks2D] {
+            let predicted = smoothing::predicted_step_time(layout, n, procs, &cost);
+            let machine = Machine::new(procs, cost.clone());
+            let initial = workloads::initial_grid(n, 3);
+            let result = smoothing::run(&SmoothingConfig { n, steps, layout }, &machine, &initial);
+            println!(
+                "  {layout:?}: predicted {:.3e} s/step, measured {:.3e} s/step, {} msgs/step",
+                predicted,
+                result.stats.critical_time() / steps as f64,
+                result.messages_per_step
+            );
+        }
+        println!();
+    }
+    println!("the chosen layout is the one with the lower predicted per-step cost;");
+    println!("a Vienna Fortran program expresses the choice with DISTRIBUTE inside an IF");
+    println!("on $NP and the input size, as described in section 4 of the paper.");
+}

@@ -1,0 +1,24 @@
+//! Shared helpers for the runnable examples.
+
+use vf_core::prelude::CommStats;
+
+/// Prints a one-line summary of a phase's communication statistics.
+pub fn print_phase(name: &str, stats: &CommStats) {
+    println!(
+        "  {name:<28} {:>6} msgs  {:>10} bytes  modelled time {:>10.3e} s  imbalance {:.2}",
+        stats.total_messages(),
+        stats.total_bytes(),
+        stats.critical_time(),
+        stats.load_imbalance()
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn print_phase_does_not_panic() {
+        print_phase("phase", &CommStats::new(2));
+    }
+}

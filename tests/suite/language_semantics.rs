@@ -1,0 +1,229 @@
+//! Integration tests of the paper's language rules (§2) and of the
+//! consistency between the compile-time analysis (§3.1) and the runtime.
+
+use vf_core::analysis::{evaluate_query, Program, QueryOutcome, ReachingDistributions, Stmt};
+use vf_core::prelude::*;
+use vf_integration::zero_machine;
+
+/// Rule §2.3(3): DISTRIBUTE applies to primary arrays only; §2.3(4): classes
+/// are independent.
+#[test]
+fn connect_classes_are_independent() {
+    let mut scope: VfScope<f64> = VfScope::new(zero_machine(4));
+    for name in ["B1", "B2"] {
+        scope
+            .declare_dynamic(
+                DynamicDecl::new(name, IndexDomain::d1(12)).initial(DistType::block1d()),
+            )
+            .unwrap();
+    }
+    scope
+        .declare_secondary(SecondaryDecl::extraction("A1", IndexDomain::d1(12), "B1"))
+        .unwrap();
+    scope
+        .declare_secondary(SecondaryDecl::extraction("A2", IndexDomain::d1(12), "B2"))
+        .unwrap();
+
+    scope.distribute(DistributeStmt::new("B1", DistType::cyclic1d(1))).unwrap();
+    // Only C(B1) changed; C(B2) kept its distribution.
+    assert_eq!(scope.current_dist_type("A1").unwrap(), DistType::cyclic1d(1));
+    assert_eq!(scope.current_dist_type("B2").unwrap(), DistType::block1d());
+    assert_eq!(scope.current_dist_type("A2").unwrap(), DistType::block1d());
+    // NOTRANSFER may not name a secondary of a different class.
+    assert!(scope
+        .distribute(DistributeStmt::new("B1", DistType::block1d()).notransfer(["A2"]))
+        .is_err());
+}
+
+/// Rule §2.3(5): the connect relation does not extend across procedure
+/// boundaries — a new scope starts fresh even on the same machine.
+#[test]
+fn connect_relation_stops_at_scope_boundaries() {
+    let machine = zero_machine(2);
+    let mut outer: VfScope<f64> = VfScope::new(machine.clone());
+    outer
+        .declare_dynamic(
+            DynamicDecl::new("B", IndexDomain::d1(8)).initial(DistType::block1d()),
+        )
+        .unwrap();
+    outer
+        .declare_secondary(SecondaryDecl::extraction("A", IndexDomain::d1(8), "B"))
+        .unwrap();
+    assert_eq!(outer.connect_class("B").unwrap().len(), 1);
+
+    // The "called procedure" has its own scope: no classes, and the same
+    // names can be redeclared with different roles.
+    let mut inner: VfScope<f64> = VfScope::new(machine);
+    assert!(inner.connect_class("B").is_err());
+    inner
+        .declare_static(StaticDecl::new("A", IndexDomain::d1(8), DistType::cyclic1d(1)))
+        .unwrap();
+    assert_eq!(inner.current_dist_type("A").unwrap(), DistType::cyclic1d(1));
+    // The outer scope is unaffected.
+    assert_eq!(outer.current_dist_type("A").unwrap(), DistType::block1d());
+}
+
+/// The RANGE attribute restricts every later DISTRIBUTE, including ones
+/// arriving through multi-array statements and extraction expressions.
+#[test]
+fn range_restricts_all_paths_to_a_distribution() {
+    let mut scope: VfScope<f64> = VfScope::new(zero_machine(4));
+    scope
+        .declare_dynamic(
+            DynamicDecl::new("B3", IndexDomain::d2(8, 8))
+                .range([
+                    DistPattern::dims(vec![DimPattern::Block, DimPattern::Block]),
+                    DistPattern::dims(vec![DimPattern::Star, DimPattern::Cyclic(1)]),
+                ])
+                .initial(DistType::blocks2d()),
+        )
+        .unwrap();
+    // (*, CYCLIC) admits (BLOCK, CYCLIC) and even (:, CYCLIC)...
+    scope
+        .distribute(DistributeStmt::new(
+            "B3",
+            DistType::new(vec![DimDist::Block, DimDist::Cyclic(1)]),
+        ))
+        .unwrap();
+    scope
+        .distribute(DistributeStmt::new(
+            "B3",
+            DistType::new(vec![DimDist::NotDistributed, DimDist::Cyclic(1)]),
+        ))
+        .unwrap();
+    // ...but not (CYCLIC, BLOCK) or (CYCLIC(2), CYCLIC(2)).
+    assert!(scope
+        .distribute(DistributeStmt::new(
+            "B3",
+            DistType::new(vec![DimDist::Cyclic(1), DimDist::Block]),
+        ))
+        .is_err());
+    assert!(scope
+        .distribute(DistributeStmt::new(
+            "B3",
+            DistType::new(vec![DimDist::Cyclic(2), DimDist::Cyclic(2)]),
+        ))
+        .is_err());
+    // The failed statements left the previous distribution in place.
+    assert_eq!(
+        scope.current_dist_type("B3").unwrap(),
+        DistType::new(vec![DimDist::NotDistributed, DimDist::Cyclic(1)])
+    );
+}
+
+/// DCASE clause order matters: the first matching clause wins even when a
+/// later clause also matches.
+#[test]
+fn dcase_selects_the_first_matching_clause() {
+    let mut scope: VfScope<f64> = VfScope::new(zero_machine(4));
+    scope
+        .declare_dynamic(
+            DynamicDecl::new("B", IndexDomain::d1(8)).initial(DistType::block1d()),
+        )
+        .unwrap();
+    let dcase = Dcase::new(["B"])
+        .when_positional([DistPattern::Any])
+        .when_positional([DistPattern::exact(&DistType::block1d())])
+        .default_case();
+    assert_eq!(dcase.select(&scope).unwrap(), Some(0));
+    scope.distribute(DistributeStmt::new("B", DistType::cyclic1d(1))).unwrap();
+    assert_eq!(dcase.select(&scope).unwrap(), Some(0));
+}
+
+/// The reaching-distribution analysis is sound with respect to the runtime:
+/// every distribution actually observed at an access is covered by the
+/// plausible set the analysis computed for it.
+#[test]
+fn analysis_plausible_sets_cover_the_runtime_behaviour() {
+    // The analysed program: V starts as (:,BLOCK); inside a loop it is
+    // redistributed to (BLOCK,:) and conditionally back.
+    let program = Program::new()
+        .with_initial("V", DistPattern::exact(&DistType::columns()))
+        .stmt(Stmt::access("V", "before"))
+        .stmt(Stmt::loop_(vec![
+            Stmt::distribute("V", DistPattern::exact(&DistType::rows())),
+            Stmt::access("V", "in_loop"),
+            Stmt::if_then(vec![Stmt::distribute(
+                "V",
+                DistPattern::exact(&DistType::columns()),
+            )]),
+        ]))
+        .stmt(Stmt::access("V", "after"));
+    let analysis = ReachingDistributions::analyze(&program);
+
+    // The runtime executes the same shape with a concrete predicate.
+    let mut scope: VfScope<f64> = VfScope::new(zero_machine(4));
+    scope
+        .declare_dynamic(
+            DynamicDecl::new("V", IndexDomain::d2(8, 8)).initial(DistType::columns()),
+        )
+        .unwrap();
+    let observed_before = scope.current_dist_type("V").unwrap();
+    let mut observed_in_loop = Vec::new();
+    for iter in 0..4 {
+        scope.distribute(DistributeStmt::new("V", DistType::rows())).unwrap();
+        observed_in_loop.push(scope.current_dist_type("V").unwrap());
+        if iter % 2 == 0 {
+            scope.distribute(DistributeStmt::new("V", DistType::columns())).unwrap();
+        }
+    }
+    let observed_after = scope.current_dist_type("V").unwrap();
+
+    let covers = |label: &str, observed: &DistType| {
+        analysis
+            .plausible_at(label)
+            .unwrap()
+            .iter()
+            .any(|p| p.matches(observed))
+    };
+    assert!(covers("before", &observed_before));
+    for t in &observed_in_loop {
+        assert!(covers("in_loop", t));
+    }
+    assert!(covers("after", &observed_after));
+
+    // Partial evaluation agrees with what a runtime IDT would return when
+    // the plausible set is a singleton.
+    let before_set = analysis.plausible_at("before").unwrap();
+    assert_eq!(
+        evaluate_query(before_set, &DistPattern::exact(&DistType::columns())),
+        QueryOutcome::Always
+    );
+    assert_eq!(
+        evaluate_query(before_set, &DistPattern::exact(&DistType::rows())),
+        QueryOutcome::Never
+    );
+    // The in-loop access genuinely needs a runtime query for the column
+    // pattern (Maybe), matching the fact that the observed values vary.
+    let in_loop_set = analysis.plausible_at("in_loop").unwrap();
+    assert_eq!(
+        evaluate_query(in_loop_set, &DistPattern::exact(&DistType::rows())),
+        QueryOutcome::Always
+    );
+}
+
+/// IDT distinguishes processor sections as well as distribution types.
+#[test]
+fn idt_on_processor_sections() {
+    let machine = zero_machine(4);
+    let mut scope: VfScope<f64> =
+        VfScope::with_processors(machine, ProcessorView::grid2d(2, 2));
+    scope
+        .declare_dynamic(
+            DynamicDecl::new("C", IndexDomain::d3(6, 6, 6))
+                .initial(DistType::new(vec![
+                    DimDist::Block,
+                    DimDist::Block,
+                    DimDist::NotDistributed,
+                ])),
+        )
+        .unwrap();
+    let pattern = DistPattern::dims(vec![
+        DimPattern::Block,
+        DimPattern::Block,
+        DimPattern::NotDistributed,
+    ]);
+    assert!(idt(&scope, "C", &pattern).unwrap());
+    assert!(idt_on(&scope, "C", &pattern, &ProcessorView::grid2d(2, 2)).unwrap());
+    assert!(!idt_on(&scope, "C", &pattern, &ProcessorView::linear(4)).unwrap());
+}
