@@ -18,7 +18,15 @@ fn bench_adi(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new(name, n), &n, |b, &n| {
             b.iter(|| {
                 let machine = Machine::new(4, CostModel::ipsc860(4));
-                run(&AdiConfig { n, iterations: 1, strategy }, &machine, &initial)
+                run(
+                    &AdiConfig {
+                        n,
+                        iterations: 1,
+                        strategy,
+                    },
+                    &machine,
+                    &initial,
+                )
             })
         });
     }

@@ -26,9 +26,11 @@ fn bench_dcase(c: &mut Criterion) {
             ])]);
         }
         dcase = dcase.when_positional([DistPattern::exact(&DistType::blocks2d())]);
-        group.bench_with_input(BenchmarkId::new("select_dcase", clauses), &clauses, |b, _| {
-            b.iter(|| dcase.select(&scope).unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("select_dcase", clauses),
+            &clauses,
+            |b, _| b.iter(|| dcase.select(&scope).unwrap()),
+        );
     }
 
     // Reaching-distribution analysis on synthetic programs.

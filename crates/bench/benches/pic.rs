@@ -13,14 +13,20 @@ fn bench_pic(c: &mut Criterion) {
     let init = particles(
         ncell,
         1000,
-        ParticleLayout::Cluster { center: 0.2, width: 0.08 },
+        ParticleLayout::Cluster {
+            center: 0.2,
+            width: 0.08,
+        },
         0.4,
         29,
     );
     for (strategy, name) in [
         (PicStrategy::StaticBlock, "static_block"),
         (
-            PicStrategy::DynamicGenBlock { period: 10, threshold: 1.1 },
+            PicStrategy::DynamicGenBlock {
+                period: 10,
+                threshold: 1.1,
+            },
             "gen_block_period10",
         ),
         (PicStrategy::Oracle, "gen_block_every_step"),
@@ -28,7 +34,15 @@ fn bench_pic(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new(name, ncell), &ncell, |b, &ncell| {
             b.iter(|| {
                 let machine = Machine::new(8, CostModel::ipsc860(8));
-                run(&PicConfig { ncell, steps: 10, strategy }, &machine, &init)
+                run(
+                    &PicConfig {
+                        ncell,
+                        steps: 10,
+                        strategy,
+                    },
+                    &machine,
+                    &init,
+                )
             })
         });
     }

@@ -30,5 +30,81 @@ fn bench_redistribute(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_redistribute);
+/// The schedule-reuse scenario: the ADI-style alternation between two
+/// distributions, planned fresh every iteration versus planned once and
+/// replayed from the [`PlanCache`].  The cached run must move exactly the
+/// same elements and charge exactly the same bytes; only the planning cost
+/// disappears (the second and later iterations are pure cache hits).
+fn bench_schedule_reuse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_schedule_reuse");
+    group.sample_size(10);
+    let p = 8usize;
+    let iterations = 8usize;
+    for &n in &[1usize << 12, 1 << 16] {
+        let procs = ProcessorView::linear(p);
+        let from =
+            Distribution::new(DistType::block1d(), IndexDomain::d1(n), procs.clone()).unwrap();
+        let to = Distribution::new(DistType::cyclic1d(1), IndexDomain::d1(n), procs).unwrap();
+
+        group.bench_with_input(BenchmarkId::new("plan_every_iteration", n), &n, |b, _| {
+            b.iter(|| {
+                let tracker = CommTracker::new(p, CostModel::ipsc860(p));
+                let mut a = DistArray::from_fn("A", from.clone(), |pt| pt.coord(0) as f64);
+                let mut moved = 0usize;
+                let mut bytes = 0usize;
+                for i in 0..iterations {
+                    let target = if i % 2 == 0 { to.clone() } else { from.clone() };
+                    let r =
+                        redistribute(&mut a, target, &tracker, &RedistOptions::default()).unwrap();
+                    moved += r.moved_elements;
+                    bytes += r.bytes;
+                }
+                (moved, bytes)
+            })
+        });
+
+        group.bench_with_input(BenchmarkId::new("cached_schedule", n), &n, |b, _| {
+            b.iter(|| {
+                let cache = PlanCache::new();
+                let tracker = CommTracker::new(p, CostModel::ipsc860(p));
+                let mut a = DistArray::from_fn("A", from.clone(), |pt| pt.coord(0) as f64);
+                let mut moved = 0usize;
+                let mut bytes = 0usize;
+                for i in 0..iterations {
+                    let target = if i % 2 == 0 { to.clone() } else { from.clone() };
+                    let r = redistribute_cached(
+                        &mut a,
+                        target,
+                        &tracker,
+                        &RedistOptions::default(),
+                        &cache,
+                    )
+                    .unwrap();
+                    moved += r.moved_elements;
+                    bytes += r.bytes;
+                }
+                // All iterations after the first pair hit the cache.
+                assert_eq!(cache.stats().misses, 2);
+                (moved, bytes)
+            })
+        });
+
+        // Planning cost in isolation: a cache hit versus a fresh plan.
+        group.bench_with_input(BenchmarkId::new("planning_fresh", n), &n, |b, _| {
+            b.iter(|| {
+                plan::plan_redistribute(&from, &to)
+                    .unwrap()
+                    .moved_elements()
+            })
+        });
+        let warm = PlanCache::new();
+        warm.redistribute_plan(&from, &to).unwrap();
+        group.bench_with_input(BenchmarkId::new("planning_cache_hit", n), &n, |b, _| {
+            b.iter(|| warm.redistribute_plan(&from, &to).unwrap().moved_elements())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_redistribute, bench_schedule_reuse);
 criterion_main!(benches);

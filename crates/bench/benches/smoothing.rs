@@ -17,7 +17,15 @@ fn bench_smoothing(c: &mut Criterion) {
             group.bench_with_input(BenchmarkId::new(name, n), &n, |b, &n| {
                 b.iter(|| {
                     let machine = Machine::new(4, CostModel::ipsc860(4));
-                    run(&SmoothingConfig { n, steps: 1, layout }, &machine, &initial)
+                    run(
+                        &SmoothingConfig {
+                            n,
+                            steps: 1,
+                            layout,
+                        },
+                        &machine,
+                        &initial,
+                    )
                 })
             });
         }

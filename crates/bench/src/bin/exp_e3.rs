@@ -6,7 +6,9 @@ use vf_core::prelude::CostModel;
 
 fn main() {
     println!("# E3 — PIC: dynamic load balancing with B_BLOCK(BOUNDS)\n");
-    println!("## Clustered drifting particle cloud, NCELL = 256, 5000 particles, 50 steps, p = 8\n");
+    println!(
+        "## Clustered drifting particle cloud, NCELL = 256, 5000 particles, 50 steps, p = 8\n"
+    );
     println!(
         "{}",
         experiments::e3_pic(&CostModel::ipsc860(8), 256, 5000, 50, 8)

@@ -21,7 +21,11 @@ pub fn e1_analytic(cost: &CostModel, ns: &[usize], ps: &[usize]) -> String {
         for &n in ns {
             let cols = smoothing::predicted_step_time(SmoothingLayout::Columns, n, p, cost);
             let blocks = smoothing::predicted_step_time(SmoothingLayout::Blocks2D, n, p, cost);
-            let winner = if cols <= blocks { "columns" } else { "2-D blocks" };
+            let winner = if cols <= blocks {
+                "columns"
+            } else {
+                "2-D blocks"
+            };
             rows.push(vec![
                 n.to_string(),
                 p.to_string(),
@@ -33,7 +37,14 @@ pub fn e1_analytic(cost: &CostModel, ns: &[usize], ps: &[usize]) -> String {
         }
     }
     table::markdown(
-        &["N", "p", "N/p", "t/step (:,BLOCK)", "t/step (BLOCK,BLOCK)", "winner"],
+        &[
+            "N",
+            "p",
+            "N/p",
+            "t/step (:,BLOCK)",
+            "t/step (BLOCK,BLOCK)",
+            "winner",
+        ],
         &rows,
     )
 }
@@ -52,7 +63,11 @@ pub fn e1_simulated(cost: &CostModel, ns: &[usize], p: usize, steps: usize) -> S
         }
         let t_cols = per_layout[0].1.stats.critical_time() / steps as f64;
         let t_blocks = per_layout[1].1.stats.critical_time() / steps as f64;
-        let winner = if t_cols <= t_blocks { "columns" } else { "2-D blocks" };
+        let winner = if t_cols <= t_blocks {
+            "columns"
+        } else {
+            "2-D blocks"
+        };
         rows.push(vec![
             n.to_string(),
             p.to_string(),
@@ -95,7 +110,15 @@ pub fn e2_adi(cost: &CostModel, ns: &[usize], ps: &[usize], iterations: usize) -
             let initial = workloads::initial_grid(n, 23);
             for (strategy, label) in strategies {
                 let machine = Machine::new(p, cost.clone());
-                let r = adi::run(&AdiConfig { n, iterations, strategy }, &machine, &initial);
+                let r = adi::run(
+                    &AdiConfig {
+                        n,
+                        iterations,
+                        strategy,
+                    },
+                    &machine,
+                    &initial,
+                );
                 rows.push(vec![
                     n.to_string(),
                     p.to_string(),
@@ -109,19 +132,21 @@ pub fn e2_adi(cost: &CostModel, ns: &[usize], ps: &[usize], iterations: usize) -
         }
     }
     table::markdown(
-        &["N", "p", "strategy", "sweep msgs", "redist msgs", "total bytes", "modelled time"],
+        &[
+            "N",
+            "p",
+            "strategy",
+            "sweep msgs",
+            "redist msgs",
+            "total bytes",
+            "modelled time",
+        ],
         &rows,
     )
 }
 
 /// E3 — the PIC load-balancing strategies of Figure 2.
-pub fn e3_pic(
-    cost: &CostModel,
-    ncell: usize,
-    nparticles: usize,
-    steps: usize,
-    p: usize,
-) -> String {
+pub fn e3_pic(cost: &CostModel, ncell: usize, nparticles: usize, steps: usize, p: usize) -> String {
     let init = workloads::particles(
         ncell,
         nparticles,
@@ -135,7 +160,10 @@ pub fn e3_pic(
     let strategies = [
         (PicStrategy::StaticBlock, "static BLOCK"),
         (
-            PicStrategy::DynamicGenBlock { period: 10, threshold: 1.1 },
+            PicStrategy::DynamicGenBlock {
+                period: 10,
+                threshold: 1.1,
+            },
             "B_BLOCK every 10 (Fig. 2)",
         ),
         (PicStrategy::Oracle, "B_BLOCK every step"),
@@ -143,7 +171,15 @@ pub fn e3_pic(
     let mut rows = Vec::new();
     for (strategy, label) in strategies {
         let machine = Machine::new(p, cost.clone());
-        let r = pic::run(&PicConfig { ncell, steps, strategy }, &machine, &init);
+        let r = pic::run(
+            &PicConfig {
+                ncell,
+                steps,
+                strategy,
+            },
+            &machine,
+            &init,
+        );
         rows.push(vec![
             label.to_string(),
             format!("{:.2}", r.mean_imbalance),
@@ -174,7 +210,11 @@ pub fn e4_redistribute(cost: &CostModel, sizes: &[usize], p: usize) -> String {
     let mut rows = Vec::new();
     for &n in sizes {
         let pairs: Vec<(&str, DistType, DistType)> = vec![
-            ("BLOCK -> CYCLIC", DistType::block1d(), DistType::cyclic1d(1)),
+            (
+                "BLOCK -> CYCLIC",
+                DistType::block1d(),
+                DistType::cyclic1d(1),
+            ),
             (
                 "BLOCK -> CYCLIC(16)",
                 DistType::block1d(),
@@ -185,7 +225,11 @@ pub fn e4_redistribute(cost: &CostModel, sizes: &[usize], p: usize) -> String {
                 DistType::block1d(),
                 DistType::gen_block1d(skewed_sizes(n, p)),
             ),
-            ("CYCLIC -> BLOCK", DistType::cyclic1d(1), DistType::block1d()),
+            (
+                "CYCLIC -> BLOCK",
+                DistType::cyclic1d(1),
+                DistType::block1d(),
+            ),
         ];
         for (label, from, to) in pairs {
             let procs = ProcessorView::linear(p);
@@ -196,8 +240,8 @@ pub fn e4_redistribute(cost: &CostModel, sizes: &[usize], p: usize) -> String {
             let run_with = |opts: &RedistOptions| {
                 let tracker = CommTracker::new(p, cost.clone());
                 let mut a = DistArray::from_fn("A", dist_from.clone(), |pt| pt.coord(0) as f64);
-                let report =
-                    vf_runtime::redistribute(&mut a, dist_to.clone(), &tracker, opts).expect("same domain");
+                let report = vf_runtime::redistribute(&mut a, dist_to.clone(), &tracker, opts)
+                    .expect("same domain");
                 (report, tracker.snapshot().critical_time())
             };
             let (agg, t_agg) = run_with(&RedistOptions::default());
@@ -268,11 +312,16 @@ pub fn e5_queries(clause_counts: &[usize], repeats: usize) -> String {
         let elapsed = start.elapsed().as_secs_f64() / repeats as f64;
         rows.push(vec![
             clauses.to_string(),
-            selected.map(|i| i.to_string()).unwrap_or_else(|| "-".into()),
+            selected
+                .map(|i| i.to_string())
+                .unwrap_or_else(|| "-".into()),
             format!("{:.2} us", elapsed * 1e6),
         ]);
     }
-    table::markdown(&["clauses", "selected index", "time per SELECT DCASE"], &rows)
+    table::markdown(
+        &["clauses", "selected index", "time per SELECT DCASE"],
+        &rows,
+    )
 }
 
 /// E5 — reaching-distribution analysis on synthetic programs: `stmts`

@@ -156,10 +156,7 @@ mod tests {
     #[test]
     fn query_outcomes() {
         // Singleton plausible set matching the query exactly → Always.
-        assert_eq!(
-            evaluate_query(&[cols()], &cols()),
-            QueryOutcome::Always
-        );
+        assert_eq!(evaluate_query(&[cols()], &cols()), QueryOutcome::Always);
         // Wildcard query always matches any non-empty plausible set.
         assert_eq!(
             evaluate_query(&[cols(), block2()], &DistPattern::Any),
@@ -171,10 +168,7 @@ mod tests {
             QueryOutcome::Maybe
         );
         // Disjoint → Never.
-        assert_eq!(
-            evaluate_query(&[block2()], &cols()),
-            QueryOutcome::Never
-        );
+        assert_eq!(evaluate_query(&[block2()], &cols()), QueryOutcome::Never);
         // Empty plausible set (array not yet distributed) → Never.
         assert_eq!(evaluate_query(&[], &cols()), QueryOutcome::Never);
         // Plausible CYCLIC(*) versus concrete CYCLIC(2): might match.

@@ -264,7 +264,10 @@ mod tests {
     fn access_before_distribution_is_flagged() {
         let program = Program::new()
             .stmt(Stmt::access("B1", "too_early"))
-            .stmt(Stmt::distribute("B1", DistPattern::dims(vec![DimPattern::Block])))
+            .stmt(Stmt::distribute(
+                "B1",
+                DistPattern::dims(vec![DimPattern::Block]),
+            ))
             .stmt(Stmt::access("B1", "ok"));
         let result = ReachingDistributions::analyze(&program);
         assert!(result.plausible_at("too_early").unwrap().is_empty());
@@ -289,7 +292,10 @@ mod tests {
                         ])]),
                         vec![Stmt::access("A", "block_clause")],
                     ),
-                    (Condition::Default, vec![Stmt::access("A", "default_clause")]),
+                    (
+                        Condition::Default,
+                        vec![Stmt::access("A", "default_clause")],
+                    ),
                 ],
             ));
         let result = ReachingDistributions::analyze(&program);

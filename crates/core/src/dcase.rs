@@ -125,7 +125,9 @@ impl Dcase {
                 for (name, pattern) in queries {
                     let Some((_, t)) = types.iter().find(|(n, _)| n == name) else {
                         return Err(CoreError::InvalidDcase {
-                            reason: format!("name-tagged query refers to {name}, which is not a selector"),
+                            reason: format!(
+                                "name-tagged query refers to {name}, which is not a selector"
+                            ),
                         });
                     };
                     if !pattern.matches(t) {
@@ -196,14 +198,10 @@ mod tests {
     /// Builds the scope of the paper's Example 4.
     fn example4_scope() -> VfScope<f64> {
         let mut s: VfScope<f64> = VfScope::new(Machine::new(4, CostModel::zero()));
-        s.declare_dynamic(
-            DynamicDecl::new("B1", IndexDomain::d1(16)).initial(DistType::block1d()),
-        )
-        .unwrap();
-        s.declare_dynamic(
-            DynamicDecl::new("B2", IndexDomain::d1(16)).initial(DistType::block1d()),
-        )
-        .unwrap();
+        s.declare_dynamic(DynamicDecl::new("B1", IndexDomain::d1(16)).initial(DistType::block1d()))
+            .unwrap();
+        s.declare_dynamic(DynamicDecl::new("B2", IndexDomain::d1(16)).initial(DistType::block1d()))
+            .unwrap();
         s.declare_dynamic(
             DynamicDecl::new("B3", IndexDomain::d2(8, 8))
                 .initial(DistType::new(vec![DimDist::Cyclic(2), DimDist::Cyclic(1)])),
@@ -253,7 +251,8 @@ mod tests {
     fn example4_second_clause_after_redistribution() {
         let mut s = example4_scope();
         // t1 = (CYCLIC), t3 = (BLOCK, anything) → clause a2.
-        s.distribute(DistributeStmt::new("B1", DistType::cyclic1d(1))).unwrap();
+        s.distribute(DistributeStmt::new("B1", DistType::cyclic1d(1)))
+            .unwrap();
         s.distribute(DistributeStmt::new(
             "B3",
             DistType::new(vec![DimDist::Block, DimDist::Cyclic(4)]),
@@ -261,7 +260,8 @@ mod tests {
         .unwrap();
         assert_eq!(example4_dcase().select(&s).unwrap(), Some(1));
         // t3 = (BLOCK, CYCLIC) with t1 back to BLOCK → clause a3 (a2 needs CYCLIC t1).
-        s.distribute(DistributeStmt::new("B1", DistType::block1d())).unwrap();
+        s.distribute(DistributeStmt::new("B1", DistType::block1d()))
+            .unwrap();
         s.distribute(DistributeStmt::new(
             "B3",
             DistType::new(vec![DimDist::Block, DimDist::Cyclic(1)]),
@@ -274,7 +274,8 @@ mod tests {
     #[test]
     fn example4_default_clause() {
         let mut s = example4_scope();
-        s.distribute(DistributeStmt::new("B2", DistType::cyclic1d(1))).unwrap();
+        s.distribute(DistributeStmt::new("B2", DistType::cyclic1d(1)))
+            .unwrap();
         s.distribute(DistributeStmt::new(
             "B3",
             DistType::new(vec![DimDist::Cyclic(1), DimDist::Block]),
@@ -286,9 +287,8 @@ mod tests {
     #[test]
     fn construct_without_matching_clause_selects_nothing() {
         let s = example4_scope();
-        let dcase = Dcase::new(["B1"]).when_positional([DistPattern::dims(vec![
-            DimPattern::Cyclic(7),
-        ])]);
+        let dcase =
+            Dcase::new(["B1"]).when_positional([DistPattern::dims(vec![DimPattern::Cyclic(7)])]);
         assert_eq!(dcase.select(&s).unwrap(), None);
     }
 
@@ -310,10 +310,7 @@ mod tests {
             Err(CoreError::InvalidDcase { .. })
         ));
         // More positional queries than selectors.
-        let too_many = Dcase::new(["B1"]).when_positional([
-            DistPattern::Any,
-            DistPattern::Any,
-        ]);
+        let too_many = Dcase::new(["B1"]).when_positional([DistPattern::Any, DistPattern::Any]);
         assert!(matches!(
             too_many.select(&s),
             Err(CoreError::InvalidDcase { .. })
@@ -326,7 +323,8 @@ mod tests {
         ));
         // Selector without a distribution.
         let mut s2: VfScope<f64> = VfScope::new(Machine::new(2, CostModel::zero()));
-        s2.declare_dynamic(DynamicDecl::new("B1", IndexDomain::d1(4))).unwrap();
+        s2.declare_dynamic(DynamicDecl::new("B1", IndexDomain::d1(4)))
+            .unwrap();
         assert!(matches!(
             Dcase::new(["B1"]).default_case().select(&s2),
             Err(CoreError::NotYetDistributed { .. })

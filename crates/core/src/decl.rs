@@ -208,12 +208,8 @@ mod tests {
     fn secondary_decl_builders() {
         let a1 = SecondaryDecl::extraction("A1", IndexDomain::d2(10, 10), "B4");
         assert_eq!(a1.connection, Connection::Extraction);
-        let a2 = SecondaryDecl::aligned(
-            "A2",
-            IndexDomain::d2(10, 10),
-            "B4",
-            Alignment::identity(2),
-        );
+        let a2 =
+            SecondaryDecl::aligned("A2", IndexDomain::d2(10, 10), "B4", Alignment::identity(2));
         assert!(matches!(a2.connection, Connection::Alignment(_)));
         assert_eq!(a2.primary, "B4");
     }

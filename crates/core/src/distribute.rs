@@ -41,7 +41,12 @@ impl DistExpr {
     /// An expression from explicit per-dimension distribution functions.
     pub fn of_type(dist_type: &DistType) -> Self {
         Self {
-            dims: dist_type.dims().iter().cloned().map(DimSpec::Dist).collect(),
+            dims: dist_type
+                .dims()
+                .iter()
+                .cloned()
+                .map(DimSpec::Dist)
+                .collect(),
             target: None,
         }
     }

@@ -102,7 +102,7 @@ pub mod prelude {
     pub use vf_index::{DimRange, IndexDomain, Point, Section, Triplet};
     pub use vf_machine::{CommStats, CommTracker, CostModel, Machine, Topology};
     pub use vf_runtime::{
-        assign, ghost, parti, redistribute, reduce, ArrayDescriptor, DistArray, Element,
-        RedistOptions, RedistReport,
+        assign, ghost, parti, plan, redistribute, redistribute_cached, reduce, ArrayDescriptor,
+        CommPlan, DistArray, Element, PlanCache, PlanCacheStats, RedistOptions, RedistReport,
     };
 }

@@ -9,7 +9,9 @@ use std::collections::HashMap;
 use vf_dist::{construct, DistPattern, DistType, Distribution, ProcessorView};
 use vf_index::IndexDomain;
 use vf_machine::{CommStats, CommTracker, Machine};
-use vf_runtime::{redistribute, ArrayDescriptor, DistArray, Element, RedistOptions};
+use vf_runtime::{
+    redistribute_cached, ArrayDescriptor, DistArray, Element, PlanCache, RedistOptions,
+};
 
 struct Entry<T: Element> {
     kind: DeclKind,
@@ -33,6 +35,7 @@ struct Entry<T: Element> {
 pub struct VfScope<T: Element = f64> {
     machine: Machine,
     tracker: CommTracker,
+    plan_cache: PlanCache,
     default_procs: ProcessorView,
     arrays: HashMap<String, Entry<T>>,
     order: Vec<String>,
@@ -48,6 +51,7 @@ impl<T: Element> VfScope<T> {
         Self {
             machine,
             tracker,
+            plan_cache: PlanCache::new(),
             default_procs,
             arrays: HashMap::new(),
             order: Vec::new(),
@@ -62,6 +66,7 @@ impl<T: Element> VfScope<T> {
         Self {
             machine,
             tracker,
+            plan_cache: PlanCache::new(),
             default_procs,
             arrays: HashMap::new(),
             order: Vec::new(),
@@ -82,6 +87,14 @@ impl<T: Element> VfScope<T> {
     /// The scope's communication tracker.
     pub fn tracker(&self) -> &CommTracker {
         &self.tracker
+    }
+
+    /// The scope's communication-plan cache: `DISTRIBUTE` statements plan
+    /// each (from, to) distribution pair once and replay the cached
+    /// schedule on later executions — the PARTI schedule reuse of paper
+    /// §3.2 applied to the language layer.
+    pub fn plan_cache(&self) -> &PlanCache {
+        &self.plan_cache
     }
 
     /// The default processor view used when declarations and statements do
@@ -118,7 +131,10 @@ impl<T: Element> VfScope<T> {
     /// Declares a statically distributed array and allocates it
     /// immediately.
     pub fn declare_static(&mut self, decl: StaticDecl) -> Result<()> {
-        let procs = decl.target.clone().unwrap_or_else(|| self.default_procs.clone());
+        let procs = decl
+            .target
+            .clone()
+            .unwrap_or_else(|| self.default_procs.clone());
         let dist = Distribution::new(decl.dist_type.clone(), decl.domain.clone(), procs)?;
         let data = DistArray::new(decl.name.clone(), dist);
         self.insert_entry(
@@ -146,7 +162,10 @@ impl<T: Element> VfScope<T> {
                     dist_type: initial.to_string(),
                 });
             }
-            let procs = decl.target.clone().unwrap_or_else(|| self.default_procs.clone());
+            let procs = decl
+                .target
+                .clone()
+                .unwrap_or_else(|| self.default_procs.clone());
             let dist = Distribution::new(initial.clone(), decl.domain.clone(), procs)?;
             Some(DistArray::new(decl.name.clone(), dist))
         } else {
@@ -171,12 +190,12 @@ impl<T: Element> VfScope<T> {
     /// If the primary is currently distributed, the secondary is allocated
     /// with the derived distribution right away.
     pub fn declare_secondary(&mut self, decl: SecondaryDecl) -> Result<()> {
-        let primary_entry = self
-            .arrays
-            .get(&decl.primary)
-            .ok_or_else(|| CoreError::UnknownArray {
-                name: decl.primary.clone(),
-            })?;
+        let primary_entry =
+            self.arrays
+                .get(&decl.primary)
+                .ok_or_else(|| CoreError::UnknownArray {
+                    name: decl.primary.clone(),
+                })?;
         if !matches!(primary_entry.kind, DeclKind::DynamicPrimary { .. }) {
             return Err(CoreError::InvalidConnection {
                 secondary: decl.name.clone(),
@@ -329,7 +348,13 @@ impl<T: Element> VfScope<T> {
 
         let mut report = DistributeReport::default();
         for primary in &stmt.arrays {
-            self.distribute_one(primary, &dist_type, explicit_target.as_ref(), &stmt, &mut report)?;
+            self.distribute_one(
+                primary,
+                &dist_type,
+                explicit_target.as_ref(),
+                &stmt,
+                &mut report,
+            )?;
         }
         Ok(report)
     }
@@ -377,9 +402,13 @@ impl<T: Element> VfScope<T> {
         let primary_report = {
             let entry = self.arrays.get_mut(primary).expect("checked above");
             match entry.data.as_mut() {
-                Some(data) => {
-                    redistribute(data, new_dist.clone(), &self.tracker, &RedistOptions::default())?
-                }
+                Some(data) => redistribute_cached(
+                    data,
+                    new_dist.clone(),
+                    &self.tracker,
+                    &RedistOptions::default(),
+                    &self.plan_cache,
+                )?,
                 None => {
                     entry.data = Some(DistArray::new(primary.to_string(), new_dist.clone()));
                     Default::default()
@@ -406,7 +435,9 @@ impl<T: Element> VfScope<T> {
             let sec_report = {
                 let entry = self.arrays.get_mut(secondary).expect("declared");
                 match entry.data.as_mut() {
-                    Some(data) => redistribute(data, sec_dist, &self.tracker, &opts)?,
+                    Some(data) => {
+                        redistribute_cached(data, sec_dist, &self.tracker, &opts, &self.plan_cache)?
+                    }
                     None => {
                         entry.data = Some(DistArray::new(secondary.to_string(), sec_dist));
                         Default::default()
@@ -445,7 +476,11 @@ mod tests {
         assert_eq!(s.num_procs(), 4);
         // Re-declaration is rejected.
         assert!(matches!(
-            s.declare_static(StaticDecl::new("U", IndexDomain::d1(4), DistType::block1d())),
+            s.declare_static(StaticDecl::new(
+                "U",
+                IndexDomain::d1(4),
+                DistType::block1d()
+            )),
             Err(CoreError::DuplicateDeclaration { .. })
         ));
     }
@@ -454,11 +489,10 @@ mod tests {
     fn example2_declarations() {
         // The paper's Example 2, executed.
         let mut s = scope(4);
-        s.declare_dynamic(DynamicDecl::new("B1", IndexDomain::d1(8))).unwrap();
-        s.declare_dynamic(
-            DynamicDecl::new("B2", IndexDomain::d1(12)).initial(DistType::block1d()),
-        )
-        .unwrap();
+        s.declare_dynamic(DynamicDecl::new("B1", IndexDomain::d1(8)))
+            .unwrap();
+        s.declare_dynamic(DynamicDecl::new("B2", IndexDomain::d1(12)).initial(DistType::block1d()))
+            .unwrap();
         s.declare_dynamic(
             DynamicDecl::new("B3", IndexDomain::d2(8, 8))
                 .range([
@@ -503,11 +537,10 @@ mod tests {
     fn example3_distribute_statements() {
         // The paper's Example 3, executed in order.
         let mut s = scope(4);
-        s.declare_dynamic(DynamicDecl::new("B1", IndexDomain::d1(16))).unwrap();
-        s.declare_dynamic(
-            DynamicDecl::new("B2", IndexDomain::d1(16)).initial(DistType::block1d()),
-        )
-        .unwrap();
+        s.declare_dynamic(DynamicDecl::new("B1", IndexDomain::d1(16)))
+            .unwrap();
+        s.declare_dynamic(DynamicDecl::new("B2", IndexDomain::d1(16)).initial(DistType::block1d()))
+            .unwrap();
         s.declare_dynamic(
             DynamicDecl::new("B3", IndexDomain::d2(8, 8))
                 .initial(DistType::new(vec![DimDist::Block, DimDist::Cyclic(1)])),
@@ -522,7 +555,8 @@ mod tests {
             .unwrap();
 
         // DISTRIBUTE B1 :: (BLOCK)
-        s.distribute(DistributeStmt::new("B1", DistType::block1d())).unwrap();
+        s.distribute(DistributeStmt::new("B1", DistType::block1d()))
+            .unwrap();
         assert_eq!(s.current_dist_type("B1").unwrap(), DistType::block1d());
 
         // K = 2; DISTRIBUTE B1, B2 :: (CYCLIC(K))
@@ -547,9 +581,7 @@ mod tests {
             },
             DimDist::Cyclic(3).into(),
         ]);
-        let report = s
-            .distribute(DistributeStmt::with_expr("B4", expr))
-            .unwrap();
+        let report = s.distribute(DistributeStmt::with_expr("B4", expr)).unwrap();
         let expected = DistType::new(vec![DimDist::Cyclic(2), DimDist::Cyclic(3)]);
         assert_eq!(s.current_dist_type("B4").unwrap(), expected);
         // The secondary A1 followed along.
@@ -562,7 +594,10 @@ mod tests {
         let mut s = scope(4);
         s.declare_dynamic(
             DynamicDecl::new("B3", IndexDomain::d2(8, 8))
-                .range([DistPattern::dims(vec![DimPattern::Block, DimPattern::Block])])
+                .range([DistPattern::dims(vec![
+                    DimPattern::Block,
+                    DimPattern::Block,
+                ])])
                 .initial(DistType::blocks2d()),
         )
         .unwrap();
@@ -583,12 +618,14 @@ mod tests {
     #[test]
     fn distribute_rejects_non_primaries_and_bad_notransfer() {
         let mut s = scope(2);
-        s.declare_static(StaticDecl::new("U", IndexDomain::d1(8), DistType::block1d()))
-            .unwrap();
-        s.declare_dynamic(
-            DynamicDecl::new("B", IndexDomain::d1(8)).initial(DistType::block1d()),
-        )
+        s.declare_static(StaticDecl::new(
+            "U",
+            IndexDomain::d1(8),
+            DistType::block1d(),
+        ))
         .unwrap();
+        s.declare_dynamic(DynamicDecl::new("B", IndexDomain::d1(8)).initial(DistType::block1d()))
+            .unwrap();
         s.declare_secondary(SecondaryDecl::extraction("A", IndexDomain::d1(8), "B"))
             .unwrap();
         assert!(matches!(
@@ -612,16 +649,20 @@ mod tests {
     #[test]
     fn redistribution_preserves_data_and_propagates_to_secondaries() {
         let mut s = scope(4);
-        s.declare_dynamic(
-            DynamicDecl::new("B", IndexDomain::d1(16)).initial(DistType::block1d()),
-        )
-        .unwrap();
+        s.declare_dynamic(DynamicDecl::new("B", IndexDomain::d1(16)).initial(DistType::block1d()))
+            .unwrap();
         s.declare_secondary(SecondaryDecl::extraction("A", IndexDomain::d1(16), "B"))
             .unwrap();
         // Fill both arrays.
         for i in 1..=16i64 {
-            s.array_mut("B").unwrap().set(&Point::d1(i), i as f64).unwrap();
-            s.array_mut("A").unwrap().set(&Point::d1(i), -(i as f64)).unwrap();
+            s.array_mut("B")
+                .unwrap()
+                .set(&Point::d1(i), i as f64)
+                .unwrap();
+            s.array_mut("A")
+                .unwrap()
+                .set(&Point::d1(i), -(i as f64))
+                .unwrap();
         }
         let report = s
             .distribute(DistributeStmt::new("B", DistType::cyclic1d(1)))
@@ -630,22 +671,23 @@ mod tests {
         assert!(report.moved_elements() > 0);
         for i in 1..=16i64 {
             assert_eq!(s.array("B").unwrap().get(&Point::d1(i)).unwrap(), i as f64);
-            assert_eq!(s.array("A").unwrap().get(&Point::d1(i)).unwrap(), -(i as f64));
+            assert_eq!(
+                s.array("A").unwrap().get(&Point::d1(i)).unwrap(),
+                -(i as f64)
+            );
         }
         // The scope's tracker saw the traffic.
         assert!(s.stats().total_messages() > 0);
         let taken = s.take_stats();
-        assert_eq!(taken.total_messages(), report.messages() );
+        assert_eq!(taken.total_messages(), report.messages());
         assert_eq!(s.stats().total_messages(), 0);
     }
 
     #[test]
     fn notransfer_skips_data_motion_for_named_secondary() {
         let mut s = scope(4);
-        s.declare_dynamic(
-            DynamicDecl::new("B", IndexDomain::d1(16)).initial(DistType::block1d()),
-        )
-        .unwrap();
+        s.declare_dynamic(DynamicDecl::new("B", IndexDomain::d1(16)).initial(DistType::block1d()))
+            .unwrap();
         s.declare_secondary(SecondaryDecl::extraction("A", IndexDomain::d1(16), "B"))
             .unwrap();
         for i in 1..=16i64 {
@@ -669,7 +711,8 @@ mod tests {
     #[test]
     fn deferred_first_distribution_allocates() {
         let mut s = scope(2);
-        s.declare_dynamic(DynamicDecl::new("B1", IndexDomain::d1(8))).unwrap();
+        s.declare_dynamic(DynamicDecl::new("B1", IndexDomain::d1(8)))
+            .unwrap();
         s.declare_secondary(SecondaryDecl::extraction("A1", IndexDomain::d1(8), "B1"))
             .unwrap();
         assert!(!s.is_distributed("B1"));
@@ -690,7 +733,9 @@ mod tests {
             DynamicDecl::new("V", IndexDomain::d2(8, 8)).initial(DistType::columns()),
         )
         .unwrap();
-        assert!(s.idt("V", &DistPattern::exact(&DistType::columns())).unwrap());
+        assert!(s
+            .idt("V", &DistPattern::exact(&DistType::columns()))
+            .unwrap());
         assert!(!s.idt("V", &DistPattern::exact(&DistType::rows())).unwrap());
         assert!(s
             .idt(
@@ -698,7 +743,8 @@ mod tests {
                 &DistPattern::dims(vec![DimPattern::Star, DimPattern::Block])
             )
             .unwrap());
-        s.distribute(DistributeStmt::new("V", DistType::rows())).unwrap();
+        s.distribute(DistributeStmt::new("V", DistType::rows()))
+            .unwrap();
         assert!(s.idt("V", &DistPattern::exact(&DistType::rows())).unwrap());
     }
 
@@ -709,8 +755,12 @@ mod tests {
             s.declare_secondary(SecondaryDecl::extraction("A", IndexDomain::d1(4), "NOPE")),
             Err(CoreError::UnknownArray { .. })
         ));
-        s.declare_static(StaticDecl::new("U", IndexDomain::d1(4), DistType::block1d()))
-            .unwrap();
+        s.declare_static(StaticDecl::new(
+            "U",
+            IndexDomain::d1(4),
+            DistType::block1d(),
+        ))
+        .unwrap();
         assert!(matches!(
             s.declare_secondary(SecondaryDecl::extraction("A", IndexDomain::d1(4), "U")),
             Err(CoreError::InvalidConnection { .. })

@@ -19,7 +19,7 @@ use std::collections::HashMap;
 use vf_dist::{DistType, Distribution, ProcId, ProcessorView};
 use vf_index::{IndexDomain, Point};
 use vf_machine::{CommStats, Machine};
-use vf_runtime::{redistribute, DistArray, RedistOptions};
+use vf_runtime::{redistribute_cached, DistArray, PlanCache, RedistOptions};
 
 /// Flops charged per particle per phase (field contribution + position
 /// update).
@@ -95,6 +95,7 @@ pub struct PicResult {
 /// The `balance` routine of Figure 2: computes per-processor block sizes
 /// (the `BOUNDS` array) so that each processor receives contiguous cells
 /// with approximately equal particle counts.
+#[allow(clippy::needless_range_loop)] // `p` drives target arithmetic, not just indexing
 pub fn balance(counts: &[usize], nprocs: usize) -> Vec<usize> {
     let ncell = counts.len();
     let total: usize = counts.iter().sum();
@@ -114,10 +115,7 @@ pub fn balance(counts: &[usize], nprocs: usize) -> Vec<usize> {
                 // Must stop so later processors can still get cells.
                 break;
             }
-            if p + 1 < nprocs
-                && taken > 0
-                && here as f64 >= target
-            {
+            if p + 1 < nprocs && taken > 0 && here as f64 >= target {
                 break;
             }
             here += counts[cell];
@@ -153,11 +151,7 @@ fn owner_of_cell(dist: &Distribution, cell: usize) -> ProcId {
         .expect("cell within domain")
 }
 
-fn particles_per_proc(
-    counts: &[usize],
-    dist: &Distribution,
-    nprocs: usize,
-) -> Vec<usize> {
+fn particles_per_proc(counts: &[usize], dist: &Distribution, nprocs: usize) -> Vec<usize> {
     let mut per_proc = vec![0usize; nprocs];
     for (cell, &c) in counts.iter().enumerate() {
         per_proc[owner_of_cell(dist, cell).0] += c;
@@ -178,6 +172,10 @@ fn imbalance_of(per_proc: &[usize]) -> f64 {
 /// consumed and evolved in place.
 pub fn run(config: &PicConfig, machine: &Machine, initial_particles: &[Particle]) -> PicResult {
     let tracker = machine.tracker();
+    // Shared plan cache: the per-step cell-halo exchange always hits after
+    // the first step under an unchanged distribution, and recurring
+    // BOUNDS partitions reuse their redistribution schedules.
+    let plans = PlanCache::new();
     let nprocs = machine.num_procs();
     let ncell = config.ncell;
     let mut particles: Vec<Particle> = initial_particles.to_vec();
@@ -191,11 +189,12 @@ pub fn run(config: &PicConfig, machine: &Machine, initial_particles: &[Particle]
     if !matches!(config.strategy, PicStrategy::StaticBlock) {
         let counts = particles_per_cell(&particles, ncell);
         let sizes = balance(&counts, nprocs);
-        redistribute(
+        redistribute_cached(
             &mut field,
             cell_distribution(ncell, machine, Some(sizes)),
             &tracker,
             &RedistOptions::default(),
+            &plans,
         )
         .expect("same domain");
     }
@@ -223,8 +222,14 @@ pub fn run(config: &PicConfig, machine: &Machine, initial_particles: &[Particle]
             let sizes = balance(&counts, nprocs);
             let old_dist = field.dist().clone();
             let new_dist = cell_distribution(ncell, machine, Some(sizes));
-            let report = redistribute(&mut field, new_dist.clone(), &tracker, &RedistOptions::default())
-                .expect("same domain");
+            let report = redistribute_cached(
+                &mut field,
+                new_dist.clone(),
+                &tracker,
+                &RedistOptions::default(),
+                &plans,
+            )
+            .expect("same domain");
             rebalance_count += 1;
             rebalance_bytes += report.bytes;
             // Particles follow their cells: those whose cell changed owner
@@ -256,7 +261,7 @@ pub fn run(config: &PicConfig, machine: &Machine, initial_particles: &[Particle]
         }
         // Neighbouring-cell field values are needed for the force on each
         // particle: exchange the 1-wide cell halo.
-        let _ = vf_runtime::ghost::exchange_ghosts(&field, &[(1, 1)], &tracker)
+        let _ = vf_runtime::ghost::exchange_ghosts_cached(&field, &[(1, 1)], &tracker, &plans)
             .expect("block and general block cells have contiguous segments");
 
         // Phase 2: update_part — move particles; those that cross to a cell
@@ -284,7 +289,9 @@ pub fn run(config: &PicConfig, machine: &Machine, initial_particles: &[Particle]
             let owner_after = owner_of_cell(field.dist(), new_cell);
             if owner_before != owner_after {
                 migrated += 1;
-                *pair_particles.entry((owner_before.0, owner_after.0)).or_insert(0) += 1;
+                *pair_particles
+                    .entry((owner_before.0, owner_after.0))
+                    .or_insert(0) += 1;
             }
         }
         for (&(src, dst), &count) in &pair_particles {
@@ -302,10 +309,7 @@ pub fn run(config: &PicConfig, machine: &Machine, initial_particles: &[Particle]
 
     let mean_imbalance =
         per_step.iter().map(|s| s.imbalance).sum::<f64>() / per_step.len().max(1) as f64;
-    let max_imbalance = per_step
-        .iter()
-        .map(|s| s.imbalance)
-        .fold(1.0f64, f64::max);
+    let max_imbalance = per_step.iter().map(|s| s.imbalance).fold(1.0f64, f64::max);
     PicResult {
         stats: tracker.snapshot(),
         per_step,
@@ -365,7 +369,7 @@ mod tests {
         let sizes = balance(&counts, 4);
         assert_eq!(sizes.iter().sum::<usize>(), 8);
         // No particles at all.
-        let sizes = balance(&vec![0usize; 8], 4);
+        let sizes = balance(&[0usize; 8], 4);
         assert_eq!(sizes.iter().sum::<usize>(), 8);
     }
 
@@ -375,12 +379,19 @@ mod tests {
         let init = clustered(ncell, 800);
         for strategy in [
             PicStrategy::StaticBlock,
-            PicStrategy::DynamicGenBlock { period: 5, threshold: 1.2 },
+            PicStrategy::DynamicGenBlock {
+                period: 5,
+                threshold: 1.2,
+            },
             PicStrategy::Oracle,
         ] {
             let machine = Machine::new(4, CostModel::zero());
             let result = run(
-                &PicConfig { ncell, steps: 12, strategy },
+                &PicConfig {
+                    ncell,
+                    steps: 12,
+                    strategy,
+                },
                 &machine,
                 &init,
             );
@@ -397,7 +408,15 @@ mod tests {
             // A cost model with a non-zero per-flop cost so that the
             // modelled compute imbalance is observable.
             let machine = Machine::new(8, CostModel::modern_cluster());
-            run(&PicConfig { ncell, steps: 30, strategy }, &machine, &init)
+            run(
+                &PicConfig {
+                    ncell,
+                    steps: 30,
+                    strategy,
+                },
+                &machine,
+                &init,
+            )
         };
         let static_block = run_strategy(PicStrategy::StaticBlock);
         let dynamic = run_strategy(PicStrategy::DynamicGenBlock {
@@ -413,9 +432,7 @@ mod tests {
             static_block.mean_imbalance
         );
         // Better balance shows up as lower modelled compute imbalance too.
-        assert!(
-            dynamic.stats.load_imbalance() < static_block.stats.load_imbalance()
-        );
+        assert!(dynamic.stats.load_imbalance() < static_block.stats.load_imbalance());
     }
 
     #[test]
@@ -424,7 +441,15 @@ mod tests {
         let init = clustered(ncell, 1500);
         let run_strategy = |strategy| {
             let machine = Machine::new(6, CostModel::zero());
-            run(&PicConfig { ncell, steps: 20, strategy }, &machine, &init)
+            run(
+                &PicConfig {
+                    ncell,
+                    steps: 20,
+                    strategy,
+                },
+                &machine,
+                &init,
+            )
         };
         let periodic = run_strategy(PicStrategy::DynamicGenBlock {
             period: 10,

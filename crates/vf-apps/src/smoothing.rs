@@ -18,8 +18,8 @@
 use vf_dist::{DistType, Distribution, ProcessorView};
 use vf_index::{IndexDomain, Point};
 use vf_machine::{CommStats, CostModel, Machine};
-use vf_runtime::ghost::{exchange_ghosts, get_with_ghosts};
-use vf_runtime::DistArray;
+use vf_runtime::ghost::{exchange_ghosts_cached, get_with_ghosts};
+use vf_runtime::{DistArray, PlanCache};
 
 /// The two candidate layouts of the N×N grid discussed in §4.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -125,11 +125,7 @@ pub fn choose_layout(n: usize, p: usize, cost: &CostModel) -> SmoothingLayout {
 }
 
 /// Builds the distribution of the grid for a layout on `machine`.
-pub fn grid_distribution(
-    layout: SmoothingLayout,
-    n: usize,
-    machine: &Machine,
-) -> Distribution {
+pub fn grid_distribution(layout: SmoothingLayout, n: usize, machine: &Machine) -> Distribution {
     let procs = ProcessorView::linear(machine.num_procs());
     Distribution::new(layout.dist_type(), IndexDomain::d2(n, n), procs)
         .expect("square grid distributions are always valid")
@@ -139,10 +135,13 @@ pub fn grid_distribution(
 /// final field.
 pub fn run(config: &SmoothingConfig, machine: &Machine, initial: &[f64]) -> SmoothingResult {
     let tracker = machine.tracker();
+    // The halo geometry is identical in every step: plan it once and
+    // replay the cached exchange schedule afterwards.
+    let plans = PlanCache::new();
     let dist = grid_distribution(config.layout, config.n, machine);
     let domain = dist.domain().clone();
-    let mut current = DistArray::from_dense("U", dist.clone(), initial)
-        .expect("initial field has N*N elements");
+    let mut current =
+        DistArray::from_dense("U", dist.clone(), initial).expect("initial field has N*N elements");
     let mut next: DistArray<f64> = DistArray::new("V", dist.clone());
 
     let n = config.n as i64;
@@ -151,7 +150,8 @@ pub fn run(config: &SmoothingConfig, machine: &Machine, initial: &[f64]) -> Smoo
 
     for step in 0..config.steps {
         let (ghosts, report) =
-            exchange_ghosts(&current, &[(1, 1), (1, 1)], &tracker).expect("block layouts");
+            exchange_ghosts_cached(&current, &[(1, 1), (1, 1)], &tracker, &plans)
+                .expect("block layouts");
         if step == 0 {
             messages_per_step = report.messages;
             bytes_per_step = report.bytes;
@@ -206,7 +206,11 @@ mod tests {
         for layout in [SmoothingLayout::Columns, SmoothingLayout::Blocks2D] {
             let machine = Machine::new(4, CostModel::zero());
             let result = run(
-                &SmoothingConfig { n, steps: 3, layout },
+                &SmoothingConfig {
+                    n,
+                    steps: 3,
+                    layout,
+                },
                 &machine,
                 &initial,
             );
@@ -223,7 +227,11 @@ mod tests {
         let initial = workloads::initial_grid(n, 3);
         let machine = Machine::new(p, CostModel::zero());
         let cols = run(
-            &SmoothingConfig { n, steps: 1, layout: SmoothingLayout::Columns },
+            &SmoothingConfig {
+                n,
+                steps: 1,
+                layout: SmoothingLayout::Columns,
+            },
             &machine,
             &initial,
         );
@@ -234,7 +242,11 @@ mod tests {
 
         let machine = Machine::new(p, CostModel::zero());
         let blocks = run(
-            &SmoothingConfig { n, steps: 1, layout: SmoothingLayout::Blocks2D },
+            &SmoothingConfig {
+                n,
+                steps: 1,
+                layout: SmoothingLayout::Blocks2D,
+            },
             &machine,
             &initial,
         );
@@ -281,9 +293,17 @@ mod tests {
         let cost = CostModel::latency_bound();
         let run_one = |layout| {
             let machine = Machine::new(p, cost.clone());
-            run(&SmoothingConfig { n, steps: 2, layout }, &machine, &initial)
-                .stats
-                .critical_time()
+            run(
+                &SmoothingConfig {
+                    n,
+                    steps: 2,
+                    layout,
+                },
+                &machine,
+                &initial,
+            )
+            .stats
+            .critical_time()
         };
         assert!(run_one(SmoothingLayout::Columns) < run_one(SmoothingLayout::Blocks2D));
     }

@@ -93,7 +93,11 @@ mod tests {
     #[test]
     fn solves_small_system_exactly() {
         // b=2 on the diagonal, zero off-diagonals: solution is rhs / 2.
-        let coeffs = TridiagCoeffs { a: 0.0, b: 2.0, c: 0.0 };
+        let coeffs = TridiagCoeffs {
+            a: 0.0,
+            b: 2.0,
+            c: 0.0,
+        };
         let mut rhs = vec![2.0, 4.0, 6.0];
         solve_in_place(coeffs, &mut rhs);
         assert_eq!(rhs, vec![1.0, 2.0, 3.0]);

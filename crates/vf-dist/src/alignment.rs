@@ -118,7 +118,10 @@ impl Alignment {
     /// dimension `perm[d]`; e.g. `ALIGN D(I,J,K) WITH C(J,I,K)` is
     /// `permutation(&[1, 0, 2])`.
     pub fn permutation(perm: &[usize]) -> Result<Self> {
-        Self::new(perm.len(), perm.iter().map(|&d| AlignExpr::axis(d)).collect())
+        Self::new(
+            perm.len(),
+            perm.iter().map(|&d| AlignExpr::axis(d)).collect(),
+        )
     }
 
     /// The transpose alignment for 2-D arrays.

@@ -276,8 +276,15 @@ mod tests {
             let p = d.owner(o, n, nprocs);
             assert!(p < nprocs, "{d} owner {p} out of range");
             let l = d.local_offset(o, n, nprocs);
-            assert!(l < d.local_count(p, n, nprocs), "{d}: local offset beyond count");
-            assert_eq!(d.global_offset(p, l, n, nprocs), o, "{d}: round trip failed");
+            assert!(
+                l < d.local_count(p, n, nprocs),
+                "{d}: local offset beyond count"
+            );
+            assert_eq!(
+                d.global_offset(p, l, n, nprocs),
+                o,
+                "{d}: round trip failed"
+            );
             counts[p] += 1;
             if let Some(seg) = d.segment(p, n, nprocs) {
                 assert!(seg.contains(o), "{d}: segment misses owned offset {o}");

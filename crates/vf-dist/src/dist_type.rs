@@ -186,7 +186,11 @@ mod tests {
     #[test]
     fn example1_distribution_type() {
         // REAL C(10,10,10) DIST(BLOCK, BLOCK, :) from the paper's Example 1.
-        let t = DistType::new(vec![DimDist::Block, DimDist::Block, DimDist::NotDistributed]);
+        let t = DistType::new(vec![
+            DimDist::Block,
+            DimDist::Block,
+            DimDist::NotDistributed,
+        ]);
         assert_eq!(t.rank(), 3);
         assert_eq!(t.distributed_dims(), vec![0, 1]);
         assert_eq!(t.to_string(), "(BLOCK, BLOCK, :)");

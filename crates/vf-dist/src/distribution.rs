@@ -5,6 +5,7 @@
 use crate::{Alignment, DistError, DistType, ProcId, ProcessorView, Result};
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::hash::{Hash, Hasher};
 use vf_index::{DimRange, IndexDomain, Point};
 
 /// The shape of one processor's local storage for a distributed array:
@@ -183,9 +184,9 @@ impl Distribution {
             return true;
         }
         // Fall back to an element-wise comparison for derived distributions.
-        self.domain.iter().all(|p| {
-            self.owner(&p).ok().map(|o| o.0) == other.owner(&p).ok().map(|o| o.0)
-        })
+        self.domain
+            .iter()
+            .all(|p| self.owner(&p).ok().map(|o| o.0) == other.owner(&p).ok().map(|o| o.0))
     }
 
     fn offsets_of(&self, point: &Point) -> Result<Vec<usize>> {
@@ -208,14 +209,14 @@ impl Distribution {
     /// The grid coordinates (within this distribution's processor grid) of
     /// processor `proc`, if it belongs to the view.
     fn proc_grid_coords(&self, proc: ProcId, grid_extents: &[usize]) -> Result<Vec<usize>> {
-        let pos = self
-            .proc_ids
-            .iter()
-            .position(|&p| p == proc)
-            .ok_or(DistError::NoSuchProcessor {
-                proc: proc.0,
-                count: self.proc_ids.len(),
-            })?;
+        let pos =
+            self.proc_ids
+                .iter()
+                .position(|&p| p == proc)
+                .ok_or(DistError::NoSuchProcessor {
+                    proc: proc.0,
+                    count: self.proc_ids.len(),
+                })?;
         // proc_ids are stored in column-major grid order, so delinearise.
         let mut rem = pos;
         let mut coords = Vec::with_capacity(grid_extents.len());
@@ -275,9 +276,7 @@ impl Distribution {
     /// Whether the element at `point` is stored locally on `proc`.
     pub fn is_local(&self, proc: ProcId, point: &Point) -> bool {
         match &self.kind {
-            Kind::Replicated => {
-                self.domain.contains(point) && self.proc_ids.contains(&proc)
-            }
+            Kind::Replicated => self.domain.contains(point) && self.proc_ids.contains(&proc),
             _ => self.owner(point).map(|o| o == proc).unwrap_or(false),
         }
     }
@@ -293,11 +292,10 @@ impl Distribution {
                     LocalLayout::new(vec![0])
                 }
             }
-            Kind::Aligned { local_to_global, .. } => {
-                let count = local_to_global
-                    .get(proc.0)
-                    .map(|v| v.len())
-                    .unwrap_or(0);
+            Kind::Aligned {
+                local_to_global, ..
+            } => {
+                let count = local_to_global.get(proc.0).map(|v| v.len()).unwrap_or(0);
                 LocalLayout::new(vec![count])
             }
             Kind::Regular {
@@ -371,6 +369,7 @@ impl Distribution {
                 let ddims = self.dist_type.distributed_dims();
                 let mut local = 0usize;
                 let mut stride = 1usize;
+                #[allow(clippy::needless_range_loop)] // `d` indexes several parallel tables
                 for d in 0..self.domain.rank() {
                     let n = self.domain.extent(d);
                     let (l, count) = if let Some(i) = ddims.iter().position(|&x| x == d) {
@@ -403,11 +402,15 @@ impl Distribution {
     pub fn global_at(&self, proc: ProcId, local: usize) -> Result<Point> {
         match &self.kind {
             Kind::Replicated => Ok(self.domain.delinearize(local)?),
-            Kind::Aligned { local_to_global, .. } => {
-                let table = local_to_global.get(proc.0).ok_or(DistError::NoSuchProcessor {
-                    proc: proc.0,
-                    count: self.proc_ids.len(),
-                })?;
+            Kind::Aligned {
+                local_to_global, ..
+            } => {
+                let table = local_to_global
+                    .get(proc.0)
+                    .ok_or(DistError::NoSuchProcessor {
+                        proc: proc.0,
+                        count: self.proc_ids.len(),
+                    })?;
                 let lin = *table.get(local).ok_or(DistError::NotLocal {
                     proc: proc.0,
                     point: format!("local offset {local}"),
@@ -508,6 +511,156 @@ impl Distribution {
         }
     }
 
+    /// A cheap structural fingerprint of the distribution: two
+    /// distributions with the same fingerprint place every element on the
+    /// same processor, up to 64-bit hash collisions.  A collision would
+    /// make two *different* distributions indistinguishable to every
+    /// fingerprint consumer (cache keys and execution-time re-validation
+    /// alike), silently reusing a plan built for the other distribution —
+    /// with `DefaultHasher` over the full structural state the probability
+    /// is ~2⁻⁶⁴ per pair, accepted as the price of O(1) keys; callers that
+    /// cannot tolerate it should compare distributions structurally.
+    ///
+    /// The fingerprint covers the distribution type, the index domain, the
+    /// processor ids of the target view and — for translation-table
+    /// distributions — the full owner vector.  It is the cache key of the
+    /// runtime's `PlanCache` (paper §3.2: PARTI schedule reuse requires
+    /// recognising that the distribution has not changed).
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.dist_type.hash(&mut h);
+        self.domain.hash(&mut h);
+        self.proc_ids.hash(&mut h);
+        match &self.kind {
+            Kind::Replicated => 0u8.hash(&mut h),
+            Kind::Regular {
+                grid_extents,
+                grid_map,
+            } => {
+                1u8.hash(&mut h);
+                grid_extents.hash(&mut h);
+                grid_map.hash(&mut h);
+            }
+            Kind::Aligned { owners, .. } => {
+                2u8.hash(&mut h);
+                owners.hash(&mut h);
+            }
+        }
+        h.finish()
+    }
+
+    /// The contiguous correspondences between the local storage of `proc`
+    /// and global column-major offsets, in local storage order: within one
+    /// [`LinearRun`] both the local offset and the global offset advance by
+    /// one per element.
+    ///
+    /// This is the run-length-encoded form of [`Distribution::local_points`]
+    /// used by the communication planner: `BLOCK`/general-block/`:` layouts
+    /// produce one run per local column, cyclic layouts one run per owned
+    /// block, so downstream consumers iterate runs instead of hashing
+    /// individual points.
+    pub fn local_linear_runs(&self, proc: ProcId) -> Vec<LinearRun> {
+        let mut runs: Vec<LinearRun> = Vec::new();
+        let mut push = |local: usize, global: usize| match runs.last_mut() {
+            Some(run)
+                if run.local_start + run.len == local && run.global_start + run.len == global =>
+            {
+                run.len += 1;
+            }
+            _ => runs.push(LinearRun {
+                local_start: local,
+                global_start: global,
+                len: 1,
+            }),
+        };
+        match &self.kind {
+            Kind::Replicated => {
+                if self.proc_ids.contains(&proc) && !self.domain.is_empty() {
+                    runs.push(LinearRun {
+                        local_start: 0,
+                        global_start: 0,
+                        len: self.domain.size(),
+                    });
+                }
+            }
+            Kind::Aligned {
+                local_to_global, ..
+            } => {
+                if let Some(table) = local_to_global.get(proc.0) {
+                    for (local, &lin) in table.iter().enumerate() {
+                        push(local, lin);
+                    }
+                }
+            }
+            Kind::Regular {
+                grid_extents,
+                grid_map,
+            } => {
+                let Ok(grid) = self.proc_grid_coords(proc, grid_extents) else {
+                    return runs;
+                };
+                let rank = self.domain.rank();
+                let ddims = self.dist_type.distributed_dims();
+                // Per dimension: the global offsets of this processor's
+                // local coordinates, precomputed once.
+                let mut global_of_local: Vec<Vec<usize>> = Vec::with_capacity(rank);
+                let mut global_strides = Vec::with_capacity(rank);
+                let mut stride = 1usize;
+                for d in 0..rank {
+                    let n = self.domain.extent(d);
+                    let table = if let Some(i) = ddims.iter().position(|&x| x == d) {
+                        let gdim = grid_map[i];
+                        let dd = self.dist_type.dim(d);
+                        let count = dd.local_count(grid[gdim], n, grid_extents[gdim]);
+                        (0..count)
+                            .map(|l| dd.global_offset(grid[gdim], l, n, grid_extents[gdim]))
+                            .collect()
+                    } else {
+                        (0..n).collect()
+                    };
+                    global_of_local.push(table);
+                    global_strides.push(stride);
+                    stride *= n;
+                }
+                let local_size: usize = global_of_local.iter().map(|t| t.len()).product();
+                if local_size == 0 {
+                    return runs;
+                }
+                // Walk the local index space in column-major order with an
+                // odometer, accumulating the global linear offset.
+                let mut coords = vec![0usize; rank];
+                let mut glin: usize = (0..rank)
+                    .map(|d| global_of_local[d][0] * global_strides[d])
+                    .sum();
+                for local in 0..local_size {
+                    push(local, glin);
+                    for d in 0..rank {
+                        let table = &global_of_local[d];
+                        if coords[d] + 1 < table.len() {
+                            glin += (table[coords[d] + 1] - table[coords[d]]) * global_strides[d];
+                            coords[d] += 1;
+                            break;
+                        }
+                        glin -= (table[coords[d]] - table[0]) * global_strides[d];
+                        coords[d] = 0;
+                    }
+                }
+            }
+        }
+        runs
+    }
+
+    /// A precomputed owner/local-offset resolver for this distribution.
+    ///
+    /// [`Distribution::owner`] and [`Distribution::loc_map`] recompute
+    /// grid coordinates (an `O(P)` search) and general-block prefix sums on
+    /// every call; a [`Locator`] materialises per-dimension lookup tables
+    /// once so the communication planner can resolve millions of elements
+    /// with table reads only.
+    pub fn locator(&self) -> Locator<'_> {
+        Locator::new(self)
+    }
+
     /// Builds an alignment-derived distribution directly from a closure
     /// giving the owner of every element — used by `construct` for general
     /// alignments and available for user-defined distribution functions
@@ -550,6 +703,173 @@ impl Distribution {
     }
 }
 
+/// A contiguous correspondence between local storage and global
+/// column-major offsets: the `len` elements at local offsets
+/// `local_start..local_start+len` on one processor are the global offsets
+/// `global_start..global_start+len`, in order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinearRun {
+    /// First local offset of the run.
+    pub local_start: usize,
+    /// First global column-major offset of the run.
+    pub global_start: usize,
+    /// Number of elements in the run.
+    pub len: usize,
+}
+
+enum LocMode {
+    Replicated,
+    Aligned,
+    Regular {
+        /// For each array dimension: `(owner grid coordinate, local offset)`
+        /// per global offset; `None` for undistributed dimensions (owner
+        /// irrelevant, local offset = global offset).
+        tables: Vec<Option<(Vec<u32>, Vec<u32>)>>,
+        /// For each array dimension: local element count per owner grid
+        /// coordinate (a single entry holding the extent for undistributed
+        /// dimensions).
+        counts: Vec<Vec<u32>>,
+        /// Grid dimension fed by each distributed array dimension, indexed
+        /// by array dimension (`usize::MAX` for undistributed dims).
+        gdim_of_dim: Vec<usize>,
+        grid_extents: Vec<usize>,
+    },
+}
+
+/// A precomputed owner/local-offset resolver (see
+/// [`Distribution::locator`]).  Resolution is `O(rank)` table reads per
+/// element with no per-element allocation or hashing — the property the
+/// communication planner relies on.
+pub struct Locator<'a> {
+    dist: &'a Distribution,
+    mode: LocMode,
+}
+
+impl<'a> Locator<'a> {
+    fn new(dist: &'a Distribution) -> Self {
+        let mode = match &dist.kind {
+            Kind::Replicated => LocMode::Replicated,
+            Kind::Aligned { .. } => LocMode::Aligned,
+            Kind::Regular {
+                grid_extents,
+                grid_map,
+            } => {
+                let rank = dist.domain.rank();
+                let ddims = dist.dist_type.distributed_dims();
+                let mut tables = Vec::with_capacity(rank);
+                let mut counts = Vec::with_capacity(rank);
+                let mut gdim_of_dim = vec![usize::MAX; rank];
+                #[allow(clippy::needless_range_loop)] // `d` indexes several parallel tables
+                for d in 0..rank {
+                    let n = dist.domain.extent(d);
+                    if let Some(i) = ddims.iter().position(|&x| x == d) {
+                        let gdim = grid_map[i];
+                        let nprocs = grid_extents[gdim];
+                        let dd = dist.dist_type.dim(d);
+                        let mut owner_t = Vec::with_capacity(n);
+                        let mut local_t = Vec::with_capacity(n);
+                        for off in 0..n {
+                            owner_t.push(dd.owner(off, n, nprocs) as u32);
+                            local_t.push(dd.local_offset(off, n, nprocs) as u32);
+                        }
+                        counts.push(
+                            (0..nprocs)
+                                .map(|g| dd.local_count(g, n, nprocs) as u32)
+                                .collect(),
+                        );
+                        gdim_of_dim[d] = gdim;
+                        tables.push(Some((owner_t, local_t)));
+                    } else {
+                        counts.push(vec![n as u32]);
+                        tables.push(None);
+                    }
+                }
+                LocMode::Regular {
+                    tables,
+                    counts,
+                    gdim_of_dim,
+                    grid_extents: grid_extents.clone(),
+                }
+            }
+        };
+        Self { dist, mode }
+    }
+
+    /// The distribution this locator resolves against.
+    pub fn dist(&self) -> &Distribution {
+        self.dist
+    }
+
+    /// The owner and owner-local offset of the element at global
+    /// column-major offset `lin` (which must be in range; for replicated
+    /// arrays the canonical first owner is reported, as in
+    /// [`Distribution::owner`]).
+    pub fn locate_lin(&self, lin: usize) -> (ProcId, usize) {
+        match &self.mode {
+            LocMode::Replicated => (self.dist.proc_ids[0], lin),
+            LocMode::Aligned => {
+                let Kind::Aligned {
+                    owners,
+                    local_offsets,
+                    ..
+                } = &self.dist.kind
+                else {
+                    unreachable!("mode matches kind");
+                };
+                (owners[lin], local_offsets[lin])
+            }
+            LocMode::Regular {
+                tables,
+                counts,
+                gdim_of_dim,
+                grid_extents,
+            } => {
+                let rank = self.dist.domain.rank();
+                let mut rem = lin;
+                let mut grid = [0usize; 8];
+                let mut local_coords = [0usize; 8];
+                for d in 0..rank {
+                    let n = self.dist.domain.extent(d);
+                    let off = rem % n;
+                    rem /= n;
+                    match &tables[d] {
+                        Some((owner_t, local_t)) => {
+                            grid[gdim_of_dim[d]] = owner_t[off] as usize;
+                            local_coords[d] = local_t[off] as usize;
+                        }
+                        None => local_coords[d] = off,
+                    }
+                }
+                // Processor id: column-major grid linearisation.
+                let mut plin = 0usize;
+                let mut stride = 1usize;
+                for (g, e) in grid[..grid_extents.len()].iter().zip(grid_extents.iter()) {
+                    plin += g * stride;
+                    stride *= e;
+                }
+                // Local offset: column-major over the owner's local extents.
+                let mut local = 0usize;
+                let mut lstride = 1usize;
+                for d in 0..rank {
+                    let count = if tables[d].is_some() {
+                        counts[d][grid[gdim_of_dim[d]]] as usize
+                    } else {
+                        counts[d][0] as usize
+                    };
+                    local += local_coords[d] * lstride;
+                    lstride *= count;
+                }
+                (self.dist.proc_ids[plin], local)
+            }
+        }
+    }
+
+    /// The owner and owner-local offset of the element at `point`.
+    pub fn locate(&self, point: &Point) -> Result<(ProcId, usize)> {
+        Ok(self.locate_lin(self.dist.domain.linearize(point)?))
+    }
+}
+
 /// Factors `n` processors into `k` grid extents that are as balanced as
 /// possible (product exactly `n`): prime factors are assigned, largest
 /// first, to the currently smallest extent.
@@ -559,7 +879,7 @@ fn factor_grid(n: usize, k: usize) -> Vec<usize> {
     let mut factors = Vec::new();
     let mut d = 2usize;
     while d * d <= m {
-        while m % d == 0 {
+        while m.is_multiple_of(d) {
             factors.push(d);
             m /= d;
         }
@@ -716,11 +1036,7 @@ mod tests {
             }
         }
         if !dist.is_replicated() {
-            let total: usize = dist
-                .proc_ids()
-                .iter()
-                .map(|&p| dist.local_size(p))
-                .sum();
+            let total: usize = dist.proc_ids().iter().map(|&p| dist.local_size(p)).sum();
             assert_eq!(total, dist.domain().size());
             for &p in dist.proc_ids() {
                 assert_eq!(counts[p.0], dist.local_size(p));
@@ -804,7 +1120,11 @@ mod tests {
     fn example1_3d_block_block_elision() {
         // REAL C(10,10,10) DIST(BLOCK, BLOCK, :) TO R(1:2,1:2).
         let d = Distribution::new(
-            DistType::new(vec![DimDist::Block, DimDist::Block, DimDist::NotDistributed]),
+            DistType::new(vec![
+                DimDist::Block,
+                DimDist::Block,
+                DimDist::NotDistributed,
+            ]),
             IndexDomain::d3(10, 10, 10),
             ProcessorView::grid2d(2, 2),
         )
@@ -851,10 +1171,7 @@ mod tests {
                 DistType::blocks2d(),
                 IndexDomain::d2(4, 4),
                 ProcessorView::new(
-                    std::sync::Arc::new(crate::ProcessorArray::new(
-                        "Q",
-                        IndexDomain::d3(2, 2, 2)
-                    )),
+                    std::sync::Arc::new(crate::ProcessorArray::new("Q", IndexDomain::d3(2, 2, 2))),
                     vf_index::Section::all(&IndexDomain::d3(2, 2, 2)),
                 )
                 .unwrap()
@@ -934,12 +1251,7 @@ mod tests {
             ProcessorView::grid2d(2, 2),
         )
         .unwrap();
-        let derived = construct(
-            &Alignment::identity(2),
-            &base,
-            &IndexDomain::d2(10, 10),
-        )
-        .unwrap();
+        let derived = construct(&Alignment::identity(2), &base, &IndexDomain::d2(10, 10)).unwrap();
         assert!(!derived.uses_translation_table());
         assert_eq!(derived.dist_type(), base.dist_type());
         assert!(derived.same_mapping(&base));
@@ -993,17 +1305,159 @@ mod tests {
     fn owner_fn_distribution() {
         // A user-defined irregular distribution: odd elements on P0, even on P1.
         let procs = ProcessorView::linear(2);
-        let d = Distribution::from_owner_fn(
-            DistType::block1d(),
-            IndexDomain::d1(9),
-            procs,
-            |p| ProcId((p.coord(0) % 2 == 0) as usize),
-        )
+        let d = Distribution::from_owner_fn(DistType::block1d(), IndexDomain::d1(9), procs, |p| {
+            ProcId((p.coord(0) % 2 == 0) as usize)
+        })
         .unwrap();
         check_distribution(&d);
         assert_eq!(d.local_size(ProcId(0)), 5);
         assert_eq!(d.local_size(ProcId(1)), 4);
         assert!(d.local_segment(ProcId(0)).is_none());
+    }
+
+    /// The locator and the run iteration must agree exactly with the
+    /// element-wise owner/loc_map API.
+    fn check_locator_and_runs(dist: &Distribution) {
+        let locator = dist.locator();
+        for (lin, point) in dist.domain().clone().iter().enumerate() {
+            assert_eq!(dist.domain().linearize(&point).unwrap(), lin);
+            let owner = dist.owner(&point).unwrap();
+            let local = dist.loc_map(owner, &point).unwrap();
+            assert_eq!(locator.locate_lin(lin), (owner, local), "lin {lin}");
+            assert_eq!(locator.locate(&point).unwrap(), (owner, local));
+        }
+        for &p in dist.proc_ids() {
+            let runs = dist.local_linear_runs(p);
+            // Runs cover the local storage in order, exactly once.
+            let total: usize = runs.iter().map(|r| r.len).sum();
+            assert_eq!(total, dist.local_size(p), "coverage on {p}");
+            let mut expected_local = 0usize;
+            for run in &runs {
+                assert_eq!(run.local_start, expected_local);
+                expected_local += run.len;
+                for k in 0..run.len {
+                    let point = dist.global_at(p, run.local_start + k).unwrap();
+                    assert_eq!(
+                        dist.domain().linearize(&point).unwrap(),
+                        run.global_start + k,
+                        "run element {k} on {p}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn locator_and_runs_match_elementwise_api() {
+        let dists = [
+            block_1d(10, 3),
+            Distribution::new(
+                DistType::cyclic1d(3),
+                IndexDomain::d1(20),
+                ProcessorView::linear(4),
+            )
+            .unwrap(),
+            Distribution::new(
+                DistType::columns(),
+                IndexDomain::d2(6, 8),
+                ProcessorView::linear(4),
+            )
+            .unwrap(),
+            Distribution::new(
+                DistType::rows(),
+                IndexDomain::d2(6, 8),
+                ProcessorView::linear(3),
+            )
+            .unwrap(),
+            Distribution::new(
+                DistType::new(vec![DimDist::Block, DimDist::Cyclic(2)]),
+                IndexDomain::d2(9, 7),
+                ProcessorView::grid2d(2, 3),
+            )
+            .unwrap(),
+            Distribution::new(
+                DistType::gen_block1d(vec![0, 7, 1, 4]),
+                IndexDomain::d1(12),
+                ProcessorView::linear(4),
+            )
+            .unwrap(),
+            Distribution::new(
+                DistType::new(vec![DimDist::NotDistributed]),
+                IndexDomain::d1(6),
+                ProcessorView::linear(3),
+            )
+            .unwrap(),
+            Distribution::from_owner_fn(
+                DistType::block1d(),
+                IndexDomain::d1(9),
+                ProcessorView::linear(2),
+                |p| ProcId((p.coord(0) % 2 == 0) as usize),
+            )
+            .unwrap(),
+        ];
+        for dist in &dists {
+            check_locator_and_runs(dist);
+        }
+    }
+
+    #[test]
+    fn block_runs_are_maximally_merged() {
+        // (:, BLOCK) columns: each processor's storage is one contiguous
+        // global slab -> exactly one run.
+        let d = Distribution::new(
+            DistType::columns(),
+            IndexDomain::d2(8, 8),
+            ProcessorView::linear(4),
+        )
+        .unwrap();
+        for &p in d.proc_ids() {
+            assert_eq!(d.local_linear_runs(p).len(), 1, "columns on {p}");
+        }
+        // (BLOCK, :) rows: one run per column of the local block.
+        let d = Distribution::new(
+            DistType::rows(),
+            IndexDomain::d2(8, 8),
+            ProcessorView::linear(4),
+        )
+        .unwrap();
+        for &p in d.proc_ids() {
+            assert_eq!(d.local_linear_runs(p).len(), 8, "rows on {p}");
+        }
+    }
+
+    #[test]
+    fn fingerprints_identify_mappings() {
+        let a = block_1d(16, 4);
+        let b = block_1d(16, 4);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        // Different type, domain, or processor count all change the
+        // fingerprint.
+        assert_ne!(
+            a.fingerprint(),
+            Distribution::new(
+                DistType::cyclic1d(1),
+                IndexDomain::d1(16),
+                ProcessorView::linear(4)
+            )
+            .unwrap()
+            .fingerprint()
+        );
+        assert_ne!(a.fingerprint(), block_1d(17, 4).fingerprint());
+        assert_ne!(a.fingerprint(), block_1d(16, 2).fingerprint());
+        // Different gen-block bounds differ too (Figure 2 rebalancing).
+        let g1 = Distribution::new(
+            DistType::gen_block1d(vec![8, 8]),
+            IndexDomain::d1(16),
+            ProcessorView::linear(2),
+        )
+        .unwrap();
+        let g2 = Distribution::new(
+            DistType::gen_block1d(vec![4, 12]),
+            IndexDomain::d1(16),
+            ProcessorView::linear(2),
+        )
+        .unwrap();
+        assert_ne!(g1.fingerprint(), g2.fingerprint());
     }
 
     #[test]

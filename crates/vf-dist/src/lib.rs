@@ -41,7 +41,7 @@ mod processors;
 pub use alignment::{AlignExpr, Alignment};
 pub use dimdist::{DimDist, DimSegment};
 pub use dist_type::DistType;
-pub use distribution::{construct, Distribution, LocalLayout};
+pub use distribution::{construct, Distribution, LinearRun, LocalLayout, Locator};
 pub use error::DistError;
 pub use pattern::{DimPattern, DistPattern};
 pub use processors::{ProcId, ProcessorArray, ProcessorView};

@@ -111,10 +111,7 @@ impl DistPattern {
             DistPattern::Any => true,
             DistPattern::Dims(pats) => {
                 pats.len() == dist_type.rank()
-                    && pats
-                        .iter()
-                        .zip(dist_type.dims())
-                        .all(|(p, d)| p.matches(d))
+                    && pats.iter().zip(dist_type.dims()).all(|(p, d)| p.matches(d))
             }
         }
     }

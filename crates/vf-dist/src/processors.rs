@@ -291,11 +291,8 @@ mod tests {
     fn sub_view_selects_processors() {
         let r = Arc::new(ProcessorArray::grid2d(4, 4));
         // Select the second column of the grid: R(1:4, 2).
-        let section = Section::new(vec![
-            Triplet::full(r.domain().dim(0)),
-            Triplet::single(2),
-        ])
-        .unwrap();
+        let section =
+            Section::new(vec![Triplet::full(r.domain().dim(0)), Triplet::single(2)]).unwrap();
         let v = ProcessorView::new(Arc::clone(&r), section).unwrap();
         assert_eq!(v.num_procs(), 4);
         let ids = v.procs();
@@ -307,11 +304,8 @@ mod tests {
     #[test]
     fn view_rejects_out_of_domain_sections() {
         let r = Arc::new(ProcessorArray::grid2d(2, 2));
-        let section = Section::new(vec![
-            Triplet::new(1, 3, 1).unwrap(),
-            Triplet::single(1),
-        ])
-        .unwrap();
+        let section =
+            Section::new(vec![Triplet::new(1, 3, 1).unwrap(), Triplet::single(1)]).unwrap();
         assert!(ProcessorView::new(r, section).is_err());
     }
 

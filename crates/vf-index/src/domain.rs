@@ -28,7 +28,10 @@ impl IndexDomain {
             });
         }
         if dims.is_empty() {
-            return Err(IndexError::InvalidBounds { lower: 0, upper: -1 });
+            return Err(IndexError::InvalidBounds {
+                lower: 0,
+                upper: -1,
+            });
         }
         Ok(Self { dims })
     }

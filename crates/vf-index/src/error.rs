@@ -57,11 +57,7 @@ impl fmt::Display for IndexError {
                 write!(f, "rank mismatch: expected {expected}, found {found}")
             }
             IndexError::RankTooLarge { requested } => {
-                write!(
-                    f,
-                    "rank {requested} exceeds MAX_RANK = {}",
-                    crate::MAX_RANK
-                )
+                write!(f, "rank {requested} exceeds MAX_RANK = {}", crate::MAX_RANK)
             }
             IndexError::OutOfBounds {
                 dim,
@@ -79,7 +75,10 @@ impl fmt::Display for IndexError {
                 write!(f, "invalid section stride {stride} (must be >= 1)")
             }
             IndexError::LinearOutOfBounds { offset, size } => {
-                write!(f, "linear offset {offset} out of bounds for domain of size {size}")
+                write!(
+                    f,
+                    "linear offset {offset} out of bounds for domain of size {size}"
+                )
             }
         }
     }

@@ -245,7 +245,12 @@ impl Iterator for SectionIter<'_> {
             .counters
             .iter()
             .enumerate()
-            .map(|(d, &k)| self.section.triplet(d).index_at(k).expect("counter in range"))
+            .map(|(d, &k)| {
+                self.section
+                    .triplet(d)
+                    .index_at(k)
+                    .expect("counter in range")
+            })
             .collect();
         let point = Point::new(&coords).expect("rank checked at construction");
         // Advance counters column-major.
@@ -292,12 +297,15 @@ mod tests {
         assert_eq!(col.size(), 4);
         assert_eq!(col.to_string(), "(1:4, 2)");
         let pts: Vec<Point> = col.iter().collect();
-        assert_eq!(pts, vec![
-            Point::d2(1, 2),
-            Point::d2(2, 2),
-            Point::d2(3, 2),
-            Point::d2(4, 2)
-        ]);
+        assert_eq!(
+            pts,
+            vec![
+                Point::d2(1, 2),
+                Point::d2(2, 2),
+                Point::d2(3, 2),
+                Point::d2(4, 2)
+            ]
+        );
         let row = Section::row(&d, 3).unwrap();
         assert_eq!(row.size(), 3);
         assert!(row.contains(&Point::d2(3, 2)));

@@ -269,7 +269,9 @@ mod tests {
     #[test]
     fn allreduce_sum_and_max() {
         let tracker = CommTracker::new(5, CostModel::zero());
-        let sums = run(5, &tracker, |ctx| ctx.allreduce_sum((ctx.rank() + 1) as f64));
+        let sums = run(5, &tracker, |ctx| {
+            ctx.allreduce_sum((ctx.rank() + 1) as f64)
+        });
         assert!(sums.iter().all(|&s| s == 15.0));
         let maxes = run(5, &tracker, |ctx| ctx.allreduce_max(ctx.rank() as f64));
         assert!(maxes.iter().all(|&m| m == 4.0));

@@ -110,7 +110,10 @@ mod tests {
         assert_eq!(t.hops(0b0000, 0b0001), 1);
         assert_eq!(t.hops(0b0000, 0b1111), 4);
         assert_eq!(t.hops(0b1010, 0b1010), 0);
-        assert_eq!(Topology::hypercube_like(16), Topology::Hypercube { dims: 4 });
+        assert_eq!(
+            Topology::hypercube_like(16),
+            Topology::Hypercube { dims: 4 }
+        );
         assert_eq!(Topology::hypercube_like(9), Topology::Hypercube { dims: 4 });
         assert_eq!(Topology::hypercube_like(1), Topology::Hypercube { dims: 0 });
     }

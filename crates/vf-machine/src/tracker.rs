@@ -62,6 +62,24 @@ impl CommTracker {
         self.stats.lock().record_message(src, dst, bytes, t);
     }
 
+    /// Records a batch of point-to-point messages `(src, dst, bytes)` under
+    /// a single lock acquisition — the aggregated charge a communication
+    /// plan makes after executing all of its transfers.  Messages to self
+    /// are free, as in [`CommTracker::send`].
+    pub fn send_many<I>(&self, messages: I)
+    where
+        I: IntoIterator<Item = (usize, usize, usize)>,
+    {
+        let mut stats = self.stats.lock();
+        for (src, dst, bytes) in messages {
+            if src == dst {
+                continue;
+            }
+            let t = self.cost.message_time_between(bytes, src, dst);
+            stats.record_message(src, dst, bytes, t);
+        }
+    }
+
     /// Records `flops` floating-point operations on `proc`.
     pub fn compute(&self, proc: usize, flops: usize) {
         if flops == 0 {
@@ -125,6 +143,19 @@ mod tests {
         assert_eq!(s.total_messages(), 2);
         assert_eq!(s.total_bytes(), 14);
         assert!((s.per_proc()[0].comm_time - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn send_many_matches_individual_sends() {
+        let batch = CommTracker::new(4, CostModel::from_alpha_beta(1.0, 0.5));
+        let single = CommTracker::new(4, CostModel::from_alpha_beta(1.0, 0.5));
+        let messages = [(0usize, 1usize, 10usize), (2, 3, 4), (1, 1, 99), (3, 0, 7)];
+        batch.send_many(messages);
+        for (s, d, b) in messages {
+            single.send(s, d, b);
+        }
+        assert_eq!(batch.snapshot(), single.snapshot());
+        assert_eq!(batch.snapshot().total_messages(), 3); // self-send is free
     }
 
     #[test]

@@ -63,7 +63,9 @@ impl<T: Element> DistArray<T> {
         }
         let domain = dist.domain().clone();
         Ok(Self::from_fn(name, dist, |p| {
-            data[domain.linearize(p).expect("point from local_points is in domain")]
+            data[domain
+                .linearize(p)
+                .expect("point from local_points is in domain")]
         }))
     }
 
@@ -80,6 +82,14 @@ impl<T: Element> DistArray<T> {
     /// The global index domain.
     pub fn domain(&self) -> &IndexDomain {
         self.dist.domain()
+    }
+
+    /// The structural fingerprint of the current distribution — the key
+    /// under which communication plans for this array are cached (see
+    /// [`crate::plan::PlanCache`]).  Changes whenever `DISTRIBUTE` installs
+    /// a different distribution, which is what invalidates cached plans.
+    pub fn dist_fingerprint(&self) -> u64 {
+        self.dist.fingerprint()
     }
 
     /// Number of processors in the target processor view.
@@ -179,6 +189,24 @@ impl<T: Element> DistArray<T> {
         debug_assert_eq!(locals.len(), dist.procs().array().num_procs());
         self.dist = dist;
         self.locals = locals;
+    }
+
+    /// Copies the canonical first replica's buffer into every other
+    /// replica of a replicated array (no-op otherwise) — executors call
+    /// this after a plan targeting the canonical owner has run, since
+    /// every copy of a replicated array holds the data.
+    pub(crate) fn broadcast_canonical(&mut self) {
+        if !self.dist.is_replicated() {
+            return;
+        }
+        let procs = self.dist.proc_ids().to_vec();
+        let Some((&first, rest)) = procs.split_first() else {
+            return;
+        };
+        let canonical = self.locals[first.0].clone();
+        for &p in rest {
+            self.locals[p.0].copy_from_slice(&canonical);
+        }
     }
 
     /// Verifies that the local buffer sizes match the distribution's local

@@ -93,7 +93,10 @@ mod tests {
         assert_eq!(d.per_proc.len(), 4);
         assert_eq!(d.total_local_elements(), 64);
         assert!(!d.uses_translation_table);
-        assert!(d.per_proc.iter().all(|(_, n, seg)| *n == 16 && seg.is_some()));
+        assert!(d
+            .per_proc
+            .iter()
+            .all(|(_, n, seg)| *n == 16 && seg.is_some()));
         let text = d.to_string();
         assert!(text.contains("V [1:8, 1:8] DIST (:, BLOCK)"));
         assert!(text.contains("16 elements"));

@@ -32,6 +32,15 @@ pub enum RuntimeError {
         /// Name of the array involved.
         array: String,
     },
+    /// A communication plan was executed against an array whose current
+    /// distribution differs (by structural fingerprint) from the one the
+    /// plan was built for.
+    PlanMismatch {
+        /// Fingerprint of the distribution the plan was built for.
+        expected: u64,
+        /// Fingerprint of the array's current distribution.
+        found: u64,
+    },
     /// A ghost (overlap) access fell outside both the local segment and the
     /// declared overlap width.
     GhostWidthExceeded {
@@ -56,6 +65,10 @@ impl fmt::Display for RuntimeError {
             } => write!(
                 f,
                 "communication tracker models {tracker_procs} processors but the distribution needs {dist_procs}"
+            ),
+            RuntimeError::PlanMismatch { expected, found } => write!(
+                f,
+                "communication plan was built for distribution fingerprint {expected:#x} but the array is now distributed as {found:#x}"
             ),
             RuntimeError::NoContiguousSegment { array } => write!(
                 f,

@@ -20,6 +20,11 @@
 //! * [`parti`] — PARTI-style translation tables, inspector/executor
 //!   communication schedules and gather/scatter executors for irregular
 //!   accesses (§3.2, item 1, citing Saltz et al.);
+//! * [`plan`] — the unified communication-plan layer beneath all of the
+//!   above: run-length-encoded (sender → receiver) schedules
+//!   ([`CommPlan`]) built once, cached by distribution fingerprint
+//!   ([`PlanCache`]) and replayed by the executors, realising the PARTI
+//!   schedule-reuse idea for every communication path of the engine;
 //! * [`reduce`] — global reductions charged as tree collectives;
 //! * [`assign`] — array assignment between differently distributed arrays
 //!   (the storage-wasting alternative to dynamic redistribution discussed
@@ -36,14 +41,18 @@ mod element;
 mod error;
 pub mod ghost;
 pub mod parti;
-pub mod reduce;
+pub mod plan;
 mod redistribute_impl;
+pub mod reduce;
 
 pub use array::DistArray;
 pub use descriptor::ArrayDescriptor;
 pub use element::{decode_slice, encode_slice, Element};
 pub use error::RuntimeError;
-pub use redistribute_impl::{redistribute, RedistOptions, RedistReport};
+pub use plan::{CommPlan, PlanCache, PlanCacheStats, PlanKind, PlanRun, Transfer};
+pub use redistribute_impl::{
+    execute_redistribute, redistribute, redistribute_cached, RedistOptions, RedistReport,
+};
 
 /// Convenience result alias for fallible runtime operations.
 pub type Result<T> = std::result::Result<T, RuntimeError>;

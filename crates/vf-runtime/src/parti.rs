@@ -5,18 +5,22 @@
 //! sophisticated buffering schemes for accesses to non-local objects, as
 //! implemented in the PARTI routines" and notes that the particle motion of
 //! the PIC code (Figure 2) requires "runtime code using the
-//! inspector/executor paradigm".  This module provides those pieces:
+//! inspector/executor paradigm".  This module provides those pieces on top
+//! of the unified communication-plan layer ([`crate::plan`]):
 //!
 //! * [`TranslationTable`] — global index → (owner, local offset),
-//! * [`inspector`] — builds a deduplicated [`CommSchedule`] from the
-//!   non-local accesses each processor intends to make,
-//! * [`execute_gather`] — fetches the scheduled elements, one aggregated
-//!   message per (owner → reader) pair,
+//! * [`inspector`] — builds a deduplicated [`CommSchedule`] (a gather
+//!   [`CommPlan`]) from the non-local accesses each processor intends to
+//!   make; [`inspector_cached`] reuses schedules across iterations while
+//!   the distribution and access pattern are unchanged,
+//! * [`execute_gather`] — replays the plan runs (one `copy_from_slice`
+//!   per run, one aggregated message per (owner → reader) pair),
 //! * [`execute_scatter`] — pushes updates to owners with a user-supplied
-//!   combine function (e.g. accumulation of particle contributions).
+//!   combine function, placement planned through [`crate::plan::plan_scatter`].
 
-use crate::{DistArray, Element, Result};
-use std::collections::{BTreeMap, HashMap};
+use crate::plan::{plan_gather, plan_scatter, CommPlan, PlanCache, PlanIndex, PlanKind};
+use crate::{DistArray, Element, Result, RuntimeError};
+use std::sync::Arc;
 use vf_dist::{Distribution, ProcId};
 use vf_index::Point;
 use vf_machine::CommTracker;
@@ -34,15 +38,17 @@ pub struct TranslationTable {
 }
 
 impl TranslationTable {
-    /// Builds the table for a distribution.
+    /// Builds the table for a distribution (one [`vf_dist::Locator`]
+    /// resolution per element — table reads, no per-point searching).
     pub fn build(dist: &Distribution) -> Result<Self> {
         let size = dist.domain().size();
+        let locator = dist.locator();
         let mut owners = Vec::with_capacity(size);
         let mut local_offsets = Vec::with_capacity(size);
-        for point in dist.domain().iter() {
-            let o = dist.owner(&point)?;
+        for lin in 0..size {
+            let (o, l) = locator.locate_lin(lin);
             owners.push(o.0);
-            local_offsets.push(dist.loc_map(o, &point)?);
+            local_offsets.push(l);
         }
         Ok(Self {
             owners,
@@ -67,35 +73,34 @@ impl TranslationTable {
     }
 }
 
-/// A communication schedule built by the [`inspector`]: for every requesting
-/// processor, the global offsets it must fetch from every owner.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+/// A communication schedule built by the [`inspector`]: a gather
+/// [`CommPlan`] recording, for every requesting processor, the elements it
+/// must fetch from every owner — deduplicated, sorted and run-length
+/// encoded.
+#[derive(Debug, Clone)]
 pub struct CommSchedule {
-    /// `requests[p]` maps owner → sorted, deduplicated global offsets.
-    requests: Vec<BTreeMap<usize, Vec<usize>>>,
+    plan: Arc<CommPlan>,
 }
 
 impl CommSchedule {
+    /// The underlying communication plan.
+    pub fn plan(&self) -> &Arc<CommPlan> {
+        &self.plan
+    }
+
     /// Number of aggregated messages the schedule will generate.
     pub fn num_messages(&self) -> usize {
-        self.requests.iter().map(|m| m.len()).sum()
+        self.plan.num_messages()
     }
 
     /// Total number of elements that will be fetched.
     pub fn num_elements(&self) -> usize {
-        self.requests
-            .iter()
-            .flat_map(|m| m.values())
-            .map(|v| v.len())
-            .sum()
+        self.plan.moved_elements()
     }
 
     /// The owners contacted by processor `proc`.
     pub fn owners_for(&self, proc: ProcId) -> Vec<ProcId> {
-        self.requests
-            .get(proc.0)
-            .map(|m| m.keys().map(|&o| ProcId(o)).collect())
-            .unwrap_or_default()
+        self.plan.senders_to(proc)
     }
 }
 
@@ -104,41 +109,44 @@ impl CommSchedule {
 /// accesses are dropped; repeated accesses to the same element are fetched
 /// once (the "buffering scheme" of the PARTI routines).
 pub fn inspector(dist: &Distribution, accesses: &[(ProcId, Point)]) -> Result<CommSchedule> {
-    let total_procs = dist.procs().array().num_procs();
-    let mut requests: Vec<BTreeMap<usize, Vec<usize>>> = vec![BTreeMap::new(); total_procs];
-    for (proc, point) in accesses {
-        let owner = dist.owner(point)?;
-        if owner == *proc || dist.is_local(*proc, point) {
-            continue;
-        }
-        let lin = dist.domain().linearize(point)?;
-        requests[proc.0].entry(owner.0).or_default().push(lin);
-    }
-    for per_proc in &mut requests {
-        for offsets in per_proc.values_mut() {
-            offsets.sort_unstable();
-            offsets.dedup();
-        }
-    }
-    Ok(CommSchedule { requests })
+    Ok(CommSchedule {
+        plan: Arc::new(plan_gather(dist, accesses)?),
+    })
 }
 
-/// The values fetched by [`execute_gather`], addressable by global index.
+/// [`inspector`] with schedule reuse: the plan is looked up in `cache` by
+/// (distribution fingerprint, access-pattern hash) and rebuilt only on a
+/// miss — the PARTI schedule reuse for iterative irregular codes whose
+/// access pattern repeats.
+pub fn inspector_cached(
+    dist: &Distribution,
+    accesses: &[(ProcId, Point)],
+    cache: &PlanCache,
+) -> Result<CommSchedule> {
+    Ok(CommSchedule {
+        plan: cache.gather_plan(dist, accesses)?,
+    })
+}
+
+/// The values fetched by [`execute_gather`], addressable by global index
+/// through the schedule's slot index.
 #[derive(Debug, Clone)]
 pub struct GatherResult<T> {
-    values: Vec<HashMap<usize, T>>,
+    plan: Arc<CommPlan>,
+    values: Vec<Vec<T>>,
 }
 
 impl<T: Copy> GatherResult<T> {
     /// The fetched value of `point` on behalf of `proc`, if scheduled.
     pub fn get(&self, proc: ProcId, dist: &Distribution, point: &Point) -> Option<T> {
         let lin = dist.domain().linearize(point).ok()?;
-        self.values.get(proc.0).and_then(|m| m.get(&lin)).copied()
+        let slot = self.plan.gather_slot(proc, lin)?;
+        self.values.get(proc.0).and_then(|v| v.get(slot)).copied()
     }
 
     /// Number of fetched elements held for `proc`.
     pub fn len(&self, proc: ProcId) -> usize {
-        self.values.get(proc.0).map(|m| m.len()).unwrap_or(0)
+        self.plan.gather_len(proc)
     }
 
     /// Whether nothing was fetched for `proc`.
@@ -147,55 +155,107 @@ impl<T: Copy> GatherResult<T> {
     }
 }
 
-/// The executor phase for reads: performs the communication described by a
-/// schedule, charging one aggregated message per (owner → reader) pair.
+/// The executor phase for reads: replays the schedule's plan — one
+/// `copy_from_slice` per run from the owner's local storage into the
+/// requester's gather buffer — charging one aggregated message per
+/// (owner → reader) pair in a single batched cost-model update.
 pub fn execute_gather<T: Element>(
     array: &DistArray<T>,
     schedule: &CommSchedule,
     tracker: &CommTracker,
 ) -> Result<GatherResult<T>> {
-    let dist = array.dist();
-    let mut values: Vec<HashMap<usize, T>> = vec![HashMap::new(); schedule.requests.len()];
-    for (proc, per_owner) in schedule.requests.iter().enumerate() {
-        for (&owner, offsets) in per_owner {
-            if offsets.is_empty() {
-                continue;
-            }
-            tracker.send(owner, proc, offsets.len() * T::BYTES);
-            for &lin in offsets {
-                let point = dist.domain().delinearize(lin)?;
-                values[proc].insert(lin, array.get(&point)?);
-            }
+    let plan = &schedule.plan;
+    if plan.kind() != PlanKind::Gather {
+        return Err(RuntimeError::PlanMismatch {
+            expected: plan.src_fingerprint(),
+            found: array.dist().fingerprint(),
+        });
+    }
+    plan.check_executable(array.dist(), tracker)?;
+    let mut values: Vec<Vec<T>> = (0..plan.total_procs())
+        .map(|p| vec![T::default(); plan.gather_len(ProcId(p))])
+        .collect();
+    for transfer in plan.transfers() {
+        let src_local = array.local(transfer.src);
+        let dst_buf = &mut values[transfer.dst.0];
+        for run in &transfer.runs {
+            dst_buf[run.dst_start..run.dst_start + run.len]
+                .copy_from_slice(&src_local[run.src_start..run.src_start + run.len]);
         }
     }
-    Ok(GatherResult { values })
+    plan.charge(tracker, T::BYTES, true);
+    Ok(GatherResult {
+        plan: Arc::clone(plan),
+        values,
+    })
 }
 
 /// The executor phase for writes: each update `(from, point, value)` is
 /// applied at the owner of `point` with `combine(current, value)`; updates
 /// that cross processors are aggregated into one message per (source →
-/// owner) pair.
+/// owner) pair.  Placement is planned through
+/// [`crate::plan::plan_scatter`]; use [`execute_scatter_cached`] when the
+/// same update pattern repeats.  Returns the number of aggregated messages.
 pub fn execute_scatter<T: Element>(
     array: &mut DistArray<T>,
     updates: &[(ProcId, Point, T)],
     tracker: &CommTracker,
+    combine: impl FnMut(T, T) -> T,
+) -> Result<usize> {
+    let sources: Vec<(ProcId, Point)> = updates.iter().map(|&(p, pt, _)| (p, pt)).collect();
+    let plan = Arc::new(plan_scatter(array.dist(), &sources)?);
+    scatter_planned(array, updates, &plan, tracker, combine)
+}
+
+/// [`execute_scatter`] with placement-plan reuse through `cache`.
+pub fn execute_scatter_cached<T: Element>(
+    array: &mut DistArray<T>,
+    updates: &[(ProcId, Point, T)],
+    tracker: &CommTracker,
+    cache: &PlanCache,
+    combine: impl FnMut(T, T) -> T,
+) -> Result<usize> {
+    let sources: Vec<(ProcId, Point)> = updates.iter().map(|&(p, pt, _)| (p, pt)).collect();
+    let plan = cache.scatter_plan(array.dist(), &sources)?;
+    scatter_planned(array, updates, &plan, tracker, combine)
+}
+
+fn scatter_planned<T: Element>(
+    array: &mut DistArray<T>,
+    updates: &[(ProcId, Point, T)],
+    plan: &Arc<CommPlan>,
+    tracker: &CommTracker,
     mut combine: impl FnMut(T, T) -> T,
 ) -> Result<usize> {
-    let dist = array.dist().clone();
-    let mut pair_counts: HashMap<(usize, usize), usize> = HashMap::new();
-    for (from, point, value) in updates {
-        let owner = dist.owner(point)?;
-        if owner != *from {
-            *pair_counts.entry((from.0, owner.0)).or_insert(0) += 1;
+    let PlanIndex::Scatter { ops, replicated } = &plan.index else {
+        return Err(RuntimeError::PlanMismatch {
+            expected: plan.src_fingerprint(),
+            found: array.dist().fingerprint(),
+        });
+    };
+    plan.check_executable(array.dist(), tracker)?;
+    if ops.len() != updates.len() {
+        return Err(RuntimeError::PlanMismatch {
+            expected: plan.src_fingerprint(),
+            found: array.dist().fingerprint(),
+        });
+    }
+    let replicated = *replicated;
+    let all_procs: Vec<ProcId> = array.dist().proc_ids().to_vec();
+    for (op, (_, _, value)) in ops.iter().zip(updates.iter()) {
+        if replicated {
+            // Every copy of a replicated array receives the update, as
+            // DistArray::set does.
+            for &p in &all_procs {
+                let slot = &mut array.local_mut(p)[op.local];
+                *slot = combine(*slot, *value);
+            }
+        } else {
+            let slot = &mut array.local_mut(op.owner)[op.local];
+            *slot = combine(*slot, *value);
         }
-        let current = array.get(point)?;
-        array.set(point, combine(current, *value))?;
     }
-    let mut messages = 0;
-    for (&(src, dst), &count) in &pair_counts {
-        tracker.send(src, dst, count * T::BYTES);
-        messages += 1;
-    }
+    let (messages, _) = plan.charge(tracker, T::BYTES, true);
     Ok(messages)
 }
 
@@ -260,14 +320,8 @@ mod tests {
         let schedule = inspector(a.dist(), &accesses).unwrap();
         let tracker = CommTracker::new(4, CostModel::from_alpha_beta(1.0, 0.0));
         let gathered = execute_gather(&a, &schedule, &tracker).unwrap();
-        assert_eq!(
-            gathered.get(ProcId(0), a.dist(), &Point::d1(2)),
-            Some(2.0)
-        );
-        assert_eq!(
-            gathered.get(ProcId(0), a.dist(), &Point::d1(6)),
-            Some(6.0)
-        );
+        assert_eq!(gathered.get(ProcId(0), a.dist(), &Point::d1(2)), Some(2.0));
+        assert_eq!(gathered.get(ProcId(0), a.dist(), &Point::d1(6)), Some(6.0));
         assert_eq!(
             gathered.get(ProcId(1), a.dist(), &Point::d1(12)),
             Some(12.0)
@@ -299,18 +353,76 @@ mod tests {
     }
 
     #[test]
+    fn scatter_updates_every_copy_of_replicated_arrays() {
+        let dist = Distribution::new(
+            DistType::new(vec![vf_dist::DimDist::NotDistributed]),
+            IndexDomain::d1(4),
+            ProcessorView::linear(3),
+        )
+        .unwrap();
+        let mut a: DistArray<f64> = DistArray::new("R", dist);
+        let tracker = CommTracker::new(3, CostModel::zero());
+        execute_scatter(
+            &mut a,
+            &[(ProcId(2), Point::d1(2), 7.0)],
+            &tracker,
+            |x, y| x + y,
+        )
+        .unwrap();
+        for p in 0..3 {
+            assert_eq!(a.local(ProcId(p))[1], 7.0, "copy on P{p}");
+        }
+    }
+
+    #[test]
     fn schedule_reuse_costs_the_same_every_time() {
         // The schedule can be reused while the distribution is unchanged —
         // the ablation of DESIGN.md §5 (inspector reuse).
         let a = cyclic_array(16, 4);
-        let accesses: Vec<_> = (1..=16)
-            .map(|i| (ProcId(0), Point::d1(i)))
-            .collect();
+        let accesses: Vec<_> = (1..=16).map(|i| (ProcId(0), Point::d1(i))).collect();
         let schedule = inspector(a.dist(), &accesses).unwrap();
         let tracker = CommTracker::new(4, CostModel::zero());
         let g1 = execute_gather(&a, &schedule, &tracker).unwrap();
         let g2 = execute_gather(&a, &schedule, &tracker).unwrap();
         assert_eq!(g1.len(ProcId(0)), g2.len(ProcId(0)));
-        assert_eq!(tracker.snapshot().total_messages(), 2 * schedule.num_messages());
+        assert_eq!(
+            tracker.snapshot().total_messages(),
+            2 * schedule.num_messages()
+        );
+    }
+
+    #[test]
+    fn cached_inspector_hits_on_repeat_pattern() {
+        let a = cyclic_array(16, 4);
+        let cache = PlanCache::new();
+        let accesses: Vec<_> = (1..=16).map(|i| (ProcId(0), Point::d1(i))).collect();
+        let s1 = inspector_cached(a.dist(), &accesses, &cache).unwrap();
+        let s2 = inspector_cached(a.dist(), &accesses, &cache).unwrap();
+        assert_eq!(cache.stats().misses, 1);
+        assert_eq!(cache.stats().hits, 1);
+        // Both handles share one plan.
+        assert!(Arc::ptr_eq(s1.plan(), s2.plan()));
+        // A different access pattern misses.
+        let other: Vec<_> = (1..=8).map(|i| (ProcId(1), Point::d1(i))).collect();
+        inspector_cached(a.dist(), &other, &cache).unwrap();
+        assert_eq!(cache.stats().misses, 2);
+    }
+
+    #[test]
+    fn gather_runs_are_merged_for_contiguous_requests() {
+        // A block distribution with a request for a whole remote block:
+        // one run per (owner, reader) pair.
+        let dist = Distribution::new(
+            DistType::block1d(),
+            IndexDomain::d1(16),
+            ProcessorView::linear(4),
+        )
+        .unwrap();
+        let a = DistArray::from_fn("B", dist, |pt| pt.coord(0) as f64);
+        let accesses: Vec<_> = (5..=8).map(|i| (ProcId(0), Point::d1(i))).collect();
+        let schedule = inspector(a.dist(), &accesses).unwrap();
+        assert_eq!(schedule.plan().transfers().len(), 1);
+        assert_eq!(schedule.plan().transfers()[0].runs.len(), 1);
+        assert_eq!(schedule.plan().transfers()[0].elements, 4);
     }
 }

@@ -1,0 +1,1077 @@
+//! The unified communication-plan layer of the Vienna Fortran Engine.
+//!
+//! The paper's §3.2 lists the VFE's data-organisation features — the
+//! executable `DISTRIBUTE` statement (§3.2.2), overlap-area maintenance for
+//! regular stencils, and "the implementation of irregular accesses via
+//! translation tables and sophisticated buffering schemes … as implemented
+//! in the PARTI routines" (Saltz et al.).  All three reduce to the same
+//! primitive: a *communication schedule* describing, for every
+//! (sender → receiver) pair, which elements move.  This module materialises
+//! that primitive once, as [`CommPlan`], and the three communication paths
+//! ([`crate::redistribute`], [`crate::ghost`], [`crate::parti`]) all build
+//! and execute their traffic through it:
+//!
+//! * a plan stores per-pair [`Transfer`]s as **run-length-encoded**
+//!   [`PlanRun`]s of contiguous local offsets (`BLOCK`-family layouts
+//!   collapse to a handful of runs per pair, instead of the per-point hash
+//!   maps the paths previously rebuilt on every call);
+//! * planning is separated from execution, exactly as in PARTI's
+//!   inspector/executor split: [`plan_redistribute`], [`plan_ghost`],
+//!   [`plan_gather`] and [`plan_scatter`] are the inspectors, the
+//!   `execute_*`/`exchange_*` functions of the client modules are the
+//!   executors (a single pass over the runs with one aggregated
+//!   [`CommTracker`] charge per message);
+//! * plans are cached in a [`PlanCache`] keyed by the *structural
+//!   fingerprints* of the distributions involved
+//!   ([`vf_dist::Distribution::fingerprint`]), so iterative codes — the ADI
+//!   sweeps of Figure 1, smoothing steps, PIC time steps — pay the
+//!   inspector cost once and reuse the schedule while the distribution is
+//!   unchanged, which is precisely the schedule reuse the paper cites the
+//!   PARTI routines for.  A changed distribution changes the fingerprint
+//!   and therefore the key: stale plans are never returned, and execution
+//!   re-validates the distribution fingerprint as a second line of
+//!   defence.  Gather/scatter keys additionally hash the access list;
+//!   like the fingerprint itself, a 64-bit hash collision (~2⁻⁶⁴ per
+//!   pair) would silently reuse the colliding pattern's plan — the
+//!   accepted price of O(1) keys, as documented on
+//!   [`vf_dist::Distribution::fingerprint`].
+
+use crate::{Result, RuntimeError};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::{Arc, Mutex, PoisonError};
+use vf_dist::{Distribution, ProcId};
+use vf_index::{DimRange, IndexDomain, Point};
+use vf_machine::CommTracker;
+
+/// One run-length-encoded transfer segment: `len` elements read from
+/// contiguous source offsets `src_start..src_start+len` and written to
+/// contiguous destination offsets `dst_start..dst_start+len`.
+///
+/// The meaning of the offsets depends on the plan kind: sender-local /
+/// receiver-local storage offsets for redistribution, sender-local storage
+/// offsets / ghost-buffer slots for overlap exchange, owner-local storage
+/// offsets / gather-buffer slots for PARTI gathers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlanRun {
+    /// First source offset of the run.
+    pub src_start: usize,
+    /// First destination offset of the run.
+    pub dst_start: usize,
+    /// Number of elements in the run.
+    pub len: usize,
+}
+
+/// All traffic from one sender to one receiver: the element count and the
+/// run list.  `src == dst` transfers are local copies and are never charged
+/// to the cost model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Transfer {
+    /// Sending processor.
+    pub src: ProcId,
+    /// Receiving processor.
+    pub dst: ProcId,
+    /// Total elements moved by this transfer.
+    pub elements: usize,
+    /// The run-length-encoded element list.
+    pub runs: Vec<PlanRun>,
+}
+
+/// What a communication plan describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanKind {
+    /// Data motion of the executable `DISTRIBUTE` statement (§3.2.2).
+    Redistribute,
+    /// Overlap-area (ghost) exchange for regular stencils (§3.1/§3.2).
+    Ghost,
+    /// PARTI-style gather of scheduled non-local reads (§3.2, item 1).
+    Gather,
+    /// PARTI-style scatter of non-local updates (§3.2, item 1).
+    Scatter,
+}
+
+/// Per-receiver slot index of a ghost plan: which buffer slot each global
+/// point occupies.
+#[derive(Debug)]
+pub(crate) struct GhostSlots {
+    pub(crate) slot_of_point: HashMap<Point, usize>,
+    pub(crate) count: usize,
+}
+
+/// Per-requester slot index of a gather plan.
+#[derive(Debug)]
+pub(crate) struct GatherSlots {
+    pub(crate) slot_of_lin: HashMap<usize, usize>,
+    pub(crate) count: usize,
+}
+
+/// One scatter update resolved against the distribution.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ScatterOp {
+    pub(crate) owner: ProcId,
+    pub(crate) local: usize,
+}
+
+/// Kind-specific companion data of a plan.
+#[derive(Debug)]
+pub(crate) enum PlanIndex {
+    Redistribute {
+        /// The target distribution (used to size the new local buffers).
+        new_dist: Distribution,
+    },
+    Ghost {
+        /// Per total-processor-id ghost slot index.
+        slots: Vec<GhostSlots>,
+    },
+    Gather {
+        /// Per total-processor-id gather slot index.
+        slots: Vec<GatherSlots>,
+    },
+    Scatter {
+        /// One op per planned update, in the order the updates were given.
+        ops: Vec<ScatterOp>,
+        /// Whether the target array is replicated (updates touch all
+        /// copies).
+        replicated: bool,
+    },
+}
+
+/// A communication plan: the run-length-encoded schedule of one
+/// redistribution, ghost exchange, gather or scatter, independent of the
+/// element type.  Built once by a planner, executed any number of times
+/// while the involved distributions are unchanged (validated through their
+/// fingerprints).
+#[derive(Debug)]
+pub struct CommPlan {
+    kind: PlanKind,
+    /// Fingerprint of the distribution the data currently lives in.
+    src_fingerprint: u64,
+    /// Fingerprint of the target distribution (redistribution) or of the
+    /// source distribution again (ghost/gather/scatter).
+    dst_fingerprint: u64,
+    /// Total processors of the declaring processor array (sizes the
+    /// per-processor vectors of executors).
+    total_procs: usize,
+    /// Highest processor id touched plus one (tracker validation).
+    needed_procs: usize,
+    transfers: Vec<Transfer>,
+    moved_elements: usize,
+    stayed_elements: usize,
+    pub(crate) index: PlanIndex,
+}
+
+impl CommPlan {
+    /// What the plan describes.
+    pub fn kind(&self) -> PlanKind {
+        self.kind
+    }
+
+    /// Fingerprint of the distribution the data must currently live in for
+    /// the plan to be executable.
+    pub fn src_fingerprint(&self) -> u64 {
+        self.src_fingerprint
+    }
+
+    /// Fingerprint of the target distribution (equals
+    /// [`CommPlan::src_fingerprint`] for ghost/gather/scatter plans).
+    pub fn dst_fingerprint(&self) -> u64 {
+        self.dst_fingerprint
+    }
+
+    /// The per-pair transfers, local copies included.
+    pub fn transfers(&self) -> &[Transfer] {
+        &self.transfers
+    }
+
+    /// Number of aggregated messages the plan generates when executed
+    /// (transfers that cross processors and carry at least one element).
+    pub fn num_messages(&self) -> usize {
+        self.transfers
+            .iter()
+            .filter(|t| t.src != t.dst && t.elements > 0)
+            .count()
+    }
+
+    /// Elements that cross processors when the plan executes.
+    pub fn moved_elements(&self) -> usize {
+        self.moved_elements
+    }
+
+    /// Elements that stay on their processor (redistribution only; zero for
+    /// the other kinds).
+    pub fn stayed_elements(&self) -> usize {
+        self.stayed_elements
+    }
+
+    /// Bytes that cross processors for an element type of `elem_bytes`
+    /// wire bytes.
+    pub fn bytes_for(&self, elem_bytes: usize) -> usize {
+        self.moved_elements * elem_bytes
+    }
+
+    /// Total processors of the declaring processor array.
+    pub(crate) fn total_procs(&self) -> usize {
+        self.total_procs
+    }
+
+    /// Validates that the plan applies to data currently distributed as
+    /// `dist` and that `tracker` models enough processors.
+    pub(crate) fn check_executable(
+        &self,
+        dist: &Distribution,
+        tracker: &CommTracker,
+    ) -> Result<()> {
+        if dist.fingerprint() != self.src_fingerprint {
+            return Err(RuntimeError::PlanMismatch {
+                expected: self.src_fingerprint,
+                found: dist.fingerprint(),
+            });
+        }
+        if tracker.num_procs() < self.needed_procs {
+            return Err(RuntimeError::TrackerMismatch {
+                tracker_procs: tracker.num_procs(),
+                dist_procs: self.needed_procs,
+            });
+        }
+        Ok(())
+    }
+
+    /// Charges the plan's traffic to `tracker` with one aggregated message
+    /// per crossing transfer (or one message per element when `aggregate`
+    /// is false — the ablation baseline of experiment E4), in a single
+    /// batched lock acquisition.  Returns `(messages, bytes)` charged.
+    pub fn charge(
+        &self,
+        tracker: &CommTracker,
+        elem_bytes: usize,
+        aggregate: bool,
+    ) -> (usize, usize) {
+        let crossing = self
+            .transfers
+            .iter()
+            .filter(|t| t.src != t.dst && t.elements > 0);
+        let mut messages = 0usize;
+        let mut bytes = 0usize;
+        if aggregate {
+            let mut batch = Vec::new();
+            for t in crossing {
+                let b = t.elements * elem_bytes;
+                batch.push((t.src.0, t.dst.0, b));
+                messages += 1;
+                bytes += b;
+            }
+            tracker.send_many(batch);
+        } else {
+            let mut batch = Vec::new();
+            for t in crossing {
+                for _ in 0..t.elements {
+                    batch.push((t.src.0, t.dst.0, elem_bytes));
+                }
+                messages += t.elements;
+                bytes += t.elements * elem_bytes;
+            }
+            tracker.send_many(batch);
+        }
+        (messages, bytes)
+    }
+
+    /// The ghost-buffer slot of `point` on `proc`, if the plan schedules it.
+    pub(crate) fn ghost_slot(&self, proc: ProcId, point: &Point) -> Option<usize> {
+        match &self.index {
+            PlanIndex::Ghost { slots } => slots
+                .get(proc.0)
+                .and_then(|s| s.slot_of_point.get(point))
+                .copied(),
+            _ => None,
+        }
+    }
+
+    /// Number of ghost slots held for `proc`.
+    pub(crate) fn ghost_len(&self, proc: ProcId) -> usize {
+        match &self.index {
+            PlanIndex::Ghost { slots } => slots.get(proc.0).map(|s| s.count).unwrap_or(0),
+            _ => 0,
+        }
+    }
+
+    /// The gather-buffer slot of global offset `lin` on `proc`, if
+    /// scheduled.
+    pub(crate) fn gather_slot(&self, proc: ProcId, lin: usize) -> Option<usize> {
+        match &self.index {
+            PlanIndex::Gather { slots } => slots
+                .get(proc.0)
+                .and_then(|s| s.slot_of_lin.get(&lin))
+                .copied(),
+            _ => None,
+        }
+    }
+
+    /// Number of gather slots held for `proc`.
+    pub(crate) fn gather_len(&self, proc: ProcId) -> usize {
+        match &self.index {
+            PlanIndex::Gather { slots } => slots.get(proc.0).map(|s| s.count).unwrap_or(0),
+            _ => 0,
+        }
+    }
+
+    /// The owners contacted by `proc`, sorted — the PARTI schedule query.
+    pub(crate) fn senders_to(&self, proc: ProcId) -> Vec<ProcId> {
+        let mut owners: Vec<ProcId> = self
+            .transfers
+            .iter()
+            .filter(|t| t.dst == proc && t.src != proc && t.elements > 0)
+            .map(|t| t.src)
+            .collect();
+        owners.sort_unstable();
+        owners.dedup();
+        owners
+    }
+}
+
+/// Incremental builder grouping per-element placements into transfers and
+/// run-length-encoding each transfer's element list.
+struct PlanBuilder {
+    transfers: Vec<Transfer>,
+    by_pair: HashMap<(usize, usize), usize>,
+    moved: usize,
+    stayed: usize,
+    needed: usize,
+}
+
+impl PlanBuilder {
+    fn new() -> Self {
+        Self {
+            transfers: Vec::new(),
+            by_pair: HashMap::new(),
+            moved: 0,
+            stayed: 0,
+            needed: 0,
+        }
+    }
+
+    /// Adds one element travelling `src[src_off] -> dst[dst_off]`, merging
+    /// it into the previous run of the pair when both offsets are
+    /// consecutive.
+    fn push(&mut self, src: ProcId, dst: ProcId, src_off: usize, dst_off: usize) {
+        if src == dst {
+            self.stayed += 1;
+        } else {
+            self.moved += 1;
+        }
+        self.needed = self.needed.max(src.0 + 1).max(dst.0 + 1);
+        let idx = *self.by_pair.entry((src.0, dst.0)).or_insert_with(|| {
+            self.transfers.push(Transfer {
+                src,
+                dst,
+                elements: 0,
+                runs: Vec::new(),
+            });
+            self.transfers.len() - 1
+        });
+        let t = &mut self.transfers[idx];
+        t.elements += 1;
+        match t.runs.last_mut() {
+            Some(run)
+                if run.src_start + run.len == src_off && run.dst_start + run.len == dst_off =>
+            {
+                run.len += 1;
+            }
+            _ => t.runs.push(PlanRun {
+                src_start: src_off,
+                dst_start: dst_off,
+                len: 1,
+            }),
+        }
+    }
+}
+
+/// Plans the data motion of `DISTRIBUTE` from `old` to `new` (paper
+/// §3.2.2, step 3): each element of every sender's local storage — walked
+/// as contiguous [`vf_dist::LinearRun`]s — is placed at its new owner and
+/// new local offset, and the placements are run-length-encoded per
+/// (sender, receiver) pair.
+pub fn plan_redistribute(old: &Distribution, new: &Distribution) -> Result<CommPlan> {
+    if new.domain() != old.domain() {
+        return Err(RuntimeError::DomainMismatch {
+            left: old.domain().to_string(),
+            right: new.domain().to_string(),
+        });
+    }
+    let locator = new.locator();
+    let mut b = PlanBuilder::new();
+    // A replicated source holds one full copy per processor of the view;
+    // only the canonical first copy sends (sending from every replica
+    // would count every element once per replica and let stale copies
+    // overwrite fresh data at the receivers).
+    let senders: &[vf_dist::ProcId] = if old.is_replicated() {
+        &old.proc_ids()[..1]
+    } else {
+        old.proc_ids()
+    };
+    for &p in senders {
+        for run in old.local_linear_runs(p) {
+            for k in 0..run.len {
+                let (q, dst_off) = locator.locate_lin(run.global_start + k);
+                b.push(p, q, run.local_start + k, dst_off);
+            }
+        }
+    }
+    // Receivers that exist in the new distribution but get no elements
+    // still constrain the tracker size.
+    let needed = b
+        .needed
+        .max(new.proc_ids().iter().map(|q| q.0 + 1).max().unwrap_or(1))
+        .max(old.proc_ids().iter().map(|p| p.0 + 1).max().unwrap_or(1));
+    Ok(CommPlan {
+        kind: PlanKind::Redistribute,
+        src_fingerprint: old.fingerprint(),
+        dst_fingerprint: new.fingerprint(),
+        total_procs: new.procs().array().num_procs(),
+        needed_procs: needed,
+        transfers: b.transfers,
+        moved_elements: b.moved,
+        stayed_elements: b.stayed,
+        index: PlanIndex::Redistribute {
+            new_dist: new.clone(),
+        },
+    })
+}
+
+/// Plans the overlap-area exchange of a stencil that reads up to
+/// `widths[d].0` elements below and `widths[d].1` above the owned segment
+/// in dimension `d`.  Every processor must own a contiguous rectangular
+/// segment (true for `BLOCK`, general block and `:` dimensions).
+pub fn plan_ghost(dist: &Distribution, widths: &[(usize, usize)]) -> Result<CommPlan> {
+    let domain = dist.domain();
+    if widths.len() != domain.rank() {
+        return Err(RuntimeError::Index(vf_index::IndexError::RankMismatch {
+            expected: domain.rank(),
+            found: widths.len(),
+        }));
+    }
+    let total_procs = dist.procs().array().num_procs();
+    let locator = dist.locator();
+    let mut slots: Vec<GhostSlots> = (0..total_procs)
+        .map(|_| GhostSlots {
+            slot_of_point: HashMap::new(),
+            count: 0,
+        })
+        .collect();
+    let mut b = PlanBuilder::new();
+
+    for &p in dist.proc_ids() {
+        let Some(segment) = dist.local_segment(p) else {
+            return Err(RuntimeError::NoContiguousSegment {
+                array: dist.to_string(),
+            });
+        };
+        if segment.is_empty() {
+            continue;
+        }
+        // Collect the halo frame: for each dimension, the slab just below
+        // and just above the owned segment, extended by the halo in the
+        // other dimensions so corners are included (§3.1 overlap areas).
+        let mut lins: Vec<usize> = Vec::new();
+        for d in 0..domain.rank() {
+            let (w_lo, w_hi) = widths[d];
+            for (side_width, below) in [(w_lo, true), (w_hi, false)] {
+                if side_width == 0 {
+                    continue;
+                }
+                let (slab_lo, slab_hi) = if below {
+                    (
+                        segment.dim(d).lower() - side_width as i64,
+                        segment.dim(d).lower() - 1,
+                    )
+                } else {
+                    (
+                        segment.dim(d).upper() + 1,
+                        segment.dim(d).upper() + side_width as i64,
+                    )
+                };
+                let slab_lo = slab_lo.max(domain.dim(d).lower());
+                let slab_hi = slab_hi.min(domain.dim(d).upper());
+                if slab_hi < slab_lo {
+                    continue;
+                }
+                let mut dims = Vec::with_capacity(domain.rank());
+                let mut ok = true;
+                #[allow(clippy::needless_range_loop)] // `e` indexes widths and two domains
+                for e in 0..domain.rank() {
+                    if e == d {
+                        dims.push(DimRange::new(slab_lo, slab_hi).expect("checked non-empty"));
+                    } else {
+                        let lo = (segment.dim(e).lower() - widths[e].0 as i64)
+                            .max(domain.dim(e).lower());
+                        let hi = (segment.dim(e).upper() + widths[e].1 as i64)
+                            .min(domain.dim(e).upper());
+                        if hi < lo {
+                            ok = false;
+                            break;
+                        }
+                        dims.push(DimRange::new(lo, hi).expect("checked non-empty"));
+                    }
+                }
+                if !ok {
+                    continue;
+                }
+                let slab = IndexDomain::new(dims).expect("rank preserved");
+                for point in slab.iter() {
+                    if !segment.contains(&point) {
+                        lins.push(domain.linearize(&point).expect("slab within domain"));
+                    }
+                }
+            }
+        }
+        lins.sort_unstable();
+        lins.dedup();
+        // Assign buffer slots in global column-major order and group the
+        // fetches by owner, run-length-encoded over (owner local, slot).
+        for (slot, &lin) in lins.iter().enumerate() {
+            let point = domain.delinearize(lin).expect("lin from linearize");
+            let (owner, local) = locator.locate_lin(lin);
+            slots[p.0].slot_of_point.insert(point, slot);
+            b.push(owner, p, local, slot);
+        }
+        slots[p.0].count = lins.len();
+    }
+
+    let fp = dist.fingerprint();
+    Ok(CommPlan {
+        kind: PlanKind::Ghost,
+        src_fingerprint: fp,
+        dst_fingerprint: fp,
+        total_procs,
+        needed_procs: b
+            .needed
+            .max(dist.proc_ids().iter().map(|p| p.0 + 1).max().unwrap_or(1)),
+        transfers: b.transfers,
+        moved_elements: b.moved,
+        stayed_elements: b.stayed,
+        index: PlanIndex::Ghost { slots },
+    })
+}
+
+/// The planning half of the PARTI inspector: analyses the non-local
+/// accesses each processor intends to make and produces a deduplicated
+/// gather plan.  Local accesses are dropped; repeated accesses to the same
+/// element are fetched once (the "buffering scheme" of the PARTI routines).
+pub fn plan_gather(dist: &Distribution, accesses: &[(ProcId, Point)]) -> Result<CommPlan> {
+    let total_procs = dist.procs().array().num_procs();
+    let locator = dist.locator();
+    // Every access of a replicated array is local (each processor of the
+    // view holds a full copy), so nothing is fetched.
+    let replicated = dist.is_replicated();
+    // Per requesting processor: sorted, deduplicated global offsets,
+    // grouped by owner.
+    let mut requests: Vec<Vec<(usize, usize, usize)>> = vec![Vec::new(); total_procs]; // (owner, lin, owner_local)
+    for (proc, point) in accesses {
+        let lin = dist.domain().linearize(point)?;
+        if replicated {
+            continue;
+        }
+        let (owner, local) = locator.locate_lin(lin);
+        if owner == *proc {
+            continue;
+        }
+        requests[proc.0].push((owner.0, lin, local));
+    }
+    let mut slots: Vec<GatherSlots> = (0..total_procs)
+        .map(|_| GatherSlots {
+            slot_of_lin: HashMap::new(),
+            count: 0,
+        })
+        .collect();
+    let mut b = PlanBuilder::new();
+    for (proc, mut reqs) in requests.into_iter().enumerate() {
+        reqs.sort_unstable();
+        reqs.dedup();
+        for (slot, &(owner, lin, local)) in reqs.iter().enumerate() {
+            slots[proc].slot_of_lin.insert(lin, slot);
+            b.push(ProcId(owner), ProcId(proc), local, slot);
+        }
+        slots[proc].count = reqs.len();
+    }
+    let fp = dist.fingerprint();
+    Ok(CommPlan {
+        kind: PlanKind::Gather,
+        src_fingerprint: fp,
+        dst_fingerprint: fp,
+        total_procs,
+        needed_procs: b
+            .needed
+            .max(dist.proc_ids().iter().map(|p| p.0 + 1).max().unwrap_or(1)),
+        transfers: b.transfers,
+        moved_elements: b.moved,
+        stayed_elements: b.stayed,
+        index: PlanIndex::Gather { slots },
+    })
+}
+
+/// Plans the executor's write path: each update source `(from, point)` is
+/// resolved to the owner and owner-local offset of `point`; cross-processor
+/// updates are aggregated into one message per (source, owner) pair.  The
+/// update *values* are supplied at execution time — only the placement is
+/// cacheable.
+pub fn plan_scatter(dist: &Distribution, sources: &[(ProcId, Point)]) -> Result<CommPlan> {
+    let locator = dist.locator();
+    let mut ops = Vec::with_capacity(sources.len());
+    let mut b = PlanBuilder::new();
+    for (from, point) in sources {
+        let lin = dist.domain().linearize(point)?;
+        let (owner, local) = locator.locate_lin(lin);
+        ops.push(ScatterOp { owner, local });
+        // Runs are not needed for scatter (values arrive with the updates);
+        // the per-pair element counts drive the message aggregation.
+        b.push(*from, owner, 0, 0);
+    }
+    // Collapse the dummy runs: only the counts matter.
+    let mut transfers = b.transfers;
+    for t in &mut transfers {
+        t.runs.clear();
+    }
+    let fp = dist.fingerprint();
+    Ok(CommPlan {
+        kind: PlanKind::Scatter,
+        src_fingerprint: fp,
+        dst_fingerprint: fp,
+        total_procs: dist.procs().array().num_procs(),
+        needed_procs: b
+            .needed
+            .max(dist.proc_ids().iter().map(|p| p.0 + 1).max().unwrap_or(1)),
+        transfers,
+        moved_elements: b.moved,
+        stayed_elements: b.stayed,
+        index: PlanIndex::Scatter {
+            ops,
+            replicated: dist.is_replicated(),
+        },
+    })
+}
+
+/// Key of a cached plan: the kind plus the structural fingerprints of the
+/// inputs.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum PlanKey {
+    Redistribute {
+        from: u64,
+        to: u64,
+    },
+    Ghost {
+        dist: u64,
+        widths: Vec<(usize, usize)>,
+    },
+    Gather {
+        dist: u64,
+        accesses: u64,
+    },
+    Scatter {
+        dist: u64,
+        sources: u64,
+    },
+}
+
+fn hash_accesses(accesses: &[(ProcId, Point)]) -> u64 {
+    let mut h = DefaultHasher::new();
+    for (p, pt) in accesses {
+        p.0.hash(&mut h);
+        pt.hash(&mut h);
+    }
+    h.finish()
+}
+
+/// Hit/miss counters and size of a [`PlanCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PlanCacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to run a planner.
+    pub misses: u64,
+    /// Plans currently cached.
+    pub entries: usize,
+}
+
+#[derive(Debug)]
+struct PlanCacheInner {
+    /// Cached plans tagged with the logical time of their last use.
+    map: HashMap<PlanKey, (Arc<CommPlan>, u64)>,
+    /// Monotonic use counter driving least-recently-used eviction.
+    tick: u64,
+    /// Maximum number of cached plans before LRU eviction kicks in.
+    capacity: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl Default for PlanCacheInner {
+    fn default() -> Self {
+        Self {
+            map: HashMap::new(),
+            tick: 0,
+            capacity: PlanCache::DEFAULT_CAPACITY,
+            hits: 0,
+            misses: 0,
+        }
+    }
+}
+
+/// A shared cache of communication plans keyed by distribution
+/// fingerprints — the VFE's realisation of PARTI schedule reuse.
+///
+/// The cache is cheaply cloneable (an `Arc` around the interior), so the
+/// language layer, the applications and the benches can hold handles to
+/// one cache, exactly like [`CommTracker`].  Iterative codes (ADI sweeps,
+/// smoothing steps, PIC steps) plan each distinct communication pattern
+/// once and afterwards hit the cache; executing a cached plan moves
+/// exactly the same elements and charges exactly the same bytes as a
+/// freshly planned one (asserted by the property tests in
+/// `tests/suite/plan_reuse.rs`).
+#[derive(Debug, Clone, Default)]
+pub struct PlanCache {
+    inner: Arc<Mutex<PlanCacheInner>>,
+}
+
+impl PlanCache {
+    /// Default number of plans kept before least-recently-used eviction
+    /// (a plan is a few runs per processor pair for block-family layouts,
+    /// but up to one run per element for strided cyclic targets, so the
+    /// cache is bounded by entry count rather than left to grow with
+    /// every distinct `BOUNDS` partition a drifting PIC load produces).
+    pub const DEFAULT_CAPACITY: usize = 1024;
+
+    /// An empty cache with [`PlanCache::DEFAULT_CAPACITY`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty cache evicting least-recently-used plans beyond
+    /// `capacity` entries (`capacity` is clamped to at least 1).
+    pub fn with_capacity(capacity: usize) -> Self {
+        let cache = Self::default();
+        cache.lock().capacity = capacity.max(1);
+        cache
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, PlanCacheInner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Current hit/miss counters and entry count.
+    pub fn stats(&self) -> PlanCacheStats {
+        let inner = self.lock();
+        PlanCacheStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            entries: inner.map.len(),
+        }
+    }
+
+    /// Drops every cached plan (counters are kept).
+    pub fn clear(&self) {
+        self.lock().map.clear();
+    }
+
+    fn get_or_plan(
+        &self,
+        key: PlanKey,
+        plan: impl FnOnce() -> Result<CommPlan>,
+    ) -> Result<Arc<CommPlan>> {
+        if let Some(found) = {
+            let mut inner = self.lock();
+            inner.tick += 1;
+            let tick = inner.tick;
+            let found = inner.map.get_mut(&key).map(|entry| {
+                entry.1 = tick;
+                Arc::clone(&entry.0)
+            });
+            if found.is_some() {
+                inner.hits += 1;
+            }
+            found
+        } {
+            return Ok(found);
+        }
+        // Plan outside the lock: planning is the expensive part.
+        let planned = Arc::new(plan()?);
+        let mut inner = self.lock();
+        inner.misses += 1;
+        inner.tick += 1;
+        let tick = inner.tick;
+        if !inner.map.contains_key(&key) && inner.map.len() >= inner.capacity {
+            // Evict the least-recently-used plan to stay within capacity.
+            if let Some(oldest) = inner
+                .map
+                .iter()
+                .min_by_key(|(_, (_, used))| *used)
+                .map(|(k, _)| k.clone())
+            {
+                inner.map.remove(&oldest);
+            }
+        }
+        Ok(inner
+            .map
+            .entry(key)
+            .or_insert_with(|| (Arc::clone(&planned), tick))
+            .0
+            .clone())
+    }
+
+    /// The cached redistribution plan `old -> new`, planning on a miss.
+    pub fn redistribute_plan(
+        &self,
+        old: &Distribution,
+        new: &Distribution,
+    ) -> Result<Arc<CommPlan>> {
+        self.get_or_plan(
+            PlanKey::Redistribute {
+                from: old.fingerprint(),
+                to: new.fingerprint(),
+            },
+            || plan_redistribute(old, new),
+        )
+    }
+
+    /// The cached ghost-exchange plan for `dist` and `widths`.
+    pub fn ghost_plan(
+        &self,
+        dist: &Distribution,
+        widths: &[(usize, usize)],
+    ) -> Result<Arc<CommPlan>> {
+        self.get_or_plan(
+            PlanKey::Ghost {
+                dist: dist.fingerprint(),
+                widths: widths.to_vec(),
+            },
+            || plan_ghost(dist, widths),
+        )
+    }
+
+    /// The cached gather plan for `dist` and `accesses`.
+    pub fn gather_plan(
+        &self,
+        dist: &Distribution,
+        accesses: &[(ProcId, Point)],
+    ) -> Result<Arc<CommPlan>> {
+        self.get_or_plan(
+            PlanKey::Gather {
+                dist: dist.fingerprint(),
+                accesses: hash_accesses(accesses),
+            },
+            || plan_gather(dist, accesses),
+        )
+    }
+
+    /// The cached scatter plan for `dist` and update sources.
+    pub fn scatter_plan(
+        &self,
+        dist: &Distribution,
+        sources: &[(ProcId, Point)],
+    ) -> Result<Arc<CommPlan>> {
+        self.get_or_plan(
+            PlanKey::Scatter {
+                dist: dist.fingerprint(),
+                sources: hash_accesses(sources),
+            },
+            || plan_scatter(dist, sources),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DistArray;
+    use vf_dist::{DistType, ProcessorView};
+    use vf_machine::CostModel;
+
+    fn dist_1d(t: DistType, n: usize, p: usize) -> Distribution {
+        Distribution::new(t, IndexDomain::d1(n), ProcessorView::linear(p)).unwrap()
+    }
+
+    #[test]
+    fn block_shift_plans_are_tightly_run_length_encoded() {
+        // BLOCK(16/4) -> B_BLOCK(2,6,4,4): every pairwise overlap is one
+        // contiguous interval, so every transfer is a single run.
+        let old = dist_1d(DistType::block1d(), 16, 4);
+        let new = dist_1d(DistType::gen_block1d(vec![2, 6, 4, 4]), 16, 4);
+        let plan = plan_redistribute(&old, &new).unwrap();
+        assert_eq!(
+            plan.moved_elements() + plan.stayed_elements(),
+            16,
+            "every element is placed exactly once"
+        );
+        for t in plan.transfers() {
+            assert_eq!(t.runs.len(), 1, "{:?} -> {:?} fragmented", t.src, t.dst);
+            assert_eq!(t.elements, t.runs.iter().map(|r| r.len).sum::<usize>());
+        }
+        // The total run count is bounded by the pair count, not the element
+        // count — the memory argument for RLE schedules.
+        assert!(plan.transfers().len() <= 7);
+    }
+
+    #[test]
+    fn cyclic_plans_still_cover_every_element() {
+        let old = dist_1d(DistType::cyclic1d(1), 12, 3);
+        let new = dist_1d(DistType::block1d(), 12, 3);
+        let plan = plan_redistribute(&old, &new).unwrap();
+        assert_eq!(plan.moved_elements() + plan.stayed_elements(), 12);
+        let total: usize = plan.transfers().iter().map(|t| t.elements).sum();
+        assert_eq!(total, 12);
+    }
+
+    #[test]
+    fn identical_distributions_move_nothing() {
+        let d = dist_1d(DistType::block1d(), 12, 3);
+        let plan = plan_redistribute(&d, &d.clone()).unwrap();
+        assert_eq!(plan.moved_elements(), 0);
+        assert_eq!(plan.stayed_elements(), 12);
+        assert_eq!(plan.num_messages(), 0);
+    }
+
+    #[test]
+    fn cache_hits_on_repeat_and_misses_on_change() {
+        let cache = PlanCache::new();
+        let block = dist_1d(DistType::block1d(), 16, 4);
+        let cyclic = dist_1d(DistType::cyclic1d(1), 16, 4);
+        let gen = dist_1d(DistType::gen_block1d(vec![1, 5, 5, 5]), 16, 4);
+
+        let p1 = cache.redistribute_plan(&block, &cyclic).unwrap();
+        let p2 = cache.redistribute_plan(&block, &cyclic).unwrap();
+        assert!(
+            Arc::ptr_eq(&p1, &p2),
+            "repeat lookup returns the cached plan"
+        );
+        assert_eq!(
+            cache.stats(),
+            PlanCacheStats {
+                hits: 1,
+                misses: 1,
+                entries: 1
+            }
+        );
+
+        // A different *target* distribution is a different key: no stale
+        // plan is returned (the invalidation property).
+        let p3 = cache.redistribute_plan(&block, &gen).unwrap();
+        assert!(!Arc::ptr_eq(&p1, &p3));
+        assert_eq!(cache.stats().misses, 2);
+
+        // The reverse direction is also distinct.
+        cache.redistribute_plan(&cyclic, &block).unwrap();
+        assert_eq!(cache.stats().misses, 3);
+
+        cache.clear();
+        assert_eq!(cache.stats().entries, 0);
+        cache.redistribute_plan(&block, &cyclic).unwrap();
+        assert_eq!(cache.stats().misses, 4);
+    }
+
+    #[test]
+    fn executing_a_stale_plan_is_rejected() {
+        let block = dist_1d(DistType::block1d(), 16, 4);
+        let cyclic = dist_1d(DistType::cyclic1d(1), 16, 4);
+        let plan = plan_redistribute(&block, &cyclic).unwrap();
+        // The array has since been redistributed to gen-block: the cached
+        // plan no longer applies and execution must refuse.
+        let mut a = DistArray::from_fn(
+            "A",
+            dist_1d(DistType::gen_block1d(vec![4, 4, 4, 4]), 16, 4),
+            |p| p.coord(0) as f64,
+        );
+        let tracker = CommTracker::new(4, CostModel::zero());
+        let err =
+            crate::execute_redistribute(&mut a, &plan, &tracker, &crate::RedistOptions::default());
+        assert!(matches!(err, Err(RuntimeError::PlanMismatch { .. })));
+    }
+
+    #[test]
+    fn charge_aggregate_vs_element_wise() {
+        let old = dist_1d(DistType::block1d(), 16, 2);
+        let new = dist_1d(DistType::cyclic1d(1), 16, 2);
+        let plan = plan_redistribute(&old, &new).unwrap();
+        let agg = CommTracker::new(2, CostModel::from_alpha_beta(1.0, 0.0));
+        let (m_agg, b_agg) = plan.charge(&agg, 8, true);
+        let elem = CommTracker::new(2, CostModel::from_alpha_beta(1.0, 0.0));
+        let (m_elem, b_elem) = plan.charge(&elem, 8, false);
+        assert_eq!(b_agg, b_elem);
+        assert_eq!(b_agg, plan.bytes_for(8));
+        assert!(m_elem > m_agg);
+        assert_eq!(m_elem, plan.moved_elements());
+        assert!(elem.snapshot().critical_time() > agg.snapshot().critical_time());
+    }
+
+    #[test]
+    fn replicated_round_trip_preserves_data() {
+        // blk -> replicated -> blk: every replica must receive the data on
+        // the way in, and only the canonical replica sends on the way out.
+        let tracker = CommTracker::new(4, CostModel::zero());
+        let block = dist_1d(DistType::block1d(), 8, 4);
+        let rep = Distribution::new(
+            DistType::new(vec![vf_dist::DimDist::NotDistributed]),
+            IndexDomain::d1(8),
+            ProcessorView::linear(4),
+        )
+        .unwrap();
+        let mut a = DistArray::from_fn("A", block.clone(), |p| (p.coord(0) + 1) as f64);
+        let before = a.to_dense();
+        crate::redistribute(
+            &mut a,
+            rep.clone(),
+            &tracker,
+            &crate::RedistOptions::default(),
+        )
+        .unwrap();
+        // Every replica holds the full data.
+        for p in 0..4 {
+            assert_eq!(
+                a.local(ProcId(p)),
+                before.as_slice(),
+                "replica on P{p} incomplete"
+            );
+        }
+        let report =
+            crate::redistribute(&mut a, block, &tracker, &crate::RedistOptions::default()).unwrap();
+        assert_eq!(a.to_dense(), before, "round trip lost data");
+        // Only the canonical copy sent: each element placed exactly once.
+        assert_eq!(report.moved_elements + report.stayed_elements, 8);
+    }
+
+    #[test]
+    fn cache_evicts_least_recently_used_beyond_capacity() {
+        let cache = PlanCache::with_capacity(2);
+        let block = dist_1d(DistType::block1d(), 12, 3);
+        let cyclic = dist_1d(DistType::cyclic1d(1), 12, 3);
+        let gen = dist_1d(DistType::gen_block1d(vec![2, 4, 6]), 12, 3);
+        cache.redistribute_plan(&block, &cyclic).unwrap(); // entry A
+        cache.redistribute_plan(&block, &gen).unwrap(); // entry B
+        cache.redistribute_plan(&block, &cyclic).unwrap(); // touch A
+        assert_eq!(cache.stats().entries, 2);
+        cache.redistribute_plan(&cyclic, &gen).unwrap(); // entry C evicts B (LRU)
+        assert_eq!(cache.stats().entries, 2);
+        cache.redistribute_plan(&block, &cyclic).unwrap(); // A still cached
+        assert_eq!(cache.stats().hits, 2);
+        cache.redistribute_plan(&block, &gen).unwrap(); // B was evicted
+        assert_eq!(cache.stats().misses, 4);
+    }
+
+    #[test]
+    fn scatter_plan_aggregates_pairs() {
+        let d = dist_1d(DistType::block1d(), 8, 2);
+        let sources = vec![
+            (ProcId(0), Point::d1(5)), // remote
+            (ProcId(0), Point::d1(6)), // remote, same pair
+            (ProcId(0), Point::d1(1)), // local
+            (ProcId(1), Point::d1(8)), // local
+        ];
+        let plan = plan_scatter(&d, &sources).unwrap();
+        assert_eq!(plan.kind(), PlanKind::Scatter);
+        assert_eq!(plan.moved_elements(), 2);
+        assert_eq!(plan.num_messages(), 1);
+        let PlanIndex::Scatter { ops, replicated } = &plan.index else {
+            panic!("scatter index expected");
+        };
+        assert_eq!(ops.len(), 4);
+        assert!(!replicated);
+    }
+}

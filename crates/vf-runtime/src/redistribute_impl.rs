@@ -1,7 +1,14 @@
 //! The realisation of the executable `DISTRIBUTE` statement (paper §3.2.2).
+//!
+//! Data motion runs through the unified communication-plan layer
+//! ([`crate::plan`]): [`plan_redistribute`](crate::plan::plan_redistribute)
+//! derives the run-length-encoded (sender, receiver) schedule once, and
+//! [`execute_redistribute`] replays it — a single pass over the runs with
+//! one aggregated cost-model charge per message.  Iterative codes reuse
+//! plans through a [`PlanCache`] via [`redistribute_cached`].
 
+use crate::plan::{plan_redistribute, CommPlan, PlanCache, PlanIndex, PlanKind};
 use crate::{DistArray, Element, Result, RuntimeError};
-use std::collections::HashMap;
 use vf_dist::Distribution;
 use vf_machine::CommTracker;
 
@@ -79,16 +86,59 @@ pub fn redistribute<T: Element>(
     tracker: &CommTracker,
     opts: &RedistOptions,
 ) -> Result<RedistReport> {
+    if opts.notransfer {
+        return redistribute_notransfer(array, new_dist, tracker);
+    }
+    let plan = plan_redistribute(array.dist(), &new_dist)?;
+    execute_redistribute(array, &plan, tracker, opts)
+}
+
+/// [`redistribute`] with plan reuse: the (old, new) schedule is looked up
+/// in `cache` by the distributions' structural fingerprints and planned
+/// only on a miss, so iterative codes (the ADI pattern of Figure 1, the PIC
+/// rebalancing of Figure 2) amortise the inspector cost across iterations
+/// exactly as the PARTI routines the paper cites.
+pub fn redistribute_cached<T: Element>(
+    array: &mut DistArray<T>,
+    new_dist: Distribution,
+    tracker: &CommTracker,
+    opts: &RedistOptions,
+    cache: &PlanCache,
+) -> Result<RedistReport> {
+    if opts.notransfer {
+        return redistribute_notransfer(array, new_dist, tracker);
+    }
+    let plan = cache.redistribute_plan(array.dist(), &new_dist)?;
+    execute_redistribute(array, &plan, tracker, opts)
+}
+
+/// The `NOTRANSFER` path: only the descriptor changes, no plan is needed.
+fn redistribute_notransfer<T: Element>(
+    array: &mut DistArray<T>,
+    new_dist: Distribution,
+    tracker: &CommTracker,
+) -> Result<RedistReport> {
     if new_dist.domain() != array.domain() {
         return Err(RuntimeError::DomainMismatch {
             left: array.domain().to_string(),
             right: new_dist.domain().to_string(),
         });
     }
-    let needed = new_dist
+    check_tracker(array.dist(), &new_dist, tracker)?;
+    let total_procs = new_dist.procs().array().num_procs();
+    let mut new_locals: Vec<Vec<T>> = vec![Vec::new(); total_procs];
+    for &q in new_dist.proc_ids() {
+        new_locals[q.0] = vec![T::default(); new_dist.local_size(q)];
+    }
+    array.replace(new_dist, new_locals);
+    Ok(RedistReport::default())
+}
+
+fn check_tracker(old: &Distribution, new: &Distribution, tracker: &CommTracker) -> Result<()> {
+    let needed = new
         .proc_ids()
         .iter()
-        .chain(array.dist().proc_ids())
+        .chain(old.proc_ids())
         .map(|p| p.0 + 1)
         .max()
         .unwrap_or(1);
@@ -98,59 +148,57 @@ pub fn redistribute<T: Element>(
             dist_procs: needed,
         });
     }
+    Ok(())
+}
 
-    let total_procs = new_dist.procs().array().num_procs();
-    let mut new_locals: Vec<Vec<T>> = vec![Vec::new(); total_procs];
+/// The executor half of the `DISTRIBUTE` realisation: replays a
+/// (possibly cached) [`CommPlan`] against the array — every run is one
+/// `copy_from_slice` between the sender's old buffer and the receiver's
+/// new buffer — and charges the cost model with one aggregated message per
+/// crossing transfer (or one per element under
+/// [`RedistOptions::element_wise`]).
+///
+/// # Errors
+/// [`RuntimeError::PlanMismatch`] if the array's current distribution is
+/// not the one the plan was built for.
+pub fn execute_redistribute<T: Element>(
+    array: &mut DistArray<T>,
+    plan: &CommPlan,
+    tracker: &CommTracker,
+    opts: &RedistOptions,
+) -> Result<RedistReport> {
+    let PlanIndex::Redistribute { new_dist } = &plan.index else {
+        return Err(RuntimeError::PlanMismatch {
+            expected: plan.src_fingerprint(),
+            found: array.dist().fingerprint(),
+        });
+    };
+    debug_assert_eq!(plan.kind(), PlanKind::Redistribute);
+    plan.check_executable(array.dist(), tracker)?;
+
+    let mut new_locals: Vec<Vec<T>> = vec![Vec::new(); plan.total_procs()];
     for &q in new_dist.proc_ids() {
         new_locals[q.0] = vec![T::default(); new_dist.local_size(q)];
     }
-
-    let mut report = RedistReport::default();
-
-    if opts.notransfer {
-        array.replace(new_dist, new_locals);
-        return Ok(report);
-    }
-
-    // Pairwise transfer volumes, keyed by (old owner, new owner).
-    let mut pair_elems: HashMap<(usize, usize), usize> = HashMap::new();
-
-    let old_dist = array.dist().clone();
-    for &p in old_dist.proc_ids() {
-        let points = old_dist.local_points(p);
-        let local = array.local(p).to_vec();
-        for (l, point) in points.into_iter().enumerate() {
-            let q = new_dist.owner(&point)?;
-            let new_off = new_dist.loc_map(q, &point)?;
-            new_locals[q.0][new_off] = local[l];
-            if q == p {
-                report.stayed_elements += 1;
-            } else {
-                report.moved_elements += 1;
-                *pair_elems.entry((p.0, q.0)).or_insert(0) += 1;
-            }
+    for transfer in plan.transfers() {
+        let src_local = array.local(transfer.src);
+        let dst_local = &mut new_locals[transfer.dst.0];
+        for run in &transfer.runs {
+            dst_local[run.dst_start..run.dst_start + run.len]
+                .copy_from_slice(&src_local[run.src_start..run.src_start + run.len]);
         }
     }
-
-    if opts.aggregate {
-        for (&(src, dst), &count) in &pair_elems {
-            let bytes = count * T::BYTES;
-            tracker.send(src, dst, bytes);
-            report.messages += 1;
-            report.bytes += bytes;
-        }
-    } else {
-        for (&(src, dst), &count) in &pair_elems {
-            for _ in 0..count {
-                tracker.send(src, dst, T::BYTES);
-            }
-            report.messages += count;
-            report.bytes += count * T::BYTES;
-        }
-    }
-
-    array.replace(new_dist, new_locals);
-    Ok(report)
+    let (messages, bytes) = plan.charge(tracker, T::BYTES, opts.aggregate);
+    array.replace(new_dist.clone(), new_locals);
+    // The plan targets the canonical first owner; every copy of a
+    // replicated array receives the data.
+    array.broadcast_canonical();
+    Ok(RedistReport {
+        moved_elements: plan.moved_elements(),
+        stayed_elements: plan.stayed_elements(),
+        messages,
+        bytes,
+    })
 }
 
 #[cfg(test)]
@@ -314,12 +362,76 @@ mod tests {
     }
 
     #[test]
+    fn cached_redistribution_matches_fresh_planning() {
+        // The ADI pattern: columns -> rows -> columns -> ... with a shared
+        // cache; after the first full cycle every plan is a cache hit and
+        // the traffic is identical to fresh planning, iteration for
+        // iteration.
+        let n = 8usize;
+        let mk = |t: DistType| {
+            Distribution::new(t, vf_index::IndexDomain::d2(n, n), ProcessorView::linear(4)).unwrap()
+        };
+        let cache = crate::PlanCache::new();
+        let t_cached = CommTracker::new(4, CostModel::from_alpha_beta(1.0, 0.5));
+        let t_fresh = CommTracker::new(4, CostModel::from_alpha_beta(1.0, 0.5));
+        let mut a = DistArray::from_fn("V", mk(DistType::columns()), |p| {
+            (p.coord(0) * 100 + p.coord(1)) as f64
+        });
+        let mut b = a.clone();
+        let before = a.to_dense();
+        for iter in 0..4 {
+            let target = if iter % 2 == 0 {
+                DistType::rows()
+            } else {
+                DistType::columns()
+            };
+            let rc = redistribute_cached(
+                &mut a,
+                mk(target.clone()),
+                &t_cached,
+                &RedistOptions::default(),
+                &cache,
+            )
+            .unwrap();
+            let rf = redistribute(&mut b, mk(target), &t_fresh, &RedistOptions::default()).unwrap();
+            assert_eq!(rc, rf, "iteration {iter}");
+            assert_eq!(a.to_dense(), b.to_dense(), "iteration {iter}");
+        }
+        assert_eq!(a.to_dense(), before);
+        assert_eq!(t_cached.snapshot(), t_fresh.snapshot());
+        // Two distinct plans (cols->rows, rows->cols), planned once each.
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 2);
+        assert_eq!(stats.hits, 2);
+    }
+
+    #[test]
+    fn notransfer_skips_the_planner_and_the_cache() {
+        let cache = crate::PlanCache::new();
+        let tracker = CommTracker::new(2, CostModel::zero());
+        let mut a = DistArray::from_fn("A", dist_1d(DistType::block1d(), 8, 2), |p| {
+            p.coord(0) as f64
+        });
+        let report = redistribute_cached(
+            &mut a,
+            dist_1d(DistType::cyclic1d(1), 8, 2),
+            &tracker,
+            &RedistOptions::notransfer(),
+            &cache,
+        )
+        .unwrap();
+        assert_eq!(report, RedistReport::default());
+        assert_eq!(cache.stats().misses, 0);
+        assert_eq!(a.dist().dist_type(), &DistType::cyclic1d(1));
+    }
+
+    #[test]
     fn gen_block_rebalance_round_trip() {
         // The Figure 2 pattern: BLOCK, then B_BLOCK(BOUNDS), then different
         // BOUNDS again; data must survive every step.
         let tracker = CommTracker::new(4, CostModel::zero());
         let mut a = DistArray::from_fn("FIELD", dist_1d(DistType::block1d(), 20, 4), |p| {
-            (p.coord(0) * 3) as i64
+            p.coord(0) * 3
         });
         let before = a.to_dense();
         for sizes in [vec![2, 8, 6, 4], vec![5, 5, 5, 5], vec![0, 0, 10, 10]] {

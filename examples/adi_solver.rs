@@ -80,7 +80,10 @@ fn main() -> Result<(), CoreError> {
         if iter > 0 {
             // Return to the column distribution for the next x-sweep.
             scope.distribute(DistributeStmt::new("V", DistType::columns()))?;
-            print_phase(&format!("iter {iter}: DISTRIBUTE back"), &scope.take_stats());
+            print_phase(
+                &format!("iter {iter}: DISTRIBUTE back"),
+                &scope.take_stats(),
+            );
         }
         // Sweep over x-lines: every column V(:, J) is local under (:, BLOCK).
         local_sweep(&mut scope, "V", 0)?;

@@ -28,9 +28,8 @@ fn smart_sum(scope: &VfScope<f64>, name: &str) -> Result<(f64, String), CoreErro
 fn main() -> Result<(), CoreError> {
     let machine = Machine::new(4, CostModel::ipsc860(4));
     let mut scope: VfScope<f64> = VfScope::new(machine);
-    scope.declare_dynamic(
-        DynamicDecl::new("X", IndexDomain::d1(64)).initial(DistType::block1d()),
-    )?;
+    scope
+        .declare_dynamic(DynamicDecl::new("X", IndexDomain::d1(64)).initial(DistType::block1d()))?;
     for i in 1..=64i64 {
         scope.array_mut("X")?.set(&Point::d1(i), i as f64)?;
     }

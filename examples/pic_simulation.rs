@@ -21,14 +21,15 @@ fn main() {
     let nparticles = arg(2, 4000);
     let steps = arg(3, 40);
     let procs = arg(4, 8);
-    println!(
-        "PIC: {ncell} cells, {nparticles} particles, {steps} steps, {procs} processors\n"
-    );
+    println!("PIC: {ncell} cells, {nparticles} particles, {steps} steps, {procs} processors\n");
 
     let init = particles(
         ncell,
         nparticles,
-        ParticleLayout::Cluster { center: 0.2, width: 0.08 },
+        ParticleLayout::Cluster {
+            center: 0.2,
+            width: 0.08,
+        },
         0.4,
         29,
     );
@@ -36,13 +37,24 @@ fn main() {
     for (strategy, label) in [
         (PicStrategy::StaticBlock, "static BLOCK cells"),
         (
-            PicStrategy::DynamicGenBlock { period: 10, threshold: 1.1 },
+            PicStrategy::DynamicGenBlock {
+                period: 10,
+                threshold: 1.1,
+            },
             "B_BLOCK(BOUNDS) every 10 steps (Figure 2)",
         ),
         (PicStrategy::Oracle, "B_BLOCK(BOUNDS) every step"),
     ] {
         let machine = Machine::new(procs, CostModel::ipsc860(procs));
-        let result = run(&PicConfig { ncell, steps, strategy }, &machine, &init);
+        let result = run(
+            &PicConfig {
+                ncell,
+                steps,
+                strategy,
+            },
+            &machine,
+            &init,
+        );
         println!("strategy: {label}");
         println!(
             "  particle imbalance: mean {:.2}, max {:.2}",
@@ -57,7 +69,10 @@ fn main() {
             result.stats.load_imbalance(),
             result.stats.critical_time()
         );
-        assert_eq!(result.total_particles, nparticles, "particles are conserved");
+        assert_eq!(
+            result.total_particles, nparticles,
+            "particles are conserved"
+        );
         println!();
     }
     println!("every strategy conserves all {nparticles} particles; the dynamic");

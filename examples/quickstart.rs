@@ -31,7 +31,10 @@ fn main() -> Result<(), CoreError> {
         let value = (point.coord(0) * 100 + point.coord(1)) as f64;
         scope.array_mut("B")?.set(&point, value)?;
     }
-    println!("initial distribution of B: {}", scope.current_dist_type("B")?);
+    println!(
+        "initial distribution of B: {}",
+        scope.current_dist_type("B")?
+    );
     println!("{}", scope.descriptor("B")?);
 
     // DISTRIBUTE B :: (:, CYCLIC)  — the secondary array A follows along.
@@ -64,7 +67,10 @@ fn main() -> Result<(), CoreError> {
     let dcase = Dcase::new(["B"])
         .when_positional([DistPattern::exact(&DistType::blocks2d())])
         .labelled("2-D block algorithm")
-        .when_positional([DistPattern::dims(vec![DimPattern::Star, DimPattern::CyclicAny])])
+        .when_positional([DistPattern::dims(vec![
+            DimPattern::Star,
+            DimPattern::CyclicAny,
+        ])])
         .labelled("cyclic-column algorithm")
         .default_case()
         .labelled("generic algorithm");

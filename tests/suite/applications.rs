@@ -66,7 +66,15 @@ fn adi_strategies_agree_with_reference_across_sizes() {
             AdiStrategy::TwoCopies,
         ] {
             let machine = zero_machine(3);
-            let r = adi::run(&AdiConfig { n, iterations: 2, strategy }, &machine, &initial);
+            let r = adi::run(
+                &AdiConfig {
+                    n,
+                    iterations: 2,
+                    strategy,
+                },
+                &machine,
+                &initial,
+            );
             for (a, b) in r.field.iter().zip(reference.iter()) {
                 assert!((a - b).abs() < 1e-9, "{strategy:?} diverges at n={n}");
             }
@@ -85,7 +93,15 @@ fn adi_communication_breakdown_matches_figure1_claim() {
     let initial = workloads::initial_grid(n, 13);
     let run_strategy = |strategy| {
         let machine = zero_machine(p);
-        adi::run(&AdiConfig { n, iterations: 1, strategy }, &machine, &initial)
+        adi::run(
+            &AdiConfig {
+                n,
+                iterations: 1,
+                strategy,
+            },
+            &machine,
+            &initial,
+        )
     };
     let dynamic = run_strategy(AdiStrategy::DynamicRedistribute);
     let static_cols = run_strategy(AdiStrategy::StaticColumns);
@@ -103,16 +119,30 @@ fn pic_dynamic_strategy_keeps_imbalance_bounded_as_the_cloud_drifts() {
     let init = workloads::particles(
         ncell,
         1500,
-        ParticleLayout::Cluster { center: 0.15, width: 0.05 },
+        ParticleLayout::Cluster {
+            center: 0.15,
+            width: 0.05,
+        },
         0.5,
         41,
     );
     let run_strategy = |strategy| {
         let machine = Machine::new(8, CostModel::modern_cluster());
-        pic::run(&PicConfig { ncell, steps: 40, strategy }, &machine, &init)
+        pic::run(
+            &PicConfig {
+                ncell,
+                steps: 40,
+                strategy,
+            },
+            &machine,
+            &init,
+        )
     };
     let static_block = run_strategy(PicStrategy::StaticBlock);
-    let dynamic = run_strategy(PicStrategy::DynamicGenBlock { period: 10, threshold: 1.1 });
+    let dynamic = run_strategy(PicStrategy::DynamicGenBlock {
+        period: 10,
+        threshold: 1.1,
+    });
 
     assert_eq!(static_block.total_particles, 1500);
     assert_eq!(dynamic.total_particles, 1500);
@@ -135,7 +165,10 @@ fn pic_imbalance_drops_right_after_a_rebalance_step() {
     let init = workloads::particles(
         ncell,
         1200,
-        ParticleLayout::Cluster { center: 0.25, width: 0.06 },
+        ParticleLayout::Cluster {
+            center: 0.25,
+            width: 0.06,
+        },
         0.4,
         11,
     );
@@ -144,7 +177,10 @@ fn pic_imbalance_drops_right_after_a_rebalance_step() {
         &PicConfig {
             ncell,
             steps: 30,
-            strategy: PicStrategy::DynamicGenBlock { period: 10, threshold: 1.05 },
+            strategy: PicStrategy::DynamicGenBlock {
+                period: 10,
+                threshold: 1.05,
+            },
         },
         &machine,
         &init,

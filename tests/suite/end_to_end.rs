@@ -26,7 +26,11 @@ fn figure1_adi_scenario_through_the_language_layer() {
     let domain = IndexDomain::d2(n, n);
     for point in domain.iter() {
         let lin = domain.linearize(&point).unwrap();
-        scope.array_mut("V").unwrap().set(&point, initial[lin]).unwrap();
+        scope
+            .array_mut("V")
+            .unwrap()
+            .set(&point, initial[lin])
+            .unwrap();
     }
     scope.take_stats();
 
@@ -54,7 +58,9 @@ fn figure1_adi_scenario_through_the_language_layer() {
     assert!(report.moved_elements() > 0);
     let redist_stats = scope.take_stats();
     assert!(redist_stats.total_messages() > 0);
-    assert!(scope.idt("V", &DistPattern::exact(&DistType::rows())).unwrap());
+    assert!(scope
+        .idt("V", &DistPattern::exact(&DistType::rows()))
+        .unwrap());
 
     // y-line sweeps: every row is now local, again no communication.
     for i in 1..=n as i64 {
@@ -103,7 +109,10 @@ fn figure2_load_balance_scenario_through_the_language_layer() {
     let particles = vf_apps::workloads::particles(
         ncell,
         1000,
-        vf_apps::workloads::ParticleLayout::Cluster { center: 0.2, width: 0.05 },
+        vf_apps::workloads::ParticleLayout::Cluster {
+            center: 0.2,
+            width: 0.05,
+        },
         0.0,
         3,
     );
@@ -127,8 +136,7 @@ fn figure2_load_balance_scenario_through_the_language_layer() {
                 .sum()
         })
         .collect();
-    let imbalance_static = *per_proc_static.iter().max().unwrap() as f64
-        / (1000.0 / p as f64);
+    let imbalance_static = *per_proc_static.iter().max().unwrap() as f64 / (1000.0 / p as f64);
 
     // balance + DISTRIBUTE FIELD :: B_BLOCK(BOUNDS).
     let bounds = vf_apps::pic::balance(&counts, p);
@@ -136,10 +144,7 @@ fn figure2_load_balance_scenario_through_the_language_layer() {
         .distribute(DistributeStmt::new("FIELD", DistType::gen_block1d(bounds)))
         .unwrap();
     assert!(scope
-        .idt(
-            "FIELD",
-            &DistPattern::dims(vec![DimPattern::GenBlockAny])
-        )
+        .idt("FIELD", &DistPattern::dims(vec![DimPattern::GenBlockAny]))
         .unwrap());
 
     let per_proc_balanced: Vec<usize> = (0..p)
@@ -159,8 +164,7 @@ fn figure2_load_balance_scenario_through_the_language_layer() {
                 .sum()
         })
         .collect();
-    let imbalance_balanced =
-        *per_proc_balanced.iter().max().unwrap() as f64 / (1000.0 / p as f64);
+    let imbalance_balanced = *per_proc_balanced.iter().max().unwrap() as f64 / (1000.0 / p as f64);
     assert!(
         imbalance_balanced < imbalance_static,
         "rebalancing must reduce the particle imbalance ({imbalance_balanced:.2} vs {imbalance_static:.2})"
@@ -209,7 +213,14 @@ fn deferred_distribution_lifecycle() {
     scope
         .distribute(DistributeStmt::new("B1", DistType::cyclic1d(2)))
         .unwrap();
-    scope.array_mut("B1").unwrap().set(&Point::d1(3), 9.0).unwrap();
+    scope
+        .array_mut("B1")
+        .unwrap()
+        .set(&Point::d1(3), 9.0)
+        .unwrap();
     assert_eq!(scope.array("B1").unwrap().get(&Point::d1(3)).unwrap(), 9.0);
-    assert_eq!(scope.descriptor("B1").unwrap().dist_type, DistType::cyclic1d(2));
+    assert_eq!(
+        scope.descriptor("B1").unwrap().dist_type,
+        DistType::cyclic1d(2)
+    );
 }

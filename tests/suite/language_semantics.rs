@@ -24,9 +24,14 @@ fn connect_classes_are_independent() {
         .declare_secondary(SecondaryDecl::extraction("A2", IndexDomain::d1(12), "B2"))
         .unwrap();
 
-    scope.distribute(DistributeStmt::new("B1", DistType::cyclic1d(1))).unwrap();
+    scope
+        .distribute(DistributeStmt::new("B1", DistType::cyclic1d(1)))
+        .unwrap();
     // Only C(B1) changed; C(B2) kept its distribution.
-    assert_eq!(scope.current_dist_type("A1").unwrap(), DistType::cyclic1d(1));
+    assert_eq!(
+        scope.current_dist_type("A1").unwrap(),
+        DistType::cyclic1d(1)
+    );
     assert_eq!(scope.current_dist_type("B2").unwrap(), DistType::block1d());
     assert_eq!(scope.current_dist_type("A2").unwrap(), DistType::block1d());
     // NOTRANSFER may not name a secondary of a different class.
@@ -42,9 +47,7 @@ fn connect_relation_stops_at_scope_boundaries() {
     let machine = zero_machine(2);
     let mut outer: VfScope<f64> = VfScope::new(machine.clone());
     outer
-        .declare_dynamic(
-            DynamicDecl::new("B", IndexDomain::d1(8)).initial(DistType::block1d()),
-        )
+        .declare_dynamic(DynamicDecl::new("B", IndexDomain::d1(8)).initial(DistType::block1d()))
         .unwrap();
     outer
         .declare_secondary(SecondaryDecl::extraction("A", IndexDomain::d1(8), "B"))
@@ -56,7 +59,11 @@ fn connect_relation_stops_at_scope_boundaries() {
     let mut inner: VfScope<f64> = VfScope::new(machine);
     assert!(inner.connect_class("B").is_err());
     inner
-        .declare_static(StaticDecl::new("A", IndexDomain::d1(8), DistType::cyclic1d(1)))
+        .declare_static(StaticDecl::new(
+            "A",
+            IndexDomain::d1(8),
+            DistType::cyclic1d(1),
+        ))
         .unwrap();
     assert_eq!(inner.current_dist_type("A").unwrap(), DistType::cyclic1d(1));
     // The outer scope is unaffected.
@@ -117,16 +124,16 @@ fn range_restricts_all_paths_to_a_distribution() {
 fn dcase_selects_the_first_matching_clause() {
     let mut scope: VfScope<f64> = VfScope::new(zero_machine(4));
     scope
-        .declare_dynamic(
-            DynamicDecl::new("B", IndexDomain::d1(8)).initial(DistType::block1d()),
-        )
+        .declare_dynamic(DynamicDecl::new("B", IndexDomain::d1(8)).initial(DistType::block1d()))
         .unwrap();
     let dcase = Dcase::new(["B"])
         .when_positional([DistPattern::Any])
         .when_positional([DistPattern::exact(&DistType::block1d())])
         .default_case();
     assert_eq!(dcase.select(&scope).unwrap(), Some(0));
-    scope.distribute(DistributeStmt::new("B", DistType::cyclic1d(1))).unwrap();
+    scope
+        .distribute(DistributeStmt::new("B", DistType::cyclic1d(1)))
+        .unwrap();
     assert_eq!(dcase.select(&scope).unwrap(), Some(0));
 }
 
@@ -154,17 +161,19 @@ fn analysis_plausible_sets_cover_the_runtime_behaviour() {
     // The runtime executes the same shape with a concrete predicate.
     let mut scope: VfScope<f64> = VfScope::new(zero_machine(4));
     scope
-        .declare_dynamic(
-            DynamicDecl::new("V", IndexDomain::d2(8, 8)).initial(DistType::columns()),
-        )
+        .declare_dynamic(DynamicDecl::new("V", IndexDomain::d2(8, 8)).initial(DistType::columns()))
         .unwrap();
     let observed_before = scope.current_dist_type("V").unwrap();
     let mut observed_in_loop = Vec::new();
     for iter in 0..4 {
-        scope.distribute(DistributeStmt::new("V", DistType::rows())).unwrap();
+        scope
+            .distribute(DistributeStmt::new("V", DistType::rows()))
+            .unwrap();
         observed_in_loop.push(scope.current_dist_type("V").unwrap());
         if iter % 2 == 0 {
-            scope.distribute(DistributeStmt::new("V", DistType::columns())).unwrap();
+            scope
+                .distribute(DistributeStmt::new("V", DistType::columns()))
+                .unwrap();
         }
     }
     let observed_after = scope.current_dist_type("V").unwrap();
@@ -206,16 +215,14 @@ fn analysis_plausible_sets_cover_the_runtime_behaviour() {
 #[test]
 fn idt_on_processor_sections() {
     let machine = zero_machine(4);
-    let mut scope: VfScope<f64> =
-        VfScope::with_processors(machine, ProcessorView::grid2d(2, 2));
+    let mut scope: VfScope<f64> = VfScope::with_processors(machine, ProcessorView::grid2d(2, 2));
     scope
         .declare_dynamic(
-            DynamicDecl::new("C", IndexDomain::d3(6, 6, 6))
-                .initial(DistType::new(vec![
-                    DimDist::Block,
-                    DimDist::Block,
-                    DimDist::NotDistributed,
-                ])),
+            DynamicDecl::new("C", IndexDomain::d3(6, 6, 6)).initial(DistType::new(vec![
+                DimDist::Block,
+                DimDist::Block,
+                DimDist::NotDistributed,
+            ])),
         )
         .unwrap();
     let pattern = DistPattern::dims(vec![

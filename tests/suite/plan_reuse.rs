@@ -1,0 +1,196 @@
+//! Property tests for the unified communication-plan layer: a cached,
+//! reused `CommPlan` must move exactly the same elements and charge
+//! exactly the same bytes as a freshly planned execution and as a naive
+//! per-element reference, and changing the target distribution must never
+//! reuse a stale plan.
+
+use proptest::prelude::*;
+use proptest::strategy::ValueTree;
+use vf_core::prelude::*;
+use vf_integration::dist_1d;
+use vf_runtime::ghost::{exchange_ghosts, exchange_ghosts_cached};
+
+/// Strategy for an arbitrary 1-D distribution type valid for `n` elements on
+/// `p` processors (same shape as `property_cross_crate`).
+fn arb_dist_type(n: usize, p: usize) -> impl Strategy<Value = DistType> {
+    prop_oneof![
+        Just(DistType::block1d()),
+        (1usize..6).prop_map(DistType::cyclic1d),
+        proptest::collection::vec(0usize..(2 * n / p + 1), p).prop_map(move |mut sizes| {
+            let mut total: usize = sizes.iter().sum();
+            let mut i = 0;
+            while total > n {
+                let take = (total - n).min(sizes[i % p]);
+                sizes[i % p] -= take;
+                total -= take;
+                i += 1;
+            }
+            if total < n {
+                sizes[p - 1] += n - total;
+            }
+            DistType::gen_block1d(sizes)
+        }),
+    ]
+}
+
+/// The naive per-element reference: element-wise ownership comparison,
+/// without plans, runs, or caches.
+fn naive_counts(from: &Distribution, to: &Distribution) -> (usize, usize, usize) {
+    let mut moved = 0usize;
+    let mut stayed = 0usize;
+    let mut pairs = std::collections::BTreeSet::new();
+    for point in from.domain().iter() {
+        let src = from.owner(&point).unwrap();
+        let dst = to.owner(&point).unwrap();
+        if src == dst {
+            stayed += 1;
+        } else {
+            moved += 1;
+            pairs.insert((src.0, dst.0));
+        }
+    }
+    (moved, stayed, pairs.len())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Executing a cached plan twice, a fresh plan, and the naive
+    /// per-element reference all agree on moved elements, messages and
+    /// bytes — and the cached executions preserve the data.
+    #[test]
+    fn prop_cached_plan_equals_fresh_and_naive(
+        n in 8usize..80,
+        p in 2usize..6,
+        seed in 0u64..1000,
+    ) {
+        let mut runner = proptest::test_runner::TestRunner::deterministic();
+        let from_t = arb_dist_type(n, p).new_tree(&mut runner).unwrap().current();
+        let to_t = arb_dist_type(n, p).new_tree(&mut runner).unwrap().current();
+        let from = dist_1d(from_t.clone(), n, p);
+        let to = dist_1d(to_t.clone(), n, p);
+
+        let init = |pt: &Point| (pt.coord(0) as f64) * 1.5 + seed as f64;
+
+        // Fresh planning.
+        let t_fresh = CommTracker::new(p, CostModel::zero());
+        let mut a_fresh = DistArray::from_fn("A", from.clone(), init);
+        let fresh = redistribute(&mut a_fresh, to.clone(), &t_fresh, &RedistOptions::default())
+            .unwrap();
+
+        // Cached planning, executed twice on identical inputs.
+        let cache = PlanCache::new();
+        let t_cached = CommTracker::new(p, CostModel::zero());
+        let mut a1 = DistArray::from_fn("A", from.clone(), init);
+        let r1 = redistribute_cached(&mut a1, to.clone(), &t_cached, &RedistOptions::default(), &cache).unwrap();
+        let mut a2 = DistArray::from_fn("A", from.clone(), init);
+        let r2 = redistribute_cached(&mut a2, to.clone(), &t_cached, &RedistOptions::default(), &cache).unwrap();
+        prop_assert_eq!(cache.stats().misses, 1);
+        prop_assert_eq!(cache.stats().hits, 1);
+
+        // Cached == fresh, execution for execution.
+        prop_assert_eq!(&r1, &fresh);
+        prop_assert_eq!(&r2, &fresh);
+        prop_assert_eq!(a1.to_dense(), a_fresh.to_dense());
+        prop_assert_eq!(a2.to_dense(), a_fresh.to_dense());
+        // Data preserved.
+        let expected: Vec<f64> = from.domain().iter().map(|pt| init(&pt)).collect();
+        prop_assert_eq!(a1.to_dense(), expected);
+
+        // Both equal the naive per-element reference.
+        let (moved, stayed, pairs) = naive_counts(&from, &to);
+        prop_assert_eq!(r1.moved_elements, moved);
+        prop_assert_eq!(r1.stayed_elements, stayed);
+        prop_assert_eq!(r1.messages, pairs);
+        prop_assert_eq!(r1.bytes, moved * 8);
+
+        // The tracker charged exactly twice the per-execution traffic.
+        prop_assert_eq!(t_cached.snapshot().total_bytes(), 2 * fresh.bytes);
+        prop_assert_eq!(t_cached.snapshot().total_messages(), 2 * fresh.messages);
+    }
+
+    /// Changing the target distribution never reuses a stale plan: the
+    /// cache plans a fresh schedule (new key) and the data survives;
+    /// executing the stale plan object directly is rejected.
+    #[test]
+    fn prop_changed_target_never_reuses_stale_plan(
+        n in 8usize..60,
+        p in 2usize..5,
+    ) {
+        let mut runner = proptest::test_runner::TestRunner::deterministic();
+        let from_t = arb_dist_type(n, p).new_tree(&mut runner).unwrap().current();
+        let to1_t = arb_dist_type(n, p).new_tree(&mut runner).unwrap().current();
+        let to2_t = arb_dist_type(n, p).new_tree(&mut runner).unwrap().current();
+        prop_assume!(to1_t != to2_t);
+        let from = dist_1d(from_t, n, p);
+        let to1 = dist_1d(to1_t, n, p);
+        let to2 = dist_1d(to2_t, n, p);
+
+        let cache = PlanCache::new();
+        let tracker = CommTracker::new(p, CostModel::zero());
+        let mut a = DistArray::from_fn("A", from.clone(), |pt| pt.coord(0) as f64);
+        let before = a.to_dense();
+
+        redistribute_cached(&mut a, to1.clone(), &tracker, &RedistOptions::default(), &cache).unwrap();
+        let stale = cache.redistribute_plan(&from, &to1).unwrap();
+        // Second hop with a *different* target: must be a cache miss with
+        // its own key, and the data must survive.
+        let misses_before = cache.stats().misses;
+        redistribute_cached(&mut a, to2.clone(), &tracker, &RedistOptions::default(), &cache).unwrap();
+        prop_assert_eq!(cache.stats().misses, misses_before + 1);
+        prop_assert_eq!(a.to_dense(), before);
+        a.check_invariants().unwrap();
+
+        // The stale (from -> to1) plan no longer matches the array (now
+        // distributed as to2) — unless to2 is structurally the same
+        // distribution as from, in which case the plan genuinely applies.
+        if to2.fingerprint() != from.fingerprint() {
+            let err = vf_runtime::execute_redistribute(
+                &mut a,
+                &stale,
+                &tracker,
+                &RedistOptions::default(),
+            );
+            prop_assert!(matches!(err, Err(vf_runtime::RuntimeError::PlanMismatch { .. })));
+        }
+    }
+
+    /// Cached ghost-exchange plans return exactly the values and charge
+    /// exactly the bytes of a fresh exchange, step after step.
+    #[test]
+    fn prop_cached_ghost_exchange_matches_fresh(
+        n in 4usize..24,
+        p in 1usize..5,
+        steps in 1usize..4,
+    ) {
+        let dist = Distribution::new(
+            DistType::columns(),
+            IndexDomain::d2(n, n),
+            ProcessorView::linear(p),
+        ).unwrap();
+        let a = DistArray::from_fn("U", dist.clone(), |pt| (pt.coord(0) * 37 + pt.coord(1)) as f64);
+        let cache = PlanCache::new();
+        let t_cached = CommTracker::new(p, CostModel::zero());
+        let t_fresh = CommTracker::new(p, CostModel::zero());
+        for _ in 0..steps {
+            let (g_cached, r_cached) =
+                exchange_ghosts_cached(&a, &[(1, 1), (1, 1)], &t_cached, &cache).unwrap();
+            let (g_fresh, r_fresh) =
+                exchange_ghosts(&a, &[(1, 1), (1, 1)], &t_fresh).unwrap();
+            prop_assert_eq!(r_cached, r_fresh);
+            for &proc in dist.proc_ids() {
+                prop_assert_eq!(g_cached.len(proc), g_fresh.len(proc));
+                for point in dist.domain().iter() {
+                    prop_assert_eq!(g_cached.get(proc, &point), g_fresh.get(proc, &point));
+                }
+            }
+        }
+        prop_assert_eq!(
+            t_cached.snapshot().total_bytes(),
+            t_fresh.snapshot().total_bytes()
+        );
+        // One plan served every step.
+        prop_assert_eq!(cache.stats().misses, 1);
+        prop_assert_eq!(cache.stats().hits, steps as u64 - 1);
+    }
+}

@@ -71,8 +71,13 @@ fn two_dimensional_redistributions_preserve_data() {
                 (pt.coord(0) * 100 + pt.coord(1)) as f64
             });
             let before = a.to_dense();
-            redistribute(&mut a, dist_2d(to.clone(), 12, 18, p), &tracker, &RedistOptions::default())
-                .unwrap();
+            redistribute(
+                &mut a,
+                dist_2d(to.clone(), 12, 18, p),
+                &tracker,
+                &RedistOptions::default(),
+            )
+            .unwrap();
             assert_eq!(a.to_dense(), before, "{from} -> {to} on {p} processors");
         }
     }
@@ -85,9 +90,7 @@ fn connect_class_follows_through_a_chain_of_redistributions() {
     let n = 12usize;
     let mut scope: VfScope<f64> = VfScope::new(zero_machine(4));
     scope
-        .declare_dynamic(
-            DynamicDecl::new("B", IndexDomain::d2(n, n)).initial(DistType::columns()),
-        )
+        .declare_dynamic(DynamicDecl::new("B", IndexDomain::d2(n, n)).initial(DistType::columns()))
         .unwrap();
     scope
         .declare_secondary(SecondaryDecl::extraction("EXT", IndexDomain::d2(n, n), "B"))
@@ -107,7 +110,11 @@ fn connect_class_follows_through_a_chain_of_redistributions() {
         let v = (point.coord(0) * 1000 + point.coord(1)) as f64;
         scope.array_mut("B").unwrap().set(&point, v).unwrap();
         scope.array_mut("EXT").unwrap().set(&point, -v).unwrap();
-        scope.array_mut("TRANS").unwrap().set(&point, 2.0 * v).unwrap();
+        scope
+            .array_mut("TRANS")
+            .unwrap()
+            .set(&point, 2.0 * v)
+            .unwrap();
     }
 
     for dist in [
@@ -116,7 +123,9 @@ fn connect_class_follows_through_a_chain_of_redistributions() {
         DistType::new(vec![DimDist::Cyclic(2), DimDist::Block]),
         DistType::columns(),
     ] {
-        scope.distribute(DistributeStmt::new("B", dist.clone())).unwrap();
+        scope
+            .distribute(DistributeStmt::new("B", dist.clone()))
+            .unwrap();
         // The extraction secondary shares B's distribution type.
         assert_eq!(scope.current_dist_type("EXT").unwrap(), dist);
         // Data of all three arrays survives every step.
@@ -147,9 +156,7 @@ fn connect_class_follows_through_a_chain_of_redistributions() {
 fn notransfer_applies_only_to_named_secondaries() {
     let mut scope: VfScope<f64> = VfScope::new(zero_machine(4));
     scope
-        .declare_dynamic(
-            DynamicDecl::new("B", IndexDomain::d1(16)).initial(DistType::block1d()),
-        )
+        .declare_dynamic(DynamicDecl::new("B", IndexDomain::d1(16)).initial(DistType::block1d()))
         .unwrap();
     scope
         .declare_secondary(SecondaryDecl::extraction("KEEP", IndexDomain::d1(16), "B"))
@@ -159,7 +166,11 @@ fn notransfer_applies_only_to_named_secondaries() {
         .unwrap();
     for i in 1..=16i64 {
         for name in ["B", "KEEP", "SKIP"] {
-            scope.array_mut(name).unwrap().set(&Point::d1(i), i as f64).unwrap();
+            scope
+                .array_mut(name)
+                .unwrap()
+                .set(&Point::d1(i), i as f64)
+                .unwrap();
         }
     }
     let report = scope
@@ -175,8 +186,14 @@ fn notransfer_applies_only_to_named_secondaries() {
     assert!(moved.iter().any(|&(n, m)| n == "KEEP" && m > 0));
     assert!(moved.iter().any(|&(n, m)| n == "SKIP" && m == 0));
     // KEEP's data is intact, SKIP's is not guaranteed (defaults).
-    assert_eq!(scope.array("KEEP").unwrap().get(&Point::d1(5)).unwrap(), 5.0);
-    assert_eq!(scope.current_dist_type("SKIP").unwrap(), DistType::cyclic1d(1));
+    assert_eq!(
+        scope.array("KEEP").unwrap().get(&Point::d1(5)).unwrap(),
+        5.0
+    );
+    assert_eq!(
+        scope.current_dist_type("SKIP").unwrap(),
+        DistType::cyclic1d(1)
+    );
 }
 
 /// The element-wise ablation charges the same bytes but many more messages,
@@ -190,8 +207,13 @@ fn aggregation_ablation_shows_latency_savings() {
         let mut a = DistArray::from_fn("A", dist_1d(DistType::block1d(), n, p), |pt| {
             pt.coord(0) as f64
         });
-        let report =
-            redistribute(&mut a, dist_1d(DistType::cyclic1d(1), n, p), &tracker, &opts).unwrap();
+        let report = redistribute(
+            &mut a,
+            dist_1d(DistType::cyclic1d(1), n, p),
+            &tracker,
+            &opts,
+        )
+        .unwrap();
         (report, tracker.snapshot().critical_time())
     };
     let (agg_report, agg_time) = run_opts(RedistOptions::default());

@@ -1,0 +1,178 @@
+//! Offline stand-in for the slice of the `criterion` bench API this
+//! workspace uses.
+//!
+//! Benches compile and run as plain timed smoke benchmarks: every
+//! registered routine executes `sample_size` iterations (default 10) and
+//! the mean wall-clock time is printed in criterion-like one-line form.
+//! There is no statistical analysis, warm-up, or HTML report; the point is
+//! that `cargo bench` exercises the same code paths with real timings and
+//! stays CI-runnable without registry access.
+
+use std::fmt;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Mirror of `criterion::black_box` — an identity function opaque to the
+/// optimiser.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// A bench identifier combining a function name and a parameter, mirror of
+/// `criterion::BenchmarkId`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+    param: String,
+}
+
+impl BenchmarkId {
+    /// An id for `name` parameterised by `param`.
+    pub fn new(name: impl Into<String>, param: impl fmt::Display) -> Self {
+        Self {
+            name: name.into(),
+            param: param.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.name, self.param)
+    }
+}
+
+/// The per-routine measurement handle, mirror of `criterion::Bencher`.
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over the configured number of iterations.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// A named group of related benchmarks, mirror of `BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: u64,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed iterations per routine.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n as u64;
+        self
+    }
+
+    /// Runs `routine` with `input`, reporting under `id`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            iterations: self.sample_size.max(1),
+            elapsed: Duration::ZERO,
+        };
+        routine(&mut b, input);
+        self.report(&id.to_string(), &b);
+        self
+    }
+
+    /// Runs `routine` without an input parameter, reporting under `name`.
+    pub fn bench_function<F>(&mut self, name: impl fmt::Display, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            iterations: self.sample_size.max(1),
+            elapsed: Duration::ZERO,
+        };
+        routine(&mut b);
+        self.report(&name.to_string(), &b);
+        self
+    }
+
+    fn report(&self, id: &str, b: &Bencher) {
+        let mean = b.elapsed.as_secs_f64() / b.iterations.max(1) as f64;
+        println!(
+            "{}/{}: {} iterations, mean {:.3e} s/iter",
+            self.name, id, b.iterations, mean
+        );
+        let _ = &self.criterion;
+    }
+
+    /// Ends the group (mirror of `BenchmarkGroup::finish`).
+    pub fn finish(&mut self) {}
+}
+
+/// The bench context, mirror of `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            criterion: self,
+        }
+    }
+}
+
+/// Mirror of `criterion_group!`: defines a function running each listed
+/// bench with a fresh [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Mirror of `criterion_main!`: the bench entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_routines() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        let mut runs = 0u64;
+        group.bench_with_input(BenchmarkId::new("f", 7), &7usize, |b, &x| {
+            b.iter(|| {
+                runs += 1;
+                x * 2
+            })
+        });
+        group.finish();
+        assert_eq!(runs, 3);
+    }
+}

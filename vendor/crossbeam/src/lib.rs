@@ -1,0 +1,16 @@
+//! Offline stand-in for the `crossbeam` channel API, backed by
+//! `std::sync::mpsc`.
+//!
+//! The workspace only uses unbounded MPSC channels (`unbounded`, `Sender`,
+//! `Receiver` with blocking `recv`), which std's channels provide directly.
+
+/// Multi-producer single-consumer channels mirroring `crossbeam::channel`.
+pub mod channel {
+    pub use std::sync::mpsc::{Receiver, SendError, Sender};
+
+    /// Creates an unbounded channel, mirroring
+    /// `crossbeam::channel::unbounded`.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}

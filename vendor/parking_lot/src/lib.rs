@@ -1,0 +1,49 @@
+//! Offline stand-in for `parking_lot`, backed by `std::sync`.
+//!
+//! Provides the small slice of the parking_lot API the workspace uses: a
+//! [`Mutex`] whose `lock` returns the guard directly (no poison `Result`).
+//! Poisoning is translated into a panic propagation, matching parking_lot's
+//! behaviour of not poisoning at all for the purposes of this workspace
+//! (a poisoned tracker mutex means a test already panicked).
+
+use std::fmt;
+use std::sync::PoisonError;
+
+/// A mutual-exclusion primitive mirroring `parking_lot::Mutex`.
+pub struct Mutex<T: ?Sized>(std::sync::Mutex<T>);
+
+/// RAII guard returned by [`Mutex::lock`].
+pub type MutexGuard<'a, T> = std::sync::MutexGuard<'a, T>;
+
+impl<T> Mutex<T> {
+    /// Creates a new mutex protecting `value`.
+    pub fn new(value: T) -> Self {
+        Self(std::sync::Mutex::new(value))
+    }
+
+    /// Consumes the mutex and returns the inner value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the mutex, blocking until it is available.  Unlike
+    /// `std::sync::Mutex::lock` this never returns a poison error — a
+    /// poisoned lock simply hands back the guard, as parking_lot would.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.0.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Self::new(T::default())
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.0.fmt(f)
+    }
+}

@@ -1,0 +1,472 @@
+//! Offline stand-in for the slice of `proptest` this workspace uses.
+//!
+//! Implements randomised property testing with a deterministic PRNG:
+//! range strategies, `Just`, `prop_map`, `prop_oneof!`,
+//! `proptest::collection::vec`, the `proptest!` macro with an optional
+//! `proptest_config`, `prop_assert*`/`prop_assume!`, and the
+//! `TestRunner`/`ValueTree` plumbing the integration tests drive manually.
+//!
+//! Unlike the real proptest there is **no shrinking** and no failure
+//! persistence: a failing case panics with the sampled inputs visible in
+//! the assertion message.  Runs are fully deterministic (fixed seed), so a
+//! failure reproduces on every run.
+
+/// Strategies: how to generate values of a type.
+pub mod strategy {
+    use crate::test_runner::{TestError, TestRng, TestRunner};
+    use std::marker::PhantomData;
+    use std::ops::Range;
+
+    /// A generated value, addressable through [`ValueTree`].  The offline
+    /// stand-in never shrinks, so the tree is just the sampled value.
+    #[derive(Debug, Clone)]
+    pub struct Sampled<V>(pub(crate) V);
+
+    /// Mirror of `proptest::strategy::ValueTree` (without shrinking).
+    pub trait ValueTree {
+        /// The type of the generated value.
+        type Value;
+
+        /// The current value of the tree.
+        fn current(&self) -> Self::Value;
+    }
+
+    impl<V: Clone> ValueTree for Sampled<V> {
+        type Value = V;
+
+        fn current(&self) -> V {
+            self.0.clone()
+        }
+    }
+
+    /// Mirror of `proptest::strategy::Strategy`.
+    pub trait Strategy {
+        /// The type of the generated values.
+        type Value: Clone;
+
+        /// Draws one value using the runner's RNG.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Generates a new value tree from the runner.
+        fn new_tree(&self, runner: &mut TestRunner) -> Result<Sampled<Self::Value>, TestError> {
+            Ok(Sampled(self.sample(runner.rng())))
+        }
+
+        /// Maps generated values through `f`.
+        fn prop_map<T: Clone, F: Fn(Self::Value) -> T>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Type-erases the strategy (mirror of `Strategy::boxed`).
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Box::new(self))
+        }
+    }
+
+    /// A strategy that always yields the same value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// The strategy returned by [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, T: Clone, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> T {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    /// A boxed, type-erased strategy (mirror of `BoxedStrategy`).
+    pub struct BoxedStrategy<V>(Box<dyn DynStrategy<V>>);
+
+    trait DynStrategy<V> {
+        fn sample_dyn(&self, rng: &mut TestRng) -> V;
+    }
+
+    impl<S: Strategy> DynStrategy<S::Value> for S {
+        fn sample_dyn(&self, rng: &mut TestRng) -> S::Value {
+            self.sample(rng)
+        }
+    }
+
+    impl<V: Clone> Strategy for BoxedStrategy<V> {
+        type Value = V;
+
+        fn sample(&self, rng: &mut TestRng) -> V {
+            self.0.sample_dyn(rng)
+        }
+    }
+
+    /// A random choice between strategies of the same value type — the
+    /// engine behind `prop_oneof!`.
+    pub struct Union<V> {
+        options: Vec<BoxedStrategy<V>>,
+    }
+
+    impl<V: Clone> Union<V> {
+        /// Chooses uniformly among `options` (which must be non-empty).
+        pub fn new(options: Vec<BoxedStrategy<V>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            Self { options }
+        }
+    }
+
+    impl<V: Clone> Strategy for Union<V> {
+        type Value = V;
+
+        fn sample(&self, rng: &mut TestRng) -> V {
+            let i = (rng.next_u64() % self.options.len() as u64) as usize;
+            self.options[i].sample(rng)
+        }
+    }
+
+    macro_rules! impl_int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    assert!(span > 0, "empty range strategy");
+                    (self.start as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_int_range_strategy!(usize, u8, u16, u32, u64, isize, i8, i16, i32, i64);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+
+        fn sample(&self, rng: &mut TestRng) -> f64 {
+            let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+            self.start + unit * (self.end - self.start)
+        }
+    }
+
+    impl Strategy for Range<f32> {
+        type Value = f32;
+
+        fn sample(&self, rng: &mut TestRng) -> f32 {
+            let unit = (rng.next_u64() >> 40) as f32 / (1u64 << 24) as f32;
+            self.start + unit * (self.end - self.start)
+        }
+    }
+
+    /// Marker for `PhantomData`-based strategies (unused, kept for parity).
+    #[derive(Debug, Clone)]
+    pub struct NoopStrategy<T>(PhantomData<T>);
+}
+
+/// Strategies for collections.
+pub mod collection {
+    use crate::strategy::{Sampled, Strategy};
+    use crate::test_runner::{TestError, TestRng, TestRunner};
+    use std::ops::Range;
+
+    /// The number of elements a collection strategy may generate — mirror
+    /// of `proptest::collection::SizeRange`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.end > r.start, "empty collection size range");
+            Self {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    /// A strategy generating `Vec`s of values drawn from `element`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Mirror of `proptest::collection::vec`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi - self.size.lo) as u64;
+            let len = self.size.lo + (rng.next_u64() % span) as usize;
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+
+        fn new_tree(&self, runner: &mut TestRunner) -> Result<Sampled<Vec<S::Value>>, TestError> {
+            Ok(Sampled(self.sample(runner.rng())))
+        }
+    }
+}
+
+/// The test runner: configuration plus the deterministic RNG.
+pub mod test_runner {
+    /// Error type produced by strategy instantiation (never constructed by
+    /// the offline stand-in, but present so `new_tree(..).unwrap()`
+    /// compiles).
+    #[derive(Debug, Clone)]
+    pub struct TestError(pub String);
+
+    /// Mirror of `proptest::test_runner::Config` under its prelude name.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of cases to run per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A configuration running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            // The real default is 256; 64 keeps the offline suite fast
+            // while still exercising a meaningful sample.
+            Self { cases: 64 }
+        }
+    }
+
+    /// Deterministic xorshift64* RNG used for sampling.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        fn from_seed(seed: u64) -> Self {
+            Self {
+                state: seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).max(1),
+            }
+        }
+
+        /// The next 64 uniform bits.
+        pub fn next_u64(&mut self) -> u64 {
+            let mut x = self.state;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.state = x;
+            x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        }
+    }
+
+    /// Mirror of `proptest::test_runner::TestRunner`.
+    #[derive(Debug, Clone)]
+    pub struct TestRunner {
+        config: ProptestConfig,
+        rng: TestRng,
+    }
+
+    impl TestRunner {
+        /// A runner with the given configuration and the fixed seed.
+        pub fn new(config: ProptestConfig) -> Self {
+            Self {
+                config,
+                rng: TestRng::from_seed(0x5EED_CAFE),
+            }
+        }
+
+        /// A runner with a deterministic RNG — mirror of
+        /// `TestRunner::deterministic()`.
+        pub fn deterministic() -> Self {
+            Self::new(ProptestConfig::default())
+        }
+
+        /// The runner's configuration.
+        pub fn config(&self) -> &ProptestConfig {
+            &self.config
+        }
+
+        /// The runner's RNG.
+        pub fn rng(&mut self) -> &mut TestRng {
+            &mut self.rng
+        }
+    }
+}
+
+/// The prelude, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest};
+}
+
+/// Runs the body of one property case; mirrors `proptest!`.
+///
+/// Supports the two forms the workspace uses:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(48))]
+///     #[test]
+///     fn my_prop(x in 0usize..10, ys in proptest::collection::vec(0i32..5, 3)) { ... }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body! { @cfg($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body! { @cfg($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Internal expansion helper for [`proptest!`]; not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    (@cfg($cfg:expr) $( $(#[$meta:meta])* fn $name:ident ( $( $arg:ident in $strat:expr ),* $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut runner = $crate::test_runner::TestRunner::new(config.clone());
+                for _case in 0..config.cases {
+                    $(
+                        let $arg = {
+                            use $crate::strategy::{Strategy as _, ValueTree as _};
+                            ($strat).new_tree(&mut runner).expect("strategy instantiation").current()
+                        };
+                    )*
+                    // The closure gives `prop_assume!` an early `return`
+                    // that skips just this case.  `mut` stays for bodies
+                    // that mutate captured sampled values.
+                    #[allow(unused_mut)]
+                    let mut one_case = move || $body;
+                    one_case();
+                }
+            }
+        )*
+    };
+}
+
+/// Mirror of `prop_assert!` — panics on failure (no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Mirror of `prop_assert_eq!` — panics on failure (no shrinking).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Mirror of `prop_assume!` — skips the current case when the assumption
+/// does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+/// Mirror of `prop_oneof!` — chooses uniformly among the arm strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $({
+                use $crate::strategy::Strategy as _;
+                ($strat).boxed()
+            }),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::ValueTree;
+
+    #[test]
+    fn manual_runner_flow() {
+        let mut runner = crate::test_runner::TestRunner::deterministic();
+        let strat = (0usize..10).prop_map(|x| x * 2);
+        for _ in 0..100 {
+            let v = strat.new_tree(&mut runner).unwrap().current();
+            assert!(v % 2 == 0 && v < 20);
+        }
+    }
+
+    #[test]
+    fn oneof_hits_every_arm() {
+        let mut runner = crate::test_runner::TestRunner::deterministic();
+        let strat = prop_oneof![Just(1u32), Just(2u32), (10u32..20)];
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            match strat.new_tree(&mut runner).unwrap().current() {
+                1 => seen[0] = true,
+                2 => seen[1] = true,
+                x if (10..20).contains(&x) => seen[2] = true,
+                other => panic!("unexpected value {other}"),
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_generates_cases(x in 1usize..50, v in crate::collection::vec(0i32..5, 2..6)) {
+            prop_assume!(x != 13);
+            prop_assert!((1..50).contains(&x));
+            prop_assert_eq!(v.len(), v.len());
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            prop_assert!(v.iter().all(|&e| (0..5).contains(&e)));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_form(y in -5i64..5) {
+            prop_assert!((-5..5).contains(&y));
+        }
+    }
+}

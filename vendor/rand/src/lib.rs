@@ -1,0 +1,139 @@
+//! Offline stand-in for the slice of the `rand` API this workspace uses:
+//! `SmallRng::seed_from_u64` plus `Rng::gen_range` over numeric ranges.
+//!
+//! The generator is a xorshift64* PRNG — deterministic for a given seed,
+//! which is all the workload generators require (they never ask for
+//! cryptographic quality).  Note the streams differ from the real
+//! `SmallRng`, so seeds produce different (but equally reproducible)
+//! workloads.
+
+use std::ops::Range;
+
+/// Types that can be sampled uniformly from a half-open range — the subset
+/// of `rand::distributions::uniform::SampleUniform` the workspace needs.
+pub trait SampleUniform: Copy {
+    /// Draws a uniform sample in `[low, high)` from `word`, a 64-bit
+    /// uniform random value.
+    fn sample_from(word: u64, low: Self, high: Self) -> Self;
+}
+
+impl SampleUniform for f64 {
+    fn sample_from(word: u64, low: Self, high: Self) -> Self {
+        // 53 uniform mantissa bits in [0, 1).
+        let unit = (word >> 11) as f64 / (1u64 << 53) as f64;
+        low + unit * (high - low)
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_from(word: u64, low: Self, high: Self) -> Self {
+        let unit = (word >> 40) as f32 / (1u64 << 24) as f32;
+        low + unit * (high - low)
+    }
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_from(word: u64, low: Self, high: Self) -> Self {
+                let span = (high as i128 - low as i128) as u128;
+                debug_assert!(span > 0, "gen_range requires a non-empty range");
+                (low as i128 + (word as u128 % span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(usize, u64, u32, i64, i32, isize);
+
+/// The random-number-generator trait mirroring `rand::Rng`.
+pub trait Rng {
+    /// The next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniform sample from the half-open range.
+    fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T {
+        T::sample_from(self.next_u64(), range.start, range.end)
+    }
+}
+
+/// Seedable generators, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Concrete generators, mirroring `rand::rngs`.
+pub mod rngs {
+    /// A small, fast, non-cryptographic PRNG (xorshift64*).
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        state: u64,
+    }
+
+    impl super::SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // Avoid the all-zero fixed point and decorrelate small seeds.
+            let mut state = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            state ^= state >> 30;
+            state = state.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            state ^= state >> 27;
+            state = state.wrapping_mul(0x94D0_49BB_1331_11EB);
+            state ^= state >> 31;
+            Self {
+                state: state.max(1),
+            }
+        }
+    }
+
+    impl super::Rng for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let mut x = self.state;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.state = x;
+            x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_and_in_range() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..1000 {
+            let x = a.gen_range(-1.0..1.0);
+            assert_eq!(x, b.gen_range(-1.0..1.0));
+            assert!((-1.0..1.0).contains(&x));
+        }
+        let mut c = SmallRng::seed_from_u64(43);
+        assert_ne!(a.gen_range(0.0..1.0), c.gen_range(0.0..1.0));
+    }
+
+    #[test]
+    fn integer_ranges() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v: usize = rng.gen_range(3usize..9);
+            assert!((3..9).contains(&v));
+            let w: i64 = rng.gen_range(-5i64..5);
+            assert!((-5..5).contains(&w));
+        }
+    }
+
+    #[test]
+    fn covers_the_range() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut seen = [false; 8];
+        for _ in 0..1000 {
+            seen[rng.gen_range(0usize..8)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

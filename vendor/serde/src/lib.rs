@@ -1,0 +1,22 @@
+//! Offline stand-in for the `serde` facade.
+//!
+//! The build environment cannot reach a crate registry, so this crate
+//! provides just enough surface for the workspace to compile: the
+//! `Serialize`/`Deserialize` derive macros (re-exported no-ops from the
+//! vendored `serde_derive`) and empty marker traits of the same names.
+//! No code in the workspace serialises values at run time; the derives and
+//! bounds exist so the public types stay source-compatible with the real
+//! serde, which can be swapped back in from the workspace manifest.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize` (no methods in the offline
+/// stand-in).
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize` (no methods in the offline
+/// stand-in).
+pub trait Deserialize<'de> {}
+
+impl<T: ?Sized> Serialize for T {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

@@ -1,0 +1,21 @@
+//! No-op derive macros standing in for `serde_derive`.
+//!
+//! The build environment has no access to a crate registry, so the
+//! workspace vendors a minimal offline substitute (see `vendor/README.md`).
+//! Nothing in this workspace serialises data at run time — the derives only
+//! need to *parse*, so they expand to nothing.  Swapping in the real serde
+//! is a one-line change in the workspace manifest.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` and expands to nothing.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` and expands to nothing.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
