@@ -64,6 +64,14 @@ impl ConnectClass {
     pub fn is_empty(&self) -> bool {
         self.members.is_empty()
     }
+
+    /// Total arrays a `DISTRIBUTE` of the class touches (the primary plus
+    /// every secondary) — when this exceeds 1, the language layer fuses
+    /// the per-array communication plans into one schedule with a single
+    /// message per processor pair (see `vf_runtime::FusedPlan`).
+    pub fn total_members(&self) -> usize {
+        1 + self.members.len()
+    }
 }
 
 #[cfg(test)]
@@ -77,6 +85,7 @@ mod tests {
         class.add_secondary("A1", Connection::Extraction);
         class.add_secondary("A2", Connection::Alignment(Alignment::identity(2)));
         assert_eq!(class.len(), 2);
+        assert_eq!(class.total_members(), 3);
         assert!(class.contains("A1"));
         assert!(class.contains("A2"));
         assert!(!class.contains("B4"));

@@ -1,7 +1,7 @@
 //! The executable `DISTRIBUTE` statement (paper §2.4).
 
 use vf_dist::{DimDist, DistType, ProcessorView};
-use vf_runtime::RedistReport;
+use vf_runtime::{ExecReport, RedistReport};
 
 /// One entry of a distribution expression in a `DISTRIBUTE` statement:
 /// either an explicit per-dimension distribution function or a distribution
@@ -131,8 +131,16 @@ impl DistributeStmt {
 /// per affected array (primaries and secondaries), in execution order.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct DistributeReport {
-    /// Per-array reports: `(array name, redistribution report)`.
+    /// Per-array reports: `(array name, redistribution report)`.  Under
+    /// fused execution each array's `messages`/`bytes` record what it
+    /// *would* have charged on its own — the per-array diagnostic; the
+    /// actually charged totals live in [`DistributeReport::fused`].
     pub per_array: Vec<(String, RedistReport)>,
+    /// When the statement moved two or more arrays, their plans execute as
+    /// one fused schedule with a single message per processor pair; this
+    /// records what that fused execution charged to the tracker.  `None`
+    /// when at most one array moved (per-array reports are then exact).
+    pub fused: Option<ExecReport>,
 }
 
 impl DistributeReport {
@@ -141,14 +149,28 @@ impl DistributeReport {
         self.per_array.iter().map(|(_, r)| r.moved_elements).sum()
     }
 
-    /// Total messages charged.
+    /// Messages actually charged to the tracker: the fused count when the
+    /// statement executed as one fused plan, the per-array sum otherwise.
     pub fn messages(&self) -> usize {
-        self.per_array.iter().map(|(_, r)| r.messages).sum()
+        match &self.fused {
+            Some(f) => f.messages,
+            None => self.per_array.iter().map(|(_, r)| r.messages).sum(),
+        }
     }
 
-    /// Total bytes charged.
+    /// Bytes actually charged to the tracker.
     pub fn bytes(&self) -> usize {
-        self.per_array.iter().map(|(_, r)| r.bytes).sum()
+        match &self.fused {
+            Some(f) => f.bytes,
+            None => self.per_array.iter().map(|(_, r)| r.bytes).sum(),
+        }
+    }
+
+    /// Messages the statement would have charged without fusion (one
+    /// message per array per crossing processor pair) — the saving of plan
+    /// fusion is `unfused_messages() - messages()`.
+    pub fn unfused_messages(&self) -> usize {
+        self.per_array.iter().map(|(_, r)| r.messages).sum()
     }
 }
 
@@ -210,5 +232,15 @@ mod tests {
         assert_eq!(report.moved_elements(), 14);
         assert_eq!(report.messages(), 5);
         assert_eq!(report.bytes(), 112);
+        assert_eq!(report.unfused_messages(), 5);
+        // Fused execution reports what was actually charged: fewer
+        // messages than the per-array sum, same bytes.
+        report.fused = Some(ExecReport {
+            messages: 3,
+            bytes: 112,
+        });
+        assert_eq!(report.messages(), 3);
+        assert_eq!(report.bytes(), 112);
+        assert_eq!(report.unfused_messages(), 5);
     }
 }

@@ -102,7 +102,9 @@ pub mod prelude {
     pub use vf_index::{DimRange, IndexDomain, Point, Section, Triplet};
     pub use vf_machine::{CommStats, CommTracker, CostModel, Machine, Topology};
     pub use vf_runtime::{
-        assign, ghost, parti, plan, redistribute, redistribute_cached, reduce, ArrayDescriptor,
-        CommPlan, DistArray, Element, PlanCache, PlanCacheStats, RedistOptions, RedistReport,
+        assign, execute_redistribute_fused, ghost, parti, plan, redistribute, redistribute_cached,
+        redistribute_cached_with, redistribute_with, reduce, ArrayDescriptor, CommPlan, DistArray,
+        Element, ExecBackend, ExecReport, FusedPlan, PlanCache, PlanCacheStats, PlanExecutor,
+        RedistOptions, RedistReport, SerialExecutor, ThreadedExecutor,
     };
 }

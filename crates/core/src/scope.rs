@@ -10,7 +10,8 @@ use vf_dist::{construct, DistPattern, DistType, Distribution, ProcessorView};
 use vf_index::IndexDomain;
 use vf_machine::{CommStats, CommTracker, Machine};
 use vf_runtime::{
-    redistribute_cached, ArrayDescriptor, DistArray, Element, PlanCache, RedistOptions,
+    execute_redistribute_fused, redistribute_cached_with, ArrayDescriptor, DistArray, Element,
+    ExecBackend, FusedPlan, PlanCache, RedistOptions,
 };
 
 struct Entry<T: Element> {
@@ -36,6 +37,7 @@ pub struct VfScope<T: Element = f64> {
     machine: Machine,
     tracker: CommTracker,
     plan_cache: PlanCache,
+    executor: ExecBackend,
     default_procs: ProcessorView,
     arrays: HashMap<String, Entry<T>>,
     order: Vec<String>,
@@ -46,17 +48,8 @@ impl<T: Element> VfScope<T> {
     /// Creates a scope executing on `machine`, with the default processor
     /// arrangement `$NP` = `machine.num_procs()` in one dimension.
     pub fn new(machine: Machine) -> Self {
-        let tracker = machine.tracker();
         let default_procs = ProcessorView::linear(machine.num_procs());
-        Self {
-            machine,
-            tracker,
-            plan_cache: PlanCache::new(),
-            default_procs,
-            arrays: HashMap::new(),
-            order: Vec::new(),
-            classes: HashMap::new(),
-        }
+        Self::with_processors(machine, default_procs)
     }
 
     /// Creates a scope with an explicit default processor view (e.g. a 2-D
@@ -67,11 +60,24 @@ impl<T: Element> VfScope<T> {
             machine,
             tracker,
             plan_cache: PlanCache::new(),
+            executor: ExecBackend::auto(),
             default_procs,
             arrays: HashMap::new(),
             order: Vec::new(),
             classes: HashMap::new(),
         }
+    }
+
+    /// Selects the backend that executes the copy phase of `DISTRIBUTE`
+    /// data motion (serial or threaded — results are bit-identical, see
+    /// [`vf_runtime::exec`]).  The default is [`ExecBackend::auto`].
+    pub fn set_executor(&mut self, executor: ExecBackend) {
+        self.executor = executor;
+    }
+
+    /// The execution backend `DISTRIBUTE` statements run their copies on.
+    pub fn executor(&self) -> &ExecBackend {
+        &self.executor
     }
 
     /// The machine the scope executes on.
@@ -326,6 +332,15 @@ impl<T: Element> VfScope<T> {
     /// the statement, redistributes every named primary array, and
     /// propagates the redistribution to every secondary array of the
     /// affected connect classes, honouring `NOTRANSFER`.
+    ///
+    /// When the statement moves two or more arrays with data — a connect
+    /// class, a multi-array statement, or both — their per-array
+    /// communication plans are **fused**: the whole statement charges a
+    /// single message per (sender, receiver) processor pair instead of one
+    /// per array per pair, with identical element and byte totals (the
+    /// per-array split is still reported, see
+    /// [`DistributeReport::fused`]).  The copies run on the scope's
+    /// [`ExecBackend`].
     pub fn distribute(&mut self, stmt: DistributeStmt) -> Result<DistributeReport> {
         let (dist_type, explicit_target) = self.resolve_expr(&stmt)?;
 
@@ -346,26 +361,133 @@ impl<T: Element> VfScope<T> {
             }
         }
 
-        let mut report = DistributeReport::default();
+        // Phase 1: validate every primary and evaluate the new
+        // distribution of every affected array (paper §3.2.2, steps 1 and
+        // 2) before any data moves.
+        let mut works: Vec<DistributeWork> = Vec::new();
         for primary in &stmt.arrays {
-            self.distribute_one(
+            self.plan_class_works(
                 primary,
                 &dist_type,
                 explicit_target.as_ref(),
                 &stmt,
-                &mut report,
+                &mut works,
             )?;
         }
-        Ok(report)
+
+        // Phase 2: execute.  First-time allocations and NOTRANSFER
+        // descriptor swaps are per-array; everything with data to move is
+        // collected and executed as one fused schedule when there is more
+        // than one such array.
+        let mut reports: Vec<Option<vf_runtime::RedistReport>> = vec![None; works.len()];
+        let mut moving: Vec<usize> = Vec::new();
+        for (idx, work) in works.iter().enumerate() {
+            let entry = self.arrays.get_mut(&work.name).expect("validated above");
+            match entry.data.as_mut() {
+                None => {
+                    // First distribution: allocate, nothing moves.
+                    entry.data = Some(DistArray::new(work.name.clone(), work.new_dist.clone()));
+                    reports[idx] = Some(Default::default());
+                }
+                Some(data) if work.notransfer => {
+                    reports[idx] = Some(redistribute_cached_with(
+                        data,
+                        work.new_dist.clone(),
+                        &self.tracker,
+                        &RedistOptions::notransfer(),
+                        &self.plan_cache,
+                        &self.executor,
+                    )?);
+                }
+                Some(_) => moving.push(idx),
+            }
+        }
+
+        let fused_charge = match moving.len() {
+            0 => None,
+            1 => {
+                let idx = moving[0];
+                let work = &works[idx];
+                let entry = self.arrays.get_mut(&work.name).expect("validated above");
+                let data = entry.data.as_mut().expect("phase 2 saw data");
+                reports[idx] = Some(redistribute_cached_with(
+                    data,
+                    work.new_dist.clone(),
+                    &self.tracker,
+                    &RedistOptions::default(),
+                    &self.plan_cache,
+                    &self.executor,
+                )?);
+                None
+            }
+            _ => {
+                // Plan every array against the shared cache, then fuse.
+                let mut parts = Vec::with_capacity(moving.len());
+                for &idx in &moving {
+                    let work = &works[idx];
+                    let entry = self.arrays.get(&work.name).expect("validated above");
+                    let data = entry.data.as_ref().expect("phase 2 saw data");
+                    parts.push(
+                        self.plan_cache
+                            .redistribute_plan(data.dist(), &work.new_dist)?,
+                    );
+                }
+                let fused = FusedPlan::fuse(parts)?;
+                // Take the arrays out for the duration of the fused
+                // execution (it needs simultaneous mutable access).
+                let mut datas: Vec<DistArray<T>> = moving
+                    .iter()
+                    .map(|&idx| {
+                        self.arrays
+                            .get_mut(&works[idx].name)
+                            .expect("validated above")
+                            .data
+                            .take()
+                            .expect("phase 2 saw data")
+                    })
+                    .collect();
+                let result = {
+                    let mut refs: Vec<&mut DistArray<T>> = datas.iter_mut().collect();
+                    execute_redistribute_fused(&mut refs, &fused, &self.tracker, &self.executor)
+                };
+                // Put the arrays back whether or not execution succeeded
+                // (a failed fused execute validates before moving, so the
+                // data is unchanged).
+                for (&idx, data) in moving.iter().zip(datas) {
+                    self.arrays
+                        .get_mut(&works[idx].name)
+                        .expect("validated above")
+                        .data = Some(data);
+                }
+                let (part_reports, exec) = result?;
+                for (&idx, part_report) in moving.iter().zip(part_reports) {
+                    reports[idx] = Some(part_report);
+                }
+                Some(exec)
+            }
+        };
+
+        Ok(DistributeReport {
+            per_array: works
+                .into_iter()
+                .zip(reports)
+                .map(|(work, report)| (work.name, report.expect("every work executed")))
+                .collect(),
+            fused: fused_charge,
+        })
     }
 
-    fn distribute_one(
-        &mut self,
+    /// Validates `primary` and appends one [`DistributeWork`] for it plus
+    /// one per connected secondary (honouring `NOTRANSFER`), skipping
+    /// arrays already scheduled by an earlier primary of the same
+    /// statement.
+    fn plan_class_works(
+        &self,
         primary: &str,
         dist_type: &DistType,
         explicit_target: Option<&ProcessorView>,
         stmt: &DistributeStmt,
-        report: &mut DistributeReport,
+        works: &mut Vec<DistributeWork>,
     ) -> Result<()> {
         // Validate the primary.
         let entry = self
@@ -396,30 +518,21 @@ impl<T: Element> VfScope<T> {
             .or(decl_target)
             .unwrap_or_else(|| self.default_procs.clone());
         let new_dist = Distribution::new(dist_type.clone(), entry.domain.clone(), procs)?;
+        if !works.iter().any(|w| w.name == primary) {
+            works.push(DistributeWork {
+                name: primary.to_string(),
+                new_dist: new_dist.clone(),
+                notransfer: false,
+            });
+        }
 
-        // Step 3 for the primary: move the data (or allocate on first
-        // distribution).
-        let primary_report = {
-            let entry = self.arrays.get_mut(primary).expect("checked above");
-            match entry.data.as_mut() {
-                Some(data) => redistribute_cached(
-                    data,
-                    new_dist.clone(),
-                    &self.tracker,
-                    &RedistOptions::default(),
-                    &self.plan_cache,
-                )?,
-                None => {
-                    entry.data = Some(DistArray::new(primary.to_string(), new_dist.clone()));
-                    Default::default()
-                }
-            }
-        };
-        report.per_array.push((primary.to_string(), primary_report));
-
-        // Step 2 + 3 for every connected secondary array.
+        // Step 2 for every connected secondary array: derive its
+        // distribution from the primary's new one.
         let class = self.classes.get(primary).cloned().unwrap_or_default();
         for (secondary, connection) in class.secondaries() {
+            if works.iter().any(|w| w.name == secondary) {
+                continue;
+            }
             let sec_domain = self
                 .arrays
                 .get(secondary)
@@ -427,27 +540,22 @@ impl<T: Element> VfScope<T> {
                 .domain
                 .clone();
             let sec_dist = Self::derive_secondary_dist(connection, &new_dist, &sec_domain)?;
-            let opts = if stmt.notransfer.iter().any(|n| n == secondary) {
-                RedistOptions::notransfer()
-            } else {
-                RedistOptions::default()
-            };
-            let sec_report = {
-                let entry = self.arrays.get_mut(secondary).expect("declared");
-                match entry.data.as_mut() {
-                    Some(data) => {
-                        redistribute_cached(data, sec_dist, &self.tracker, &opts, &self.plan_cache)?
-                    }
-                    None => {
-                        entry.data = Some(DistArray::new(secondary.to_string(), sec_dist));
-                        Default::default()
-                    }
-                }
-            };
-            report.per_array.push((secondary.to_string(), sec_report));
+            works.push(DistributeWork {
+                name: secondary.to_string(),
+                new_dist: sec_dist,
+                notransfer: stmt.notransfer.iter().any(|n| n == secondary),
+            });
         }
         Ok(())
     }
+}
+
+/// One array affected by a `DISTRIBUTE` statement: the evaluated target
+/// distribution and whether the data motion is suppressed.
+struct DistributeWork {
+    name: String,
+    new_dist: Distribution,
+    notransfer: bool,
 }
 
 #[cfg(test)]
@@ -681,6 +789,121 @@ mod tests {
         let taken = s.take_stats();
         assert_eq!(taken.total_messages(), report.messages());
         assert_eq!(s.stats().total_messages(), 0);
+    }
+
+    #[test]
+    fn connect_class_distribute_fuses_to_one_message_per_pair() {
+        let p = 4usize;
+        let mut s = scope(p);
+        s.declare_dynamic(DynamicDecl::new("B", IndexDomain::d1(32)).initial(DistType::block1d()))
+            .unwrap();
+        s.declare_secondary(SecondaryDecl::extraction("A1", IndexDomain::d1(32), "B"))
+            .unwrap();
+        s.declare_secondary(SecondaryDecl::extraction("A2", IndexDomain::d1(32), "B"))
+            .unwrap();
+        for i in 1..=32i64 {
+            for name in ["B", "A1", "A2"] {
+                s.array_mut(name)
+                    .unwrap()
+                    .set(&Point::d1(i), i as f64)
+                    .unwrap();
+            }
+        }
+        s.take_stats();
+        let report = s
+            .distribute(DistributeStmt::new("B", DistType::cyclic1d(1)))
+            .unwrap();
+        // Three arrays moved as one fused schedule: at most one message
+        // per processor pair for the whole class, strictly fewer than the
+        // one-message-per-array-per-pair of unfused execution.
+        assert!(report.fused.is_some());
+        assert!(report.messages() <= p * (p - 1));
+        assert!(report.messages() < report.unfused_messages());
+        assert_eq!(report.unfused_messages(), 3 * report.messages());
+        // The tracker saw exactly the fused totals, and the bytes are the
+        // full three-array volume.
+        let stats = s.take_stats();
+        assert_eq!(stats.total_messages(), report.messages());
+        assert_eq!(stats.total_bytes(), report.bytes());
+        assert_eq!(
+            report.bytes(),
+            report.per_array.iter().map(|(_, r)| r.bytes).sum::<usize>()
+        );
+        // Data survived for every member.
+        for name in ["B", "A1", "A2"] {
+            for i in 1..=32i64 {
+                assert_eq!(s.array(name).unwrap().get(&Point::d1(i)).unwrap(), i as f64);
+            }
+        }
+        // Serial and threaded backends agree bit-for-bit at the language
+        // level too.
+        let mut s2 = scope(p);
+        s2.set_executor(vf_runtime::ExecBackend::Threaded(
+            vf_runtime::ThreadedExecutor::with_workers(3).serial_cutoff_bytes(0),
+        ));
+        assert_eq!(vf_runtime::PlanExecutor::name(s2.executor()), "threaded");
+        s2.declare_dynamic(DynamicDecl::new("B", IndexDomain::d1(32)).initial(DistType::block1d()))
+            .unwrap();
+        s2.declare_secondary(SecondaryDecl::extraction("A1", IndexDomain::d1(32), "B"))
+            .unwrap();
+        s2.declare_secondary(SecondaryDecl::extraction("A2", IndexDomain::d1(32), "B"))
+            .unwrap();
+        for i in 1..=32i64 {
+            for name in ["B", "A1", "A2"] {
+                s2.array_mut(name)
+                    .unwrap()
+                    .set(&Point::d1(i), i as f64)
+                    .unwrap();
+            }
+        }
+        s2.take_stats();
+        let report2 = s2
+            .distribute(DistributeStmt::new("B", DistType::cyclic1d(1)))
+            .unwrap();
+        assert_eq!(report2, report);
+        for name in ["B", "A1", "A2"] {
+            assert_eq!(
+                s2.array(name).unwrap().to_dense(),
+                s.array(name).unwrap().to_dense()
+            );
+        }
+    }
+
+    #[test]
+    fn multi_array_distribute_fuses_across_primaries() {
+        let p = 4usize;
+        let mut s = scope(p);
+        s.declare_dynamic(DynamicDecl::new("B1", IndexDomain::d1(24)).initial(DistType::block1d()))
+            .unwrap();
+        s.declare_dynamic(DynamicDecl::new("B2", IndexDomain::d1(24)).initial(DistType::block1d()))
+            .unwrap();
+        for i in 1..=24i64 {
+            s.array_mut("B1")
+                .unwrap()
+                .set(&Point::d1(i), i as f64)
+                .unwrap();
+            s.array_mut("B2")
+                .unwrap()
+                .set(&Point::d1(i), -(i as f64))
+                .unwrap();
+        }
+        s.take_stats();
+        // DISTRIBUTE B1, B2 :: (CYCLIC(1)) — two primaries, one statement,
+        // one message per pair.
+        let report = s
+            .distribute(DistributeStmt::multi(["B1", "B2"], DistType::cyclic1d(1)))
+            .unwrap();
+        assert!(report.fused.is_some());
+        assert!(report.messages() <= p * (p - 1));
+        assert_eq!(report.unfused_messages(), 2 * report.messages());
+        assert_eq!(s.stats().total_messages(), report.messages());
+        for i in 1..=24i64 {
+            assert_eq!(s.array("B1").unwrap().get(&Point::d1(i)).unwrap(), i as f64);
+            assert_eq!(
+                s.array("B2").unwrap().get(&Point::d1(i)).unwrap(),
+                -(i as f64)
+            );
+        }
     }
 
     #[test]

@@ -17,7 +17,10 @@ use std::collections::HashMap;
 use vf_dist::{DistType, Distribution, ProcessorView};
 use vf_index::{IndexDomain, Point};
 use vf_machine::{CommStats, Machine};
-use vf_runtime::{assign::assign_cached, redistribute_cached, DistArray, PlanCache, RedistOptions};
+use vf_runtime::{
+    assign::assign_cached_with, redistribute_cached_with, DistArray, ExecBackend, PlanCache,
+    RedistOptions,
+};
 
 /// The distribution strategy of an ADI run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -203,20 +206,24 @@ pub fn run(config: &AdiConfig, machine: &Machine, initial: &[f64]) -> AdiResult 
             // Figure 1: V is DYNAMIC with initial (:, BLOCK).  The two
             // DISTRIBUTE schedules (cols->rows, rows->cols) are planned in
             // the first iteration and replayed from the cache afterwards —
-            // the inspector cost is paid once per pattern, not per step.
+            // the inspector cost is paid once per pattern, not per step —
+            // and the replay copies run on the threaded executor when the
+            // host has spare cores.
             let plans = PlanCache::new();
+            let executor = ExecBackend::auto();
             let mut v =
                 DistArray::from_dense("V", dist_for(n, machine, DistType::columns()), initial)
                     .expect("initial field has N*N elements");
             for iter in 0..config.iterations {
                 if iter > 0 {
                     // Return to the column distribution for the next x-sweep.
-                    let report = redistribute_cached(
+                    let report = redistribute_cached_with(
                         &mut v,
                         dist_for(n, machine, DistType::columns()),
                         &tracker,
                         &RedistOptions::default(),
                         &plans,
+                        &executor,
                     )
                     .expect("same domain");
                     redist_messages += report.messages;
@@ -226,12 +233,13 @@ pub fn run(config: &AdiConfig, machine: &Machine, initial: &[f64]) -> AdiResult 
                 sweep_messages += m;
                 sweep_bytes += b;
                 // DISTRIBUTE V :: (BLOCK, :)
-                let report = redistribute_cached(
+                let report = redistribute_cached_with(
                     &mut v,
                     dist_for(n, machine, DistType::rows()),
                     &tracker,
                     &RedistOptions::default(),
                     &plans,
+                    &executor,
                 )
                 .expect("same domain");
                 redist_messages += report.messages;
@@ -244,8 +252,10 @@ pub fn run(config: &AdiConfig, machine: &Machine, initial: &[f64]) -> AdiResult 
         }
         AdiStrategy::TwoCopies => {
             // Two statically distributed arrays connected by assignment;
-            // both assignment schedules are planned once and reused.
+            // both assignment schedules are planned once and reused, with
+            // the copies on the auto-selected backend.
             let plans = PlanCache::new();
+            let executor = ExecBackend::auto();
             let mut v_cols =
                 DistArray::from_dense("V1", dist_for(n, machine, DistType::columns()), initial)
                     .expect("initial field has N*N elements");
@@ -254,15 +264,16 @@ pub fn run(config: &AdiConfig, machine: &Machine, initial: &[f64]) -> AdiResult 
             for iter in 0..config.iterations {
                 if iter > 0 {
                     let report =
-                        assign_cached(&mut v_cols, &v_rows, &tracker, &plans).expect("same domain");
+                        assign_cached_with(&mut v_cols, &v_rows, &tracker, &plans, &executor)
+                            .expect("same domain");
                     redist_messages += report.messages;
                     redist_bytes += report.bytes;
                 }
                 let (m, b) = sweep(&mut v_cols, 0, &tracker);
                 sweep_messages += m;
                 sweep_bytes += b;
-                let report =
-                    assign_cached(&mut v_rows, &v_cols, &tracker, &plans).expect("same domain");
+                let report = assign_cached_with(&mut v_rows, &v_cols, &tracker, &plans, &executor)
+                    .expect("same domain");
                 redist_messages += report.messages;
                 redist_bytes += report.bytes;
                 let (m, b) = sweep(&mut v_rows, 1, &tracker);

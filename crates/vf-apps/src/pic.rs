@@ -19,7 +19,7 @@ use std::collections::HashMap;
 use vf_dist::{DistType, Distribution, ProcId, ProcessorView};
 use vf_index::{IndexDomain, Point};
 use vf_machine::{CommStats, Machine};
-use vf_runtime::{redistribute_cached, DistArray, PlanCache, RedistOptions};
+use vf_runtime::{redistribute_cached_with, DistArray, ExecBackend, PlanCache, RedistOptions};
 
 /// Flops charged per particle per phase (field contribution + position
 /// update).
@@ -174,8 +174,10 @@ pub fn run(config: &PicConfig, machine: &Machine, initial_particles: &[Particle]
     let tracker = machine.tracker();
     // Shared plan cache: the per-step cell-halo exchange always hits after
     // the first step under an unchanged distribution, and recurring
-    // BOUNDS partitions reuse their redistribution schedules.
+    // BOUNDS partitions reuse their redistribution schedules.  Rebalance
+    // copies run on the auto-selected (threaded when multi-core) backend.
     let plans = PlanCache::new();
+    let executor = ExecBackend::auto();
     let nprocs = machine.num_procs();
     let ncell = config.ncell;
     let mut particles: Vec<Particle> = initial_particles.to_vec();
@@ -189,12 +191,13 @@ pub fn run(config: &PicConfig, machine: &Machine, initial_particles: &[Particle]
     if !matches!(config.strategy, PicStrategy::StaticBlock) {
         let counts = particles_per_cell(&particles, ncell);
         let sizes = balance(&counts, nprocs);
-        redistribute_cached(
+        redistribute_cached_with(
             &mut field,
             cell_distribution(ncell, machine, Some(sizes)),
             &tracker,
             &RedistOptions::default(),
             &plans,
+            &executor,
         )
         .expect("same domain");
     }
@@ -222,12 +225,13 @@ pub fn run(config: &PicConfig, machine: &Machine, initial_particles: &[Particle]
             let sizes = balance(&counts, nprocs);
             let old_dist = field.dist().clone();
             let new_dist = cell_distribution(ncell, machine, Some(sizes));
-            let report = redistribute_cached(
+            let report = redistribute_cached_with(
                 &mut field,
                 new_dist.clone(),
                 &tracker,
                 &RedistOptions::default(),
                 &plans,
+                &executor,
             )
             .expect("same domain");
             rebalance_count += 1;

@@ -18,8 +18,8 @@
 use vf_dist::{DistType, Distribution, ProcessorView};
 use vf_index::{IndexDomain, Point};
 use vf_machine::{CommStats, CostModel, Machine};
-use vf_runtime::ghost::{exchange_ghosts_cached, get_with_ghosts};
-use vf_runtime::{DistArray, PlanCache};
+use vf_runtime::ghost::{exchange_ghosts_cached_with, get_with_ghosts};
+use vf_runtime::{DistArray, ExecBackend, PlanCache};
 
 /// The two candidate layouts of the N×N grid discussed in §4.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -136,8 +136,10 @@ pub fn grid_distribution(layout: SmoothingLayout, n: usize, machine: &Machine) -
 pub fn run(config: &SmoothingConfig, machine: &Machine, initial: &[f64]) -> SmoothingResult {
     let tracker = machine.tracker();
     // The halo geometry is identical in every step: plan it once and
-    // replay the cached exchange schedule afterwards.
+    // replay the cached exchange schedule afterwards, copying on the
+    // auto-selected (threaded when multi-core) backend.
     let plans = PlanCache::new();
+    let executor = ExecBackend::auto();
     let dist = grid_distribution(config.layout, config.n, machine);
     let domain = dist.domain().clone();
     let mut current =
@@ -150,7 +152,7 @@ pub fn run(config: &SmoothingConfig, machine: &Machine, initial: &[f64]) -> Smoo
 
     for step in 0..config.steps {
         let (ghosts, report) =
-            exchange_ghosts_cached(&current, &[(1, 1), (1, 1)], &tracker, &plans)
+            exchange_ghosts_cached_with(&current, &[(1, 1), (1, 1)], &tracker, &plans, &executor)
                 .expect("block layouts");
         if step == 0 {
             messages_per_step = report.messages;

@@ -549,6 +549,35 @@ impl Distribution {
         h.finish()
     }
 
+    /// Estimated resident size of the distribution in bytes: the struct
+    /// plus its heap payload.  Regular and replicated distributions are a
+    /// few dozen bytes; alignment-derived ones carry O(N) translation
+    /// tables — consumers that keep clones alive (the runtime's plan
+    /// cache) must account for the difference.
+    pub fn estimated_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let kind = match &self.kind {
+            Kind::Replicated => 0,
+            Kind::Regular {
+                grid_extents,
+                grid_map,
+            } => (grid_extents.len() + grid_map.len()) * size_of::<usize>(),
+            Kind::Aligned {
+                owners,
+                local_offsets,
+                local_to_global,
+            } => {
+                owners.len() * size_of::<ProcId>()
+                    + local_offsets.len() * size_of::<usize>()
+                    + local_to_global
+                        .iter()
+                        .map(|v| size_of::<Vec<usize>>() + v.len() * size_of::<usize>())
+                        .sum::<usize>()
+            }
+        };
+        size_of::<Self>() + self.proc_ids.len() * size_of::<ProcId>() + kind
+    }
+
     /// The contiguous correspondences between the local storage of `proc`
     /// and global column-major offsets, in local storage order: within one
     /// [`LinearRun`] both the local offset and the global offset advance by
@@ -1281,6 +1310,23 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn estimated_bytes_charge_translation_tables() {
+        // A regular distribution is a few dozen bytes; an
+        // alignment-derived one of the same size carries O(N) translation
+        // tables and must be estimated accordingly (the runtime's plan
+        // cache budgets by this).
+        let n = 4096usize;
+        let base = block_1d(n + 8, 4);
+        let regular = block_1d(n, 4);
+        let align = Alignment::new(1, vec![crate::AlignExpr::shifted(0, 4)]).unwrap();
+        let aligned = construct(&align, &base, &IndexDomain::d1(n)).unwrap();
+        assert!(aligned.uses_translation_table());
+        // Three O(N) tables of >= 8 bytes per element each.
+        assert!(aligned.estimated_bytes() >= 3 * n * 8);
+        assert!(regular.estimated_bytes() < 1024);
     }
 
     #[test]

@@ -42,4 +42,4 @@ pub use cost::CostModel;
 pub use machine::Machine;
 pub use stats::{CommStats, ProcStats};
 pub use topology::Topology;
-pub use tracker::{CollectiveKind, CommTracker};
+pub use tracker::{CollectiveKind, CommTracker, PendingSends};

@@ -18,6 +18,39 @@ pub enum CollectiveKind {
     Broadcast,
 }
 
+/// A batch of *posted* (initiated but not yet completed) point-to-point
+/// messages, returned by [`CommTracker::post_many`].
+///
+/// Posting computes the modelled duration of every message under the cost
+/// model but records nothing; the batch is charged when it is passed to
+/// [`CommTracker::wait`].  This split mirrors non-blocking communication on
+/// a real machine: an executor posts its sends, performs the local copy
+/// work of the transfer, and waits for completion — any local work done
+/// between post and wait can be credited as overlap at the wait.
+#[derive(Debug)]
+#[must_use = "posted messages are only charged when passed to CommTracker::wait"]
+pub struct PendingSends {
+    /// `(src, dst, bytes, modelled_time)` per message.
+    messages: Vec<(usize, usize, usize, f64)>,
+}
+
+impl PendingSends {
+    /// Number of posted messages (messages to self excluded — they are
+    /// free, as in [`CommTracker::send`]).
+    pub fn num_messages(&self) -> usize {
+        self.messages.iter().filter(|m| m.0 != m.1).count()
+    }
+
+    /// Total posted bytes (messages to self excluded).
+    pub fn total_bytes(&self) -> usize {
+        self.messages
+            .iter()
+            .filter(|m| m.0 != m.1)
+            .map(|m| m.2)
+            .sum()
+    }
+}
+
 /// A thread-safe accumulator of communication and computation events,
 /// evaluated against a [`CostModel`].
 ///
@@ -77,6 +110,61 @@ impl CommTracker {
             }
             let t = self.cost.message_time_between(bytes, src, dst);
             stats.record_message(src, dst, bytes, t);
+        }
+    }
+
+    /// Posts a batch of point-to-point messages `(src, dst, bytes)` without
+    /// recording them: the modelled duration of each message is computed
+    /// now (against the current cost model), the charge happens when the
+    /// returned [`PendingSends`] is passed to [`CommTracker::wait`].
+    ///
+    /// `post_many` + `wait(.., 0.0)` charges exactly what
+    /// [`CommTracker::send_many`] charges for the same batch.
+    pub fn post_many<I>(&self, messages: I) -> PendingSends
+    where
+        I: IntoIterator<Item = (usize, usize, usize)>,
+    {
+        PendingSends {
+            messages: messages
+                .into_iter()
+                .map(|(src, dst, bytes)| {
+                    (
+                        src,
+                        dst,
+                        bytes,
+                        self.cost.message_time_between(bytes, src, dst),
+                    )
+                })
+                .collect(),
+        }
+    }
+
+    /// Completes a posted batch: message and byte counts are recorded in
+    /// full, and each processor's communication time is charged only for
+    /// the portion not hidden behind `overlap_seconds` of local work
+    /// performed between the post and the wait (the overlap credit is
+    /// applied per processor, not per message).  Messages to self are
+    /// free, as everywhere else.
+    pub fn wait(&self, pending: PendingSends, overlap_seconds: f64) {
+        let mut stats = self.stats.lock();
+        let mut per_proc_time = vec![0.0f64; stats.num_procs()];
+        for (src, dst, bytes, t) in pending.messages {
+            if src == dst {
+                continue;
+            }
+            let s = stats.proc_mut(src);
+            s.messages_sent += 1;
+            s.bytes_sent += bytes;
+            let d = stats.proc_mut(dst);
+            d.messages_received += 1;
+            d.bytes_received += bytes;
+            per_proc_time[src] += t;
+            per_proc_time[dst] += t;
+        }
+        for (p, t) in per_proc_time.into_iter().enumerate() {
+            if t > 0.0 {
+                stats.proc_mut(p).comm_time += (t - overlap_seconds).max(0.0);
+            }
         }
     }
 
@@ -156,6 +244,41 @@ mod tests {
         }
         assert_eq!(batch.snapshot(), single.snapshot());
         assert_eq!(batch.snapshot().total_messages(), 3); // self-send is free
+    }
+
+    #[test]
+    fn post_wait_without_overlap_matches_send_many() {
+        let posted = CommTracker::new(4, CostModel::from_alpha_beta(1.0, 0.5));
+        let direct = CommTracker::new(4, CostModel::from_alpha_beta(1.0, 0.5));
+        let messages = [(0usize, 1usize, 10usize), (2, 3, 4), (1, 1, 99), (3, 0, 7)];
+        let pending = posted.post_many(messages);
+        assert_eq!(pending.num_messages(), 3);
+        assert_eq!(pending.total_bytes(), 21);
+        // Nothing is recorded until the wait.
+        assert_eq!(posted.snapshot().total_messages(), 0);
+        posted.wait(pending, 0.0);
+        direct.send_many(messages);
+        assert_eq!(posted.snapshot(), direct.snapshot());
+    }
+
+    #[test]
+    fn wait_overlap_hides_communication_behind_local_work() {
+        let t = CommTracker::new(2, CostModel::from_alpha_beta(1.0, 0.0));
+        let pending = t.post_many([(0usize, 1usize, 8usize)]);
+        // One message of modelled time 1.0 on each endpoint; half of it is
+        // hidden behind 0.5 s of overlapped local work.
+        t.wait(pending, 0.5);
+        let s = t.snapshot();
+        assert_eq!(s.total_messages(), 1);
+        assert_eq!(s.total_bytes(), 8);
+        assert!((s.per_proc()[0].comm_time - 0.5).abs() < 1e-12);
+        assert!((s.per_proc()[1].comm_time - 0.5).abs() < 1e-12);
+        // Overlap can hide communication entirely, but never goes negative.
+        let pending = t.post_many([(1usize, 0usize, 8usize)]);
+        t.wait(pending, 10.0);
+        let s = t.snapshot();
+        assert_eq!(s.total_messages(), 2);
+        assert!((s.per_proc()[0].comm_time - 0.5).abs() < 1e-12);
     }
 
     #[test]

@@ -183,6 +183,12 @@ impl<T: Element> DistArray<T> {
         out
     }
 
+    /// All local buffers, indexed by total processor id — the source-buffer
+    /// view a [`crate::exec::PlanExecutor`] reads from.
+    pub(crate) fn locals(&self) -> &[Vec<T>] {
+        &self.locals
+    }
+
     /// Replaces the distribution and the local buffers in one step — used by
     /// the redistribution engine after it has moved the data.
     pub(crate) fn replace(&mut self, dist: Distribution, locals: Vec<Vec<T>>) {

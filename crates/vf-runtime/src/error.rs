@@ -49,6 +49,12 @@ pub enum RuntimeError {
         /// The declared width in that dimension.
         width: usize,
     },
+    /// A set of communication plans could not be fused (or a fused plan was
+    /// executed against mismatched inputs).
+    FusionMismatch {
+        /// What went wrong.
+        reason: String,
+    },
 }
 
 impl fmt::Display for RuntimeError {
@@ -78,6 +84,9 @@ impl fmt::Display for RuntimeError {
                 f,
                 "access exceeds the declared overlap width {width} in dimension {dim}"
             ),
+            RuntimeError::FusionMismatch { reason } => {
+                write!(f, "communication plans cannot be fused: {reason}")
+            }
         }
     }
 }

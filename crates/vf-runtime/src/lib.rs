@@ -23,8 +23,14 @@
 //! * [`plan`] — the unified communication-plan layer beneath all of the
 //!   above: run-length-encoded (sender → receiver) schedules
 //!   ([`CommPlan`]) built once, cached by distribution fingerprint
-//!   ([`PlanCache`]) and replayed by the executors, realising the PARTI
-//!   schedule-reuse idea for every communication path of the engine;
+//!   ([`PlanCache`], byte-bounded LRU) and replayed by the executors,
+//!   realising the PARTI schedule-reuse idea for every communication path
+//!   of the engine;
+//! * [`exec`] — multi-backend plan execution: the [`PlanExecutor`] trait
+//!   with serial and threaded backends (post/wait charging, copies driven
+//!   from the `vf-machine` SPMD worker threads) and [`FusedPlan`] merging
+//!   the per-array schedules of a connect-class `DISTRIBUTE` into one
+//!   message per processor pair (see `crates/vf-runtime/README.md`);
 //! * [`reduce`] — global reductions charged as tree collectives;
 //! * [`assign`] — array assignment between differently distributed arrays
 //!   (the storage-wasting alternative to dynamic redistribution discussed
@@ -39,6 +45,7 @@ pub mod assign;
 mod descriptor;
 mod element;
 mod error;
+pub mod exec;
 pub mod ghost;
 pub mod parti;
 pub mod plan;
@@ -49,9 +56,14 @@ pub use array::DistArray;
 pub use descriptor::ArrayDescriptor;
 pub use element::{decode_slice, encode_slice, Element};
 pub use error::RuntimeError;
+pub use exec::{
+    execute_redistribute_fused, ExecBackend, ExecReport, FusedPlan, PlanExecutor, SerialExecutor,
+    ThreadedExecutor,
+};
 pub use plan::{CommPlan, PlanCache, PlanCacheStats, PlanKind, PlanRun, Transfer};
 pub use redistribute_impl::{
-    execute_redistribute, redistribute, redistribute_cached, RedistOptions, RedistReport,
+    execute_redistribute, execute_redistribute_with, redistribute, redistribute_cached,
+    redistribute_cached_with, redistribute_with, RedistOptions, RedistReport,
 };
 
 /// Convenience result alias for fallible runtime operations.

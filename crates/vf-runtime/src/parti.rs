@@ -18,6 +18,7 @@
 //! * [`execute_scatter`] — pushes updates to owners with a user-supplied
 //!   combine function, placement planned through [`crate::plan::plan_scatter`].
 
+use crate::exec::{PlanExecutor, SerialExecutor};
 use crate::plan::{plan_gather, plan_scatter, CommPlan, PlanCache, PlanIndex, PlanKind};
 use crate::{DistArray, Element, Result, RuntimeError};
 use std::sync::Arc;
@@ -155,14 +156,26 @@ impl<T: Copy> GatherResult<T> {
     }
 }
 
-/// The executor phase for reads: replays the schedule's plan — one
-/// `copy_from_slice` per run from the owner's local storage into the
-/// requester's gather buffer — charging one aggregated message per
-/// (owner → reader) pair in a single batched cost-model update.
+/// The executor phase for reads with the serial backend — see
+/// [`execute_gather_with`].
 pub fn execute_gather<T: Element>(
     array: &DistArray<T>,
     schedule: &CommSchedule,
     tracker: &CommTracker,
+) -> Result<GatherResult<T>> {
+    execute_gather_with(array, schedule, tracker, &SerialExecutor)
+}
+
+/// The executor phase for reads: replays the schedule's plan through the
+/// chosen [`PlanExecutor`] backend — one `copy_from_slice` per run from
+/// the owner's local storage into the requester's gather buffer — posting
+/// one aggregated message per (owner → reader) pair before the copies and
+/// completing them afterwards.
+pub fn execute_gather_with<T: Element, E: PlanExecutor>(
+    array: &DistArray<T>,
+    schedule: &CommSchedule,
+    tracker: &CommTracker,
+    executor: &E,
 ) -> Result<GatherResult<T>> {
     let plan = &schedule.plan;
     if plan.kind() != PlanKind::Gather {
@@ -172,18 +185,10 @@ pub fn execute_gather<T: Element>(
         });
     }
     plan.check_executable(array.dist(), tracker)?;
-    let mut values: Vec<Vec<T>> = (0..plan.total_procs())
-        .map(|p| vec![T::default(); plan.gather_len(ProcId(p))])
+    let dst_sizes: Vec<usize> = (0..plan.total_procs())
+        .map(|p| plan.gather_len(ProcId(p)))
         .collect();
-    for transfer in plan.transfers() {
-        let src_local = array.local(transfer.src);
-        let dst_buf = &mut values[transfer.dst.0];
-        for run in &transfer.runs {
-            dst_buf[run.dst_start..run.dst_start + run.len]
-                .copy_from_slice(&src_local[run.src_start..run.src_start + run.len]);
-        }
-    }
-    plan.charge(tracker, T::BYTES, true);
+    let (values, _exec) = executor.execute(plan, array.locals(), &dst_sizes, tracker, true);
     Ok(GatherResult {
         plan: Arc::clone(plan),
         values,
@@ -245,10 +250,16 @@ fn scatter_planned<T: Element>(
     for (op, (_, _, value)) in ops.iter().zip(updates.iter()) {
         if replicated {
             // Every copy of a replicated array receives the update, as
-            // DistArray::set does.
+            // DistArray::set does: the combine runs once against the
+            // canonical first copy and its result overwrites every
+            // replica (so a stateful combine sees each update exactly
+            // once, and replicas can never drift apart).
+            let Some((&canonical, _)) = all_procs.split_first() else {
+                continue;
+            };
+            let combined = combine(array.local(canonical)[op.local], *value);
             for &p in &all_procs {
-                let slot = &mut array.local_mut(p)[op.local];
-                *slot = combine(*slot, *value);
+                array.local_mut(p)[op.local] = combined;
             }
         } else {
             let slot = &mut array.local_mut(op.owner)[op.local];

@@ -210,6 +210,40 @@ impl CommPlan {
         self.moved_elements * elem_bytes
     }
 
+    /// Estimated resident size of the plan in bytes — what the plan costs
+    /// to *keep*, not to execute.  Block-family schedules are a few runs
+    /// per processor pair; strided cyclic targets degrade to one run per
+    /// element, so plan sizes differ by orders of magnitude and the
+    /// [`PlanCache`] bounds its memory by this estimate rather than by
+    /// entry count.
+    pub fn estimated_bytes(&self) -> usize {
+        use std::mem::size_of;
+        // Per-slot overhead of the point/offset hash maps of ghost and
+        // gather plans (key + value + bucket overhead, rounded up).
+        const SLOT_BYTES: usize = 64;
+        let transfers: usize = self
+            .transfers
+            .iter()
+            .map(|t| size_of::<Transfer>() + t.runs.len() * size_of::<PlanRun>())
+            .sum();
+        let index = match &self.index {
+            // The plan keeps a clone of the target distribution alive;
+            // alignment-derived targets carry O(N) translation tables, so
+            // their real footprint must count against the cache budget.
+            PlanIndex::Redistribute { new_dist } => new_dist.estimated_bytes(),
+            PlanIndex::Ghost { slots } => slots
+                .iter()
+                .map(|s| size_of::<GhostSlots>() + s.slot_of_point.len() * SLOT_BYTES)
+                .sum(),
+            PlanIndex::Gather { slots } => slots
+                .iter()
+                .map(|s| size_of::<GatherSlots>() + s.slot_of_lin.len() * SLOT_BYTES)
+                .sum(),
+            PlanIndex::Scatter { ops, .. } => ops.len() * size_of::<ScatterOp>(),
+        };
+        size_of::<CommPlan>() + transfers + index
+    }
+
     /// Total processors of the declaring processor array.
     pub(crate) fn total_procs(&self) -> usize {
         self.total_procs
@@ -237,6 +271,44 @@ impl CommPlan {
         Ok(())
     }
 
+    /// The message list the plan charges when executed: one `(src, dst,
+    /// bytes)` entry per aggregated crossing transfer (or one per element
+    /// when `aggregate` is false — the ablation baseline of experiment E4),
+    /// plus the message and byte totals.  Executors post this batch before
+    /// running the copies and wait on it afterwards
+    /// ([`vf_machine::CommTracker::post_many`] /
+    /// [`vf_machine::CommTracker::wait`]).
+    pub(crate) fn message_batch(
+        &self,
+        elem_bytes: usize,
+        aggregate: bool,
+    ) -> (Vec<(usize, usize, usize)>, usize, usize) {
+        let crossing = self
+            .transfers
+            .iter()
+            .filter(|t| t.src != t.dst && t.elements > 0);
+        let mut batch = Vec::new();
+        let mut messages = 0usize;
+        let mut bytes = 0usize;
+        if aggregate {
+            for t in crossing {
+                let b = t.elements * elem_bytes;
+                batch.push((t.src.0, t.dst.0, b));
+                messages += 1;
+                bytes += b;
+            }
+        } else {
+            for t in crossing {
+                for _ in 0..t.elements {
+                    batch.push((t.src.0, t.dst.0, elem_bytes));
+                }
+                messages += t.elements;
+                bytes += t.elements * elem_bytes;
+            }
+        }
+        (batch, messages, bytes)
+    }
+
     /// Charges the plan's traffic to `tracker` with one aggregated message
     /// per crossing transfer (or one message per element when `aggregate`
     /// is false — the ablation baseline of experiment E4), in a single
@@ -247,32 +319,8 @@ impl CommPlan {
         elem_bytes: usize,
         aggregate: bool,
     ) -> (usize, usize) {
-        let crossing = self
-            .transfers
-            .iter()
-            .filter(|t| t.src != t.dst && t.elements > 0);
-        let mut messages = 0usize;
-        let mut bytes = 0usize;
-        if aggregate {
-            let mut batch = Vec::new();
-            for t in crossing {
-                let b = t.elements * elem_bytes;
-                batch.push((t.src.0, t.dst.0, b));
-                messages += 1;
-                bytes += b;
-            }
-            tracker.send_many(batch);
-        } else {
-            let mut batch = Vec::new();
-            for t in crossing {
-                for _ in 0..t.elements {
-                    batch.push((t.src.0, t.dst.0, elem_bytes));
-                }
-                messages += t.elements;
-                bytes += t.elements * elem_bytes;
-            }
-            tracker.send_many(batch);
-        }
+        let (batch, messages, bytes) = self.message_batch(elem_bytes, aggregate);
+        tracker.send_many(batch);
         (messages, bytes)
     }
 
@@ -451,6 +499,44 @@ pub fn plan_ghost(dist: &Distribution, widths: &[(usize, usize)]) -> Result<Comm
         }));
     }
     let total_procs = dist.procs().array().num_procs();
+    // Degenerate stencils — every width zero — exchange nothing: return an
+    // empty plan immediately instead of walking every processor's segment
+    // to discover the same.  The empty plan still participates in caching
+    // (callers need the slot index for `GhostRegion`), but it carries no
+    // transfer groups and only a handful of bytes.
+    if widths.iter().all(|&(lo, hi)| lo == 0 && hi == 0) {
+        // Still validate the layout: ghost exchange is only defined for
+        // distributions whose processors own contiguous rectangular
+        // segments, and a degenerate width must not mask that error (a
+        // width-parameterised caller would otherwise see the zero case
+        // succeed and every nonzero case fail on the same array).
+        for &p in dist.proc_ids() {
+            if dist.local_segment(p).is_none() {
+                return Err(RuntimeError::NoContiguousSegment {
+                    array: dist.to_string(),
+                });
+            }
+        }
+        let fp = dist.fingerprint();
+        return Ok(CommPlan {
+            kind: PlanKind::Ghost,
+            src_fingerprint: fp,
+            dst_fingerprint: fp,
+            total_procs,
+            needed_procs: dist.proc_ids().iter().map(|p| p.0 + 1).max().unwrap_or(1),
+            transfers: Vec::new(),
+            moved_elements: 0,
+            stayed_elements: 0,
+            index: PlanIndex::Ghost {
+                slots: (0..total_procs)
+                    .map(|_| GhostSlots {
+                        slot_of_point: HashMap::new(),
+                        count: 0,
+                    })
+                    .collect(),
+            },
+        });
+    }
     let locator = dist.locator();
     let mut slots: Vec<GhostSlots> = (0..total_procs)
         .map(|_| GhostSlots {
@@ -475,6 +561,10 @@ pub fn plan_ghost(dist: &Distribution, widths: &[(usize, usize)]) -> Result<Comm
         let mut lins: Vec<usize> = Vec::new();
         for d in 0..domain.rank() {
             let (w_lo, w_hi) = widths[d];
+            // Zero-width dimensions contribute no slabs at all.
+            if w_lo == 0 && w_hi == 0 {
+                continue;
+            }
             for (side_width, below) in [(w_lo, true), (w_hi, false)] {
                 if side_width == 0 {
                     continue;
@@ -690,16 +780,23 @@ pub struct PlanCacheStats {
     pub misses: u64,
     /// Plans currently cached.
     pub entries: usize,
+    /// Estimated bytes held by the cached plans
+    /// ([`CommPlan::estimated_bytes`] summed) — the quantity the LRU
+    /// eviction bounds.
+    pub resident_bytes: usize,
 }
 
 #[derive(Debug)]
 struct PlanCacheInner {
-    /// Cached plans tagged with the logical time of their last use.
-    map: HashMap<PlanKey, (Arc<CommPlan>, u64)>,
+    /// Cached plans tagged with their estimated size and the logical time
+    /// of their last use.
+    map: HashMap<PlanKey, (Arc<CommPlan>, usize, u64)>,
     /// Monotonic use counter driving least-recently-used eviction.
     tick: u64,
-    /// Maximum number of cached plans before LRU eviction kicks in.
-    capacity: usize,
+    /// Estimated-byte budget beyond which LRU eviction kicks in.
+    budget_bytes: usize,
+    /// Estimated bytes currently resident.
+    resident_bytes: usize,
     hits: u64,
     misses: u64,
 }
@@ -709,7 +806,8 @@ impl Default for PlanCacheInner {
         Self {
             map: HashMap::new(),
             tick: 0,
-            capacity: PlanCache::DEFAULT_CAPACITY,
+            budget_bytes: PlanCache::DEFAULT_BUDGET_BYTES,
+            resident_bytes: 0,
             hits: 0,
             misses: 0,
         }
@@ -733,23 +831,28 @@ pub struct PlanCache {
 }
 
 impl PlanCache {
-    /// Default number of plans kept before least-recently-used eviction
-    /// (a plan is a few runs per processor pair for block-family layouts,
-    /// but up to one run per element for strided cyclic targets, so the
-    /// cache is bounded by entry count rather than left to grow with
-    /// every distinct `BOUNDS` partition a drifting PIC load produces).
-    pub const DEFAULT_CAPACITY: usize = 1024;
+    /// Default estimated-byte budget (16 MiB) before least-recently-used
+    /// eviction.  Plans differ wildly in size — a few runs per processor
+    /// pair for block-family layouts, one run per *element* for strided
+    /// cyclic targets — so the cache bounds the estimated bytes it holds
+    /// ([`CommPlan::estimated_bytes`]) rather than the entry count: a
+    /// drifting PIC load producing ever-new `BOUNDS` partitions evicts
+    /// many small block schedules or few huge cyclic ones, either way
+    /// staying within the same memory.
+    pub const DEFAULT_BUDGET_BYTES: usize = 16 * 1024 * 1024;
 
-    /// An empty cache with [`PlanCache::DEFAULT_CAPACITY`].
+    /// An empty cache with [`PlanCache::DEFAULT_BUDGET_BYTES`].
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// An empty cache evicting least-recently-used plans beyond
-    /// `capacity` entries (`capacity` is clamped to at least 1).
-    pub fn with_capacity(capacity: usize) -> Self {
+    /// An empty cache evicting least-recently-used plans once the summed
+    /// [`CommPlan::estimated_bytes`] exceeds `budget_bytes`.  The most
+    /// recently inserted plan is always kept, even when it alone exceeds
+    /// the budget.
+    pub fn with_budget_bytes(budget_bytes: usize) -> Self {
         let cache = Self::default();
-        cache.lock().capacity = capacity.max(1);
+        cache.lock().budget_bytes = budget_bytes;
         cache
     }
 
@@ -757,19 +860,22 @@ impl PlanCache {
         self.inner.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
-    /// Current hit/miss counters and entry count.
+    /// Current hit/miss counters, entry count and resident bytes.
     pub fn stats(&self) -> PlanCacheStats {
         let inner = self.lock();
         PlanCacheStats {
             hits: inner.hits,
             misses: inner.misses,
             entries: inner.map.len(),
+            resident_bytes: inner.resident_bytes,
         }
     }
 
     /// Drops every cached plan (counters are kept).
     pub fn clear(&self) {
-        self.lock().map.clear();
+        let mut inner = self.lock();
+        inner.map.clear();
+        inner.resident_bytes = 0;
     }
 
     fn get_or_plan(
@@ -782,7 +888,7 @@ impl PlanCache {
             inner.tick += 1;
             let tick = inner.tick;
             let found = inner.map.get_mut(&key).map(|entry| {
-                entry.1 = tick;
+                entry.2 = tick;
                 Arc::clone(&entry.0)
             });
             if found.is_some() {
@@ -794,27 +900,37 @@ impl PlanCache {
         }
         // Plan outside the lock: planning is the expensive part.
         let planned = Arc::new(plan()?);
+        let size = planned.estimated_bytes();
         let mut inner = self.lock();
         inner.misses += 1;
         inner.tick += 1;
         let tick = inner.tick;
-        if !inner.map.contains_key(&key) && inner.map.len() >= inner.capacity {
-            // Evict the least-recently-used plan to stay within capacity.
-            if let Some(oldest) = inner
-                .map
-                .iter()
-                .min_by_key(|(_, (_, used))| *used)
-                .map(|(k, _)| k.clone())
-            {
-                inner.map.remove(&oldest);
-            }
-        }
-        Ok(inner
+        let entry = inner
             .map
             .entry(key)
-            .or_insert_with(|| (Arc::clone(&planned), tick))
+            .or_insert_with(|| (Arc::clone(&planned), size, tick))
             .0
-            .clone())
+            .clone();
+        if Arc::ptr_eq(&entry, &planned) {
+            // We inserted: account the size and evict least-recently-used
+            // plans until the budget holds again (never the new entry).
+            inner.resident_bytes += size;
+            while inner.resident_bytes > inner.budget_bytes && inner.map.len() > 1 {
+                let Some(oldest) = inner
+                    .map
+                    .iter()
+                    .filter(|(_, (_, _, used))| *used != tick)
+                    .min_by_key(|(_, (_, _, used))| *used)
+                    .map(|(k, _)| k.clone())
+                else {
+                    break;
+                };
+                if let Some((_, evicted_size, _)) = inner.map.remove(&oldest) {
+                    inner.resident_bytes -= evicted_size;
+                }
+            }
+        }
+        Ok(entry)
     }
 
     /// The cached redistribution plan `old -> new`, planning on a miss.
@@ -942,14 +1058,9 @@ mod tests {
             Arc::ptr_eq(&p1, &p2),
             "repeat lookup returns the cached plan"
         );
-        assert_eq!(
-            cache.stats(),
-            PlanCacheStats {
-                hits: 1,
-                misses: 1,
-                entries: 1
-            }
-        );
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+        assert_eq!(stats.resident_bytes, p1.estimated_bytes());
 
         // A different *target* distribution is a different key: no stale
         // plan is returned (the invalidation property).
@@ -963,6 +1074,7 @@ mod tests {
 
         cache.clear();
         assert_eq!(cache.stats().entries, 0);
+        assert_eq!(cache.stats().resident_bytes, 0);
         cache.redistribute_plan(&block, &cyclic).unwrap();
         assert_eq!(cache.stats().misses, 4);
     }
@@ -1038,21 +1150,104 @@ mod tests {
     }
 
     #[test]
-    fn cache_evicts_least_recently_used_beyond_capacity() {
-        let cache = PlanCache::with_capacity(2);
+    fn cache_evicts_least_recently_used_beyond_byte_budget() {
         let block = dist_1d(DistType::block1d(), 12, 3);
         let cyclic = dist_1d(DistType::cyclic1d(1), 12, 3);
         let gen = dist_1d(DistType::gen_block1d(vec![2, 4, 6]), 12, 3);
+        // Size the budget so A and B fit but adding C overflows by one
+        // byte, forcing exactly one LRU eviction.
+        let size_a = plan_redistribute(&block, &cyclic)
+            .unwrap()
+            .estimated_bytes();
+        let size_b = plan_redistribute(&block, &gen).unwrap().estimated_bytes();
+        let size_c = plan_redistribute(&cyclic, &gen).unwrap().estimated_bytes();
+        let cache = PlanCache::with_budget_bytes(size_a + size_b + size_c - 1);
         cache.redistribute_plan(&block, &cyclic).unwrap(); // entry A
         cache.redistribute_plan(&block, &gen).unwrap(); // entry B
         cache.redistribute_plan(&block, &cyclic).unwrap(); // touch A
         assert_eq!(cache.stats().entries, 2);
+        assert_eq!(cache.stats().resident_bytes, size_a + size_b);
         cache.redistribute_plan(&cyclic, &gen).unwrap(); // entry C evicts B (LRU)
         assert_eq!(cache.stats().entries, 2);
+        assert_eq!(cache.stats().resident_bytes, size_a + size_c);
         cache.redistribute_plan(&block, &cyclic).unwrap(); // A still cached
         assert_eq!(cache.stats().hits, 2);
         cache.redistribute_plan(&block, &gen).unwrap(); // B was evicted
         assert_eq!(cache.stats().misses, 4);
+    }
+
+    #[test]
+    fn cache_keeps_the_newest_plan_even_when_it_alone_exceeds_the_budget() {
+        let cache = PlanCache::with_budget_bytes(1);
+        let block = dist_1d(DistType::block1d(), 16, 4);
+        let cyclic = dist_1d(DistType::cyclic1d(1), 16, 4);
+        cache.redistribute_plan(&block, &cyclic).unwrap();
+        assert_eq!(cache.stats().entries, 1);
+        assert!(cache.stats().resident_bytes > 1);
+        // The oversized survivor is still served from the cache...
+        cache.redistribute_plan(&block, &cyclic).unwrap();
+        assert_eq!(cache.stats().hits, 1);
+        // ...until the next insertion displaces it.
+        cache.redistribute_plan(&cyclic, &block).unwrap();
+        assert_eq!(cache.stats().entries, 1);
+        cache.redistribute_plan(&block, &cyclic).unwrap();
+        assert_eq!(cache.stats().misses, 3);
+    }
+
+    #[test]
+    fn estimated_bytes_track_run_counts() {
+        // A strided cyclic target degrades to one run per element, so its
+        // plan must be estimated (much) larger than the handful-of-runs
+        // block shift over the same domain.
+        let n = 256usize;
+        let block = dist_1d(DistType::block1d(), n, 4);
+        let cyclic = dist_1d(DistType::cyclic1d(1), n, 4);
+        let gen = dist_1d(DistType::gen_block1d(vec![32, 96, 64, 64]), n, 4);
+        let fragmented = plan_redistribute(&block, &cyclic).unwrap();
+        let compact = plan_redistribute(&block, &gen).unwrap();
+        assert!(fragmented.estimated_bytes() > 4 * compact.estimated_bytes());
+    }
+
+    #[test]
+    fn zero_width_ghost_plan_is_empty_and_tiny() {
+        let dist = Distribution::new(
+            DistType::columns(),
+            IndexDomain::d2(64, 64),
+            ProcessorView::linear(4),
+        )
+        .unwrap();
+        let empty = plan_ghost(&dist, &[(0, 0), (0, 0)]).unwrap();
+        assert_eq!(empty.transfers().len(), 0, "no empty transfer groups");
+        assert_eq!(empty.num_messages(), 0);
+        assert_eq!(empty.moved_elements(), 0);
+        for p in 0..4 {
+            assert_eq!(empty.ghost_len(ProcId(p)), 0);
+        }
+        // The degenerate plan costs almost nothing to cache, far less than
+        // a real halo plan over the same distribution.
+        let real = plan_ghost(&dist, &[(1, 1), (1, 1)]).unwrap();
+        assert!(empty.estimated_bytes() < real.estimated_bytes() / 4);
+        // A plan with one zero-width dimension only schedules the other —
+        // for a column layout dimension 0 is undistributed, so its slabs
+        // clip to nothing and the two plans coincide.
+        let one_dim = plan_ghost(&dist, &[(0, 0), (1, 1)]).unwrap();
+        assert!(one_dim.num_messages() > 0);
+        assert_eq!(one_dim.moved_elements(), real.moved_elements());
+        // The zero-width fast path must not mask the contiguous-segment
+        // requirement: a cyclic layout is rejected at any width.
+        let cyclic = Distribution::new(
+            DistType::new(vec![
+                vf_dist::DimDist::Cyclic(1),
+                vf_dist::DimDist::NotDistributed,
+            ]),
+            IndexDomain::d2(8, 8),
+            ProcessorView::linear(4),
+        )
+        .unwrap();
+        assert!(matches!(
+            plan_ghost(&cyclic, &[(0, 0), (0, 0)]),
+            Err(RuntimeError::NoContiguousSegment { .. })
+        ));
     }
 
     #[test]

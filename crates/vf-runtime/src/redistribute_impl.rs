@@ -7,6 +7,7 @@
 //! one aggregated cost-model charge per message.  Iterative codes reuse
 //! plans through a [`PlanCache`] via [`redistribute_cached`].
 
+use crate::exec::{PlanExecutor, SerialExecutor};
 use crate::plan::{plan_redistribute, CommPlan, PlanCache, PlanIndex, PlanKind};
 use crate::{DistArray, Element, Result, RuntimeError};
 use vf_dist::Distribution;
@@ -86,11 +87,24 @@ pub fn redistribute<T: Element>(
     tracker: &CommTracker,
     opts: &RedistOptions,
 ) -> Result<RedistReport> {
+    redistribute_with(array, new_dist, tracker, opts, &SerialExecutor)
+}
+
+/// [`redistribute`] with an explicit execution backend — the copies run
+/// through `executor` (e.g. [`crate::exec::ThreadedExecutor`]), the result
+/// is bit-identical to serial execution.
+pub fn redistribute_with<T: Element, E: PlanExecutor>(
+    array: &mut DistArray<T>,
+    new_dist: Distribution,
+    tracker: &CommTracker,
+    opts: &RedistOptions,
+    executor: &E,
+) -> Result<RedistReport> {
     if opts.notransfer {
         return redistribute_notransfer(array, new_dist, tracker);
     }
     let plan = plan_redistribute(array.dist(), &new_dist)?;
-    execute_redistribute(array, &plan, tracker, opts)
+    execute_redistribute_with(array, &plan, tracker, opts, executor)
 }
 
 /// [`redistribute`] with plan reuse: the (old, new) schedule is looked up
@@ -105,11 +119,23 @@ pub fn redistribute_cached<T: Element>(
     opts: &RedistOptions,
     cache: &PlanCache,
 ) -> Result<RedistReport> {
+    redistribute_cached_with(array, new_dist, tracker, opts, cache, &SerialExecutor)
+}
+
+/// [`redistribute_cached`] with an explicit execution backend.
+pub fn redistribute_cached_with<T: Element, E: PlanExecutor>(
+    array: &mut DistArray<T>,
+    new_dist: Distribution,
+    tracker: &CommTracker,
+    opts: &RedistOptions,
+    cache: &PlanCache,
+    executor: &E,
+) -> Result<RedistReport> {
     if opts.notransfer {
         return redistribute_notransfer(array, new_dist, tracker);
     }
     let plan = cache.redistribute_plan(array.dist(), &new_dist)?;
-    execute_redistribute(array, &plan, tracker, opts)
+    execute_redistribute_with(array, &plan, tracker, opts, executor)
 }
 
 /// The `NOTRANSFER` path: only the descriptor changes, no plan is needed.
@@ -151,12 +177,8 @@ fn check_tracker(old: &Distribution, new: &Distribution, tracker: &CommTracker) 
     Ok(())
 }
 
-/// The executor half of the `DISTRIBUTE` realisation: replays a
-/// (possibly cached) [`CommPlan`] against the array — every run is one
-/// `copy_from_slice` between the sender's old buffer and the receiver's
-/// new buffer — and charges the cost model with one aggregated message per
-/// crossing transfer (or one per element under
-/// [`RedistOptions::element_wise`]).
+/// The executor half of the `DISTRIBUTE` realisation with the serial
+/// backend — see [`execute_redistribute_with`].
 ///
 /// # Errors
 /// [`RuntimeError::PlanMismatch`] if the array's current distribution is
@@ -167,6 +189,27 @@ pub fn execute_redistribute<T: Element>(
     tracker: &CommTracker,
     opts: &RedistOptions,
 ) -> Result<RedistReport> {
+    execute_redistribute_with(array, plan, tracker, opts, &SerialExecutor)
+}
+
+/// The executor half of the `DISTRIBUTE` realisation: replays a
+/// (possibly cached) [`CommPlan`] against the array through the chosen
+/// [`PlanExecutor`] backend — every run is one `copy_from_slice` between
+/// the sender's old buffer and the receiver's new buffer — posting the
+/// aggregated per-pair messages before the copies and completing them
+/// afterwards (or one message per element under
+/// [`RedistOptions::element_wise`]).
+///
+/// # Errors
+/// [`RuntimeError::PlanMismatch`] if the array's current distribution is
+/// not the one the plan was built for.
+pub fn execute_redistribute_with<T: Element, E: PlanExecutor>(
+    array: &mut DistArray<T>,
+    plan: &CommPlan,
+    tracker: &CommTracker,
+    opts: &RedistOptions,
+    executor: &E,
+) -> Result<RedistReport> {
     let PlanIndex::Redistribute { new_dist } = &plan.index else {
         return Err(RuntimeError::PlanMismatch {
             expected: plan.src_fingerprint(),
@@ -176,19 +219,12 @@ pub fn execute_redistribute<T: Element>(
     debug_assert_eq!(plan.kind(), PlanKind::Redistribute);
     plan.check_executable(array.dist(), tracker)?;
 
-    let mut new_locals: Vec<Vec<T>> = vec![Vec::new(); plan.total_procs()];
+    let mut dst_sizes = vec![0usize; plan.total_procs()];
     for &q in new_dist.proc_ids() {
-        new_locals[q.0] = vec![T::default(); new_dist.local_size(q)];
+        dst_sizes[q.0] = new_dist.local_size(q);
     }
-    for transfer in plan.transfers() {
-        let src_local = array.local(transfer.src);
-        let dst_local = &mut new_locals[transfer.dst.0];
-        for run in &transfer.runs {
-            dst_local[run.dst_start..run.dst_start + run.len]
-                .copy_from_slice(&src_local[run.src_start..run.src_start + run.len]);
-        }
-    }
-    let (messages, bytes) = plan.charge(tracker, T::BYTES, opts.aggregate);
+    let (new_locals, exec) =
+        executor.execute(plan, array.locals(), &dst_sizes, tracker, opts.aggregate);
     array.replace(new_dist.clone(), new_locals);
     // The plan targets the canonical first owner; every copy of a
     // replicated array receives the data.
@@ -196,8 +232,8 @@ pub fn execute_redistribute<T: Element>(
     Ok(RedistReport {
         moved_elements: plan.moved_elements(),
         stayed_elements: plan.stayed_elements(),
-        messages,
-        bytes,
+        messages: exec.messages,
+        bytes: exec.bytes,
     })
 }
 
