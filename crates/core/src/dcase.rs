@@ -285,6 +285,46 @@ mod tests {
     }
 
     #[test]
+    fn indirect_arm_dispatches_irregular_codes() {
+        // An irregular code selects its inspector/executor branch with an
+        // INDIRECT(*) arm — the DCASE face of the paper's mapping-array
+        // distributions.
+        let mut s: VfScope<f64> = VfScope::new(Machine::new(4, CostModel::zero()));
+        s.declare_dynamic(
+            DynamicDecl::new("MESH", vf_index::IndexDomain::d1(16)).initial(DistType::block1d()),
+        )
+        .unwrap();
+        let dcase = Dcase::new(["MESH"])
+            .when_positional([DistPattern::dims(vec![DimPattern::IndirectAny])])
+            .labelled("parti")
+            .when_positional([DistPattern::dims(vec![DimPattern::Block])])
+            .labelled("regular");
+        assert_eq!(dcase.select(&s).unwrap(), Some(1));
+        // A partitioner produces the mapping array; DISTRIBUTE flips the
+        // selected arm.
+        let map = std::sync::Arc::new(vf_dist::IndirectMap::from_fn(16, |i| (i / 2) % 4).unwrap());
+        s.distribute(DistributeStmt::new(
+            "MESH",
+            DistType::indirect1d(std::sync::Arc::clone(&map)),
+        ))
+        .unwrap();
+        assert_eq!(dcase.select(&s).unwrap(), Some(0));
+        // IDT sees the indirect class and the exact map.
+        assert!(s
+            .idt("MESH", &DistPattern::dims(vec![DimPattern::IndirectAny]))
+            .unwrap());
+        assert!(s
+            .idt(
+                "MESH",
+                &DistPattern::dims(vec![DimPattern::IndirectMap(map.fingerprint())])
+            )
+            .unwrap());
+        assert!(!s
+            .idt("MESH", &DistPattern::dims(vec![DimPattern::IndirectMap(1)]))
+            .unwrap());
+    }
+
+    #[test]
     fn construct_without_matching_clause_selects_nothing() {
         let s = example4_scope();
         let dcase =

@@ -96,15 +96,16 @@ pub mod prelude {
         FormalArg, ReturnPolicy, SecondaryDecl, StaticDecl, VfScope,
     };
     pub use vf_dist::{
-        construct, Alignment, DimDist, DimPattern, DistPattern, DistType, Distribution, ProcId,
-        ProcessorArray, ProcessorView,
+        construct, Alignment, DimDist, DimPattern, DistPattern, DistType, Distribution,
+        IndirectMap, ProcId, ProcessorArray, ProcessorView,
     };
     pub use vf_index::{DimRange, IndexDomain, Point, Section, Triplet};
     pub use vf_machine::{CommStats, CommTracker, CostModel, Machine, Topology};
     pub use vf_runtime::{
         assign, execute_redistribute_fused, ghost, parti, plan, redistribute, redistribute_cached,
-        redistribute_cached_with, redistribute_with, reduce, ArrayDescriptor, CommPlan, DistArray,
-        Element, ExecBackend, ExecReport, FusedPlan, PlanCache, PlanCacheStats, PlanExecutor,
-        RedistOptions, RedistReport, SerialExecutor, ThreadedExecutor,
+        redistribute_cached_with, redistribute_with, reduce, table_for, translation,
+        ArrayDescriptor, CommPlan, DistArray, DistTranslationTable, Element, ExecBackend,
+        ExecReport, FusedPlan, PlanCache, PlanCacheStats, PlanExecutor, RedistOptions,
+        RedistReport, SerialExecutor, ThreadedExecutor, TranslationStats,
     };
 }

@@ -907,6 +907,77 @@ mod tests {
     }
 
     #[test]
+    fn indirect_distribute_round_trips_and_fuses_the_class() {
+        use std::sync::Arc;
+        use vf_dist::IndirectMap;
+        let p = 4usize;
+        let n = 32usize;
+        let mut s = scope(p);
+        // RANGE admits BLOCK and any INDIRECT map; an unlisted class is
+        // still rejected.
+        s.declare_dynamic(
+            DynamicDecl::new("B", IndexDomain::d1(n))
+                .range([
+                    DistPattern::dims(vec![DimPattern::Block]),
+                    DistPattern::dims(vec![DimPattern::IndirectAny]),
+                ])
+                .initial(DistType::block1d()),
+        )
+        .unwrap();
+        s.declare_secondary(SecondaryDecl::extraction("A", IndexDomain::d1(n), "B"))
+            .unwrap();
+        for i in 1..=n as i64 {
+            s.array_mut("B")
+                .unwrap()
+                .set(&Point::d1(i), i as f64)
+                .unwrap();
+            s.array_mut("A")
+                .unwrap()
+                .set(&Point::d1(i), -(i as f64))
+                .unwrap();
+        }
+        assert!(matches!(
+            s.distribute(DistributeStmt::new("B", DistType::cyclic1d(1))),
+            Err(CoreError::OutsideRange { .. })
+        ));
+
+        // BLOCK -> INDIRECT(map1) -> INDIRECT(map2) -> BLOCK, data intact
+        // at every stage; the two-array class fuses every stage.
+        let map1 = Arc::new(IndirectMap::from_fn(n, |i| (i * 13 + 5) % p).unwrap());
+        let map2 = Arc::new(IndirectMap::from_fn(n, |i| (i / 3) % p).unwrap());
+        for t in [
+            DistType::indirect1d(Arc::clone(&map1)),
+            DistType::indirect1d(Arc::clone(&map2)),
+            DistType::block1d(),
+        ] {
+            let report = s.distribute(DistributeStmt::new("B", t.clone())).unwrap();
+            assert!(report.fused.is_some(), "class of 2 fuses for {t}");
+            assert!(report.messages() <= p * (p - 1));
+            assert_eq!(s.current_dist_type("B").unwrap(), t);
+            assert_eq!(s.current_dist_type("A").unwrap(), t);
+            for i in 1..=n as i64 {
+                assert_eq!(s.array("B").unwrap().get(&Point::d1(i)).unwrap(), i as f64);
+                assert_eq!(
+                    s.array("A").unwrap().get(&Point::d1(i)).unwrap(),
+                    -(i as f64)
+                );
+            }
+        }
+        // Repeating the same cycle hits the plan cache for every stage.
+        let misses_before = s.plan_cache().stats().misses;
+        for t in [
+            DistType::indirect1d(Arc::clone(&map1)),
+            DistType::indirect1d(map2),
+            DistType::block1d(),
+        ] {
+            s.distribute(DistributeStmt::new("B", t)).unwrap();
+        }
+        let stats = s.plan_cache().stats();
+        assert_eq!(stats.misses, misses_before, "second cycle plans nothing");
+        assert!(stats.hits >= 6);
+    }
+
+    #[test]
     fn notransfer_skips_data_motion_for_named_secondary() {
         let mut s = scope(4);
         s.declare_dynamic(DynamicDecl::new("B", IndexDomain::d1(16)).initial(DistType::block1d()))

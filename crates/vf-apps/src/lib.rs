@@ -21,6 +21,12 @@
 //!   distributed `BLOCK` or general-block (`B_BLOCK(BOUNDS)`), particles
 //!   drifting across cells, periodic load-balance checks and
 //!   redistribution.
+//! * [`mesh`] — an unstructured-mesh edge sweep over `INDIRECT`
+//!   (mapping-array) distributions: CSR mesh with shuffled node ids,
+//!   coordinate and greedy partitioners producing the mapping arrays,
+//!   cached PARTI gather schedules over the cut edges, and mid-run
+//!   repartitioning through a fused connect-class `DISTRIBUTE` — the
+//!   irregular scenario the paper's dynamic distributions target.
 //! * [`tridiag`] — the constant-coefficient tridiagonal (Thomas) solver the
 //!   ADI code calls (`TRIDIAG` in Figure 1).
 //! * [`workloads`] — deterministic workload generators (particle clouds,
@@ -30,6 +36,7 @@
 #![warn(missing_docs)]
 
 pub mod adi;
+pub mod mesh;
 pub mod pic;
 pub mod smoothing;
 pub mod tridiag;

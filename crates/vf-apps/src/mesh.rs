@@ -1,0 +1,616 @@
+//! Unstructured-mesh edge sweep over `INDIRECT` distributions — the
+//! irregular workload the paper's dynamic-distribution design exists to
+//! serve.
+//!
+//! The regular applications (ADI, smoothing, PIC) all live on arrays whose
+//! best distributions are expressible in closed form (`BLOCK`, `B_BLOCK`).
+//! Irregular codes — sweeps over an unstructured mesh — have no such form:
+//! a good partition follows the mesh connectivity, and the resulting
+//! owner-per-node *mapping array* is computed by a partitioner at run
+//! time.  Vienna Fortran expresses this as `DISTRIBUTE A :: INDIRECT(map)`
+//! and resolves ownership through the PARTI distributed translation table.
+//!
+//! This module provides:
+//!
+//! * [`Mesh`] — a CSR unstructured mesh whose node ids are *shuffled*, so
+//!   naive `BLOCK`-by-id partitioning scatters neighbours across
+//!   processors (the situation real meshes are in after generation);
+//! * [`partition_coordinate`] / [`partition_greedy`] — two simple
+//!   partitioners *producing* mapping arrays: a coordinate sort and a
+//!   greedy graph-growing BFS;
+//! * [`run_sweep`] — a Jacobi-style edge sweep at the language level
+//!   (`VfScope`): values gathered over cut edges through cached PARTI
+//!   schedules, a `DCASE` dispatch on the current distribution class, and
+//!   an optional mid-run repartitioning `DISTRIBUTE :: INDIRECT(map')`
+//!   whose connect class (values + fluxes) moves as one fused schedule.
+//!
+//! The final values are independent of the partition bit-for-bit (the
+//! update order is fixed by the CSR layout), so every configuration is
+//! checked against every other — only the communication differs.
+
+use std::sync::Arc;
+use vf_core::prelude::*;
+use vf_runtime::parti::{execute_gather, inspector_cached};
+
+/// A CSR unstructured mesh with 2-D node coordinates.
+#[derive(Debug, Clone)]
+pub struct Mesh {
+    /// CSR row pointers, length `num_nodes() + 1`.
+    pub xadj: Vec<usize>,
+    /// CSR adjacency (0-based node ids); every undirected edge appears
+    /// twice.
+    pub adjncy: Vec<usize>,
+    /// Node coordinates (used by the coordinate partitioner).
+    pub coords: Vec<(f64, f64)>,
+}
+
+impl Mesh {
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.coords.len()
+    }
+
+    /// Number of undirected edges.
+    pub fn num_edges(&self) -> usize {
+        self.adjncy.len() / 2
+    }
+
+    /// The neighbours of node `u`.
+    pub fn neighbors(&self, u: usize) -> &[usize] {
+        &self.adjncy[self.xadj[u]..self.xadj[u + 1]]
+    }
+}
+
+/// A deterministic pseudo-random linear-congruential step.
+fn lcg(state: &mut u64) -> u64 {
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    *state >> 11
+}
+
+/// Builds an `nx × ny` grid mesh (4-neighbourhood plus a deterministic
+/// sprinkle of diagonal edges), with jittered coordinates and — crucially —
+/// a pseudo-random *permutation of node ids*: consecutive ids are not
+/// neighbours, so distributing the node arrays `BLOCK` by id cuts most
+/// edges, while a geometry- or connectivity-aware mapping array recovers
+/// locality.
+pub fn unstructured_mesh(nx: usize, ny: usize, seed: u64) -> Mesh {
+    let n = nx * ny;
+    assert!(n > 0, "mesh needs at least one node");
+    let mut state = seed ^ 0x9e3779b97f4a7c15;
+    // Random permutation: grid cell (i, j) becomes node id perm[i + j*nx].
+    let mut perm: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = (lcg(&mut state) as usize) % (i + 1);
+        perm.swap(i, j);
+    }
+    let mut coords = vec![(0.0, 0.0); n];
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let connect = |adj: &mut Vec<Vec<usize>>, a: usize, b: usize| {
+        if !adj[a].contains(&b) {
+            adj[a].push(b);
+            adj[b].push(a);
+        }
+    };
+    for j in 0..ny {
+        for i in 0..nx {
+            let u = perm[i + j * nx];
+            let jitter_x = (lcg(&mut state) % 1000) as f64 / 5000.0;
+            let jitter_y = (lcg(&mut state) % 1000) as f64 / 5000.0;
+            coords[u] = (i as f64 + jitter_x, j as f64 + jitter_y);
+            if i + 1 < nx {
+                connect(&mut adj, u, perm[i + 1 + j * nx]);
+            }
+            if j + 1 < ny {
+                connect(&mut adj, u, perm[i + (j + 1) * nx]);
+            }
+            // Occasional diagonal, making the connectivity genuinely
+            // irregular.
+            if i + 1 < nx && j + 1 < ny && lcg(&mut state).is_multiple_of(4) {
+                connect(&mut adj, u, perm[i + 1 + (j + 1) * nx]);
+            }
+        }
+    }
+    let mut xadj = Vec::with_capacity(n + 1);
+    let mut adjncy = Vec::new();
+    xadj.push(0);
+    for list in &adj {
+        adjncy.extend_from_slice(list);
+        xadj.push(adjncy.len());
+    }
+    Mesh {
+        xadj,
+        adjncy,
+        coords,
+    }
+}
+
+/// A coordinate (geometric) partitioner: nodes sorted by `(x, y)` are cut
+/// into `nprocs` contiguous chunks of (nearly) equal size.  Returns the
+/// owner-per-node mapping array.
+pub fn partition_coordinate(mesh: &Mesh, nprocs: usize) -> Vec<usize> {
+    let n = mesh.num_nodes();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| {
+        let (ax, ay) = mesh.coords[a];
+        let (bx, by) = mesh.coords[b];
+        (ax, ay, a)
+            .partial_cmp(&(bx, by, b))
+            .expect("mesh coordinates are finite")
+    });
+    let mut owners = vec![0usize; n];
+    let chunk = n.div_ceil(nprocs.max(1));
+    for (rank, &u) in order.iter().enumerate() {
+        owners[u] = (rank / chunk).min(nprocs - 1);
+    }
+    owners
+}
+
+/// A greedy graph-growing partitioner: regions grow one processor at a
+/// time by BFS over the connectivity until each holds an equal share —
+/// the simplest of the partitioner family (RSB, greedy, …) the paper's
+/// `INDIRECT` interface is designed to plug in.
+pub fn partition_greedy(mesh: &Mesh, nprocs: usize) -> Vec<usize> {
+    let n = mesh.num_nodes();
+    let target = n.div_ceil(nprocs.max(1));
+    let mut owners = vec![usize::MAX; n];
+    let mut assigned = 0usize;
+    // Deterministic sweep order for fresh BFS seeds: coordinate order.
+    let mut seeds: Vec<usize> = (0..n).collect();
+    seeds.sort_by(|&a, &b| {
+        (mesh.coords[a], a)
+            .partial_cmp(&(mesh.coords[b], b))
+            .expect("mesh coordinates are finite")
+    });
+    let mut seed_cursor = 0usize;
+    for p in 0..nprocs {
+        let quota = if p + 1 == nprocs {
+            n - assigned
+        } else {
+            target.min(n - assigned)
+        };
+        let mut queue = std::collections::VecDeque::new();
+        let mut taken = 0usize;
+        while taken < quota {
+            if queue.is_empty() {
+                // Next unassigned seed (new component or exhausted front).
+                while seed_cursor < n && owners[seeds[seed_cursor]] != usize::MAX {
+                    seed_cursor += 1;
+                }
+                if seed_cursor >= n {
+                    break;
+                }
+                queue.push_back(seeds[seed_cursor]);
+            }
+            let Some(u) = queue.pop_front() else { break };
+            if owners[u] != usize::MAX {
+                continue;
+            }
+            owners[u] = p;
+            taken += 1;
+            for &v in mesh.neighbors(u) {
+                if owners[v] == usize::MAX {
+                    queue.push_back(v);
+                }
+            }
+        }
+        assigned += taken;
+    }
+    debug_assert!(owners.iter().all(|&o| o < nprocs));
+    owners
+}
+
+/// Number of mesh edges whose endpoints live on different processors under
+/// the given owner map — the communication volume proxy every partitioner
+/// minimises.
+pub fn edge_cut(mesh: &Mesh, owners: &[usize]) -> usize {
+    let mut cut = 0usize;
+    for u in 0..mesh.num_nodes() {
+        for &v in mesh.neighbors(u) {
+            if u < v && owners[u] != owners[v] {
+                cut += 1;
+            }
+        }
+    }
+    cut
+}
+
+/// How the node arrays are distributed for a sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MeshPartition {
+    /// `BLOCK` by (shuffled) node id — the regular baseline.
+    Block,
+    /// `INDIRECT` through the coordinate partitioner's mapping array.
+    Coordinate,
+    /// `INDIRECT` through the greedy graph-growing mapping array.
+    Greedy,
+}
+
+/// Configuration of a mesh sweep run.
+#[derive(Debug, Clone)]
+pub struct MeshSweepConfig {
+    /// Number of Jacobi sweeps.
+    pub steps: usize,
+    /// Initial partition of the node arrays.
+    pub partition: MeshPartition,
+    /// When set, re-partition with [`partition_greedy`] *before* this step
+    /// and redistribute the whole connect class with one fused
+    /// `DISTRIBUTE :: INDIRECT(map')` — the dynamic repartitioning the
+    /// paper's `DYNAMIC`/`DISTRIBUTE` design exists for.
+    pub repartition_at: Option<usize>,
+}
+
+/// What a sweep run did.
+#[derive(Debug, Clone)]
+pub struct MeshSweepResult {
+    /// Accumulated machine statistics.
+    pub stats: CommStats,
+    /// Final node values, dense by node id (bitwise partition-independent).
+    pub values: Vec<f64>,
+    /// Elements fetched over cut edges, summed over steps.
+    pub gathered_elements: usize,
+    /// Aggregated gather messages, summed over steps.
+    pub gather_messages: usize,
+    /// Edge cut of the initial partition.
+    pub edge_cut_initial: usize,
+    /// Edge cut of the final partition (differs only after repartitioning).
+    pub edge_cut_final: usize,
+    /// The `DISTRIBUTE` report of the repartitioning, when one ran.
+    pub repartition: Option<DistributeReport>,
+    /// `DCASE` arm label selected for the sweep ("parti" for indirect
+    /// distributions, "regular" for block).
+    pub dcase_arm: &'static str,
+    /// Translation-table lookup counters accumulated by planning against
+    /// indirect distributions (zeroes for the block baseline).
+    pub directory: TranslationStats,
+    /// Plan-cache statistics of the scope (schedule reuse across steps).
+    pub plan_cache: PlanCacheStats,
+}
+
+const DAMP: f64 = 0.5;
+const FLOPS_PER_EDGE: usize = 2;
+
+fn owners_of(dist: &Distribution, n: usize) -> Vec<usize> {
+    let locator = dist.locator();
+    (0..n).map(|u| locator.locate_lin(u).0 .0).collect()
+}
+
+fn dist_type_for(mesh: &Mesh, partition: MeshPartition, nprocs: usize) -> DistType {
+    match partition {
+        MeshPartition::Block => DistType::block1d(),
+        MeshPartition::Coordinate => DistType::indirect1d(Arc::new(
+            IndirectMap::new(partition_coordinate(mesh, nprocs)).expect("mesh is non-empty"),
+        )),
+        MeshPartition::Greedy => DistType::indirect1d(Arc::new(
+            IndirectMap::new(partition_greedy(mesh, nprocs)).expect("mesh is non-empty"),
+        )),
+    }
+}
+
+/// Runs the edge sweep on `machine` and returns statistics plus the final
+/// values.
+pub fn run_sweep(mesh: &Mesh, config: &MeshSweepConfig, machine: &Machine) -> MeshSweepResult {
+    let n = mesh.num_nodes();
+    let nprocs = machine.num_procs();
+    let mut scope: VfScope<f64> = VfScope::new(machine.clone());
+
+    // DYNAMIC VAL(N) RANGE((BLOCK), (INDIRECT(*))), connected FLUX(N).
+    scope
+        .declare_dynamic(
+            DynamicDecl::new("VAL", IndexDomain::d1(n))
+                .range([
+                    DistPattern::dims(vec![DimPattern::Block]),
+                    DistPattern::dims(vec![DimPattern::IndirectAny]),
+                ])
+                .initial(dist_type_for(mesh, config.partition, nprocs)),
+        )
+        .expect("declaration is valid");
+    scope
+        .declare_secondary(SecondaryDecl::extraction("FLUX", IndexDomain::d1(n), "VAL"))
+        .expect("VAL is a dynamic primary");
+    for u in 0..n {
+        let point = Point::d1(u as i64 + 1);
+        let x = u as f64;
+        scope
+            .array_mut("VAL")
+            .expect("distributed")
+            .set(&point, (x * 0.37).sin())
+            .expect("in domain");
+        scope
+            .array_mut("FLUX")
+            .expect("distributed")
+            .set(&point, (x * 0.11).cos())
+            .expect("in domain");
+    }
+
+    // DCASE dispatch: the sweep strategy follows the *current* distribution
+    // class (paper §2.5) — the PARTI inspector/executor arm for INDIRECT,
+    // the regular arm for BLOCK.
+    let dcase = Dcase::new(["VAL"])
+        .when_positional([DistPattern::dims(vec![DimPattern::IndirectAny])])
+        .labelled("parti")
+        .when_positional([DistPattern::dims(vec![DimPattern::Block])])
+        .labelled("regular")
+        .default_case()
+        .labelled("other");
+    let arm = dcase
+        .select(&scope)
+        .expect("VAL is distributed")
+        .expect("a clause matches");
+    let dcase_arm: &'static str = ["parti", "regular", "other"][arm];
+
+    let edge_cut_initial = edge_cut(
+        mesh,
+        &owners_of(scope.array("VAL").expect("distributed").dist(), n),
+    );
+    let mut repartition: Option<DistributeReport> = None;
+    let mut gathered_elements = 0usize;
+    let mut gather_messages = 0usize;
+    // Directory accounting: the sweep may plan against several translation
+    // tables (initial map, post-repartition map).  The tables' counters are
+    // cumulative per process, so snapshot a baseline *before* the first
+    // planning against each table and report the summed deltas — this run's
+    // lookups only, across all its tables.
+    let mut tracked: Vec<(std::sync::Arc<DistTranslationTable>, TranslationStats)> = Vec::new();
+    let track = |tracked: &mut Vec<(std::sync::Arc<DistTranslationTable>, TranslationStats)>,
+                 dist: &Distribution| {
+        if !dist.dist_type().has_indirect() {
+            return;
+        }
+        let table = table_for(dist);
+        if !tracked
+            .iter()
+            .any(|(t, _)| std::sync::Arc::ptr_eq(t, &table))
+        {
+            let baseline = table.stats();
+            tracked.push((table, baseline));
+        }
+    };
+    track(
+        &mut tracked,
+        scope.array("VAL").expect("distributed").dist(),
+    );
+
+    for step in 0..config.steps {
+        if config.repartition_at == Some(step) {
+            // The partitioner *produces* the new mapping array; the
+            // executable DISTRIBUTE moves the whole connect class (VAL and
+            // FLUX) as one fused schedule.
+            let map = Arc::new(
+                IndirectMap::new(partition_greedy(mesh, nprocs)).expect("mesh is non-empty"),
+            );
+            let new_type = DistType::indirect1d(map);
+            // Baseline the new map's table before the DISTRIBUTE plans
+            // against it.
+            let new_dist = Distribution::new(
+                new_type.clone(),
+                IndexDomain::d1(n),
+                scope.default_procs().clone(),
+            )
+            .expect("map matches the domain");
+            track(&mut tracked, &new_dist);
+            let report = scope
+                .distribute(DistributeStmt::new("VAL", new_type))
+                .expect("INDIRECT is within the declared RANGE");
+            repartition = Some(report);
+        }
+
+        let dist = scope.array("VAL").expect("distributed").dist().clone();
+        let node_owner = owners_of(&dist, n);
+        // Inspector: every node's owner reads its neighbours (duplicates
+        // and local reads are dropped by the planner).
+        let mut accesses: Vec<(ProcId, Point)> = Vec::with_capacity(mesh.adjncy.len());
+        for (u, &owner) in node_owner.iter().enumerate() {
+            for &v in mesh.neighbors(u) {
+                accesses.push((ProcId(owner), Point::d1(v as i64 + 1)));
+            }
+        }
+        let schedule = inspector_cached(&dist, &accesses, scope.plan_cache())
+            .expect("accesses are within the domain");
+        gathered_elements += schedule.num_elements();
+        gather_messages += schedule.num_messages();
+        let gathered = execute_gather(
+            scope.array("VAL").expect("distributed"),
+            &schedule,
+            scope.tracker(),
+        )
+        .expect("schedule matches the distribution");
+
+        // Executor: Jacobi update in fixed CSR order, so the result is
+        // bitwise independent of the partition.
+        let mut new_values = vec![0.0f64; n];
+        {
+            let val = scope.array("VAL").expect("distributed");
+            for u in 0..n {
+                let point_u = Point::d1(u as i64 + 1);
+                let own = val.get(&point_u).expect("in domain");
+                let nbrs = mesh.neighbors(u);
+                let mut acc = 0.0;
+                for &v in nbrs {
+                    let point_v = Point::d1(v as i64 + 1);
+                    acc += if node_owner[v] == node_owner[u] {
+                        val.get(&point_v).expect("in domain")
+                    } else {
+                        gathered
+                            .get(ProcId(node_owner[u]), val.dist(), &point_v)
+                            .expect("cut edge was scheduled")
+                    };
+                }
+                new_values[u] = if nbrs.is_empty() {
+                    own
+                } else {
+                    (1.0 - DAMP) * own + DAMP * acc / nbrs.len() as f64
+                };
+                scope
+                    .tracker()
+                    .compute(node_owner[u], nbrs.len() * FLOPS_PER_EDGE);
+            }
+        }
+        let val = scope.array_mut("VAL").expect("distributed");
+        for (u, &value) in new_values.iter().enumerate() {
+            val.set(&Point::d1(u as i64 + 1), value).expect("in domain");
+        }
+        let _ = step;
+    }
+
+    let mut directory = TranslationStats::default();
+    for (table, baseline) in &tracked {
+        let now = table.stats();
+        directory.home_hits += now.home_hits - baseline.home_hits;
+        directory.cache_hits += now.cache_hits - baseline.cache_hits;
+        directory.page_fetches += now.page_fetches - baseline.page_fetches;
+        directory.fetched_bytes += now.fetched_bytes - baseline.fetched_bytes;
+    }
+    let final_dist = scope.array("VAL").expect("distributed").dist().clone();
+    MeshSweepResult {
+        stats: scope.stats(),
+        values: scope.array("VAL").expect("distributed").to_dense(),
+        gathered_elements,
+        gather_messages,
+        edge_cut_initial,
+        edge_cut_final: edge_cut(mesh, &owners_of(&final_dist, n)),
+        repartition,
+        dcase_arm,
+        directory,
+        plan_cache: scope.plan_cache().stats(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mesh() -> Mesh {
+        unstructured_mesh(12, 8, 42)
+    }
+
+    fn machine(p: usize) -> Machine {
+        Machine::new(p, CostModel::from_alpha_beta(1.0, 0.01))
+    }
+
+    #[test]
+    fn mesh_is_deterministic_and_connected_enough() {
+        let a = mesh();
+        let b = mesh();
+        assert_eq!(a.xadj, b.xadj);
+        assert_eq!(a.adjncy, b.adjncy);
+        assert_eq!(a.num_nodes(), 96);
+        assert!(a.num_edges() >= 12 * 7 + 11 * 8);
+        // CSR symmetry: every edge appears in both directions.
+        for u in 0..a.num_nodes() {
+            for &v in a.neighbors(u) {
+                assert!(a.neighbors(v).contains(&u), "{u} -> {v} not symmetric");
+            }
+        }
+        assert_ne!(unstructured_mesh(12, 8, 7).adjncy, a.adjncy);
+    }
+
+    #[test]
+    fn partitioners_balance_and_beat_block_by_id() {
+        let m = mesh();
+        let p = 4;
+        for owners in [partition_coordinate(&m, p), partition_greedy(&m, p)] {
+            assert_eq!(owners.len(), m.num_nodes());
+            assert!(owners.iter().all(|&o| o < p));
+            let mut counts = vec![0usize; p];
+            for &o in &owners {
+                counts[o] += 1;
+            }
+            let max = *counts.iter().max().unwrap();
+            let min = *counts.iter().min().unwrap();
+            assert!(max - min <= m.num_nodes() / p, "imbalanced: {counts:?}");
+        }
+        // Shuffled node ids make BLOCK-by-id a near-random partition; both
+        // mesh-aware partitioners must cut far fewer edges.
+        let block: Vec<usize> = (0..m.num_nodes()).map(|u| u * p / m.num_nodes()).collect();
+        let cut_block = edge_cut(&m, &block);
+        let cut_coord = edge_cut(&m, &partition_coordinate(&m, p));
+        let cut_greedy = edge_cut(&m, &partition_greedy(&m, p));
+        assert!(
+            cut_coord * 2 < cut_block,
+            "coordinate {cut_coord} vs block {cut_block}"
+        );
+        assert!(
+            cut_greedy * 2 < cut_block,
+            "greedy {cut_greedy} vs block {cut_block}"
+        );
+    }
+
+    #[test]
+    fn sweep_values_are_partition_independent() {
+        let m = mesh();
+        let steps = 3;
+        let run = |partition, repartition_at| {
+            run_sweep(
+                &m,
+                &MeshSweepConfig {
+                    steps,
+                    partition,
+                    repartition_at,
+                },
+                &machine(4),
+            )
+        };
+        let block = run(MeshPartition::Block, None);
+        let coord = run(MeshPartition::Coordinate, None);
+        let greedy = run(MeshPartition::Greedy, None);
+        let remapped = run(MeshPartition::Coordinate, Some(2));
+        assert_eq!(block.values, coord.values, "block vs coordinate");
+        assert_eq!(block.values, greedy.values, "block vs greedy");
+        assert_eq!(block.values, remapped.values, "block vs remapped");
+        // DCASE selected the right arm for each class.
+        assert_eq!(block.dcase_arm, "regular");
+        assert_eq!(coord.dcase_arm, "parti");
+        // The mesh-aware partition fetches fewer elements over cut edges
+        // and the indirect planning walked the translation table.
+        assert!(coord.gathered_elements < block.gathered_elements);
+        assert!(coord.directory.page_fetches + coord.directory.home_hits > 0);
+        assert_eq!(block.directory, TranslationStats::default());
+    }
+
+    #[test]
+    fn repartitioning_moves_the_class_as_one_fused_distribute() {
+        let m = mesh();
+        let result = run_sweep(
+            &m,
+            &MeshSweepConfig {
+                steps: 4,
+                partition: MeshPartition::Block,
+                repartition_at: Some(2),
+            },
+            &machine(4),
+        );
+        let report = result.repartition.expect("repartitioning ran");
+        // VAL and FLUX moved together: fused to one message per pair.
+        assert!(report.fused.is_some());
+        assert!(report.messages() < report.unfused_messages());
+        assert_eq!(report.per_array.len(), 2);
+        // The greedy remap leaves a better partition than shuffled BLOCK.
+        assert!(result.edge_cut_final * 2 < result.edge_cut_initial);
+        // After the remap the gather schedule was replanned (different
+        // fingerprint), before it the cached schedule was reused.
+        assert!(result.plan_cache.hits > 0);
+    }
+
+    #[test]
+    fn cached_schedules_are_reused_across_steps() {
+        let m = mesh();
+        let result = run_sweep(
+            &m,
+            &MeshSweepConfig {
+                steps: 4,
+                partition: MeshPartition::Greedy,
+                repartition_at: None,
+            },
+            &machine(4),
+        );
+        // One gather plan, three cache hits; directory pages were fetched
+        // once (cold) and never again.
+        assert_eq!(result.plan_cache.misses, 1);
+        assert_eq!(result.plan_cache.hits, 3);
+        let first_fetches = result.directory.page_fetches;
+        assert!(first_fetches > 0);
+        assert!(result.directory.cache_hits > 0);
+    }
+}

@@ -1,8 +1,9 @@
 //! Per-dimension intrinsic distribution functions.
 
-use crate::{DistError, Result};
+use crate::{DistError, IndirectMap, Result};
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::sync::Arc;
 
 /// A contiguous run of global element offsets (0-based within one dimension)
 /// owned by one processor — the per-dimension part of the paper's `segment`
@@ -48,6 +49,12 @@ pub enum DimDist {
     /// the given (possibly irregular) sizes, one per processor, in processor
     /// order.  The paper's Figure 2 uses this for load-balanced PIC cells.
     GenBlock(Vec<usize>),
+    /// `INDIRECT(map)`: every element is placed by a mapping array (a user-
+    /// or partitioner-computed owner per element) — the irregular
+    /// distribution function the PARTI translation-table machinery exists
+    /// for.  The map is shared (`Arc`), so a connect class distributed
+    /// through one map holds a single copy of its tables.
+    Indirect(Arc<IndirectMap>),
     /// The elision symbol `:` — the dimension is not distributed; every
     /// processor of the target view holds the full extent locally.
     NotDistributed,
@@ -73,6 +80,11 @@ impl DimDist {
     /// (the `BOUNDS` array of Figure 2).
     pub fn gen_block(sizes: Vec<usize>) -> Self {
         DimDist::GenBlock(sizes)
+    }
+
+    /// `INDIRECT(map)`: distribution through a shared mapping array.
+    pub fn indirect(map: Arc<IndirectMap>) -> Self {
+        DimDist::Indirect(map)
     }
 
     /// The elision `:`.
@@ -110,6 +122,21 @@ impl DimDist {
                 }
                 Ok(())
             }
+            DimDist::Indirect(map) => {
+                if map.len() != n {
+                    return Err(DistError::IndirectLengthMismatch {
+                        map_len: map.len(),
+                        extent: n,
+                    });
+                }
+                if map.max_owner() >= nprocs {
+                    return Err(DistError::IndirectOwnerOutOfRange {
+                        owner: map.max_owner(),
+                        procs: nprocs,
+                    });
+                }
+                Ok(())
+            }
         }
     }
 
@@ -141,6 +168,7 @@ impl DimDist {
                 }
                 sizes.len() - 1
             }
+            DimDist::Indirect(map) => map.owner(offset),
             DimDist::NotDistributed => {
                 unreachable!("owner() called on an undistributed dimension")
             }
@@ -163,6 +191,7 @@ impl DimDist {
                 full * k + extra
             }
             DimDist::GenBlock(sizes) => sizes.get(proc).copied().unwrap_or(0),
+            DimDist::Indirect(map) => map.local_count(proc),
             DimDist::NotDistributed => n,
         }
     }
@@ -185,6 +214,7 @@ impl DimDist {
                 let start: usize = sizes[..owner].iter().sum();
                 offset - start
             }
+            DimDist::Indirect(map) => map.local_offset(offset),
             DimDist::NotDistributed => offset,
         }
     }
@@ -205,6 +235,7 @@ impl DimDist {
                 let start: usize = sizes[..proc].iter().sum();
                 start + local
             }
+            DimDist::Indirect(map) => map.global_offset(proc, local),
             DimDist::NotDistributed => local,
         }
     }
@@ -238,7 +269,21 @@ impl DimDist {
                 let len = sizes.get(proc).copied().unwrap_or(0);
                 Some(DimSegment { start, len })
             }
+            DimDist::Indirect(map) => map.segment(proc),
             DimDist::NotDistributed => Some(DimSegment { start: 0, len: n }),
+        }
+    }
+
+    /// Heap bytes held by the entry beyond its enum footprint — general
+    /// block size lists and (shared) indirect mapping tables.  Consumers
+    /// that budget memory by estimated bytes (the runtime's plan cache)
+    /// charge this per clone, a deliberately conservative over-count for
+    /// `Arc`-shared maps.
+    pub fn payload_bytes(&self) -> usize {
+        match self {
+            DimDist::Block | DimDist::Cyclic(_) | DimDist::NotDistributed => 0,
+            DimDist::GenBlock(sizes) => sizes.len() * std::mem::size_of::<usize>(),
+            DimDist::Indirect(map) => map.estimated_bytes(),
         }
     }
 }
@@ -258,6 +303,9 @@ impl fmt::Display for DimDist {
                     write!(f, "{s}")?;
                 }
                 write!(f, ")")
+            }
+            DimDist::Indirect(map) => {
+                write!(f, "INDIRECT(#{:08x})", map.fingerprint() as u32)
             }
             DimDist::NotDistributed => write!(f, ":"),
         }
@@ -351,6 +399,41 @@ mod tests {
         // Zero-sized blocks are permitted (a processor may own no cells).
         let z = DimDist::gen_block(vec![0, 10, 0, 0]);
         check_consistency(&z, 10, 4);
+    }
+
+    #[test]
+    fn indirect_distribution() {
+        let map = Arc::new(IndirectMap::new(vec![2, 0, 0, 1, 2, 0, 3, 3, 1, 0]).unwrap());
+        let d = DimDist::indirect(Arc::clone(&map));
+        assert!(d.validate(10, 4).is_ok());
+        check_consistency(&d, 10, 4);
+        assert_eq!(d.owner(0, 10, 4), 2);
+        assert_eq!(d.owner(3, 10, 4), 1);
+        assert_eq!(d.local_count(0, 10, 4), 4);
+        assert_eq!(d.local_count(3, 10, 4), 2);
+        // A scattered owner set has no contiguous segment; a contiguous one
+        // reports it.
+        assert_eq!(d.segment(0, 10, 4), None);
+        let blockish = DimDist::indirect(Arc::new(
+            IndirectMap::new(vec![0, 0, 0, 1, 1, 2, 2, 2, 3, 3]).unwrap(),
+        ));
+        check_consistency(&blockish, 10, 4);
+        assert_eq!(
+            blockish.segment(1, 10, 4),
+            Some(DimSegment { start: 3, len: 2 })
+        );
+        // Length and owner-range validation.
+        assert!(matches!(
+            d.validate(9, 4),
+            Err(DistError::IndirectLengthMismatch { .. })
+        ));
+        assert!(matches!(
+            d.validate(10, 3),
+            Err(DistError::IndirectOwnerOutOfRange { .. })
+        ));
+        assert!(d.is_distributed());
+        assert!(d.payload_bytes() > 0);
+        assert_eq!(DimDist::block().payload_bytes(), 0);
     }
 
     #[test]

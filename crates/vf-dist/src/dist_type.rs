@@ -36,6 +36,12 @@ impl DistType {
         Self::new(vec![DimDist::GenBlock(sizes)])
     }
 
+    /// `(INDIRECT(map))` — 1-D indirect distribution through a shared
+    /// mapping array.
+    pub fn indirect1d(map: std::sync::Arc<crate::IndirectMap>) -> Self {
+        Self::new(vec![DimDist::Indirect(map)])
+    }
+
     /// `( : , BLOCK)` — distribute the second dimension by block
     /// ("column distribution" of a 2-D array; Figure 1's initial layout).
     pub fn columns() -> Self {
@@ -84,6 +90,19 @@ impl DistType {
     /// target processors).
     pub fn is_replicated(&self) -> bool {
         self.distributed_dims().is_empty()
+    }
+
+    /// Whether any dimension is distributed through an `INDIRECT` mapping
+    /// array — the irregular case the runtime resolves through its
+    /// distributed translation table.
+    pub fn has_indirect(&self) -> bool {
+        self.dims.iter().any(|d| matches!(d, DimDist::Indirect(_)))
+    }
+
+    /// Heap bytes held by the per-dimension entries (see
+    /// [`DimDist::payload_bytes`]).
+    pub fn payload_bytes(&self) -> usize {
+        self.dims.iter().map(|d| d.payload_bytes()).sum()
     }
 
     /// Checks that the type can apply to an array of rank `array_rank`.

@@ -576,6 +576,10 @@ impl Distribution {
             }
         };
         size_of::<Self>() + self.proc_ids.len() * size_of::<ProcId>() + kind
+            // Indirect mapping arrays and general-block size lists live in
+            // the distribution type; charge them per clone (conservative
+            // for Arc-shared maps).
+            + self.dist_type.payload_bytes()
     }
 
     /// The contiguous correspondences between the local storage of `proc`
@@ -1440,10 +1444,78 @@ mod tests {
                 |p| ProcId((p.coord(0) % 2 == 0) as usize),
             )
             .unwrap(),
+            Distribution::new(
+                DistType::indirect1d(std::sync::Arc::new(
+                    crate::IndirectMap::new(vec![3, 0, 0, 2, 1, 1, 0, 3, 2, 0, 1, 2]).unwrap(),
+                )),
+                IndexDomain::d1(12),
+                ProcessorView::linear(4),
+            )
+            .unwrap(),
         ];
         for dist in &dists {
             check_locator_and_runs(dist);
         }
+    }
+
+    #[test]
+    fn indirect_distribution_consistency_and_coalescing() {
+        // An INDIRECT map placing interleaved *runs* of elements: the
+        // distribution machinery must agree with the map element-wise, and
+        // local_linear_runs must coalesce the consecutive same-owner
+        // stretches into one run each.
+        let owners = vec![0, 0, 0, 1, 1, 1, 0, 0, 1, 1, 1, 1];
+        let map = std::sync::Arc::new(crate::IndirectMap::new(owners.clone()).unwrap());
+        let d = Distribution::new(
+            DistType::indirect1d(std::sync::Arc::clone(&map)),
+            IndexDomain::d1(12),
+            ProcessorView::linear(2),
+        )
+        .unwrap();
+        check_distribution(&d);
+        for (i, &o) in owners.iter().enumerate() {
+            assert_eq!(d.owner(&Point::d1(i as i64 + 1)).unwrap(), ProcId(o));
+        }
+        // P0 owns offsets 0..3 and 6..8 -> 2 runs; P1 owns 3..6 and 8..12.
+        assert_eq!(d.local_linear_runs(ProcId(0)).len(), 2);
+        assert_eq!(d.local_linear_runs(ProcId(1)).len(), 2);
+        // Scattered owner sets have no contiguous segment descriptor.
+        assert!(d.local_segment(ProcId(0)).is_none());
+        // Fingerprints distinguish maps and repeat deterministically.
+        let same = Distribution::new(
+            DistType::indirect1d(std::sync::Arc::new(
+                crate::IndirectMap::new(owners).unwrap(),
+            )),
+            IndexDomain::d1(12),
+            ProcessorView::linear(2),
+        )
+        .unwrap();
+        assert_eq!(d.fingerprint(), same.fingerprint());
+        let flipped = Distribution::new(
+            DistType::indirect1d(std::sync::Arc::new(
+                crate::IndirectMap::new(vec![1, 1, 1, 0, 0, 0, 1, 1, 0, 0, 0, 0]).unwrap(),
+            )),
+            IndexDomain::d1(12),
+            ProcessorView::linear(2),
+        )
+        .unwrap();
+        assert_ne!(d.fingerprint(), flipped.fingerprint());
+        // The O(N) mapping tables are charged to the byte estimate.
+        assert!(d.estimated_bytes() >= 12 * 8);
+        // An invalid map (wrong length / owner out of range) is rejected at
+        // Distribution::new time.
+        assert!(Distribution::new(
+            DistType::indirect1d(std::sync::Arc::clone(&map)),
+            IndexDomain::d1(11),
+            ProcessorView::linear(2)
+        )
+        .is_err());
+        assert!(Distribution::new(
+            DistType::indirect1d(map),
+            IndexDomain::d1(12),
+            ProcessorView::linear(1)
+        )
+        .is_err());
     }
 
     #[test]

@@ -41,6 +41,23 @@ pub enum DistError {
     },
     /// A `CYCLIC(k)` distribution was given a zero block width.
     ZeroCyclicWidth,
+    /// An `INDIRECT` mapping array does not cover the dimension exactly.
+    IndirectLengthMismatch {
+        /// Number of entries in the mapping array.
+        map_len: usize,
+        /// Extent of the array dimension being distributed.
+        extent: usize,
+    },
+    /// An `INDIRECT` mapping array names a processor coordinate outside the
+    /// target processor dimension.
+    IndirectOwnerOutOfRange {
+        /// The offending owner coordinate.
+        owner: usize,
+        /// Number of processors in the target dimension.
+        procs: usize,
+    },
+    /// An `INDIRECT` mapping array has no entries.
+    EmptyIndirectMap,
     /// An alignment's rank is inconsistent with the arrays it connects.
     AlignmentRankMismatch {
         /// Expected rank (of the source array).
@@ -98,6 +115,15 @@ impl fmt::Display for DistError {
                 "general block distribution supplies {sizes} sizes for {procs} processors"
             ),
             DistError::ZeroCyclicWidth => write!(f, "CYCLIC(k) requires k >= 1"),
+            DistError::IndirectLengthMismatch { map_len, extent } => write!(
+                f,
+                "INDIRECT mapping array has {map_len} entries but the dimension extent is {extent}"
+            ),
+            DistError::IndirectOwnerOutOfRange { owner, procs } => write!(
+                f,
+                "INDIRECT mapping array names owner {owner} but the target has {procs} processors"
+            ),
+            DistError::EmptyIndirectMap => write!(f, "INDIRECT mapping array is empty"),
             DistError::AlignmentRankMismatch { expected, found } => write!(
                 f,
                 "alignment rank mismatch: expected {expected}, found {found}"
@@ -152,6 +178,12 @@ mod tests {
             },
             DistError::GenBlockCountMismatch { sizes: 3, procs: 4 },
             DistError::ZeroCyclicWidth,
+            DistError::IndirectLengthMismatch {
+                map_len: 9,
+                extent: 10,
+            },
+            DistError::IndirectOwnerOutOfRange { owner: 4, procs: 4 },
+            DistError::EmptyIndirectMap,
             DistError::AlignmentRankMismatch {
                 expected: 3,
                 found: 2,

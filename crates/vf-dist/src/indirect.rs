@@ -1,0 +1,237 @@
+//! `INDIRECT(map)` mapping arrays — the irregular distribution function of
+//! Vienna Fortran.
+//!
+//! A `DYNAMIC` array may be distributed through a *mapping array*: a
+//! user- or partitioner-computed array giving, for every element, the
+//! processor that is to own it (the paper's interface to "external
+//! distribution generators", serving the irregular codes the PARTI
+//! routines were built for).  [`IndirectMap`] is the evaluated form of
+//! that mapping array: the owner of every element plus the two derived
+//! tables the runtime needs for O(1) local addressing — the local offset
+//! of every element on its owner, and each owner's local→global table in
+//! local storage order.
+//!
+//! Elements assigned to one owner keep their global order locally, so
+//! consecutive same-owner elements occupy consecutive local offsets and
+//! the communication planner's run-length encoding coalesces them into
+//! single copies.
+
+use crate::{DimSegment, DistError, Result};
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+/// An evaluated `INDIRECT` mapping array over one dimension: `owners[i]`
+/// is the (0-based) processor coordinate owning global offset `i`.
+///
+/// The map is immutable once built; share it between arrays with
+/// `Arc<IndirectMap>` (a connect class distributed through one map holds
+/// one copy of the tables).  Equality compares the full owner array; the
+/// hash uses the precomputed 64-bit [`IndirectMap::fingerprint`] so that
+/// hashing a distribution type stays O(1) regardless of the map size.
+#[derive(Debug, Clone)]
+pub struct IndirectMap {
+    /// Owner (processor coordinate) of each global offset.
+    owners: Vec<u32>,
+    /// Local offset of each global offset on its owner.
+    local_offsets: Vec<u32>,
+    /// For each processor coordinate, the owned global offsets in local
+    /// storage (= ascending global) order.
+    local_to_global: Vec<Vec<u32>>,
+    /// Highest owner coordinate appearing in the map.
+    max_owner: usize,
+    /// 64-bit structural fingerprint of the owner array.
+    fingerprint: u64,
+}
+
+impl IndirectMap {
+    /// Builds a map from the per-element owner array (0-based processor
+    /// coordinates).
+    ///
+    /// # Errors
+    /// [`DistError::EmptyIndirectMap`] when `owners` is empty.
+    pub fn new(owners: Vec<usize>) -> Result<Self> {
+        if owners.is_empty() {
+            return Err(DistError::EmptyIndirectMap);
+        }
+        let max_owner = owners.iter().copied().max().expect("non-empty");
+        let mut local_offsets = vec![0u32; owners.len()];
+        let mut local_to_global: Vec<Vec<u32>> = vec![Vec::new(); max_owner + 1];
+        let mut owners32 = Vec::with_capacity(owners.len());
+        for (lin, &o) in owners.iter().enumerate() {
+            local_offsets[lin] = local_to_global[o].len() as u32;
+            local_to_global[o].push(lin as u32);
+            owners32.push(o as u32);
+        }
+        let mut h = DefaultHasher::new();
+        owners32.hash(&mut h);
+        Ok(Self {
+            owners: owners32,
+            local_offsets,
+            local_to_global,
+            max_owner,
+            fingerprint: h.finish(),
+        })
+    }
+
+    /// Builds a map of `n` elements from an owner function over global
+    /// offsets — convenient for partitioners.
+    pub fn from_fn(n: usize, mut owner_of: impl FnMut(usize) -> usize) -> Result<Self> {
+        Self::new((0..n).map(&mut owner_of).collect())
+    }
+
+    /// Number of elements covered by the map.
+    pub fn len(&self) -> usize {
+        self.owners.len()
+    }
+
+    /// Whether the map covers no elements (never true for a constructed
+    /// map).
+    pub fn is_empty(&self) -> bool {
+        self.owners.is_empty()
+    }
+
+    /// Highest owner coordinate appearing in the map.
+    pub fn max_owner(&self) -> usize {
+        self.max_owner
+    }
+
+    /// The 64-bit structural fingerprint of the owner array: two maps with
+    /// the same fingerprint assign (up to hash collision) every element to
+    /// the same owner.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// Owner coordinate of global offset `offset`.
+    #[inline]
+    pub fn owner(&self, offset: usize) -> usize {
+        self.owners[offset] as usize
+    }
+
+    /// Local offset of global offset `offset` on its owner.
+    #[inline]
+    pub fn local_offset(&self, offset: usize) -> usize {
+        self.local_offsets[offset] as usize
+    }
+
+    /// Number of elements owned by processor coordinate `proc`.
+    pub fn local_count(&self, proc: usize) -> usize {
+        self.local_to_global.get(proc).map(|v| v.len()).unwrap_or(0)
+    }
+
+    /// Global offset stored at local offset `local` on `proc`.
+    ///
+    /// # Panics
+    /// When `local` is outside `proc`'s local count (callers index within
+    /// [`IndirectMap::local_count`], like every [`crate::DimDist`]).
+    pub fn global_offset(&self, proc: usize, local: usize) -> usize {
+        self.local_to_global[proc][local] as usize
+    }
+
+    /// The contiguous global segment owned by `proc`, when its owned set is
+    /// one contiguous run (`None` for scattered owner sets).  The owned
+    /// offsets are kept in ascending order, so contiguity is a
+    /// first/last/len check.
+    pub fn segment(&self, proc: usize) -> Option<DimSegment> {
+        let table = self.local_to_global.get(proc)?;
+        let (&first, &last) = (table.first()?, table.last()?);
+        if (last - first) as usize + 1 == table.len() {
+            Some(DimSegment {
+                start: first as usize,
+                len: table.len(),
+            })
+        } else {
+            None
+        }
+    }
+
+    /// The raw owner array (0-based processor coordinates per global
+    /// offset).
+    pub fn owners(&self) -> impl Iterator<Item = usize> + '_ {
+        self.owners.iter().map(|&o| o as usize)
+    }
+
+    /// Heap bytes held by the map's tables — what sharing the map through
+    /// an `Arc` saves, and what cache-budget consumers must account for.
+    pub fn estimated_bytes(&self) -> usize {
+        use std::mem::size_of;
+        (self.owners.len() + self.local_offsets.len()) * size_of::<u32>()
+            + self
+                .local_to_global
+                .iter()
+                .map(|v| size_of::<Vec<u32>>() + v.len() * size_of::<u32>())
+                .sum::<usize>()
+    }
+}
+
+impl PartialEq for IndirectMap {
+    fn eq(&self, other: &Self) -> bool {
+        self.fingerprint == other.fingerprint && self.owners == other.owners
+    }
+}
+
+impl Eq for IndirectMap {}
+
+impl Hash for IndirectMap {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        state.write_u64(self.fingerprint);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_tables_are_consistent() {
+        let map = IndirectMap::new(vec![2, 0, 0, 1, 2, 0]).unwrap();
+        assert_eq!(map.len(), 6);
+        assert!(!map.is_empty());
+        assert_eq!(map.max_owner(), 2);
+        assert_eq!(map.local_count(0), 3);
+        assert_eq!(map.local_count(1), 1);
+        assert_eq!(map.local_count(2), 2);
+        assert_eq!(map.local_count(7), 0);
+        // Owners keep their elements in ascending global order.
+        assert_eq!(map.global_offset(0, 0), 1);
+        assert_eq!(map.global_offset(0, 1), 2);
+        assert_eq!(map.global_offset(0, 2), 5);
+        for lin in 0..6 {
+            let o = map.owner(lin);
+            let l = map.local_offset(lin);
+            assert_eq!(map.global_offset(o, l), lin, "round trip at {lin}");
+        }
+        assert_eq!(map.owners().collect::<Vec<_>>(), vec![2, 0, 0, 1, 2, 0]);
+    }
+
+    #[test]
+    fn segments_detect_contiguity() {
+        let map = IndirectMap::new(vec![0, 0, 1, 1, 1, 2]).unwrap();
+        assert_eq!(map.segment(0), Some(DimSegment { start: 0, len: 2 }));
+        assert_eq!(map.segment(1), Some(DimSegment { start: 2, len: 3 }));
+        assert_eq!(map.segment(2), Some(DimSegment { start: 5, len: 1 }));
+        let scattered = IndirectMap::new(vec![0, 1, 0, 1]).unwrap();
+        assert_eq!(scattered.segment(0), None);
+        assert_eq!(scattered.segment(9), None);
+    }
+
+    #[test]
+    fn fingerprints_identify_owner_arrays() {
+        let a = IndirectMap::new(vec![0, 1, 0, 1]).unwrap();
+        let b = IndirectMap::new(vec![0, 1, 0, 1]).unwrap();
+        let c = IndirectMap::new(vec![1, 0, 0, 1]).unwrap();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_eq!(a, b);
+        assert_ne!(a.fingerprint(), c.fingerprint());
+        assert_ne!(a, c);
+        assert!(IndirectMap::new(Vec::new()).is_err());
+    }
+
+    #[test]
+    fn from_fn_matches_explicit() {
+        let a = IndirectMap::from_fn(8, |i| i % 3).unwrap();
+        let b = IndirectMap::new((0..8).map(|i| i % 3).collect()).unwrap();
+        assert_eq!(a, b);
+        assert!(a.estimated_bytes() >= 8 * 2 * 4);
+    }
+}

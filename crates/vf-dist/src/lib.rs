@@ -35,6 +35,7 @@ mod dimdist;
 mod dist_type;
 mod distribution;
 mod error;
+mod indirect;
 mod pattern;
 mod processors;
 
@@ -43,6 +44,7 @@ pub use dimdist::{DimDist, DimSegment};
 pub use dist_type::DistType;
 pub use distribution::{construct, Distribution, LinearRun, LocalLayout, Locator};
 pub use error::DistError;
+pub use indirect::IndirectMap;
 pub use pattern::{DimPattern, DistPattern};
 pub use processors::{ProcId, ProcessorArray, ProcessorView};
 

@@ -24,6 +24,13 @@ pub enum DimPattern {
     GenBlockAny,
     /// A general block distribution with exactly these sizes.
     GenBlock(Vec<usize>),
+    /// Any indirect distribution (`INDIRECT(*)`), regardless of the map —
+    /// the `DCASE` arm an irregular code uses to select its
+    /// inspector/executor branch.
+    IndirectAny,
+    /// An indirect distribution through the mapping array with exactly this
+    /// [`crate::IndirectMap::fingerprint`].
+    IndirectMap(u64),
     /// `:` — the dimension is not distributed.
     NotDistributed,
 }
@@ -39,6 +46,8 @@ impl DimPattern {
             (DimPattern::CyclicAny, DimDist::Cyclic(_)) => true,
             (DimPattern::GenBlockAny, DimDist::GenBlock(_)) => true,
             (DimPattern::GenBlock(sizes), DimDist::GenBlock(s2)) => sizes == s2,
+            (DimPattern::IndirectAny, DimDist::Indirect(_)) => true,
+            (DimPattern::IndirectMap(fp), DimDist::Indirect(map)) => *fp == map.fingerprint(),
             (DimPattern::NotDistributed, DimDist::NotDistributed) => true,
             _ => false,
         }
@@ -52,6 +61,7 @@ impl From<&DimDist> for DimPattern {
             DimDist::Block => DimPattern::Block,
             DimDist::Cyclic(k) => DimPattern::Cyclic(*k),
             DimDist::GenBlock(s) => DimPattern::GenBlock(s.clone()),
+            DimDist::Indirect(map) => DimPattern::IndirectMap(map.fingerprint()),
             DimDist::NotDistributed => DimPattern::NotDistributed,
         }
     }
@@ -76,6 +86,8 @@ impl fmt::Display for DimPattern {
                 }
                 write!(f, ")")
             }
+            DimPattern::IndirectAny => write!(f, "INDIRECT(*)"),
+            DimPattern::IndirectMap(fp) => write!(f, "INDIRECT(#{:08x})", *fp as u32),
             DimPattern::NotDistributed => write!(f, ":"),
         }
     }
@@ -131,6 +143,8 @@ impl DistPattern {
                         | (DimPattern::CyclicAny, DimPattern::CyclicAny) => true,
                         (DimPattern::GenBlockAny, DimPattern::GenBlock(_))
                         | (DimPattern::GenBlockAny, DimPattern::GenBlockAny) => true,
+                        (DimPattern::IndirectAny, DimPattern::IndirectMap(_))
+                        | (DimPattern::IndirectAny, DimPattern::IndirectAny) => true,
                         _ => pa == pb,
                     })
             }
@@ -175,6 +189,30 @@ mod tests {
         assert!(!DimPattern::GenBlock(vec![1, 2]).matches(&DimDist::GenBlock(vec![2, 1])));
         assert!(DimPattern::NotDistributed.matches(&DimDist::NotDistributed));
         assert!(!DimPattern::NotDistributed.matches(&DimDist::Block));
+    }
+
+    #[test]
+    fn indirect_patterns() {
+        let map = std::sync::Arc::new(crate::IndirectMap::new(vec![0, 1, 0, 1]).unwrap());
+        let other = std::sync::Arc::new(crate::IndirectMap::new(vec![1, 0, 1, 0]).unwrap());
+        let d = DimDist::indirect(std::sync::Arc::clone(&map));
+        assert!(DimPattern::IndirectAny.matches(&d));
+        assert!(DimPattern::Star.matches(&d));
+        assert!(!DimPattern::Block.matches(&d));
+        assert!(!DimPattern::IndirectAny.matches(&DimDist::Block));
+        // The exact pattern is keyed by the map fingerprint.
+        let exact = DimPattern::from(&d);
+        assert!(exact.matches(&d));
+        assert!(!exact.matches(&DimDist::indirect(other)));
+        // Subsumption: INDIRECT(*) covers every specific map.
+        let any = DistPattern::dims(vec![DimPattern::IndirectAny]);
+        let specific = DistPattern::dims(vec![exact]);
+        assert!(any.subsumes(&specific));
+        assert!(!specific.subsumes(&any));
+        assert_eq!(DimPattern::IndirectAny.to_string(), "INDIRECT(*)");
+        assert!(DimPattern::IndirectMap(map.fingerprint())
+            .to_string()
+            .starts_with("INDIRECT(#"));
     }
 
     #[test]

@@ -26,6 +26,14 @@ pub struct CostModel {
     pub hop_latency: f64,
     /// Cost of one floating-point operation in seconds.
     pub compute_per_flop: f64,
+    /// Cost of copying one byte through local memory in seconds — the
+    /// packing/unpacking work of a communication plan's copy phase.  The
+    /// executors charge the copy phase as per-processor compute time *and*
+    /// credit it as overlap against the posted messages, so a non-zero
+    /// rate makes the simulated machine show communication hidden behind
+    /// packing.  Zero (the default of every preset) reproduces the
+    /// previous behaviour bit-for-bit.
+    pub copy_per_byte: f64,
     /// Interconnect topology used for hop counting.
     pub topology: Topology,
 }
@@ -40,6 +48,7 @@ impl CostModel {
             beta: 0.36e-6,
             hop_latency: 10e-6,
             compute_per_flop: 60e-9,
+            copy_per_byte: 0.0,
             topology: Topology::hypercube_like(num_procs),
         }
     }
@@ -52,6 +61,7 @@ impl CostModel {
             beta: 0.02e-6,
             hop_latency: 1e-6,
             compute_per_flop: 25e-9,
+            copy_per_byte: 0.0,
             topology: Topology::Mesh2D { rows, cols },
         }
     }
@@ -63,6 +73,7 @@ impl CostModel {
             beta: 1e-10,
             hop_latency: 0.0,
             compute_per_flop: 1e-9,
+            copy_per_byte: 0.0,
             topology: Topology::Crossbar,
         }
     }
@@ -75,6 +86,7 @@ impl CostModel {
             beta: 0.01e-6,
             hop_latency: 0.0,
             compute_per_flop: 10e-9,
+            copy_per_byte: 0.0,
             topology: Topology::Crossbar,
         }
     }
@@ -87,6 +99,7 @@ impl CostModel {
             beta: 1.0e-6,
             hop_latency: 0.0,
             compute_per_flop: 10e-9,
+            copy_per_byte: 0.0,
             topology: Topology::Crossbar,
         }
     }
@@ -98,6 +111,7 @@ impl CostModel {
             beta: 0.0,
             hop_latency: 0.0,
             compute_per_flop: 0.0,
+            copy_per_byte: 0.0,
             topology: Topology::Crossbar,
         }
     }
@@ -109,6 +123,7 @@ impl CostModel {
             beta,
             hop_latency: 0.0,
             compute_per_flop: 0.0,
+            copy_per_byte: 0.0,
             topology: Topology::Crossbar,
         }
     }
@@ -129,6 +144,22 @@ impl CostModel {
     /// processor.
     pub fn compute_time(&self, flops: usize) -> f64 {
         self.compute_per_flop * flops as f64
+    }
+
+    /// Returns the model with the local-memory copy rate set from a
+    /// bandwidth in bytes per second (0 disables copy-phase modelling).
+    pub fn with_copy_bandwidth(mut self, bytes_per_second: f64) -> Self {
+        self.copy_per_byte = if bytes_per_second > 0.0 {
+            1.0 / bytes_per_second
+        } else {
+            0.0
+        };
+        self
+    }
+
+    /// Time in seconds to copy `bytes` bytes through local memory.
+    pub fn copy_time(&self, bytes: usize) -> f64 {
+        self.copy_per_byte * bytes as f64
     }
 
     /// Time for a binary-tree collective (reduce/broadcast) over `nprocs`

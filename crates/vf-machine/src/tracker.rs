@@ -146,6 +146,20 @@ impl CommTracker {
     /// applied per processor, not per message).  Messages to self are
     /// free, as everywhere else.
     pub fn wait(&self, pending: PendingSends, overlap_seconds: f64) {
+        self.wait_with(pending, |_| overlap_seconds)
+    }
+
+    /// [`CommTracker::wait`] with a *per-processor* overlap credit:
+    /// `overlap[p]` seconds of local work performed by processor `p`
+    /// between the post and the wait (processors beyond the slice get no
+    /// credit).  The executors use this to credit each destination's copy
+    /// (packing) time against its own communication, the way non-blocking
+    /// receives hide transfer time behind unpacking on a real machine.
+    pub fn wait_overlapped(&self, pending: PendingSends, overlap: &[f64]) {
+        self.wait_with(pending, |p| overlap.get(p).copied().unwrap_or(0.0))
+    }
+
+    fn wait_with(&self, pending: PendingSends, overlap_of: impl Fn(usize) -> f64) {
         let mut stats = self.stats.lock();
         let mut per_proc_time = vec![0.0f64; stats.num_procs()];
         for (src, dst, bytes, t) in pending.messages {
@@ -163,7 +177,7 @@ impl CommTracker {
         }
         for (p, t) in per_proc_time.into_iter().enumerate() {
             if t > 0.0 {
-                stats.proc_mut(p).comm_time += (t - overlap_seconds).max(0.0);
+                stats.proc_mut(p).comm_time += (t - overlap_of(p)).max(0.0);
             }
         }
     }
@@ -175,6 +189,16 @@ impl CommTracker {
         }
         let t = self.cost.compute_time(flops);
         self.stats.lock().record_compute(proc, t);
+    }
+
+    /// Records `seconds` of local (non-flop) work on `proc` — memory
+    /// copies, packing, directory maintenance.  Zero-duration charges are
+    /// dropped.
+    pub fn compute_seconds(&self, proc: usize, seconds: f64) {
+        if seconds <= 0.0 {
+            return;
+        }
+        self.stats.lock().record_compute(proc, seconds);
     }
 
     /// Records a collective operation over all processors with per-stage
@@ -279,6 +303,34 @@ mod tests {
         let s = t.snapshot();
         assert_eq!(s.total_messages(), 2);
         assert!((s.per_proc()[0].comm_time - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn per_proc_overlap_credits_each_endpoint_separately() {
+        let t = CommTracker::new(3, CostModel::from_alpha_beta(1.0, 0.0));
+        let pending = t.post_many([(0usize, 1usize, 8usize), (0, 2, 8)]);
+        // P0 posted two messages (2.0 s), P1 and P2 one each (1.0 s).  P1
+        // overlapped 0.75 s of packing, P2 more than its whole wait.
+        t.wait_overlapped(pending, &[0.0, 0.75, 5.0]);
+        let s = t.snapshot();
+        assert!((s.per_proc()[0].comm_time - 2.0).abs() < 1e-12);
+        assert!((s.per_proc()[1].comm_time - 0.25).abs() < 1e-12);
+        assert_eq!(s.per_proc()[2].comm_time, 0.0);
+        // A short credit slice defaults the missing processors to zero.
+        let pending = t.post_many([(2usize, 0usize, 8usize)]);
+        t.wait_overlapped(pending, &[]);
+        assert!((t.snapshot().per_proc()[0].comm_time - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn compute_seconds_records_directly() {
+        let t = CommTracker::new(2, CostModel::zero());
+        t.compute_seconds(1, 0.5);
+        t.compute_seconds(1, 0.0);
+        t.compute_seconds(0, -1.0);
+        let s = t.snapshot();
+        assert_eq!(s.per_proc()[1].compute_time, 0.5);
+        assert_eq!(s.per_proc()[0].compute_time, 0.0);
     }
 
     #[test]

@@ -189,6 +189,12 @@ impl<T: Element> DistArray<T> {
         &self.locals
     }
 
+    /// Mutable view of all local buffers — the owner-partitioned update
+    /// target of [`crate::exec::PlanExecutor::run_updates`].
+    pub(crate) fn locals_mut(&mut self) -> &mut [Vec<T>] {
+        &mut self.locals
+    }
+
     /// Replaces the distribution and the local buffers in one step — used by
     /// the redistribution engine after it has moved the data.
     pub(crate) fn replace(&mut self, dist: Distribution, locals: Vec<Vec<T>>) {

@@ -33,7 +33,7 @@
 //! class — the per-array payloads between one (sender, receiver) pair
 //! travel together instead of as one message per array.
 
-use crate::plan::{CommPlan, PlanIndex, PlanKind, Transfer};
+use crate::plan::{CommPlan, PlanIndex, PlanKind, PlanRun, Transfer};
 use crate::{DistArray, Element, RedistReport, Result, RuntimeError};
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -71,9 +71,40 @@ pub trait PlanExecutor {
         tracker: &CommTracker,
     ) -> Vec<Vec<T>>;
 
+    /// Applies owner-partitioned combine updates: `updates[p]` is the
+    /// in-order list of `(local offset, value)` updates to apply to
+    /// `locals[p]` with `combine(current, value)`.
+    ///
+    /// The combine function is order-sensitive *per owner* (updates to one
+    /// element must apply in program order), but owners are independent —
+    /// that is the partition [`crate::parti::execute_scatter_with`] feeds
+    /// this hook, and the only parallelism a backend may exploit.  The
+    /// default implementation applies owners serially in order; backends
+    /// must produce bitwise-identical buffers.
+    fn run_updates<T: Element>(
+        &self,
+        locals: &mut [Vec<T>],
+        updates: &[Vec<(usize, T)>],
+        combine: &(dyn Fn(T, T) -> T + Sync),
+    ) {
+        for (buf, ups) in locals.iter_mut().zip(updates) {
+            for &(off, v) in ups {
+                buf[off] = combine(buf[off], v);
+            }
+        }
+    }
+
     /// Full execution of one plan: posts the plan's modelled messages,
     /// runs the copy phase, then completes the posted messages — the
     /// non-blocking post/wait pattern of a real message-passing machine.
+    ///
+    /// When the cost model prices local copies
+    /// ([`vf_machine::CostModel::copy_per_byte`] non-zero), the copy phase
+    /// is charged as per-destination compute time and credited as overlap
+    /// at the wait: communication is hidden behind the packing work, as it
+    /// is on a machine with non-blocking receives.  At the default zero
+    /// rate the accounting is bit-identical to a plain post/wait.
+    ///
     /// Returns the destination buffers and what was charged.
     fn execute<T: Element>(
         &self,
@@ -83,12 +114,57 @@ pub trait PlanExecutor {
         tracker: &CommTracker,
         aggregate: bool,
     ) -> (Vec<Vec<T>>, ExecReport) {
+        // Directory page fetches of the inspection (indirect distributions
+        // only, first execution only) complete before the data moves; they
+        // are charged to the tracker but are not part of the data-plane
+        // report.
+        plan.charge_directory(tracker);
         let (batch, messages, bytes) = plan.message_batch(T::BYTES, aggregate);
         let pending = tracker.post_many(batch);
         let out = self.run_copies(plan.transfers(), src, dst_sizes, tracker);
-        tracker.wait(pending, 0.0);
+        finish_with_copy_credit(
+            tracker,
+            pending,
+            &copy_seconds(plan.transfers(), T::BYTES, tracker),
+        );
         (out, ExecReport { messages, bytes })
     }
+}
+
+/// Per-destination-processor seconds spent in the copy phase of
+/// `transfers` under the tracker's cost model (empty when the model prices
+/// copies at zero — the default).  Each element lands in exactly one
+/// destination buffer, so the unpacking work is attributed to the
+/// destination.
+fn copy_seconds(transfers: &[Transfer], elem_bytes: usize, tracker: &CommTracker) -> Vec<f64> {
+    let rate = tracker.cost().copy_per_byte;
+    if rate == 0.0 {
+        return Vec::new();
+    }
+    let mut secs = vec![0.0f64; tracker.num_procs()];
+    for t in transfers {
+        if let Some(s) = secs.get_mut(t.dst.0) {
+            *s += (t.elements * elem_bytes) as f64 * rate;
+        }
+    }
+    secs
+}
+
+/// Completes `pending`, crediting `copy_secs` (per-processor copy-phase
+/// seconds) as both local compute time and communication overlap.
+fn finish_with_copy_credit(
+    tracker: &CommTracker,
+    pending: vf_machine::PendingSends,
+    copy_secs: &[f64],
+) {
+    if copy_secs.is_empty() {
+        tracker.wait(pending, 0.0);
+        return;
+    }
+    for (p, &s) in copy_secs.iter().enumerate() {
+        tracker.compute_seconds(p, s);
+    }
+    tracker.wait_overlapped(pending, copy_secs);
 }
 
 /// Copies every transfer run targeting destination processor `dst` from
@@ -198,18 +274,148 @@ impl PlanExecutor for ThreadedExecutor {
         dst_sizes: &[usize],
         tracker: &CommTracker,
     ) -> Vec<Vec<T>> {
-        let copy_bytes: usize = transfers
-            .iter()
-            .map(|t| t.elements * std::mem::size_of::<T>())
-            .sum();
+        let elem = std::mem::size_of::<T>();
+        let mut dest_bytes = vec![0usize; dst_sizes.len()];
+        for t in transfers {
+            if let Some(b) = dest_bytes.get_mut(t.dst.0) {
+                *b += t.elements * elem;
+            }
+        }
+        let copy_bytes: usize = dest_bytes.iter().sum();
         if self.workers <= 1 || copy_bytes < self.serial_cutoff_bytes {
             return SerialExecutor.run_copies(transfers, src, dst_sizes, tracker);
         }
-        spmd::run_partitioned(self.workers, tracker, dst_sizes.len(), |_ctx, dst| {
+        // Skew check: the per-destination partition serialises one worker
+        // on the hottest receiver.  When that receiver carries more than
+        // twice an even worker share, split *its* run list across the
+        // workers instead (irregular plans — gather-like redistributions
+        // into one owner — are exactly this case).
+        let (hot, &hot_bytes) = dest_bytes
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, b)| *b)
+            .expect("dst_sizes is non-empty for a plan above the cutoff");
+        let skewed = hot_bytes * self.workers > 2 * copy_bytes.max(1);
+        let mut out = spmd::run_partitioned(self.workers, tracker, dst_sizes.len(), |_ctx, dst| {
+            if skewed && dst == hot {
+                // Filled by the split phase below.
+                return Vec::new();
+            }
             let mut buf = vec![T::default(); dst_sizes[dst]];
             copy_runs_into(&mut buf, dst, transfers, src);
             buf
-        })
+        });
+        if skewed {
+            out[hot] = self.copy_hot_destination_split(transfers, src, dst_sizes[hot], hot);
+        }
+        out
+    }
+
+    fn run_updates<T: Element>(
+        &self,
+        locals: &mut [Vec<T>],
+        updates: &[Vec<(usize, T)>],
+        combine: &(dyn Fn(T, T) -> T + Sync),
+    ) {
+        let total_bytes: usize = updates
+            .iter()
+            .map(|u| u.len() * std::mem::size_of::<T>())
+            .sum();
+        if self.workers <= 1 || total_bytes < self.serial_cutoff_bytes {
+            SerialExecutor.run_updates(locals, updates, combine);
+            return;
+        }
+        // Round-robin the owners over scoped worker threads: each owner's
+        // buffer is touched by exactly one thread, and its updates apply
+        // in order, so the combine semantics are exactly the serial ones.
+        type OwnerWork<'a, T> = (&'a mut Vec<T>, &'a Vec<(usize, T)>);
+        let mut bins: Vec<Vec<OwnerWork<'_, T>>> = (0..self.workers).map(|_| Vec::new()).collect();
+        for (i, (buf, ups)) in locals.iter_mut().zip(updates).enumerate() {
+            bins[i % self.workers].push((buf, ups));
+        }
+        std::thread::scope(|scope| {
+            for bin in bins {
+                scope.spawn(move || {
+                    for (buf, ups) in bin {
+                        for &(off, v) in ups {
+                            buf[off] = combine(buf[off], v);
+                        }
+                    }
+                });
+            }
+        });
+    }
+}
+
+impl ThreadedExecutor {
+    /// Copies every run targeting the hot destination with the run list
+    /// split across the workers.
+    ///
+    /// Each destination element is written by exactly one run, so the runs
+    /// targeting one destination have pairwise-disjoint destination
+    /// intervals; sorted by destination offset they tile the buffer in
+    /// order, and cutting between runs yields independent contiguous
+    /// regions that `split_at_mut` hands to scoped worker threads — safe
+    /// parallel writes into one buffer, no locking, bitwise-identical
+    /// output.
+    fn copy_hot_destination_split<T: Element>(
+        &self,
+        transfers: &[Transfer],
+        src: &[Vec<T>],
+        dst_size: usize,
+        hot: usize,
+    ) -> Vec<T> {
+        let mut runs: Vec<(usize, PlanRun)> = transfers
+            .iter()
+            .filter(|t| t.dst.0 == hot)
+            .flat_map(|t| t.runs.iter().map(move |r| (t.src.0, *r)))
+            .collect();
+        runs.sort_unstable_by_key(|(_, r)| r.dst_start);
+        let total: usize = runs.iter().map(|(_, r)| r.len).sum();
+        let mut buf = vec![T::default(); dst_size];
+        if total == 0 {
+            return buf;
+        }
+        // Chunk boundaries between runs, at roughly even element counts.
+        let per_chunk = total.div_ceil(self.workers);
+        let mut chunks: Vec<(usize, usize)> = Vec::with_capacity(self.workers); // run index ranges
+        let mut start = 0usize;
+        let mut acc = 0usize;
+        for (i, (_, r)) in runs.iter().enumerate() {
+            acc += r.len;
+            if acc >= per_chunk && i + 1 < runs.len() {
+                chunks.push((start, i + 1));
+                start = i + 1;
+                acc = 0;
+            }
+        }
+        chunks.push((start, runs.len()));
+        std::thread::scope(|scope| {
+            let mut remaining: &mut [T] = &mut buf;
+            let mut offset = 0usize;
+            for (k, &(lo, hi)) in chunks.iter().enumerate() {
+                // The chunk's region ends where the next chunk's first run
+                // starts (disjoint sorted runs: every run of this chunk
+                // ends at or before that offset).
+                let end = if k + 1 < chunks.len() {
+                    runs[chunks[k + 1].0].1.dst_start
+                } else {
+                    dst_size
+                };
+                let (region, tail) = remaining.split_at_mut(end - offset);
+                let chunk_runs = &runs[lo..hi];
+                let base = offset;
+                scope.spawn(move || {
+                    for &(sp, r) in chunk_runs {
+                        region[r.dst_start - base..r.dst_start - base + r.len]
+                            .copy_from_slice(&src[sp][r.src_start..r.src_start + r.len]);
+                    }
+                });
+                remaining = tail;
+                offset = end;
+            }
+        });
+        buf
     }
 }
 
@@ -254,6 +460,18 @@ impl PlanExecutor for ExecBackend {
         match self {
             ExecBackend::Serial => SerialExecutor.run_copies(transfers, src, dst_sizes, tracker),
             ExecBackend::Threaded(t) => t.run_copies(transfers, src, dst_sizes, tracker),
+        }
+    }
+
+    fn run_updates<T: Element>(
+        &self,
+        locals: &mut [Vec<T>],
+        updates: &[Vec<(usize, T)>],
+        combine: &(dyn Fn(T, T) -> T + Sync),
+    ) {
+        match self {
+            ExecBackend::Serial => SerialExecutor.run_updates(locals, updates, combine),
+            ExecBackend::Threaded(t) => t.run_updates(locals, updates, combine),
         }
     }
 }
@@ -396,12 +614,16 @@ pub fn execute_redistribute_fused<T: Element, E: PlanExecutor>(
         part.check_executable(array.dist(), tracker)?;
     }
 
+    for part in fused.parts() {
+        part.charge_directory(tracker);
+    }
     let batch = fused.message_batch(T::BYTES);
     let messages = batch.len();
     let bytes: usize = batch.iter().map(|m| m.2).sum();
     let pending = tracker.post_many(batch);
 
     let mut reports = Vec::with_capacity(arrays.len());
+    let mut fused_copy_secs: Vec<f64> = Vec::new();
     for (array, part) in arrays.iter_mut().zip(fused.parts()) {
         let PlanIndex::Redistribute { new_dist } = &part.index else {
             unreachable!("validated above");
@@ -413,6 +635,15 @@ pub fn execute_redistribute_fused<T: Element, E: PlanExecutor>(
         let new_locals = executor.run_copies(part.transfers(), array.locals(), &dst_sizes, tracker);
         array.replace(new_dist.clone(), new_locals);
         array.broadcast_canonical();
+        // The whole class's copy work overlaps the single fused message
+        // batch: accumulate every part's copy seconds per destination.
+        let part_secs = copy_seconds(part.transfers(), T::BYTES, tracker);
+        if fused_copy_secs.len() < part_secs.len() {
+            fused_copy_secs.resize(part_secs.len(), 0.0);
+        }
+        for (acc, s) in fused_copy_secs.iter_mut().zip(part_secs) {
+            *acc += s;
+        }
         reports.push(RedistReport {
             moved_elements: part.moved_elements(),
             stayed_elements: part.stayed_elements(),
@@ -420,7 +651,7 @@ pub fn execute_redistribute_fused<T: Element, E: PlanExecutor>(
             bytes: part.bytes_for(T::BYTES),
         });
     }
-    tracker.wait(pending, 0.0);
+    finish_with_copy_credit(tracker, pending, &fused_copy_secs);
     Ok((reports, ExecReport { messages, bytes }))
 }
 
@@ -489,6 +720,97 @@ mod tests {
             }
         }
         assert_eq!(ExecBackend::default().name(), "serial");
+    }
+
+    #[test]
+    fn hot_destination_split_matches_serial_bitwise() {
+        // Everything funnels into P0 (a gather-like repartition): the
+        // round-robin destination partition would serialise on one worker,
+        // so the threaded executor splits P0's run list across workers.
+        // Results and accounting must stay bitwise identical to serial.
+        let n = 4096usize;
+        let p = 8usize;
+        let from = dist_1d(DistType::cyclic1d(3), n, p);
+        let mut sizes = vec![0usize; p];
+        sizes[0] = n;
+        let to = dist_1d(DistType::gen_block1d(sizes), n, p);
+        let plan = plan_redistribute(&from, &to).unwrap();
+        let a = DistArray::from_fn("A", from, |pt| pt.coord(0) as f64 * 1.25);
+        let mut dst_sizes = vec![0usize; p];
+        for &q in to.proc_ids() {
+            dst_sizes[q.0] = to.local_size(q);
+        }
+        let t_serial = CommTracker::new(p, CostModel::from_alpha_beta(1.0, 0.25));
+        let (serial, rs) = SerialExecutor.execute(&plan, a.locals(), &dst_sizes, &t_serial, true);
+        for workers in [2, 3, 5] {
+            let forced = ThreadedExecutor::with_workers(workers).serial_cutoff_bytes(0);
+            let t_thr = CommTracker::new(p, CostModel::from_alpha_beta(1.0, 0.25));
+            let (threaded, rt) = forced.execute(&plan, a.locals(), &dst_sizes, &t_thr, true);
+            assert_eq!(serial, threaded, "buffers differ with {workers} workers");
+            assert_eq!(rs, rt);
+            assert_eq!(t_serial.snapshot(), t_thr.snapshot());
+        }
+        // A partial hot receiver (most but not all traffic to P1, scattered
+        // run layout) exercises the gap-preserving split path too.
+        let mut sizes = vec![8usize; p];
+        sizes[1] = n - 8 * (p - 1);
+        let to = dist_1d(DistType::gen_block1d(sizes), n, p);
+        let plan = plan_redistribute(a.dist(), &to).unwrap();
+        let mut dst_sizes = vec![0usize; p];
+        for &q in to.proc_ids() {
+            dst_sizes[q.0] = to.local_size(q);
+        }
+        let (serial, _) = SerialExecutor.execute(&plan, a.locals(), &dst_sizes, &t_serial, true);
+        let forced = ThreadedExecutor::with_workers(4).serial_cutoff_bytes(0);
+        let (threaded, _) = forced.execute(&plan, a.locals(), &dst_sizes, &t_serial, true);
+        assert_eq!(serial, threaded);
+    }
+
+    #[test]
+    fn copy_phase_is_charged_as_compute_and_hides_communication() {
+        let n = 64usize;
+        let p = 4usize;
+        let from = dist_1d(DistType::block1d(), n, p);
+        let to = dist_1d(DistType::cyclic1d(1), n, p);
+        let plan = plan_redistribute(&from, &to).unwrap();
+        let a = DistArray::from_fn("A", from, |pt| pt.coord(0) as f64);
+        let mut dst_sizes = vec![0usize; p];
+        for &q in to.proc_ids() {
+            dst_sizes[q.0] = to.local_size(q);
+        }
+        // Baseline: copies priced at zero — no compute time, full
+        // communication time, exactly the pre-credit behaviour.
+        let zero_rate = CommTracker::new(p, CostModel::from_alpha_beta(1.0, 0.5));
+        SerialExecutor.execute(&plan, a.locals(), &dst_sizes, &zero_rate, true);
+        let base = zero_rate.snapshot();
+        assert_eq!(base.total_compute_time(), 0.0);
+        assert!(base.critical_time() > 0.0);
+
+        // A copy rate makes the packing work visible as compute time and
+        // hides the same amount of communication time behind it.
+        let priced = CommTracker::new(
+            p,
+            CostModel::from_alpha_beta(1.0, 0.5).with_copy_bandwidth(1e6),
+        );
+        SerialExecutor.execute(&plan, a.locals(), &dst_sizes, &priced, true);
+        let credited = priced.snapshot();
+        // Message and byte counts are untouched by the credit.
+        assert_eq!(credited.total_messages(), base.total_messages());
+        assert_eq!(credited.total_bytes(), base.total_bytes());
+        // Copy work shows as compute, and per-processor communication time
+        // shrinks by exactly the credited copy seconds (none hit zero with
+        // this small rate).
+        assert!(credited.total_compute_time() > 0.0);
+        for (pp, (c, b)) in credited.per_proc().iter().zip(base.per_proc()).enumerate() {
+            let credit: f64 = plan
+                .transfers()
+                .iter()
+                .filter(|t| t.dst.0 == pp)
+                .map(|t| (t.elements * 8) as f64 * priced.cost().copy_per_byte)
+                .sum();
+            assert!((b.comm_time - c.comm_time - credit).abs() < 1e-12, "P{pp}");
+            assert!((c.compute_time - credit).abs() < 1e-12, "P{pp}");
+        }
     }
 
     #[test]

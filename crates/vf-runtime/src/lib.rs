@@ -51,6 +51,7 @@ pub mod parti;
 pub mod plan;
 mod redistribute_impl;
 pub mod reduce;
+pub mod translation;
 
 pub use array::DistArray;
 pub use descriptor::ArrayDescriptor;
@@ -65,6 +66,7 @@ pub use redistribute_impl::{
     execute_redistribute, execute_redistribute_with, redistribute, redistribute_cached,
     redistribute_cached_with, redistribute_with, RedistOptions, RedistReport,
 };
+pub use translation::{table_for, DistTranslationTable, TranslationStats};
 
 /// Convenience result alias for fallible runtime operations.
 pub type Result<T> = std::result::Result<T, RuntimeError>;

@@ -225,6 +225,77 @@ pub fn execute_scatter_cached<T: Element>(
     scatter_planned(array, updates, &plan, tracker, combine)
 }
 
+/// [`execute_scatter`] with an explicit execution backend: the updates are
+/// partitioned *by owner* — the order of updates to one owner is preserved
+/// (the combine function is order-sensitive there), while different
+/// owners' update lists are independent and run in parallel on a threaded
+/// backend.  Results are bitwise identical to the serial path.
+///
+/// Unlike [`execute_scatter`], the combine function must be `Fn + Sync`
+/// (it may run concurrently for different owners).
+pub fn execute_scatter_with<T: Element, E: PlanExecutor>(
+    array: &mut DistArray<T>,
+    updates: &[(ProcId, Point, T)],
+    tracker: &CommTracker,
+    executor: &E,
+    combine: impl Fn(T, T) -> T + Sync,
+) -> Result<usize> {
+    let sources: Vec<(ProcId, Point)> = updates.iter().map(|&(p, pt, _)| (p, pt)).collect();
+    let plan = Arc::new(plan_scatter(array.dist(), &sources)?);
+    scatter_planned_with(array, updates, &plan, tracker, executor, combine)
+}
+
+/// [`execute_scatter_with`] with placement-plan reuse through `cache`.
+pub fn execute_scatter_cached_with<T: Element, E: PlanExecutor>(
+    array: &mut DistArray<T>,
+    updates: &[(ProcId, Point, T)],
+    tracker: &CommTracker,
+    cache: &PlanCache,
+    executor: &E,
+    combine: impl Fn(T, T) -> T + Sync,
+) -> Result<usize> {
+    let sources: Vec<(ProcId, Point)> = updates.iter().map(|&(p, pt, _)| (p, pt)).collect();
+    let plan = cache.scatter_plan(array.dist(), &sources)?;
+    scatter_planned_with(array, updates, &plan, tracker, executor, combine)
+}
+
+fn scatter_planned_with<T: Element, E: PlanExecutor>(
+    array: &mut DistArray<T>,
+    updates: &[(ProcId, Point, T)],
+    plan: &Arc<CommPlan>,
+    tracker: &CommTracker,
+    executor: &E,
+    combine: impl Fn(T, T) -> T + Sync,
+) -> Result<usize> {
+    let PlanIndex::Scatter { ops, replicated } = &plan.index else {
+        return Err(RuntimeError::PlanMismatch {
+            expected: plan.src_fingerprint(),
+            found: array.dist().fingerprint(),
+        });
+    };
+    plan.check_executable(array.dist(), tracker)?;
+    if ops.len() != updates.len() {
+        return Err(RuntimeError::PlanMismatch {
+            expected: plan.src_fingerprint(),
+            found: array.dist().fingerprint(),
+        });
+    }
+    if *replicated {
+        // Replicated targets update every copy from the canonical one — an
+        // inherently cross-owner order, kept on the serial path.
+        return scatter_planned(array, updates, plan, tracker, combine);
+    }
+    // Partition the updates by owner, preserving program order per owner.
+    let total_procs = plan.total_procs();
+    let mut per_owner: Vec<Vec<(usize, T)>> = vec![Vec::new(); total_procs];
+    for (op, &(_, _, value)) in ops.iter().zip(updates.iter()) {
+        per_owner[op.owner.0].push((op.local, value));
+    }
+    executor.run_updates(array.locals_mut(), &per_owner, &combine);
+    let (messages, _) = plan.charge(tracker, T::BYTES, true);
+    Ok(messages)
+}
+
 fn scatter_planned<T: Element>(
     array: &mut DistArray<T>,
     updates: &[(ProcId, Point, T)],
@@ -361,6 +432,77 @@ mod tests {
         assert_eq!(a.get(&Point::d1(2)).unwrap(), 2.0 + 10.0 + 1.0);
         assert_eq!(a.get(&Point::d1(1)).unwrap(), 1.0 + 5.0);
         assert_eq!(tracker.snapshot().total_messages(), 1);
+    }
+
+    #[test]
+    fn scatter_through_executor_matches_serial_with_order_sensitive_combine() {
+        use crate::exec::ThreadedExecutor;
+        // Repeated updates to the same element through a non-commutative,
+        // non-associative combine: only per-owner in-order application
+        // gives the serial result, so this fails if a backend reorders
+        // within an owner.
+        let n = 64usize;
+        let p = 4usize;
+        let combine = |a: f64, b: f64| a * 0.5 + b;
+        let updates: Vec<(ProcId, Point, f64)> = (0..4 * n)
+            .map(|k| {
+                (
+                    ProcId(k % p),
+                    Point::d1((k % n) as i64 + 1),
+                    (k as f64).sin(),
+                )
+            })
+            .collect();
+        let mut serial = cyclic_array(n, p);
+        let t1 = CommTracker::new(p, CostModel::from_alpha_beta(1.0, 0.5));
+        let m_serial = execute_scatter(&mut serial, &updates, &t1, combine).unwrap();
+        for workers in [2, 3] {
+            let mut threaded = cyclic_array(n, p);
+            let t2 = CommTracker::new(p, CostModel::from_alpha_beta(1.0, 0.5));
+            let exec = ThreadedExecutor::with_workers(workers).serial_cutoff_bytes(0);
+            let m_thr = execute_scatter_with(&mut threaded, &updates, &t2, &exec, combine).unwrap();
+            assert_eq!(m_serial, m_thr);
+            assert_eq!(serial.to_dense(), threaded.to_dense(), "{workers} workers");
+            assert_eq!(t1.snapshot(), t2.snapshot());
+        }
+        // The cached variant reuses the placement plan.
+        let cache = PlanCache::new();
+        let mut c1 = cyclic_array(n, p);
+        let t3 = CommTracker::new(p, CostModel::zero());
+        execute_scatter_cached_with(&mut c1, &updates, &t3, &cache, &SerialExecutor, combine)
+            .unwrap();
+        execute_scatter_cached_with(&mut c1, &updates, &t3, &cache, &SerialExecutor, combine)
+            .unwrap();
+        assert_eq!(cache.stats().misses, 1);
+        assert_eq!(cache.stats().hits, 1);
+    }
+
+    #[test]
+    fn scatter_with_replicated_target_falls_back_to_serial_semantics() {
+        use crate::exec::ThreadedExecutor;
+        let dist = Distribution::new(
+            DistType::new(vec![vf_dist::DimDist::NotDistributed]),
+            IndexDomain::d1(4),
+            ProcessorView::linear(3),
+        )
+        .unwrap();
+        let mut a: DistArray<f64> = DistArray::new("R", dist);
+        let tracker = CommTracker::new(3, CostModel::zero());
+        let exec = ThreadedExecutor::with_workers(3).serial_cutoff_bytes(0);
+        execute_scatter_with(
+            &mut a,
+            &[
+                (ProcId(2), Point::d1(2), 7.0),
+                (ProcId(0), Point::d1(2), 1.0),
+            ],
+            &tracker,
+            &exec,
+            |x, y| x + y,
+        )
+        .unwrap();
+        for p in 0..3 {
+            assert_eq!(a.local(ProcId(p))[1], 8.0, "copy on P{p}");
+        }
     }
 
     #[test]

@@ -36,14 +36,114 @@
 //!   accepted price of O(1) keys, as documented on
 //!   [`vf_dist::Distribution::fingerprint`].
 
+use crate::translation::{self, DistTranslationTable};
 use crate::{Result, RuntimeError};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::{Arc, Mutex, PoisonError};
-use vf_dist::{Distribution, ProcId};
+use vf_dist::{Distribution, Locator, ProcId};
 use vf_index::{DimRange, IndexDomain, Point};
 use vf_machine::CommTracker;
+
+/// Session-local translation-table state of one planning run: which pages
+/// each requester has fetched *during this session*, the lookup counters,
+/// and the page-fetch messages generated.
+struct TableSession {
+    table: Arc<DistTranslationTable>,
+    /// `seen[requester][page]`: fetched (or home) during this session.
+    seen: Vec<Vec<bool>>,
+    stats: translation::TranslationStats,
+    /// Page-fetch messages `(home, requester, bytes)` of this session.
+    fetches: Vec<(usize, usize, usize)>,
+}
+
+/// How a planner resolves global offsets to `(owner, local offset)`.
+///
+/// Regular distributions resolve in closed form through a
+/// [`vf_dist::Locator`].  `INDIRECT` distributions have no closed form —
+/// their ownership lives in a mapping array too large to replicate — so
+/// they resolve through the distributed translation table
+/// ([`crate::translation`]): each lookup is made *on behalf of* the
+/// requesting processor, walking that processor's cached-page path and
+/// recording the directory page fetches a real PARTI run would perform.
+/// Both paths return identical results; only the modelled directory
+/// traffic differs.
+///
+/// The page-cache warmth is **session-local** (this resolver's `seen`
+/// table, no locks on the per-element path): independent plannings of the
+/// same distribution each model a cold directory, and the session's fetch
+/// messages are handed to the built [`CommPlan`] by
+/// [`OwnerResolver::finish`], to be charged once at the plan's first
+/// execution.
+enum OwnerResolver<'a> {
+    Direct(Locator<'a>),
+    Table(Box<TableSession>),
+}
+
+impl<'a> OwnerResolver<'a> {
+    fn for_dist(dist: &'a Distribution) -> Self {
+        if dist.dist_type().has_indirect() {
+            let table = translation::table_for(dist);
+            let total_procs = dist.procs().array().num_procs();
+            let num_pages = table.num_pages();
+            OwnerResolver::Table(Box::new(TableSession {
+                table,
+                seen: vec![vec![false; num_pages]; total_procs],
+                stats: translation::TranslationStats::default(),
+                fetches: Vec::new(),
+            }))
+        } else {
+            OwnerResolver::Direct(dist.locator())
+        }
+    }
+
+    /// Owner and owner-local offset of global offset `lin`, resolved on
+    /// behalf of `requester`.
+    fn locate_from(&mut self, requester: ProcId, lin: usize) -> (ProcId, usize) {
+        match self {
+            OwnerResolver::Direct(locator) => locator.locate_lin(lin),
+            OwnerResolver::Table(session) => {
+                let table = &session.table;
+                let page = table.page_of(lin);
+                let seen = &mut session.seen[requester.0];
+                if seen[page] {
+                    if table.home_of_page(page) == requester {
+                        session.stats.home_hits += 1;
+                    } else {
+                        session.stats.cache_hits += 1;
+                    }
+                } else {
+                    seen[page] = true;
+                    if table.home_of_page(page) == requester {
+                        session.stats.home_hits += 1;
+                    } else {
+                        let bytes = table.page_bytes(page);
+                        session.stats.page_fetches += 1;
+                        session.stats.fetched_bytes += bytes;
+                        session
+                            .fetches
+                            .push((table.home_of_page(page).0, requester.0, bytes));
+                    }
+                }
+                table.lookup(lin)
+            }
+        }
+    }
+
+    /// Ends the session: merges the lookup counters into the table's
+    /// cumulative stats (one lock) and returns the directory page-fetch
+    /// messages for the built plan to carry.
+    fn finish(self) -> Vec<(usize, usize, usize)> {
+        match self {
+            OwnerResolver::Direct(_) => Vec::new(),
+            OwnerResolver::Table(session) => {
+                session.table.absorb_stats(session.stats);
+                session.fetches
+            }
+        }
+    }
+}
 
 /// One run-length-encoded transfer segment: `len` elements read from
 /// contiguous source offsets `src_start..src_start+len` and written to
@@ -158,6 +258,11 @@ pub struct CommPlan {
     transfers: Vec<Transfer>,
     moved_elements: usize,
     stayed_elements: usize,
+    /// Translation-table page-fetch messages `(home, requester, bytes)`
+    /// generated while inspecting an indirect distribution; drained and
+    /// charged at the plan's first execution ([`CommPlan::charge`] or an
+    /// executor), so cached re-executions generate no directory traffic.
+    directory: Mutex<Vec<(usize, usize, usize)>>,
     pub(crate) index: PlanIndex,
 }
 
@@ -202,6 +307,37 @@ impl CommPlan {
     /// the other kinds).
     pub fn stayed_elements(&self) -> usize {
         self.stayed_elements
+    }
+
+    /// Directory page-fetch messages still pending on this plan, as
+    /// `(messages, bytes)` — non-zero only for a plan inspected against an
+    /// indirect distribution that has not executed yet.
+    pub fn pending_directory_traffic(&self) -> (usize, usize) {
+        let dir = self
+            .directory
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        (dir.len(), dir.iter().map(|m| m.2).sum())
+    }
+
+    /// Drains the pending directory messages (first call wins; later calls
+    /// and cached re-executions get nothing).
+    pub(crate) fn take_directory_messages(&self) -> Vec<(usize, usize, usize)> {
+        std::mem::take(
+            &mut *self
+                .directory
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner),
+        )
+    }
+
+    /// Charges any pending directory messages to `tracker` (blocking
+    /// sends: the inspector's page fetches complete before data moves).
+    pub(crate) fn charge_directory(&self, tracker: &CommTracker) {
+        let dir = self.take_directory_messages();
+        if !dir.is_empty() {
+            tracker.send_many(dir);
+        }
     }
 
     /// Bytes that cross processors for an element type of `elem_bytes`
@@ -319,6 +455,7 @@ impl CommPlan {
         elem_bytes: usize,
         aggregate: bool,
     ) -> (usize, usize) {
+        self.charge_directory(tracker);
         let (batch, messages, bytes) = self.message_batch(elem_bytes, aggregate);
         tracker.send_many(batch);
         (messages, bytes)
@@ -446,7 +583,7 @@ pub fn plan_redistribute(old: &Distribution, new: &Distribution) -> Result<CommP
             right: new.domain().to_string(),
         });
     }
-    let locator = new.locator();
+    let mut resolver = OwnerResolver::for_dist(new);
     let mut b = PlanBuilder::new();
     // A replicated source holds one full copy per processor of the view;
     // only the canonical first copy sends (sending from every replica
@@ -460,7 +597,7 @@ pub fn plan_redistribute(old: &Distribution, new: &Distribution) -> Result<CommP
     for &p in senders {
         for run in old.local_linear_runs(p) {
             for k in 0..run.len {
-                let (q, dst_off) = locator.locate_lin(run.global_start + k);
+                let (q, dst_off) = resolver.locate_from(p, run.global_start + k);
                 b.push(p, q, run.local_start + k, dst_off);
             }
         }
@@ -480,6 +617,7 @@ pub fn plan_redistribute(old: &Distribution, new: &Distribution) -> Result<CommP
         transfers: b.transfers,
         moved_elements: b.moved,
         stayed_elements: b.stayed,
+        directory: Mutex::new(resolver.finish()),
         index: PlanIndex::Redistribute {
             new_dist: new.clone(),
         },
@@ -527,6 +665,7 @@ pub fn plan_ghost(dist: &Distribution, widths: &[(usize, usize)]) -> Result<Comm
             transfers: Vec::new(),
             moved_elements: 0,
             stayed_elements: 0,
+            directory: Mutex::new(Vec::new()),
             index: PlanIndex::Ghost {
                 slots: (0..total_procs)
                     .map(|_| GhostSlots {
@@ -537,7 +676,7 @@ pub fn plan_ghost(dist: &Distribution, widths: &[(usize, usize)]) -> Result<Comm
             },
         });
     }
-    let locator = dist.locator();
+    let mut resolver = OwnerResolver::for_dist(dist);
     let mut slots: Vec<GhostSlots> = (0..total_procs)
         .map(|_| GhostSlots {
             slot_of_point: HashMap::new(),
@@ -620,7 +759,7 @@ pub fn plan_ghost(dist: &Distribution, widths: &[(usize, usize)]) -> Result<Comm
         // fetches by owner, run-length-encoded over (owner local, slot).
         for (slot, &lin) in lins.iter().enumerate() {
             let point = domain.delinearize(lin).expect("lin from linearize");
-            let (owner, local) = locator.locate_lin(lin);
+            let (owner, local) = resolver.locate_from(p, lin);
             slots[p.0].slot_of_point.insert(point, slot);
             b.push(owner, p, local, slot);
         }
@@ -639,6 +778,7 @@ pub fn plan_ghost(dist: &Distribution, widths: &[(usize, usize)]) -> Result<Comm
         transfers: b.transfers,
         moved_elements: b.moved,
         stayed_elements: b.stayed,
+        directory: Mutex::new(resolver.finish()),
         index: PlanIndex::Ghost { slots },
     })
 }
@@ -649,7 +789,7 @@ pub fn plan_ghost(dist: &Distribution, widths: &[(usize, usize)]) -> Result<Comm
 /// element are fetched once (the "buffering scheme" of the PARTI routines).
 pub fn plan_gather(dist: &Distribution, accesses: &[(ProcId, Point)]) -> Result<CommPlan> {
     let total_procs = dist.procs().array().num_procs();
-    let locator = dist.locator();
+    let mut resolver = OwnerResolver::for_dist(dist);
     // Every access of a replicated array is local (each processor of the
     // view holds a full copy), so nothing is fetched.
     let replicated = dist.is_replicated();
@@ -661,7 +801,7 @@ pub fn plan_gather(dist: &Distribution, accesses: &[(ProcId, Point)]) -> Result<
         if replicated {
             continue;
         }
-        let (owner, local) = locator.locate_lin(lin);
+        let (owner, local) = resolver.locate_from(*proc, lin);
         if owner == *proc {
             continue;
         }
@@ -695,6 +835,7 @@ pub fn plan_gather(dist: &Distribution, accesses: &[(ProcId, Point)]) -> Result<
         transfers: b.transfers,
         moved_elements: b.moved,
         stayed_elements: b.stayed,
+        directory: Mutex::new(resolver.finish()),
         index: PlanIndex::Gather { slots },
     })
 }
@@ -705,12 +846,12 @@ pub fn plan_gather(dist: &Distribution, accesses: &[(ProcId, Point)]) -> Result<
 /// update *values* are supplied at execution time — only the placement is
 /// cacheable.
 pub fn plan_scatter(dist: &Distribution, sources: &[(ProcId, Point)]) -> Result<CommPlan> {
-    let locator = dist.locator();
+    let mut resolver = OwnerResolver::for_dist(dist);
     let mut ops = Vec::with_capacity(sources.len());
     let mut b = PlanBuilder::new();
     for (from, point) in sources {
         let lin = dist.domain().linearize(point)?;
-        let (owner, local) = locator.locate_lin(lin);
+        let (owner, local) = resolver.locate_from(*from, lin);
         ops.push(ScatterOp { owner, local });
         // Runs are not needed for scatter (values arrive with the updates);
         // the per-pair element counts drive the message aggregation.
@@ -733,6 +874,7 @@ pub fn plan_scatter(dist: &Distribution, sources: &[(ProcId, Point)]) -> Result<
         transfers,
         moved_elements: b.moved,
         stayed_elements: b.stayed,
+        directory: Mutex::new(resolver.finish()),
         index: PlanIndex::Scatter {
             ops,
             replicated: dist.is_replicated(),
