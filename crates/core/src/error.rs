@@ -183,7 +183,11 @@ mod tests {
         }
         let wrapped: CoreError = DistError::ZeroCyclicWidth.into();
         assert!(std::error::Error::source(&wrapped).is_some());
-        let wrapped: CoreError = RuntimeError::NoContiguousSegment { array: "V".into() }.into();
+        let wrapped: CoreError = RuntimeError::NonContiguousLayout {
+            array: "V".into(),
+            dim: 0,
+        }
+        .into();
         assert!(wrapped.to_string().contains('V'));
         let wrapped: CoreError = IndexError::RankTooLarge { requested: 9 }.into();
         assert!(wrapped.to_string().contains('9'));

@@ -75,7 +75,7 @@ pub use decl::{DeclKind, DynamicDecl, SecondaryDecl, StaticDecl};
 pub use distribute::{DimSpec, DistExpr, DistributeReport, DistributeStmt};
 pub use error::CoreError;
 pub use procedures::{CallReport, FormalArg, ReturnPolicy};
-pub use scope::VfScope;
+pub use scope::{ClassGhosts, VfScope};
 
 /// Convenience result alias for language-layer operations.
 pub type Result<T> = std::result::Result<T, CoreError>;
@@ -96,8 +96,8 @@ pub mod prelude {
         FormalArg, ReturnPolicy, SecondaryDecl, StaticDecl, VfScope,
     };
     pub use vf_dist::{
-        construct, Alignment, DimDist, DimPattern, DistPattern, DistType, Distribution,
-        IndirectMap, ProcId, ProcessorArray, ProcessorView,
+        construct, Alignment, Connectivity, DimDist, DimPattern, DistPattern, DistType,
+        Distribution, IndirectMap, ProcId, ProcessorArray, ProcessorView,
     };
     pub use vf_index::{DimRange, IndexDomain, Point, Section, Triplet};
     pub use vf_machine::{CommStats, CommTracker, CostModel, Machine, Topology};

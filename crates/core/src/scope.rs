@@ -9,9 +9,10 @@ use std::collections::HashMap;
 use vf_dist::{construct, DistPattern, DistType, Distribution, ProcessorView};
 use vf_index::IndexDomain;
 use vf_machine::{CommStats, CommTracker, Machine};
+use vf_runtime::ghost::{exchange_ghosts_fused_with, GhostRegion};
 use vf_runtime::{
     execute_redistribute_fused, redistribute_cached_with, ArrayDescriptor, DistArray, Element,
-    ExecBackend, FusedPlan, PlanCache, RedistOptions,
+    ExecBackend, ExecReport, FusedPlan, PlanCache, RedistOptions,
 };
 
 struct Entry<T: Element> {
@@ -19,6 +20,11 @@ struct Entry<T: Element> {
     domain: IndexDomain,
     data: Option<DistArray<T>>,
 }
+
+/// The ghost regions of one class halo exchange: `(name, region)` for the
+/// primary (first) and each connected secondary, in class order — see
+/// [`VfScope::exchange_class_ghosts`].
+pub type ClassGhosts<T> = Vec<(String, GhostRegion<T>)>;
 
 /// A Vienna Fortran procedure scope.
 ///
@@ -246,6 +252,62 @@ impl<T: Element> VfScope<T> {
             )?),
             Connection::Alignment(a) => Ok(construct(a, primary_dist, secondary_domain)?),
         }
+    }
+
+    /// Exchanges the overlap (ghost) areas of a dynamic primary array and
+    /// **every array of its connect class** as one fused ghost exchange:
+    /// the class pays a single message per communicating processor pair —
+    /// the payloads of all member arrays travel together, each member's
+    /// ghost-buffer slots preserved through the fused plan's per-pair slot
+    /// remapping ([`vf_runtime::FusedPlan::wire_slices`]) — instead of one
+    /// message per array per pair.  Halo geometry is planned once per
+    /// (distribution fingerprint, widths) pair through the scope's
+    /// [`PlanCache`]; the copies run on the scope's [`ExecBackend`].
+    ///
+    /// Returns `(name, ghosts)` for the primary (first) and each connected
+    /// secondary in class order, plus what the fused exchange charged.
+    /// Byte and element totals equal the sum over per-array exchanges
+    /// exactly.
+    ///
+    /// # Errors
+    /// [`CoreError::UnknownArray`] / [`CoreError::NotAPrimaryArray`] if
+    /// `primary` is not a dynamic primary;
+    /// [`CoreError::NotYetDistributed`] if any class member has no current
+    /// distribution; planner errors (e.g.
+    /// [`vf_runtime::RuntimeError::NonContiguousLayout`]) pass through.
+    pub fn exchange_class_ghosts(
+        &self,
+        primary: &str,
+        widths: &[(usize, usize)],
+    ) -> Result<(ClassGhosts<T>, ExecReport)> {
+        if !matches!(
+            self.arrays
+                .get(primary)
+                .ok_or_else(|| CoreError::UnknownArray {
+                    name: primary.into(),
+                })?
+                .kind,
+            DeclKind::DynamicPrimary { .. }
+        ) {
+            return Err(CoreError::NotAPrimaryArray {
+                name: primary.into(),
+            });
+        }
+        let mut names: Vec<String> = vec![primary.to_string()];
+        let class = self.classes.get(primary).cloned().unwrap_or_default();
+        names.extend(class.secondaries().map(|(name, _)| name.to_string()));
+        let mut members = Vec::with_capacity(names.len());
+        for name in &names {
+            members.push(self.array(name)?);
+        }
+        let (regions, exec) = exchange_ghosts_fused_with(
+            &members,
+            widths,
+            &self.tracker,
+            &self.plan_cache,
+            &self.executor,
+        )?;
+        Ok((names.into_iter().zip(regions).collect(), exec))
     }
 
     /// The connect equivalence class of a primary array.
@@ -867,6 +929,68 @@ mod tests {
                 s.array(name).unwrap().to_dense()
             );
         }
+    }
+
+    #[test]
+    fn class_ghost_exchange_fuses_to_one_message_per_pair() {
+        let p = 4usize;
+        let n = 8usize;
+        let mut s = scope(p);
+        s.declare_dynamic(
+            DynamicDecl::new("U", IndexDomain::d2(n, n)).initial(DistType::columns()),
+        )
+        .unwrap();
+        s.declare_secondary(SecondaryDecl::extraction("V", IndexDomain::d2(n, n), "U"))
+            .unwrap();
+        s.declare_secondary(SecondaryDecl::extraction("W", IndexDomain::d2(n, n), "U"))
+            .unwrap();
+        for name in ["U", "V", "W"] {
+            for point in IndexDomain::d2(n, n).iter() {
+                let v = (point.coord(0) * 100 + point.coord(1)) as f64;
+                s.array_mut(name).unwrap().set(&point, v).unwrap();
+            }
+        }
+        s.take_stats();
+        let widths = [(1, 1), (1, 1)];
+        let (regions, exec) = s.exchange_class_ghosts("U", &widths).unwrap();
+        assert_eq!(regions.len(), 3);
+        assert_eq!(regions[0].0, "U");
+        // One message per communicating pair for the whole class: the
+        // column layout has 2(p-1) face pairs, regardless of class size.
+        assert_eq!(exec.messages, 2 * (p - 1));
+        let stats = s.take_stats();
+        assert_eq!(stats.total_messages(), exec.messages);
+        assert_eq!(stats.total_bytes(), exec.bytes);
+        // Every member's ghost values are the per-array exchange bitwise.
+        for (name, region) in &regions {
+            let array = s.array(name).unwrap();
+            let t_single = s.machine().tracker();
+            let (single, single_report) =
+                vf_runtime::ghost::exchange_ghosts(array, &widths, &t_single).unwrap();
+            assert_eq!(exec.bytes, 3 * single_report.bytes);
+            for proc in array.dist().proc_ids() {
+                for point in array.domain().iter() {
+                    assert_eq!(
+                        region.get(*proc, &point),
+                        single.get(*proc, &point),
+                        "{name} at {point:?} on {proc:?}"
+                    );
+                }
+            }
+        }
+        // Replays hit the scope's plan cache (one plan per class member).
+        let misses = s.plan_cache().stats().misses;
+        s.exchange_class_ghosts("U", &widths).unwrap();
+        assert_eq!(s.plan_cache().stats().misses, misses);
+        // Non-primaries and unknown names are rejected.
+        assert!(matches!(
+            s.exchange_class_ghosts("V", &widths),
+            Err(CoreError::NotAPrimaryArray { .. })
+        ));
+        assert!(matches!(
+            s.exchange_class_ghosts("ZZZ", &widths),
+            Err(CoreError::UnknownArray { .. })
+        ));
     }
 
     #[test]

@@ -19,10 +19,14 @@
 //!   partitioners *producing* mapping arrays: a coordinate sort and a
 //!   greedy graph-growing BFS;
 //! * [`run_sweep`] — a Jacobi-style edge sweep at the language level
-//!   (`VfScope`): values gathered over cut edges through cached PARTI
-//!   schedules, a `DCASE` dispatch on the current distribution class, and
-//!   an optional mid-run repartitioning `DISTRIBUTE :: INDIRECT(map')`
-//!   whose connect class (values + fluxes) moves as one fused schedule.
+//!   (`VfScope`): cut-edge values arrive through the PARTI **incremental
+//!   schedule** — each processor's irregular ghost region, derived once
+//!   from the mesh connectivity and replayed from the plan cache every
+//!   step — a `DCASE` dispatch on the current distribution class, and an
+//!   optional mid-run repartitioning `DISTRIBUTE :: INDIRECT(map')` whose
+//!   connect class (values + fluxes) moves as one fused schedule and whose
+//!   stale halo schedule is invalidated by construction (the new map's
+//!   fingerprint keys a fresh plan; the old translation table is evicted).
 //!
 //! The final values are independent of the partition bit-for-bit (the
 //! update order is fixed by the CSR layout), so every configuration is
@@ -30,7 +34,7 @@
 
 use std::sync::Arc;
 use vf_core::prelude::*;
-use vf_runtime::parti::{execute_gather, inspector_cached};
+use vf_runtime::parti::{execute_halo, incremental_schedule_cached};
 
 /// A CSR unstructured mesh with 2-D node coordinates.
 #[derive(Debug, Clone)]
@@ -48,6 +52,13 @@ impl Mesh {
     /// Number of nodes.
     pub fn num_nodes(&self) -> usize {
         self.coords.len()
+    }
+
+    /// The mesh's CSR adjacency as a runtime [`Connectivity`] over global
+    /// offsets — what the incremental-schedule halo planner consumes.
+    pub fn connectivity(&self) -> Connectivity {
+        Connectivity::from_csr(self.xadj.clone(), self.adjncy.clone())
+            .expect("a Mesh is a valid CSR")
     }
 
     /// Number of undirected edges.
@@ -248,9 +259,10 @@ pub struct MeshSweepResult {
     pub stats: CommStats,
     /// Final node values, dense by node id (bitwise partition-independent).
     pub values: Vec<f64>,
-    /// Elements fetched over cut edges, summed over steps.
+    /// Halo elements fetched over cut edges (incremental schedule), summed
+    /// over steps.
     pub gathered_elements: usize,
-    /// Aggregated gather messages, summed over steps.
+    /// Aggregated halo-exchange messages, summed over steps.
     pub gather_messages: usize,
     /// Edge cut of the initial partition.
     pub edge_cut_initial: usize,
@@ -372,11 +384,13 @@ pub fn run_sweep(mesh: &Mesh, config: &MeshSweepConfig, machine: &Machine) -> Me
         scope.array("VAL").expect("distributed").dist(),
     );
 
+    let conn = mesh.connectivity();
     for step in 0..config.steps {
         if config.repartition_at == Some(step) {
             // The partitioner *produces* the new mapping array; the
             // executable DISTRIBUTE moves the whole connect class (VAL and
             // FLUX) as one fused schedule.
+            let old = scope.array("VAL").expect("distributed").dist().clone();
             let map = Arc::new(
                 IndirectMap::new(partition_greedy(mesh, nprocs)).expect("mesh is non-empty"),
             );
@@ -393,24 +407,33 @@ pub fn run_sweep(mesh: &Mesh, config: &MeshSweepConfig, machine: &Machine) -> Me
             let report = scope
                 .distribute(DistributeStmt::new("VAL", new_type))
                 .expect("INDIRECT is within the declared RANGE");
+            // The old partition's halo schedule is stale by construction
+            // (the new map's fingerprint keys a fresh plan); its
+            // translation table will never be consulted again either, so
+            // evict the stale directory from the bounded registry — unless
+            // the repartitioner reproduced the same map, in which case the
+            // directory is still live.
+            let now = scope.array("VAL").expect("distributed").dist().clone();
+            if old.dist_type().has_indirect() && old.fingerprint() != now.fingerprint() {
+                vf_runtime::translation::invalidate(old.fingerprint());
+            }
             repartition = Some(report);
         }
 
         let dist = scope.array("VAL").expect("distributed").dist().clone();
         let node_owner = owners_of(&dist, n);
-        // Inspector: every node's owner reads its neighbours (duplicates
-        // and local reads are dropped by the planner).
-        let mut accesses: Vec<(ProcId, Point)> = Vec::with_capacity(mesh.adjncy.len());
-        for (u, &owner) in node_owner.iter().enumerate() {
-            for &v in mesh.neighbors(u) {
-                accesses.push((ProcId(owner), Point::d1(v as i64 + 1)));
-            }
-        }
-        let schedule = inspector_cached(&dist, &accesses, scope.plan_cache())
-            .expect("accesses are within the domain");
+        // Inspector: the incremental schedule derives each processor's
+        // halo — every neighbour of an owned node that lives elsewhere —
+        // directly from the mesh connectivity, resolved through the
+        // distributed translation table for INDIRECT maps.  The plan is
+        // keyed by (map fingerprint, connectivity fingerprint): sweeps
+        // over an unchanged partition replay it from the cache, and a
+        // repartitioning replans by construction.
+        let schedule = incremental_schedule_cached(&dist, &conn, scope.plan_cache())
+            .expect("mesh connectivity matches the domain");
         gathered_elements += schedule.num_elements();
         gather_messages += schedule.num_messages();
-        let gathered = execute_gather(
+        let (halo, _halo_report) = execute_halo(
             scope.array("VAL").expect("distributed"),
             &schedule,
             scope.tracker(),
@@ -432,9 +455,8 @@ pub fn run_sweep(mesh: &Mesh, config: &MeshSweepConfig, machine: &Machine) -> Me
                     acc += if node_owner[v] == node_owner[u] {
                         val.get(&point_v).expect("in domain")
                     } else {
-                        gathered
-                            .get(ProcId(node_owner[u]), val.dist(), &point_v)
-                            .expect("cut edge was scheduled")
+                        halo.get(ProcId(node_owner[u]), &point_v)
+                            .expect("cut edge is in the incremental schedule")
                     };
                 }
                 new_values[u] = if nbrs.is_empty() {

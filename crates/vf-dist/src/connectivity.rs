@@ -1,0 +1,234 @@
+//! Access connectivity for irregular (INDIRECT) halo derivation.
+//!
+//! The PARTI runtime the paper builds on derives the halo ("ghost") set of
+//! an irregularly distributed array not from geometry — there is none —
+//! but from the *access pattern*: a processor needs a copy of every
+//! off-processor element its owned elements reference through the mesh
+//! connectivity.  [`Connectivity`] is that pattern in evaluated form: a
+//! validated CSR adjacency over global column-major offsets, shared
+//! immutably (`Arc`) between the partitioners that produce mapping arrays
+//! from it and the runtime planners that derive incremental communication
+//! schedules from it.
+//!
+//! Like [`crate::IndirectMap`], a connectivity carries a precomputed
+//! 64-bit [`Connectivity::fingerprint`] so that schedule caches can key on
+//! (distribution fingerprint, connectivity fingerprint) in O(1) regardless
+//! of the mesh size.
+
+use crate::{DistError, Result};
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+/// A validated CSR adjacency over the global (column-major linearised)
+/// offsets of an index domain: `neighbors(u)` are the offsets element `u`
+/// reads in one sweep step.
+///
+/// The structure is immutable once built; edges need not be symmetric
+/// (`u → v` does not imply `v → u`) and self-edges are allowed but
+/// contribute nothing to a halo (an element is always local to its owner).
+#[derive(Debug, Clone)]
+pub struct Connectivity {
+    /// CSR row pointers, length `num_nodes() + 1`.
+    xadj: Vec<u32>,
+    /// CSR adjacency: global offsets referenced by each node.
+    adjncy: Vec<u32>,
+    /// 64-bit structural fingerprint of the whole CSR.
+    fingerprint: u64,
+}
+
+impl Connectivity {
+    /// Builds a connectivity from CSR arrays over global offsets.
+    ///
+    /// # Errors
+    /// [`DistError::InvalidConnectivity`] when the row pointers are empty,
+    /// non-monotone, do not end at `adjncy.len()`, or an adjacency entry
+    /// names an offset outside `0..num_nodes`.
+    pub fn from_csr(xadj: Vec<usize>, adjncy: Vec<usize>) -> Result<Self> {
+        if xadj.is_empty() {
+            return Err(DistError::InvalidConnectivity {
+                reason: "row-pointer array is empty".into(),
+            });
+        }
+        if xadj[0] != 0 || *xadj.last().expect("non-empty") != adjncy.len() {
+            return Err(DistError::InvalidConnectivity {
+                reason: format!(
+                    "row pointers must run from 0 to adjncy.len() = {}, got {}..{}",
+                    adjncy.len(),
+                    xadj[0],
+                    xadj.last().expect("non-empty")
+                ),
+            });
+        }
+        if xadj.windows(2).any(|w| w[0] > w[1]) {
+            return Err(DistError::InvalidConnectivity {
+                reason: "row pointers are not monotone".into(),
+            });
+        }
+        let n = xadj.len() - 1;
+        if let Some(&bad) = adjncy.iter().find(|&&v| v >= n) {
+            return Err(DistError::InvalidConnectivity {
+                reason: format!("adjacency names offset {bad} but there are only {n} elements"),
+            });
+        }
+        // The CSR is stored as u32: reject sizes that would silently
+        // truncate.  (Adjacency entries are < n and row pointers are
+        // <= adjncy.len(), so these two bounds cover every stored value.)
+        if n > u32::MAX as usize || adjncy.len() > u32::MAX as usize {
+            return Err(DistError::InvalidConnectivity {
+                reason: format!(
+                    "{n} elements / {} edges exceed the u32 storage range",
+                    adjncy.len()
+                ),
+            });
+        }
+        let xadj: Vec<u32> = xadj.into_iter().map(|x| x as u32).collect();
+        let adjncy: Vec<u32> = adjncy.into_iter().map(|x| x as u32).collect();
+        let mut h = DefaultHasher::new();
+        xadj.hash(&mut h);
+        adjncy.hash(&mut h);
+        Ok(Self {
+            xadj,
+            adjncy,
+            fingerprint: h.finish(),
+        })
+    }
+
+    /// The implicit connectivity of a regular 1-D stencil reading up to
+    /// `lo` elements below and `hi` elements above each offset — what a
+    /// width-`(lo, hi)` overlap declaration means on a one-dimensional
+    /// array, expressed as explicit edges so irregular layouts can serve
+    /// it.  Widths are clamped to `n - 1` (no offset can reach further),
+    /// so the materialised edge count is `O(n · min(lo + hi, n))`.
+    pub fn chain(n: usize, lo: usize, hi: usize) -> Result<Self> {
+        let lo = lo.min(n.saturating_sub(1));
+        let hi = hi.min(n.saturating_sub(1));
+        let mut xadj = Vec::with_capacity(n + 1);
+        let mut adjncy = Vec::with_capacity(n.saturating_mul(lo + hi));
+        xadj.push(0usize);
+        for u in 0..n {
+            for v in u.saturating_sub(lo)..u {
+                adjncy.push(v);
+            }
+            for v in u + 1..=(u + hi).min(n - 1) {
+                adjncy.push(v);
+            }
+            xadj.push(adjncy.len());
+        }
+        Self::from_csr(xadj, adjncy)
+    }
+
+    /// Number of elements (CSR rows) covered.
+    pub fn num_nodes(&self) -> usize {
+        self.xadj.len() - 1
+    }
+
+    /// Total number of directed edges.
+    pub fn num_edges(&self) -> usize {
+        self.adjncy.len()
+    }
+
+    /// The global offsets element `u` references.
+    pub fn neighbors(&self, u: usize) -> impl Iterator<Item = usize> + '_ {
+        self.adjncy[self.xadj[u] as usize..self.xadj[u + 1] as usize]
+            .iter()
+            .map(|&v| v as usize)
+    }
+
+    /// The 64-bit structural fingerprint: two connectivities with the same
+    /// fingerprint describe (up to hash collision) the same edge set —
+    /// the cache-key half a halo schedule contributes alongside the
+    /// distribution fingerprint.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// Heap bytes held by the CSR arrays.
+    pub fn estimated_bytes(&self) -> usize {
+        (self.xadj.len() + self.adjncy.len()) * std::mem::size_of::<u32>()
+    }
+}
+
+impl PartialEq for Connectivity {
+    fn eq(&self, other: &Self) -> bool {
+        self.fingerprint == other.fingerprint
+            && self.xadj == other.xadj
+            && self.adjncy == other.adjncy
+    }
+}
+
+impl Eq for Connectivity {}
+
+impl Hash for Connectivity {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        state.write_u64(self.fingerprint);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csr_validation_accepts_and_rejects() {
+        let c = Connectivity::from_csr(vec![0, 2, 3, 3], vec![1, 2, 0]).unwrap();
+        assert_eq!(c.num_nodes(), 3);
+        assert_eq!(c.num_edges(), 3);
+        assert_eq!(c.neighbors(0).collect::<Vec<_>>(), vec![1, 2]);
+        assert_eq!(c.neighbors(1).collect::<Vec<_>>(), vec![0]);
+        assert_eq!(c.neighbors(2).count(), 0);
+        assert!(c.estimated_bytes() >= 7 * 4);
+
+        assert!(matches!(
+            Connectivity::from_csr(vec![], vec![]),
+            Err(DistError::InvalidConnectivity { .. })
+        ));
+        assert!(matches!(
+            Connectivity::from_csr(vec![0, 2], vec![0]),
+            Err(DistError::InvalidConnectivity { .. })
+        ));
+        assert!(matches!(
+            Connectivity::from_csr(vec![0, 2, 1], vec![0, 0]),
+            Err(DistError::InvalidConnectivity { .. })
+        ));
+        assert!(matches!(
+            Connectivity::from_csr(vec![0, 1], vec![7]),
+            Err(DistError::InvalidConnectivity { .. })
+        ));
+    }
+
+    #[test]
+    fn chain_matches_stencil_widths() {
+        let c = Connectivity::chain(5, 1, 2).unwrap();
+        assert_eq!(c.num_nodes(), 5);
+        assert_eq!(c.neighbors(0).collect::<Vec<_>>(), vec![1, 2]);
+        assert_eq!(c.neighbors(2).collect::<Vec<_>>(), vec![1, 3, 4]);
+        assert_eq!(c.neighbors(4).collect::<Vec<_>>(), vec![3]);
+        // A zero-width chain has no edges at all.
+        let empty = Connectivity::chain(4, 0, 0).unwrap();
+        assert_eq!(empty.num_edges(), 0);
+        // Widths beyond the domain clamp (no overflow, no blow-up beyond
+        // the all-pairs stencil): usize::MAX widths equal n-1 widths.
+        let all = Connectivity::chain(5, usize::MAX, usize::MAX).unwrap();
+        assert_eq!(all, Connectivity::chain(5, 4, 4).unwrap());
+        assert_eq!(all.num_edges(), 5 * 4);
+        assert_eq!(
+            Connectivity::chain(1, usize::MAX, usize::MAX)
+                .unwrap()
+                .num_edges(),
+            0
+        );
+        // A zero-element chain is the valid empty connectivity.
+        assert_eq!(Connectivity::chain(0, 1, 1).unwrap().num_nodes(), 0);
+    }
+
+    #[test]
+    fn fingerprints_identify_edge_sets() {
+        let a = Connectivity::from_csr(vec![0, 1, 2], vec![1, 0]).unwrap();
+        let b = Connectivity::from_csr(vec![0, 1, 2], vec![1, 0]).unwrap();
+        let c = Connectivity::from_csr(vec![0, 0, 2], vec![1, 0]).unwrap();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_eq!(a, b);
+        assert_ne!(a.fingerprint(), c.fingerprint());
+        assert_ne!(a, c);
+    }
+}

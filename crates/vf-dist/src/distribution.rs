@@ -511,6 +511,37 @@ impl Distribution {
         }
     }
 
+    /// The dimensions whose local layouts *scatter* on some processor —
+    /// their per-dimension segment does not exist for every processor
+    /// coordinate, so no processor-rectangle description of the local set
+    /// can name them.  Empty for replicated layouts and for layouts where
+    /// [`Distribution::local_segment`] exists everywhere; alignment-derived
+    /// layouts scatter as a whole and report every dimension.  This is what
+    /// a structured non-contiguous-layout error should name.
+    pub fn scattered_dims(&self) -> Vec<usize> {
+        match &self.kind {
+            Kind::Replicated => Vec::new(),
+            Kind::Aligned { .. } => (0..self.domain.rank()).collect(),
+            Kind::Regular {
+                grid_extents,
+                grid_map,
+            } => {
+                let ddims = self.dist_type.distributed_dims();
+                let mut out = Vec::new();
+                for (i, &d) in ddims.iter().enumerate() {
+                    let n = self.domain.extent(d);
+                    let procs_in_dim = grid_extents[grid_map[i]];
+                    if (0..procs_in_dim)
+                        .any(|c| self.dist_type.dim(d).segment(c, n, procs_in_dim).is_none())
+                    {
+                        out.push(d);
+                    }
+                }
+                out
+            }
+        }
+    }
+
     /// A cheap structural fingerprint of the distribution: two
     /// distributions with the same fingerprint place every element on the
     /// same processor, up to 64-bit hash collisions.  A collision would

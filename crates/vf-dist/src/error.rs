@@ -58,6 +58,12 @@ pub enum DistError {
     },
     /// An `INDIRECT` mapping array has no entries.
     EmptyIndirectMap,
+    /// A CSR connectivity is structurally invalid (empty or non-monotone
+    /// row pointers, or adjacency entries out of range).
+    InvalidConnectivity {
+        /// What is wrong with the CSR arrays.
+        reason: String,
+    },
     /// An alignment's rank is inconsistent with the arrays it connects.
     AlignmentRankMismatch {
         /// Expected rank (of the source array).
@@ -124,6 +130,9 @@ impl fmt::Display for DistError {
                 "INDIRECT mapping array names owner {owner} but the target has {procs} processors"
             ),
             DistError::EmptyIndirectMap => write!(f, "INDIRECT mapping array is empty"),
+            DistError::InvalidConnectivity { reason } => {
+                write!(f, "invalid CSR connectivity: {reason}")
+            }
             DistError::AlignmentRankMismatch { expected, found } => write!(
                 f,
                 "alignment rank mismatch: expected {expected}, found {found}"
@@ -184,6 +193,9 @@ mod tests {
             },
             DistError::IndirectOwnerOutOfRange { owner: 4, procs: 4 },
             DistError::EmptyIndirectMap,
+            DistError::InvalidConnectivity {
+                reason: "row pointers are not monotone".into(),
+            },
             DistError::AlignmentRankMismatch {
                 expected: 3,
                 found: 2,

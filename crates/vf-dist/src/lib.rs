@@ -31,6 +31,7 @@
 #![warn(missing_docs)]
 
 mod alignment;
+mod connectivity;
 mod dimdist;
 mod dist_type;
 mod distribution;
@@ -40,6 +41,7 @@ mod pattern;
 mod processors;
 
 pub use alignment::{AlignExpr, Alignment};
+pub use connectivity::Connectivity;
 pub use dimdist::{DimDist, DimSegment};
 pub use dist_type::DistType;
 pub use distribution::{construct, Distribution, LinearRun, LocalLayout, Locator};

@@ -26,11 +26,17 @@ pub enum RuntimeError {
         /// Processors required by the distribution.
         dist_procs: usize,
     },
-    /// An operation required a rectangular local segment (e.g. face-based
-    /// ghost exchange) but the distribution scatters elements cyclically.
-    NoContiguousSegment {
-        /// Name of the array involved.
+    /// Overlap-area planning required a contiguous local layout, but the
+    /// named dimension scatters its local elements (cyclic or
+    /// alignment-derived layouts).  One-dimensional `INDIRECT` layouts
+    /// never reach this error — they route to the irregular
+    /// (connectivity-driven) halo planner instead — but an `INDIRECT`
+    /// dimension inside a multi-dimensional type still reports it.
+    NonContiguousLayout {
+        /// Rendering of the distribution involved.
         array: String,
+        /// First dimension whose local layout is non-contiguous.
+        dim: usize,
     },
     /// A communication plan was executed against an array whose current
     /// distribution differs (by structural fingerprint) from the one the
@@ -76,9 +82,9 @@ impl fmt::Display for RuntimeError {
                 f,
                 "communication plan was built for distribution fingerprint {expected:#x} but the array is now distributed as {found:#x}"
             ),
-            RuntimeError::NoContiguousSegment { array } => write!(
+            RuntimeError::NonContiguousLayout { array, dim } => write!(
                 f,
-                "array {array} has no contiguous local segment on some processor (cyclic distribution?)"
+                "ghost planning for {array} requires a contiguous local layout, but dimension {dim} scatters its local elements"
             ),
             RuntimeError::GhostWidthExceeded { dim, width } => write!(
                 f,
@@ -128,8 +134,11 @@ mod tests {
             right: "[1:5]".into(),
         };
         assert!(e.to_string().contains("[1:5]"));
-        let e = RuntimeError::NoContiguousSegment { array: "V".into() };
-        assert!(e.to_string().contains('V'));
+        let e = RuntimeError::NonContiguousLayout {
+            array: "V".into(),
+            dim: 1,
+        };
+        assert!(e.to_string().contains("dimension 1"));
         let e = RuntimeError::GhostWidthExceeded { dim: 1, width: 1 };
         assert!(e.to_string().contains("overlap"));
         let e = RuntimeError::TrackerMismatch {

@@ -136,7 +136,11 @@ pub trait PlanExecutor {
 /// copies at zero — the default).  Each element lands in exactly one
 /// destination buffer, so the unpacking work is attributed to the
 /// destination.
-fn copy_seconds(transfers: &[Transfer], elem_bytes: usize, tracker: &CommTracker) -> Vec<f64> {
+pub(crate) fn copy_seconds(
+    transfers: &[Transfer],
+    elem_bytes: usize,
+    tracker: &CommTracker,
+) -> Vec<f64> {
     let rate = tracker.cost().copy_per_byte;
     if rate == 0.0 {
         return Vec::new();
@@ -152,7 +156,7 @@ fn copy_seconds(transfers: &[Transfer], elem_bytes: usize, tracker: &CommTracker
 
 /// Completes `pending`, crediting `copy_secs` (per-processor copy-phase
 /// seconds) as both local compute time and communication overlap.
-fn finish_with_copy_credit(
+pub(crate) fn finish_with_copy_credit(
     tracker: &CommTracker,
     pending: vf_machine::PendingSends,
     copy_secs: &[f64],
@@ -476,66 +480,140 @@ impl PlanExecutor for ExecBackend {
     }
 }
 
-/// A set of redistribution plans fused into one communication schedule.
+/// One part's share of a fused wire message: `elements` elements of part
+/// `part` packed at byte-order offset `wire_offset` (in elements) within
+/// the pair's single fused message.
+///
+/// This is the *slot remapping* that lets each array's ghost-buffer (or
+/// local-storage) offsets survive fusion: a receiver unpacks the slice at
+/// `wire_offset .. wire_offset + elements` with part `part`'s own run
+/// list, so the per-array destination offsets are untouched — only the
+/// wire layout is shared.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FusedSlice {
+    /// Index of the part (array) within [`FusedPlan::parts`].
+    pub part: usize,
+    /// Elements the part contributes to this pair's message.
+    pub elements: usize,
+    /// Element offset of the part's payload within the fused message.
+    pub wire_offset: usize,
+}
+
+/// A set of same-kind communication plans fused into one schedule.
 ///
 /// `DISTRIBUTE` over a connect class (or a multi-array statement) plans
 /// each array separately; unfused execution then charges one message per
-/// *array* per processor pair.  Fusing merges the per-array traffic so
+/// *array* per processor pair.  The same holds for the overlap exchange of
+/// a class of stencil arrays.  Fusing merges the per-array traffic so
 /// every (sender, receiver) pair exchanges a **single message** carrying
 /// the payloads of all arrays — the element and byte totals are exactly
-/// the sum over the parts (asserted by `tests/suite/parallel_exec.rs`),
-/// only the message count drops.
+/// the sum over the parts (asserted by `tests/suite/parallel_exec.rs` and
+/// `tests/suite/ghost_fusion.rs`), only the message count drops.  The
+/// per-pair wire layout ([`FusedPlan::wire_slices`]) records where each
+/// part's payload sits inside the fused message, so every part's own
+/// destination offsets (ghost slots, local offsets) remain valid.
 #[derive(Debug, Clone)]
 pub struct FusedPlan {
+    kind: PlanKind,
     parts: Vec<Arc<CommPlan>>,
     moved_elements: usize,
     stayed_elements: usize,
     /// Crossing (src, dst) pairs with traffic in any part, with the summed
     /// element count — one fused message each.
     pair_elements: Vec<((usize, usize), usize)>,
+    /// Per crossing pair (aligned with `pair_elements`): the wire layout of
+    /// the fused message, parts in fusion order.
+    pair_slices: Vec<Vec<FusedSlice>>,
 }
 
 impl FusedPlan {
-    /// Fuses a non-empty set of redistribution plans into one schedule.
+    /// Fuses a non-empty set of same-kind plans into one schedule.
+    /// Redistribution and ghost plans fuse; gather/scatter schedules
+    /// address access-pattern-specific buffers and do not.
     ///
     /// # Errors
-    /// [`RuntimeError::FusionMismatch`] when `parts` is empty or contains a
-    /// non-redistribution plan (ghost/gather/scatter schedules address
-    /// kind-specific buffers and cannot share messages with data motion).
+    /// [`RuntimeError::FusionMismatch`] when `parts` is empty, mixes plan
+    /// kinds, or contains a gather/scatter plan.
     pub fn fuse(parts: Vec<Arc<CommPlan>>) -> Result<Self> {
-        if parts.is_empty() {
+        let Some(first) = parts.first() else {
             return Err(RuntimeError::FusionMismatch {
                 reason: "no plans to fuse".into(),
             });
-        }
-        if let Some(odd) = parts.iter().find(|p| p.kind() != PlanKind::Redistribute) {
+        };
+        let kind = first.kind();
+        if !matches!(kind, PlanKind::Redistribute | PlanKind::Ghost) {
             return Err(RuntimeError::FusionMismatch {
-                reason: format!("cannot fuse a {:?} plan into a DISTRIBUTE", odd.kind()),
+                reason: format!("{kind:?} plans cannot be fused"),
             });
         }
-        let mut pairs: BTreeMap<(usize, usize), usize> = BTreeMap::new();
+        if let Some(odd) = parts.iter().find(|p| p.kind() != kind) {
+            return Err(RuntimeError::FusionMismatch {
+                reason: format!("cannot fuse a {:?} plan with {kind:?} plans", odd.kind()),
+            });
+        }
+        let mut pairs: BTreeMap<(usize, usize), Vec<FusedSlice>> = BTreeMap::new();
         let mut moved = 0usize;
         let mut stayed = 0usize;
-        for part in &parts {
+        for (idx, part) in parts.iter().enumerate() {
             moved += part.moved_elements();
             stayed += part.stayed_elements();
             for t in part.transfers() {
                 if t.src != t.dst && t.elements > 0 {
-                    *pairs.entry((t.src.0, t.dst.0)).or_insert(0) += t.elements;
+                    let slices = pairs.entry((t.src.0, t.dst.0)).or_default();
+                    match slices.last_mut() {
+                        Some(last) if last.part == idx => last.elements += t.elements,
+                        _ => {
+                            let wire_offset = slices
+                                .last()
+                                .map(|s| s.wire_offset + s.elements)
+                                .unwrap_or(0);
+                            slices.push(FusedSlice {
+                                part: idx,
+                                elements: t.elements,
+                                wire_offset,
+                            });
+                        }
+                    }
                 }
             }
         }
+        let mut pair_elements = Vec::with_capacity(pairs.len());
+        let mut pair_slices = Vec::with_capacity(pairs.len());
+        for (pair, slices) in pairs {
+            pair_elements.push((pair, slices.iter().map(|s| s.elements).sum()));
+            pair_slices.push(slices);
+        }
         Ok(Self {
+            kind,
             parts,
             moved_elements: moved,
             stayed_elements: stayed,
-            pair_elements: pairs.into_iter().collect(),
+            pair_elements,
+            pair_slices,
         })
+    }
+
+    /// What kind of plans were fused (redistribution or ghost).
+    pub fn kind(&self) -> PlanKind {
+        self.kind
     }
 
     /// The fused per-array plans, in fusion order.
     pub fn parts(&self) -> &[Arc<CommPlan>] {
         &self.parts
+    }
+
+    /// The wire layout of the fused `(src, dst)` message: each part's
+    /// payload slice, in fusion order, tiling `0..total_elements` of the
+    /// pair.  Empty when the pair exchanges nothing.
+    pub fn wire_slices(&self, src: usize, dst: usize) -> &[FusedSlice] {
+        match self
+            .pair_elements
+            .binary_search_by_key(&(src, dst), |&(pair, _)| pair)
+        {
+            Ok(i) => &self.pair_slices[i],
+            Err(_) => &[],
+        }
     }
 
     /// Messages the fused schedule generates: one per crossing processor
@@ -561,9 +639,33 @@ impl FusedPlan {
         self.moved_elements * elem_bytes
     }
 
+    /// Validates that the fusion is of `expected` kind and covers exactly
+    /// `arrays` arrays — the guard every fused executor runs first.
+    pub(crate) fn check_parts(
+        &self,
+        expected: PlanKind,
+        caller: &str,
+        arrays: usize,
+    ) -> Result<()> {
+        if self.kind != expected {
+            return Err(RuntimeError::FusionMismatch {
+                reason: format!("{caller} needs {expected:?} parts, got {:?}", self.kind),
+            });
+        }
+        if arrays != self.parts.len() {
+            return Err(RuntimeError::FusionMismatch {
+                reason: format!(
+                    "fused plan has {} parts but {arrays} arrays were supplied",
+                    self.parts.len()
+                ),
+            });
+        }
+        Ok(())
+    }
+
     /// The fused message list: one `(src, dst, bytes)` entry per crossing
     /// processor pair, payloads of all parts summed.
-    fn message_batch(&self, elem_bytes: usize) -> Vec<(usize, usize, usize)> {
+    pub(crate) fn message_batch(&self, elem_bytes: usize) -> Vec<(usize, usize, usize)> {
         self.pair_elements
             .iter()
             .map(|&((src, dst), elements)| (src, dst, elements * elem_bytes))
@@ -594,15 +696,11 @@ pub fn execute_redistribute_fused<T: Element, E: PlanExecutor>(
     tracker: &CommTracker,
     executor: &E,
 ) -> Result<(Vec<RedistReport>, ExecReport)> {
-    if arrays.len() != fused.parts().len() {
-        return Err(RuntimeError::FusionMismatch {
-            reason: format!(
-                "fused plan has {} parts but {} arrays were supplied",
-                fused.parts().len(),
-                arrays.len()
-            ),
-        });
-    }
+    fused.check_parts(
+        PlanKind::Redistribute,
+        "execute_redistribute_fused",
+        arrays.len(),
+    )?;
     // Validate every (array, part) pair before moving anything.
     for (array, part) in arrays.iter().zip(fused.parts()) {
         if !matches!(&part.index, PlanIndex::Redistribute { .. }) {
@@ -614,17 +712,9 @@ pub fn execute_redistribute_fused<T: Element, E: PlanExecutor>(
         part.check_executable(array.dist(), tracker)?;
     }
 
-    for part in fused.parts() {
-        part.charge_directory(tracker);
-    }
-    let batch = fused.message_batch(T::BYTES);
-    let messages = batch.len();
-    let bytes: usize = batch.iter().map(|m| m.2).sum();
-    let pending = tracker.post_many(batch);
-
     let mut reports = Vec::with_capacity(arrays.len());
-    let mut fused_copy_secs: Vec<f64> = Vec::new();
-    for (array, part) in arrays.iter_mut().zip(fused.parts()) {
+    let exec = execute_fused_parts(fused, tracker, T::BYTES, |idx, part| {
+        let array = &mut arrays[idx];
         let PlanIndex::Redistribute { new_dist } = &part.index else {
             unreachable!("validated above");
         };
@@ -635,24 +725,48 @@ pub fn execute_redistribute_fused<T: Element, E: PlanExecutor>(
         let new_locals = executor.run_copies(part.transfers(), array.locals(), &dst_sizes, tracker);
         array.replace(new_dist.clone(), new_locals);
         array.broadcast_canonical();
-        // The whole class's copy work overlaps the single fused message
-        // batch: accumulate every part's copy seconds per destination.
-        let part_secs = copy_seconds(part.transfers(), T::BYTES, tracker);
-        if fused_copy_secs.len() < part_secs.len() {
-            fused_copy_secs.resize(part_secs.len(), 0.0);
-        }
-        for (acc, s) in fused_copy_secs.iter_mut().zip(part_secs) {
-            *acc += s;
-        }
         reports.push(RedistReport {
             moved_elements: part.moved_elements(),
             stayed_elements: part.stayed_elements(),
             messages: part.num_messages(),
             bytes: part.bytes_for(T::BYTES),
         });
+    });
+    Ok((reports, exec))
+}
+
+/// The shared charging skeleton of every fused execution: directory
+/// fetches complete first, the **single message per crossing pair** batch
+/// is posted, `copy_part(idx, part)` runs each part's copies (the whole
+/// class's copy seconds accumulate per destination), and the batch
+/// completes with the accumulated credit — so fused redistribution and
+/// fused ghost exchange can never drift apart in how they charge.
+pub(crate) fn execute_fused_parts(
+    fused: &FusedPlan,
+    tracker: &CommTracker,
+    elem_bytes: usize,
+    mut copy_part: impl FnMut(usize, &CommPlan),
+) -> ExecReport {
+    for part in fused.parts() {
+        part.charge_directory(tracker);
+    }
+    let batch = fused.message_batch(elem_bytes);
+    let messages = batch.len();
+    let bytes: usize = batch.iter().map(|m| m.2).sum();
+    let pending = tracker.post_many(batch);
+    let mut fused_copy_secs: Vec<f64> = Vec::new();
+    for (idx, part) in fused.parts().iter().enumerate() {
+        copy_part(idx, part);
+        let part_secs = copy_seconds(part.transfers(), elem_bytes, tracker);
+        if fused_copy_secs.len() < part_secs.len() {
+            fused_copy_secs.resize(part_secs.len(), 0.0);
+        }
+        for (acc, s) in fused_copy_secs.iter_mut().zip(part_secs) {
+            *acc += s;
+        }
     }
     finish_with_copy_credit(tracker, pending, &fused_copy_secs);
-    Ok((reports, ExecReport { messages, bytes }))
+    ExecReport { messages, bytes }
 }
 
 #[cfg(test)]
@@ -814,17 +928,74 @@ mod tests {
     }
 
     #[test]
-    fn fusing_non_redistribute_plans_is_rejected() {
+    fn fusion_kind_rules_are_enforced() {
         let d = dist_1d(DistType::block1d(), 16, 4);
         let ghost = Arc::new(crate::plan::plan_ghost(&d, &[(1, 1)]).unwrap());
+        let redist =
+            Arc::new(plan_redistribute(&d, &dist_1d(DistType::cyclic1d(1), 16, 4)).unwrap());
+        let gather = Arc::new(
+            crate::plan::plan_gather(&d, &[(vf_dist::ProcId(0), vf_index::Point::d1(9))]).unwrap(),
+        );
+        // Homogeneous ghost sets fuse now; gather plans and mixed kinds do
+        // not, and neither does an empty set.
+        let fused_ghost = FusedPlan::fuse(vec![Arc::clone(&ghost), Arc::clone(&ghost)]).unwrap();
+        assert_eq!(fused_ghost.kind(), PlanKind::Ghost);
         assert!(matches!(
-            FusedPlan::fuse(vec![ghost]),
+            FusedPlan::fuse(vec![Arc::clone(&gather)]),
+            Err(RuntimeError::FusionMismatch { .. })
+        ));
+        assert!(matches!(
+            FusedPlan::fuse(vec![Arc::clone(&ghost), Arc::clone(&redist)]),
             Err(RuntimeError::FusionMismatch { .. })
         ));
         assert!(matches!(
             FusedPlan::fuse(Vec::new()),
             Err(RuntimeError::FusionMismatch { .. })
         ));
+        // A ghost-kind fused plan cannot drive the redistribute executor.
+        let mut a = DistArray::from_fn("A", dist_1d(DistType::block1d(), 16, 4), |pt| {
+            pt.coord(0) as f64
+        });
+        let mut b = a.clone();
+        let tracker = CommTracker::new(4, CostModel::zero());
+        assert!(matches!(
+            execute_redistribute_fused(
+                &mut [&mut a, &mut b],
+                &fused_ghost,
+                &tracker,
+                &SerialExecutor
+            ),
+            Err(RuntimeError::FusionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn wire_slices_tile_each_fused_pair() {
+        let d = dist_1d(DistType::block1d(), 24, 4);
+        let one = Arc::new(crate::plan::plan_ghost(&d, &[(1, 1)]).unwrap());
+        let two = Arc::new(crate::plan::plan_ghost(&d, &[(2, 2)]).unwrap());
+        let fused = FusedPlan::fuse(vec![Arc::clone(&one), Arc::clone(&two), one]).unwrap();
+        let mut checked = 0usize;
+        for &((src, dst), total) in &fused.pair_elements {
+            let slices = fused.wire_slices(src, dst);
+            assert!(!slices.is_empty());
+            // Parts appear in fusion order and their payloads tile the
+            // message without gaps — the remapping a receiver needs to
+            // unpack each array's slots from the single wire message.
+            let mut offset = 0usize;
+            for s in slices {
+                assert_eq!(s.wire_offset, offset, "{src}->{dst}");
+                offset += s.elements;
+            }
+            assert_eq!(offset, total);
+            assert!(slices.windows(2).all(|w| w[0].part < w[1].part));
+            checked += 1;
+        }
+        assert!(checked > 0);
+        assert!(
+            fused.wire_slices(0, 0).is_empty(),
+            "local pairs carry nothing"
+        );
     }
 
     #[test]

@@ -58,15 +58,15 @@ pub use descriptor::ArrayDescriptor;
 pub use element::{decode_slice, encode_slice, Element};
 pub use error::RuntimeError;
 pub use exec::{
-    execute_redistribute_fused, ExecBackend, ExecReport, FusedPlan, PlanExecutor, SerialExecutor,
-    ThreadedExecutor,
+    execute_redistribute_fused, ExecBackend, ExecReport, FusedPlan, FusedSlice, PlanExecutor,
+    SerialExecutor, ThreadedExecutor,
 };
 pub use plan::{CommPlan, PlanCache, PlanCacheStats, PlanKind, PlanRun, Transfer};
 pub use redistribute_impl::{
     execute_redistribute, execute_redistribute_with, redistribute, redistribute_cached,
     redistribute_cached_with, redistribute_with, RedistOptions, RedistReport,
 };
-pub use translation::{table_for, DistTranslationTable, TranslationStats};
+pub use translation::{invalidate, table_for, DistTranslationTable, TranslationStats};
 
 /// Convenience result alias for fallible runtime operations.
 pub type Result<T> = std::result::Result<T, RuntimeError>;

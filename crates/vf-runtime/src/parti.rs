@@ -19,10 +19,13 @@
 //!   combine function, placement planned through [`crate::plan::plan_scatter`].
 
 use crate::exec::{PlanExecutor, SerialExecutor};
-use crate::plan::{plan_gather, plan_scatter, CommPlan, PlanCache, PlanIndex, PlanKind};
+use crate::ghost::{exchange_ghosts_planned_with, GhostRegion, GhostReport};
+use crate::plan::{
+    plan_gather, plan_ghost_irregular, plan_scatter, CommPlan, PlanCache, PlanIndex, PlanKind,
+};
 use crate::{DistArray, Element, Result, RuntimeError};
 use std::sync::Arc;
-use vf_dist::{Distribution, ProcId};
+use vf_dist::{Connectivity, Distribution, ProcId};
 use vf_index::Point;
 use vf_machine::CommTracker;
 
@@ -127,6 +130,91 @@ pub fn inspector_cached(
     Ok(CommSchedule {
         plan: cache.gather_plan(dist, accesses)?,
     })
+}
+
+/// A PARTI *incremental schedule*: the halo set of an irregularly
+/// distributed array, derived from the access connectivity instead of
+/// geometry — processor `p`'s schedule covers every element referenced by
+/// something `p` owns but owned elsewhere.  The underlying plan is an
+/// ordinary ghost [`CommPlan`] (see
+/// [`crate::plan::plan_ghost_irregular`]), so it executes through the
+/// ghost executors and caches in the shared [`PlanCache`].
+#[derive(Debug, Clone)]
+pub struct IncrementalSchedule {
+    plan: Arc<CommPlan>,
+}
+
+impl IncrementalSchedule {
+    /// The underlying ghost communication plan.
+    pub fn plan(&self) -> &Arc<CommPlan> {
+        &self.plan
+    }
+
+    /// Number of aggregated messages one halo exchange will generate.
+    pub fn num_messages(&self) -> usize {
+        self.plan.num_messages()
+    }
+
+    /// Total halo elements, summed over processors.
+    pub fn num_elements(&self) -> usize {
+        self.plan.moved_elements()
+    }
+
+    /// The owners processor `proc` receives halo data from.
+    pub fn owners_for(&self, proc: ProcId) -> Vec<ProcId> {
+        self.plan.senders_to(proc)
+    }
+}
+
+/// Builds the incremental schedule of `dist` under the access pattern
+/// `conn` — the inspector of the irregular overlap exchange.  Use
+/// [`incremental_schedule_cached`] in iterative sweeps.
+pub fn incremental_schedule(
+    dist: &Distribution,
+    conn: &Connectivity,
+) -> Result<IncrementalSchedule> {
+    Ok(IncrementalSchedule {
+        plan: Arc::new(plan_ghost_irregular(dist, conn)?),
+    })
+}
+
+/// [`incremental_schedule`] with schedule reuse: keyed by (distribution
+/// fingerprint, connectivity fingerprint), so repeated sweeps replay the
+/// cached schedule and a repartitioning (new mapping array → new
+/// fingerprint) replans from scratch — stale halos are structurally
+/// unreachable, and executing a schedule held across a repartitioning is
+/// rejected with [`RuntimeError::PlanMismatch`].
+pub fn incremental_schedule_cached(
+    dist: &Distribution,
+    conn: &Connectivity,
+    cache: &PlanCache,
+) -> Result<IncrementalSchedule> {
+    Ok(IncrementalSchedule {
+        plan: cache.ghost_irregular_plan(dist, conn)?,
+    })
+}
+
+/// The executor half of the incremental schedule with the serial backend —
+/// see [`execute_halo_with`].
+pub fn execute_halo<T: Element>(
+    array: &DistArray<T>,
+    schedule: &IncrementalSchedule,
+    tracker: &CommTracker,
+) -> Result<(GhostRegion<T>, GhostReport)> {
+    execute_halo_with(array, schedule, tracker, &SerialExecutor)
+}
+
+/// The executor half of the incremental schedule: replays the halo plan
+/// through the chosen backend, filling a [`GhostRegion`] addressable by
+/// global point exactly like the regular overlap exchange — one aggregated
+/// message per (owner → reader) pair.
+pub fn execute_halo_with<T: Element, E: PlanExecutor>(
+    array: &DistArray<T>,
+    schedule: &IncrementalSchedule,
+    tracker: &CommTracker,
+    executor: &E,
+) -> Result<(GhostRegion<T>, GhostReport)> {
+    exchange_ghosts_planned_with(array, &schedule.plan, tracker, executor)
 }
 
 /// The values fetched by [`execute_gather`], addressable by global index
@@ -524,6 +612,73 @@ mod tests {
         .unwrap();
         for p in 0..3 {
             assert_eq!(a.local(ProcId(p))[1], 7.0, "copy on P{p}");
+        }
+    }
+
+    #[test]
+    fn incremental_schedule_agrees_with_the_gather_inspector() {
+        use std::sync::Arc as StdArc;
+        use vf_dist::{Connectivity, IndirectMap, ProcessorView};
+        use vf_index::IndexDomain;
+        // A scattered indirect layout under a ring access pattern: the
+        // incremental schedule must fetch exactly the elements the gather
+        // inspector schedules for the equivalent per-edge reads, with the
+        // same per-pair message structure, and the fetched values must
+        // agree point for point.
+        let n = 12usize;
+        let p = 3usize;
+        let map = StdArc::new(IndirectMap::from_fn(n, |i| (i * 5 + 1) % p).unwrap());
+        let dist = Distribution::new(
+            DistType::indirect1d(map),
+            IndexDomain::d1(n),
+            ProcessorView::linear(p),
+        )
+        .unwrap();
+        let a = DistArray::from_fn("H", dist.clone(), |pt| (pt.coord(0) * 7) as f64);
+        let mut xadj = vec![0usize];
+        let mut adjncy = Vec::new();
+        for u in 0..n {
+            adjncy.push((u + n - 1) % n);
+            adjncy.push((u + 1) % n);
+            xadj.push(adjncy.len());
+        }
+        let conn = Connectivity::from_csr(xadj, adjncy).unwrap();
+        let schedule = incremental_schedule(&dist, &conn).unwrap();
+
+        // The same reads, expressed as explicit per-edge gather accesses.
+        let locator = dist.locator();
+        let accesses: Vec<(ProcId, Point)> = (0..n)
+            .flat_map(|u| {
+                let owner = locator.locate_lin(u).0;
+                [(owner, (u + n - 1) % n), (owner, (u + 1) % n)]
+            })
+            .map(|(o, v)| (o, Point::d1(v as i64 + 1)))
+            .collect();
+        let gather = inspector(&dist, &accesses).unwrap();
+        assert_eq!(schedule.num_elements(), gather.num_elements());
+        assert_eq!(schedule.num_messages(), gather.num_messages());
+        for q in 0..p {
+            assert_eq!(
+                schedule.owners_for(ProcId(q)),
+                gather.owners_for(ProcId(q)),
+                "P{q}"
+            );
+        }
+
+        let t1 = CommTracker::new(p, CostModel::zero());
+        let t2 = CommTracker::new(p, CostModel::zero());
+        let (halo, report) = execute_halo(&a, &schedule, &t1).unwrap();
+        let fetched = execute_gather(&a, &gather, &t2).unwrap();
+        assert_eq!(report.elements, gather.num_elements());
+        for (q, point) in &accesses {
+            if a.dist().is_local(*q, point) {
+                continue;
+            }
+            assert_eq!(
+                halo.get(*q, point),
+                fetched.get(*q, a.dist(), point),
+                "P{q:?} at {point:?}"
+            );
         }
     }
 

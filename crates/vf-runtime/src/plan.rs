@@ -42,7 +42,7 @@ use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::{Arc, Mutex, PoisonError};
-use vf_dist::{Distribution, Locator, ProcId};
+use vf_dist::{Connectivity, Distribution, Locator, ProcId};
 use vf_index::{DimRange, IndexDomain, Point};
 use vf_machine::CommTracker;
 
@@ -624,10 +624,27 @@ pub fn plan_redistribute(old: &Distribution, new: &Distribution) -> Result<CommP
     })
 }
 
+/// The first dimension of `dist` whose local layout scatters — the
+/// dimension a [`RuntimeError::NonContiguousLayout`] names, computed from
+/// the actual per-dimension segments ([`Distribution::scattered_dims`]),
+/// not from the distribution-function variants (a `CYCLIC(k)` that gives
+/// every processor one contiguous block is *not* scattered).
+fn non_contiguous_dim(dist: &Distribution) -> usize {
+    dist.scattered_dims().first().copied().unwrap_or(0)
+}
+
 /// Plans the overlap-area exchange of a stencil that reads up to
 /// `widths[d].0` elements below and `widths[d].1` above the owned segment
-/// in dimension `d`.  Every processor must own a contiguous rectangular
-/// segment (true for `BLOCK`, general block and `:` dimensions).
+/// in dimension `d`.
+///
+/// Every processor must own a contiguous rectangular segment (true for
+/// `BLOCK`, general block and `:` dimensions); cyclic and
+/// alignment-derived layouts are rejected with
+/// [`RuntimeError::NonContiguousLayout`] naming the offending dimension.
+/// One-dimensional `INDIRECT` layouts are *not* rejected: their widths
+/// describe the implicit ±width chain stencil over global offsets
+/// ([`Connectivity::chain`]) and the plan routes to the irregular halo
+/// planner [`plan_ghost_irregular`].
 pub fn plan_ghost(dist: &Distribution, widths: &[(usize, usize)]) -> Result<CommPlan> {
     let domain = dist.domain();
     if widths.len() != domain.rank() {
@@ -635,6 +652,11 @@ pub fn plan_ghost(dist: &Distribution, widths: &[(usize, usize)]) -> Result<Comm
             expected: domain.rank(),
             found: widths.len(),
         }));
+    }
+    if dist.dist_type().has_indirect() && domain.rank() == 1 {
+        let (lo, hi) = widths[0];
+        let chain = Connectivity::chain(domain.size(), lo, hi)?;
+        return plan_ghost_irregular(dist, &chain);
     }
     let total_procs = dist.procs().array().num_procs();
     // Degenerate stencils — every width zero — exchange nothing: return an
@@ -650,8 +672,9 @@ pub fn plan_ghost(dist: &Distribution, widths: &[(usize, usize)]) -> Result<Comm
         // succeed and every nonzero case fail on the same array).
         for &p in dist.proc_ids() {
             if dist.local_segment(p).is_none() {
-                return Err(RuntimeError::NoContiguousSegment {
+                return Err(RuntimeError::NonContiguousLayout {
                     array: dist.to_string(),
+                    dim: non_contiguous_dim(dist),
                 });
             }
         }
@@ -687,8 +710,9 @@ pub fn plan_ghost(dist: &Distribution, widths: &[(usize, usize)]) -> Result<Comm
 
     for &p in dist.proc_ids() {
         let Some(segment) = dist.local_segment(p) else {
-            return Err(RuntimeError::NoContiguousSegment {
+            return Err(RuntimeError::NonContiguousLayout {
                 array: dist.to_string(),
+                dim: non_contiguous_dim(dist),
             });
         };
         if segment.is_empty() {
@@ -775,6 +799,103 @@ pub fn plan_ghost(dist: &Distribution, widths: &[(usize, usize)]) -> Result<Comm
         needed_procs: b
             .needed
             .max(dist.proc_ids().iter().map(|p| p.0 + 1).max().unwrap_or(1)),
+        transfers: b.transfers,
+        moved_elements: b.moved,
+        stayed_elements: b.stayed,
+        directory: Mutex::new(resolver.finish()),
+        index: PlanIndex::Ghost { slots },
+    })
+}
+
+/// Plans the irregular (connectivity-driven) overlap exchange — the PARTI
+/// *incremental schedule* for distributions with no geometric halo:
+/// processor `p`'s ghost set is every global offset referenced (through
+/// `conn`) by an element `p` owns but owned elsewhere.
+///
+/// Ownership is resolved through the [`OwnerResolver`] — the distributed
+/// translation table for `INDIRECT` distributions, modelling the directory
+/// page fetches a real PARTI inspector performs — while the requester-side
+/// membership test ("is this neighbour mine?") is free: each processor
+/// knows its own local-to-global table.  The produced plan is an ordinary
+/// ghost [`CommPlan`] (slots assigned in ascending global order), so the
+/// ghost executors, the [`PlanCache`] and the fused exchange all work on it
+/// unchanged.  Works for regular distributions too (closed-form owner
+/// lookup, no directory traffic) — the differential baseline the property
+/// suite compares against.
+pub fn plan_ghost_irregular(dist: &Distribution, conn: &Connectivity) -> Result<CommPlan> {
+    let domain = dist.domain();
+    if conn.num_nodes() != domain.size() {
+        return Err(RuntimeError::DomainMismatch {
+            left: domain.to_string(),
+            right: format!("connectivity over {} elements", conn.num_nodes()),
+        });
+    }
+    let total_procs = dist.procs().array().num_procs();
+    let fp = dist.fingerprint();
+    let mut slots: Vec<GhostSlots> = (0..total_procs)
+        .map(|_| GhostSlots {
+            slot_of_point: HashMap::new(),
+            count: 0,
+        })
+        .collect();
+    let needed_view = dist.proc_ids().iter().map(|p| p.0 + 1).max().unwrap_or(1);
+    // A replicated view holds every element on every processor — no read
+    // can be non-local — and an edge-free connectivity references nothing.
+    if dist.is_replicated() || conn.num_edges() == 0 {
+        return Ok(CommPlan {
+            kind: PlanKind::Ghost,
+            src_fingerprint: fp,
+            dst_fingerprint: fp,
+            total_procs,
+            needed_procs: needed_view,
+            transfers: Vec::new(),
+            moved_elements: 0,
+            stayed_elements: 0,
+            directory: Mutex::new(Vec::new()),
+            index: PlanIndex::Ghost { slots },
+        });
+    }
+    // Requester-side ownership: every processor knows which global offsets
+    // it owns (its local-to-global table), assembled here from the linear
+    // runs.  Resolving the *owner* of anything else is the part that costs
+    // directory traffic, and goes through the resolver below.
+    let mut owner_of = vec![u32::MAX; domain.size()];
+    for &p in dist.proc_ids() {
+        for run in dist.local_linear_runs(p) {
+            for k in 0..run.len {
+                owner_of[run.global_start + k] = p.0 as u32;
+            }
+        }
+    }
+    let mut resolver = OwnerResolver::for_dist(dist);
+    let mut b = PlanBuilder::new();
+    for &p in dist.proc_ids() {
+        let mut lins: Vec<usize> = Vec::new();
+        for run in dist.local_linear_runs(p) {
+            for k in 0..run.len {
+                for v in conn.neighbors(run.global_start + k) {
+                    if owner_of[v] != p.0 as u32 {
+                        lins.push(v);
+                    }
+                }
+            }
+        }
+        lins.sort_unstable();
+        lins.dedup();
+        for (slot, &lin) in lins.iter().enumerate() {
+            let point = domain.delinearize(lin).expect("lin within the domain");
+            let (owner, local) = resolver.locate_from(p, lin);
+            slots[p.0].slot_of_point.insert(point, slot);
+            b.push(owner, p, local, slot);
+        }
+        slots[p.0].count = lins.len();
+    }
+    Ok(CommPlan {
+        kind: PlanKind::Ghost,
+        src_fingerprint: fp,
+        dst_fingerprint: fp,
+        total_procs,
+        needed_procs: b.needed.max(needed_view),
         transfers: b.transfers,
         moved_elements: b.moved,
         stayed_elements: b.stayed,
@@ -893,6 +1014,10 @@ enum PlanKey {
     Ghost {
         dist: u64,
         widths: Vec<(usize, usize)>,
+    },
+    GhostIrregular {
+        dist: u64,
+        conn: u64,
     },
     Gather {
         dist: u64,
@@ -1102,6 +1227,25 @@ impl PlanCache {
                 widths: widths.to_vec(),
             },
             || plan_ghost(dist, widths),
+        )
+    }
+
+    /// The cached irregular (connectivity-driven) halo plan for `dist` —
+    /// keyed by (distribution fingerprint, connectivity fingerprint), so a
+    /// repartitioned array (new map, new fingerprint) can never reuse a
+    /// stale halo schedule, while repeated sweeps over an unchanged
+    /// partition replay the cached incremental schedule for free.
+    pub fn ghost_irregular_plan(
+        &self,
+        dist: &Distribution,
+        conn: &Connectivity,
+    ) -> Result<Arc<CommPlan>> {
+        self.get_or_plan(
+            PlanKey::GhostIrregular {
+                dist: dist.fingerprint(),
+                conn: conn.fingerprint(),
+            },
+            || plan_ghost_irregular(dist, conn),
         )
     }
 
@@ -1388,8 +1532,99 @@ mod tests {
         .unwrap();
         assert!(matches!(
             plan_ghost(&cyclic, &[(0, 0), (0, 0)]),
-            Err(RuntimeError::NoContiguousSegment { .. })
+            Err(RuntimeError::NonContiguousLayout { dim: 0, .. })
         ));
+    }
+
+    #[test]
+    fn irregular_halo_plan_agrees_with_the_geometric_planner() {
+        // On a 1-D block layout the ±1 chain connectivity describes exactly
+        // the geometric 1-wide halo: both planners must schedule the same
+        // elements for the same processors.
+        let d = dist_1d(DistType::block1d(), 16, 4);
+        let conn = Connectivity::chain(16, 1, 1).unwrap();
+        let irregular = plan_ghost_irregular(&d, &conn).unwrap();
+        let geometric = plan_ghost(&d, &[(1, 1)]).unwrap();
+        assert_eq!(irregular.kind(), PlanKind::Ghost);
+        assert_eq!(irregular.moved_elements(), geometric.moved_elements());
+        assert_eq!(irregular.num_messages(), geometric.num_messages());
+        for p in 0..4 {
+            assert_eq!(
+                irregular.ghost_len(ProcId(p)),
+                geometric.ghost_len(ProcId(p)),
+                "P{p}"
+            );
+        }
+        // Wrong-size connectivity is rejected.
+        let short = Connectivity::chain(8, 1, 1).unwrap();
+        assert!(matches!(
+            plan_ghost_irregular(&d, &short),
+            Err(RuntimeError::DomainMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn indirect_ghost_plans_route_to_the_irregular_planner() {
+        use vf_dist::{IndirectMap, ProcessorView};
+        // A fully scattered map (alternating owners): every ±1 neighbour is
+        // remote.  plan_ghost used to reject this layout outright; it now
+        // derives the halo from the implicit chain connectivity.
+        let n = 12usize;
+        let p = 2usize;
+        let map = std::sync::Arc::new(IndirectMap::from_fn(n, |i| i % p).unwrap());
+        let dist = Distribution::new(
+            DistType::indirect1d(map),
+            IndexDomain::d1(n),
+            ProcessorView::linear(p),
+        )
+        .unwrap();
+        let plan = plan_ghost(&dist, &[(1, 1)]).unwrap();
+        // P0 owns the even offsets; each reads both odd neighbours → every
+        // odd offset is in P0's halo, and vice versa.
+        assert_eq!(plan.ghost_len(ProcId(0)), n / 2);
+        assert_eq!(plan.ghost_len(ProcId(1)), n / 2);
+        assert_eq!(plan.num_messages(), 2);
+        // The inspection walked the distributed translation table: pending
+        // directory traffic is attached for the first execution.
+        let (dir_messages, dir_bytes) = plan.pending_directory_traffic();
+        assert!(dir_messages > 0);
+        assert!(dir_bytes > 0);
+        // Zero widths stay an empty plan, not an error.
+        let empty = plan_ghost(&dist, &[(0, 0)]).unwrap();
+        assert_eq!(empty.moved_elements(), 0);
+        assert_eq!(empty.num_messages(), 0);
+    }
+
+    #[test]
+    fn irregular_halo_plans_cache_by_map_and_connectivity_fingerprints() {
+        use vf_dist::{IndirectMap, ProcessorView};
+        let n = 16usize;
+        let p = 4usize;
+        let dist = |seed: usize| {
+            Distribution::new(
+                DistType::indirect1d(std::sync::Arc::new(
+                    IndirectMap::from_fn(n, |i| (i * 7 + seed) % p).unwrap(),
+                )),
+                IndexDomain::d1(n),
+                ProcessorView::linear(p),
+            )
+            .unwrap()
+        };
+        let a = dist(0);
+        let conn = Connectivity::chain(n, 1, 1).unwrap();
+        let cache = PlanCache::new();
+        let p1 = cache.ghost_irregular_plan(&a, &conn).unwrap();
+        let p2 = cache.ghost_irregular_plan(&a, &conn).unwrap();
+        assert!(Arc::ptr_eq(&p1, &p2), "repeat lookup hits");
+        assert_eq!((cache.stats().hits, cache.stats().misses), (1, 1));
+        // A repartitioned map is a different fingerprint — never stale.
+        let b = dist(1);
+        let p3 = cache.ghost_irregular_plan(&b, &conn).unwrap();
+        assert!(!Arc::ptr_eq(&p1, &p3));
+        // A different connectivity over the same map also misses.
+        let wider = Connectivity::chain(n, 2, 2).unwrap();
+        cache.ghost_irregular_plan(&a, &wider).unwrap();
+        assert_eq!(cache.stats().misses, 3);
     }
 
     #[test]

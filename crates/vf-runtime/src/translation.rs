@@ -306,6 +306,25 @@ pub fn table_for(dist: &Distribution) -> Arc<DistTranslationTable> {
     table
 }
 
+/// Drops the registry's table for distribution fingerprint `fingerprint`,
+/// if one is resident — the stale-directory eviction a repartitioning
+/// triggers: once an array has been redistributed through a new mapping
+/// array, the old map's directory pages will never be consulted again, so
+/// keeping them resident only crowds the bounded registry.  Handles held
+/// elsewhere (`Arc`) stay valid; a later [`table_for`] of the same
+/// distribution rebuilds from scratch.  Returns whether a table was
+/// dropped.
+pub fn invalidate(fingerprint: u64) -> bool {
+    let mut reg = REGISTRY.lock().unwrap_or_else(PoisonError::into_inner);
+    match reg.iter().position(|(k, _)| *k == fingerprint) {
+        Some(pos) => {
+            reg.remove(pos);
+            true
+        }
+        None => false,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -402,6 +421,27 @@ mod tests {
         assert!(!Arc::ptr_eq(&ta1, &tb));
         assert_eq!(ta1.fingerprint(), a.fingerprint());
         assert!(ta1.estimated_bytes() > 32 * 8);
+    }
+
+    #[test]
+    fn invalidation_evicts_the_stale_directory() {
+        let a = indirect_dist(48, 3, 77);
+        let before = table_for(&a);
+        // Repartitioning away from `a` makes its directory stale: evicting
+        // it frees the registry slot, existing handles keep working, and a
+        // later lookup rebuilds a fresh table.
+        assert!(invalidate(a.fingerprint()));
+        assert!(!invalidate(a.fingerprint()), "second invalidate is a no-op");
+        assert_eq!(before.lookup(0), {
+            let locator = a.locator();
+            let (o, l) = locator.locate_lin(0);
+            (o, l)
+        });
+        let rebuilt = table_for(&a);
+        assert!(
+            !Arc::ptr_eq(&before, &rebuilt),
+            "invalidate forces a rebuild"
+        );
     }
 
     #[test]
