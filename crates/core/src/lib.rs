@@ -100,12 +100,12 @@ pub mod prelude {
         Distribution, IndirectMap, ProcId, ProcessorArray, ProcessorView,
     };
     pub use vf_index::{DimRange, IndexDomain, Point, Section, Triplet};
-    pub use vf_machine::{CommStats, CommTracker, CostModel, Machine, Topology};
+    pub use vf_machine::{CommStats, CommTracker, CostModel, Machine, Topology, WorkerPool};
     pub use vf_runtime::{
-        assign, execute_redistribute_fused, ghost, parti, plan, redistribute, redistribute_cached,
-        redistribute_cached_with, redistribute_with, reduce, table_for, translation,
-        ArrayDescriptor, CommPlan, DistArray, DistTranslationTable, Element, ExecBackend,
-        ExecReport, FusedPlan, PlanCache, PlanCacheStats, PlanExecutor, RedistOptions,
-        RedistReport, SerialExecutor, ThreadedExecutor, TranslationStats,
+        assign, execute_redistribute_fused, execute_redistribute_fused_wire, ghost, parti, plan,
+        redistribute, redistribute_cached, redistribute_cached_with, redistribute_with, reduce,
+        table_for, translation, ArrayDescriptor, CommPlan, DistArray, DistTranslationTable,
+        Element, ExecBackend, ExecReport, FusedPlan, PlanCache, PlanCacheStats, PlanExecutor,
+        RedistOptions, RedistReport, SerialExecutor, ThreadedExecutor, TranslationStats,
     };
 }

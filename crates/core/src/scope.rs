@@ -9,9 +9,9 @@ use std::collections::HashMap;
 use vf_dist::{construct, DistPattern, DistType, Distribution, ProcessorView};
 use vf_index::IndexDomain;
 use vf_machine::{CommStats, CommTracker, Machine};
-use vf_runtime::ghost::{exchange_ghosts_fused_with, GhostRegion};
+use vf_runtime::ghost::{exchange_ghosts_fused_wire_with, GhostRegion};
 use vf_runtime::{
-    execute_redistribute_fused, redistribute_cached_with, ArrayDescriptor, DistArray, Element,
+    execute_redistribute_fused_wire, redistribute_cached_with, ArrayDescriptor, DistArray, Element,
     ExecBackend, ExecReport, FusedPlan, PlanCache, RedistOptions,
 };
 
@@ -76,7 +76,11 @@ impl<T: Element> VfScope<T> {
 
     /// Selects the backend that executes the copy phase of `DISTRIBUTE`
     /// data motion (serial or threaded — results are bit-identical, see
-    /// [`vf_runtime::exec`]).  The default is [`ExecBackend::auto`].
+    /// [`vf_runtime::exec`]).  The default is [`ExecBackend::auto`], whose
+    /// threaded variant submits to the process-wide **persistent worker
+    /// pool**: the scope's executor holds the pool handle for its whole
+    /// lifetime, so every `DISTRIBUTE`, class ghost exchange and app step
+    /// reuses the same parked workers instead of re-paying thread spawns.
     pub fn set_executor(&mut self, executor: ExecBackend) {
         self.executor = executor;
     }
@@ -84,6 +88,13 @@ impl<T: Element> VfScope<T> {
     /// The execution backend `DISTRIBUTE` statements run their copies on.
     pub fn executor(&self) -> &ExecBackend {
         &self.executor
+    }
+
+    /// The persistent worker pool the scope's executor submits to, if the
+    /// backend is threaded — the pool lives (at least) as long as the
+    /// scope and is shared across all of its statements.
+    pub fn worker_pool(&self) -> Option<&std::sync::Arc<vf_machine::WorkerPool>> {
+        self.executor.worker_pool()
     }
 
     /// The machine the scope executes on.
@@ -257,12 +268,15 @@ impl<T: Element> VfScope<T> {
     /// Exchanges the overlap (ghost) areas of a dynamic primary array and
     /// **every array of its connect class** as one fused ghost exchange:
     /// the class pays a single message per communicating processor pair —
-    /// the payloads of all member arrays travel together, each member's
-    /// ghost-buffer slots preserved through the fused plan's per-pair slot
-    /// remapping ([`vf_runtime::FusedPlan::wire_slices`]) — instead of one
+    /// the payloads of all member arrays are **packed into one contiguous
+    /// wire buffer** per pair, laid out by
+    /// [`vf_runtime::FusedPlan::wire_slices`], and unpacked into each
+    /// member's own ghost-buffer slots at the destination — instead of one
     /// message per array per pair.  Halo geometry is planned once per
     /// (distribution fingerprint, widths) pair through the scope's
-    /// [`PlanCache`]; the copies run on the scope's [`ExecBackend`].
+    /// [`PlanCache`]; the pack/unpack streams run on the scope's
+    /// [`ExecBackend`] (the pooled threaded backend parallelises them over
+    /// destination processors).
     ///
     /// Returns `(name, ghosts)` for the primary (first) and each connected
     /// secondary in class order, plus what the fused exchange charged.
@@ -300,7 +314,7 @@ impl<T: Element> VfScope<T> {
         for name in &names {
             members.push(self.array(name)?);
         }
-        let (regions, exec) = exchange_ghosts_fused_with(
+        let (regions, exec) = exchange_ghosts_fused_wire_with(
             &members,
             widths,
             &self.tracker,
@@ -508,9 +522,17 @@ impl<T: Element> VfScope<T> {
                             .expect("phase 2 saw data")
                     })
                     .collect();
+                // The fused statement executes through the wire-layout
+                // path: one packed message per processor pair, pack/unpack
+                // streams on the scope's (pooled) backend.
                 let result = {
                     let mut refs: Vec<&mut DistArray<T>> = datas.iter_mut().collect();
-                    execute_redistribute_fused(&mut refs, &fused, &self.tracker, &self.executor)
+                    execute_redistribute_fused_wire(
+                        &mut refs,
+                        &fused,
+                        &self.tracker,
+                        &self.executor,
+                    )
                 };
                 // Put the arrays back whether or not execution succeeded
                 // (a failed fused execute validates before moving, so the

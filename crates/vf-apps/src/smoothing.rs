@@ -19,7 +19,7 @@ use vf_dist::{DistType, Distribution, ProcessorView};
 use vf_index::{IndexDomain, Point};
 use vf_machine::{CommStats, CostModel, Machine};
 use vf_runtime::ghost::{
-    exchange_ghosts_cached_with, exchange_ghosts_fused_with, get_with_ghosts, GhostRegion,
+    exchange_ghosts_cached_with, exchange_ghosts_fused_wire_with, get_with_ghosts, GhostRegion,
 };
 use vf_runtime::{DistArray, ExecBackend, PlanCache};
 
@@ -271,8 +271,10 @@ pub fn run_class(
     let mut bytes_per_step = 0;
     for step in 0..config.steps {
         let refs: Vec<&DistArray<f64>> = current.iter().collect();
+        // Wire-layout fused exchange: each pair's message is packed into
+        // one contiguous buffer and unpacked into every field's slots.
         let (regions, exec): (Vec<GhostRegion<f64>>, _) =
-            exchange_ghosts_fused_with(&refs, &widths, &tracker, &plans, &executor)
+            exchange_ghosts_fused_wire_with(&refs, &widths, &tracker, &plans, &executor)
                 .expect("block layouts");
         if step == 0 {
             messages_per_step = exec.messages;

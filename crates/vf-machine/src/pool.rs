@@ -1,0 +1,487 @@
+//! A persistent pool of parked SPMD worker threads.
+//!
+//! [`spmd::run_partitioned`](crate::spmd::run_partitioned) pays a full
+//! harness setup — fresh OS threads, channels, a barrier — on *every* call,
+//! even though the plan-executor copy closures it drives never touch a
+//! channel.  For plans near the serial cutoff that setup costs as much as
+//! the memcpy work itself, which is why the threaded executor needed a
+//! large serial cutoff at all.  A [`WorkerPool`] keeps the workers alive
+//! across calls instead: threads are spawned once, park between jobs, and
+//! a job submission is an epoch bump plus one unpark per spawned worker —
+//! no spawn, no channel allocation, no join.  The submitting thread
+//! itself is logical rank 0 and runs its own share of every job instead
+//! of parking idle (caller participation), so a `W`-wide pool wakes only
+//! `W - 1` threads.
+//!
+//! ## Job handoff (seqlock-style epoch publication)
+//!
+//! Submission is lock-free on the hot path: the submitting thread writes a
+//! type-erased borrow of the job closure into the shared job cell, then
+//! *publishes* it by bumping an atomic epoch with `Release` ordering and
+//! unparking every worker.  A worker observes the new epoch with `Acquire`
+//! (the seqlock read side: epoch first, payload after), runs the job once,
+//! and decrements the outstanding-worker count; the last finisher unparks
+//! the submitter.  The submitting thread **blocks until every worker has
+//! reported completion**, so handing the workers a *borrowed*
+//! (non-`'static`) closure is sound — the same scoped-borrow argument
+//! `std::thread::scope` makes, applied to pre-existing threads.  The
+//! `unsafe` in this module is confined to that argument: the lifetime
+//! erasure of the job borrow and the job cell it is published through.
+//!
+//! ## Panics and shutdown
+//!
+//! A panicking job closure never kills a worker: panics are caught on the
+//! worker, counted, and re-raised on the *submitting* thread once the job
+//! completes on the remaining workers — the pool itself stays usable for
+//! subsequent jobs.  Dropping the last handle to a pool wakes the workers
+//! with a shutdown flag and joins them.
+
+#![allow(unsafe_code)] // scoped job handoff: lifetime erasure + job cell, see above
+
+use crate::CommTracker;
+use std::cell::UnsafeCell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
+use std::thread::{JoinHandle, Thread};
+
+/// The type-erased job borrow workers execute: called once per worker with
+/// the worker's rank.  The `'static` bound is a lie told to the type
+/// system; see the module docs for why it is sound.
+type Job = &'static (dyn Fn(usize) + Sync);
+
+/// The published-job cell of the seqlock handoff.  Only the submitting
+/// thread writes it (serialised by the submit mutex, and only while no
+/// worker is running — `remaining == 0`); workers read it only after
+/// observing the epoch bump that happens-after the write.
+struct JobCell(UnsafeCell<Option<Job>>);
+
+// SAFETY: the epoch protocol (write → `Release` epoch bump → `Acquire`
+// epoch read → read) orders every read after the write it observes, and
+// writes never overlap reads (the submitter waits for `remaining == 0`
+// before writing again).
+unsafe impl Sync for JobCell {}
+
+struct Inner {
+    /// Bumped once per submitted job (`Release`); workers re-run nothing
+    /// for an epoch they have already seen.
+    epoch: AtomicU64,
+    /// The current job, published by the epoch bump.
+    job: JobCell,
+    /// Workers that have not yet finished the current job.
+    remaining: AtomicUsize,
+    /// Workers whose job closure panicked during the current job.
+    panicked: AtomicUsize,
+    /// The first caught panic payload of the current job, re-raised on the
+    /// submitting thread so the original message and location survive.
+    panic_payload: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+    /// Set once, on drop: workers exit instead of parking.
+    shutdown: AtomicBool,
+    /// The submitting thread, unparked by the last finisher.
+    submitter: Mutex<Option<Thread>>,
+}
+
+/// A fixed-size pool of parked SPMD worker threads executing one job at a
+/// time (see the module docs for the handoff protocol).
+///
+/// The pool is shared by cloning an `Arc<WorkerPool>`; the process-wide
+/// default pool is [`global`].  One pool runs one job at a time —
+/// concurrent submitters queue on an internal mutex — and a job must never
+/// submit to its own pool (that would deadlock, exactly like joining a
+/// thread from itself).
+pub struct WorkerPool {
+    inner: Arc<Inner>,
+    workers: usize,
+    /// Parked worker thread handles, for the wake-up unparks.
+    threads: Vec<Thread>,
+    /// Jobs dispatched so far (pool-reuse diagnostics for tests/benches).
+    jobs: AtomicU64,
+    /// Serialises submissions: one job owns the epoch protocol at a time.
+    submit: Mutex<()>,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("workers", &self.workers)
+            .field("jobs", &self.jobs.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl WorkerPool {
+    /// Creates a pool of `workers` logical workers (`workers` is clamped
+    /// to at least 1).  Rank 0 is the **submitting thread itself** —
+    /// [`WorkerPool::run`] executes rank 0's share inline instead of
+    /// parking idle, so only `workers - 1` OS threads are spawned and a
+    /// dispatch wakes one thread fewer than the logical width (a
+    /// single-worker pool spawns no threads at all and degrades to an
+    /// inline call).
+    pub fn new(workers: usize) -> Self {
+        let workers = workers.max(1);
+        let inner = Arc::new(Inner {
+            epoch: AtomicU64::new(0),
+            job: JobCell(UnsafeCell::new(None)),
+            remaining: AtomicUsize::new(0),
+            panicked: AtomicUsize::new(0),
+            panic_payload: Mutex::new(None),
+            shutdown: AtomicBool::new(false),
+            submitter: Mutex::new(None),
+        });
+        let handles: Vec<JoinHandle<()>> = (1..workers)
+            .map(|rank| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("vf-pool-{rank}"))
+                    .spawn(move || worker_loop(&inner, rank))
+                    .expect("spawn pool worker thread")
+            })
+            .collect();
+        let threads = handles.iter().map(|h| h.thread().clone()).collect();
+        Self {
+            inner,
+            workers,
+            threads,
+            jobs: AtomicU64::new(0),
+            submit: Mutex::new(()),
+            handles: Mutex::new(handles),
+        }
+    }
+
+    /// Number of worker threads in the pool.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Jobs dispatched since the pool was created — lets tests and benches
+    /// assert that repeated executes reuse one pool instead of spawning.
+    pub fn jobs_dispatched(&self) -> u64 {
+        self.jobs.load(Ordering::Relaxed)
+    }
+
+    /// Runs `job` once on every worker (argument: the worker's rank,
+    /// `0..workers`), blocking until all workers have finished.
+    ///
+    /// If any worker's closure panics the panic is re-raised here after the
+    /// job completes on the remaining workers; the pool stays usable.
+    pub fn run(&self, job: &(dyn Fn(usize) + Sync)) {
+        let _turn = self.submit.lock().unwrap_or_else(PoisonError::into_inner);
+        assert!(
+            !self.inner.shutdown.load(Ordering::Acquire),
+            "worker pool already shut down"
+        );
+        debug_assert_eq!(self.inner.remaining.load(Ordering::Acquire), 0);
+        // SAFETY: `run` blocks below until every worker has decremented
+        // `remaining`, i.e. until no worker can dereference the erased
+        // borrow again (a worker only picks a job up together with a *new*
+        // epoch).  The borrow therefore outlives every use, exactly as
+        // with scoped threads; only the type-system lifetime is erased.
+        let job: Job = unsafe {
+            std::mem::transmute::<&(dyn Fn(usize) + Sync), &'static (dyn Fn(usize) + Sync)>(job)
+        };
+        *self
+            .inner
+            .submitter
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner) = Some(std::thread::current());
+        self.inner.panicked.store(0, Ordering::Relaxed);
+        self.inner
+            .remaining
+            .store(self.workers - 1, Ordering::Relaxed);
+        // SAFETY: no worker is running (`remaining` was 0 and only this
+        // thread, holding the submit mutex, starts jobs), so writing the
+        // job cell cannot race a read; the epoch bump below publishes it.
+        unsafe { *self.inner.job.0.get() = Some(job) };
+        self.inner.epoch.fetch_add(1, Ordering::Release);
+        for t in &self.threads {
+            t.unpark();
+        }
+        // Caller participation: the submitting thread is rank 0 and runs
+        // its share while the woken workers run theirs.
+        let inline = catch_unwind(AssertUnwindSafe(|| job(0)));
+        while self.inner.remaining.load(Ordering::Acquire) > 0 {
+            std::thread::park();
+        }
+        let worker_panics = self.inner.panicked.load(Ordering::Relaxed);
+        let stored = self
+            .inner
+            .panic_payload
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .take();
+        self.jobs.fetch_add(1, Ordering::Relaxed);
+        // Re-raise with the original payload so the panic message and
+        // location of the failing closure survive (rank 0's own panic
+        // first, then the first worker payload).
+        if let Err(payload) = inline {
+            std::panic::resume_unwind(payload);
+        }
+        if let Some(payload) = stored {
+            std::panic::resume_unwind(payload);
+        }
+        assert!(
+            worker_panics == 0,
+            "{worker_panics} worker(s) panicked in an SPMD pool job"
+        );
+    }
+
+    /// Runs `num_items` independent work items over the pool's workers
+    /// (round-robin by item index) and returns the results in item order —
+    /// the persistent-pool counterpart of
+    /// [`spmd::run_partitioned`](crate::spmd::run_partitioned), with the
+    /// same closure shape so existing copy closures run unchanged.
+    ///
+    /// `tracker` is the machine context the items are accounted against
+    /// (exposed through [`WorkerCtx::charge_compute`]); the dispatch itself
+    /// charges nothing.
+    pub fn run_partitioned<R, F>(&self, tracker: &CommTracker, num_items: usize, work: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(&mut WorkerCtx<'_>, usize) -> R + Sync,
+    {
+        if num_items == 0 {
+            return Vec::new();
+        }
+        let workers = self.workers;
+        let slots: Vec<Mutex<Vec<(usize, R)>>> =
+            (0..workers).map(|_| Mutex::new(Vec::new())).collect();
+        self.run(&|rank| {
+            let mut ctx = WorkerCtx {
+                rank,
+                workers,
+                tracker,
+            };
+            let mut out = Vec::new();
+            let mut item = rank;
+            while item < num_items {
+                out.push((item, work(&mut ctx, item)));
+                item += workers;
+            }
+            *slots[rank].lock().unwrap_or_else(PoisonError::into_inner) = out;
+        });
+        let mut results: Vec<Option<R>> = (0..num_items).map(|_| None).collect();
+        for slot in slots {
+            for (item, r) in slot.into_inner().unwrap_or_else(PoisonError::into_inner) {
+                results[item] = Some(r);
+            }
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("every item is assigned to exactly one worker"))
+            .collect()
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.inner.shutdown.store(true, Ordering::Release);
+        for t in &self.threads {
+            t.unpark();
+        }
+        let handles =
+            std::mem::take(&mut *self.handles.lock().unwrap_or_else(PoisonError::into_inner));
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(inner: &Inner, rank: usize) {
+    let mut seen = 0u64;
+    loop {
+        // Park until a new epoch is published (or shutdown).  `park` may
+        // return spuriously or on a stale token; the loop re-checks.
+        let epoch = loop {
+            if inner.shutdown.load(Ordering::Acquire) {
+                return;
+            }
+            let e = inner.epoch.load(Ordering::Acquire);
+            if e != seen {
+                break e;
+            }
+            std::thread::park();
+        };
+        seen = epoch;
+        // SAFETY: the `Acquire` epoch read above synchronises with the
+        // submitter's `Release` bump, which happens-after the job cell
+        // write; the cell is not rewritten until this worker (and all
+        // others) decrement `remaining` below.
+        let job = unsafe { (*inner.job.0.get()).expect("epoch bump publishes a job") };
+        // A panicking job must not kill the worker: keep the first payload
+        // for the submitting thread to re-raise with the original message.
+        if let Err(payload) = catch_unwind(AssertUnwindSafe(|| job(rank))) {
+            inner.panicked.fetch_add(1, Ordering::Relaxed);
+            let mut slot = inner
+                .panic_payload
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            if slot.is_none() {
+                *slot = Some(payload);
+            }
+        }
+        if inner.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            // Last finisher wakes the submitter.
+            if let Some(submitter) = inner
+                .submitter
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .as_ref()
+            {
+                submitter.unpark();
+            }
+        }
+    }
+}
+
+/// Per-worker context handed to [`WorkerPool::run_partitioned`] closures —
+/// the pool counterpart of [`crate::spmd::ProcCtx`] for embarrassingly
+/// parallel work items (no channels: pool jobs do not message each other).
+pub struct WorkerCtx<'a> {
+    rank: usize,
+    workers: usize,
+    tracker: &'a CommTracker,
+}
+
+impl WorkerCtx<'_> {
+    /// This worker's rank (0-based).
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of workers in the pool.
+    pub fn num_workers(&self) -> usize {
+        self.workers
+    }
+
+    /// The communication tracker of the submitting execution.
+    pub fn tracker(&self) -> &CommTracker {
+        self.tracker
+    }
+
+    /// Charges `flops` floating-point operations of local work to
+    /// simulated processor `proc` in the cost model.
+    pub fn charge_compute(&self, proc: usize, flops: usize) {
+        self.tracker.compute(proc, flops);
+    }
+}
+
+/// The process-wide shared worker pool, sized to the host's available
+/// parallelism and created on first use.  Scopes and applications all
+/// submit to this one pool, so iterative codes (ADI sweeps, smoothing
+/// steps, PIC steps, mesh sweeps) reuse the same parked workers across
+/// every execute instead of re-paying thread spawns.
+pub fn global() -> Arc<WorkerPool> {
+    static GLOBAL: OnceLock<Arc<WorkerPool>> = OnceLock::new();
+    Arc::clone(GLOBAL.get_or_init(|| {
+        Arc::new(WorkerPool::new(
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        ))
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CostModel;
+
+    #[test]
+    fn run_partitioned_matches_spmd_semantics() {
+        let pool = WorkerPool::new(3);
+        let tracker = CommTracker::new(4, CostModel::zero());
+        let results = pool.run_partitioned(&tracker, 10, |ctx, item| {
+            assert!(ctx.rank() < 3);
+            assert_eq!(ctx.num_workers(), 3);
+            item * item
+        });
+        assert_eq!(results, (0..10).map(|i| i * i).collect::<Vec<_>>());
+        // Degenerate shapes: no items, and more workers than items.
+        let empty: Vec<usize> = pool.run_partitioned(&tracker, 0, |_, item| item);
+        assert!(empty.is_empty());
+        let single = pool.run_partitioned(&tracker, 2, |_, item| item + 1);
+        assert_eq!(single, vec![1, 2]);
+        assert_eq!(pool.workers(), 3);
+        // Two jobs dispatched (the zero-item call short-circuits).
+        assert_eq!(pool.jobs_dispatched(), 2);
+    }
+
+    #[test]
+    fn repeated_jobs_reuse_the_same_workers() {
+        let pool = WorkerPool::new(2);
+        let tracker = CommTracker::new(2, CostModel::zero());
+        for round in 0..50usize {
+            let out = pool.run_partitioned(&tracker, 4, |_, item| item + round);
+            assert_eq!(out, vec![round, round + 1, round + 2, round + 3]);
+        }
+        assert_eq!(pool.jobs_dispatched(), 50);
+    }
+
+    #[test]
+    fn compute_charges_reach_the_submitters_tracker() {
+        let mut cost = CostModel::zero();
+        cost.compute_per_flop = 1.0;
+        let tracker = CommTracker::new(2, cost);
+        let pool = WorkerPool::new(2);
+        pool.run_partitioned(&tracker, 2, |ctx, item| ctx.charge_compute(item, 10));
+        assert_eq!(tracker.snapshot().total_compute_time(), 20.0);
+    }
+
+    #[test]
+    fn worker_panic_propagates_and_pool_stays_usable() {
+        let pool = WorkerPool::new(2);
+        let tracker = CommTracker::new(2, CostModel::zero());
+        let boom = catch_unwind(AssertUnwindSafe(|| {
+            pool.run_partitioned(&tracker, 2, |_, item| {
+                assert!(item != 1, "injected failure");
+                item
+            })
+        }));
+        // The original payload is re-raised, message intact.
+        let payload = boom.expect_err("the worker panic reaches the submitter");
+        let message = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_default();
+        assert!(
+            message.contains("injected failure"),
+            "panic payload lost: {message:?}"
+        );
+        // The pool survived the panic and runs the next job normally.
+        let out = pool.run_partitioned(&tracker, 3, |_, item| item * 2);
+        assert_eq!(out, vec![0, 2, 4]);
+    }
+
+    #[test]
+    fn concurrent_submitters_queue_without_mixing_results() {
+        let pool = Arc::new(WorkerPool::new(2));
+        let tracker = CommTracker::new(2, CostModel::zero());
+        std::thread::scope(|scope| {
+            for offset in 0..4usize {
+                let pool = Arc::clone(&pool);
+                let tracker = tracker.clone();
+                scope.spawn(move || {
+                    for round in 0..25usize {
+                        let out = pool.run_partitioned(&tracker, 3, |_, item| item * 100 + offset);
+                        assert_eq!(
+                            out,
+                            vec![offset, 100 + offset, 200 + offset],
+                            "round {round}"
+                        );
+                    }
+                });
+            }
+        });
+        assert_eq!(pool.jobs_dispatched(), 100);
+    }
+
+    #[test]
+    fn global_pool_is_shared() {
+        let a = global();
+        let b = global();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert!(a.workers() >= 1);
+    }
+}

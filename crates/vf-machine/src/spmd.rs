@@ -246,11 +246,17 @@ where
 /// threads (round-robin partition by item index) and returns the results in
 /// item order.
 ///
-/// This is the execution harness of the threaded plan executor: each work
-/// item is one destination processor's share of a communication plan, and
-/// the items are embarrassingly parallel (every destination buffer is
-/// written by exactly one item).  The worker count is clamped to the item
-/// count so no idle threads are spawned.
+/// Each work item is one destination processor's share of a communication
+/// plan, and the items are embarrassingly parallel (every destination
+/// buffer is written by exactly one item).  The worker count is clamped to
+/// the item count so no idle threads are spawned.
+///
+/// Every call pays the full harness setup — fresh OS threads, channels, a
+/// barrier — even though copy closures never message each other; this is
+/// the *fresh-spawn baseline* the plan executor only uses when no
+/// [`crate::pool::WorkerPool`] is attached.  Iterative codes should submit
+/// through a pool instead ([`crate::pool::WorkerPool::run_partitioned`],
+/// same closure shape), which parks its workers between jobs.
 pub fn run_partitioned<R, F>(
     workers: usize,
     tracker: &CommTracker,

@@ -35,9 +35,9 @@
 
 use crate::plan::{CommPlan, PlanIndex, PlanKind, PlanRun, Transfer};
 use crate::{DistArray, Element, RedistReport, Result, RuntimeError};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
-use vf_machine::{spmd, CommTracker};
+use vf_machine::{pool, spmd, CommTracker, WorkerPool};
 
 /// What executing a plan's communication charged to the cost model.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -92,6 +92,24 @@ pub trait PlanExecutor {
                 buf[off] = combine(buf[off], v);
             }
         }
+    }
+
+    /// Runs `num_items` independent indexed work items and returns the
+    /// results in item order — the generic fan-out the wire-layout fused
+    /// executors are built on (one item per destination processor).
+    /// `copy_bytes` is the total copy volume of the job, letting a
+    /// threaded backend apply its serial cutoff; the default
+    /// implementation runs the items serially on the calling thread.
+    /// Backends must produce identical results in identical order.
+    fn run_indexed<R: Send>(
+        &self,
+        num_items: usize,
+        copy_bytes: usize,
+        tracker: &CommTracker,
+        work: impl Fn(usize) -> R + Sync,
+    ) -> Vec<R> {
+        let _ = (copy_bytes, tracker);
+        (0..num_items).map(work).collect()
     }
 
     /// Full execution of one plan: posts the plan's modelled messages,
@@ -173,10 +191,18 @@ pub(crate) fn finish_with_copy_credit(
 
 /// Copies every transfer run targeting destination processor `dst` from
 /// `src` into `buf` — the per-destination unit of work both backends share.
+/// Empty transfers and zero-length runs are skipped before any slice
+/// arithmetic.
 fn copy_runs_into<T: Element>(buf: &mut [T], dst: usize, transfers: &[Transfer], src: &[Vec<T>]) {
-    for t in transfers.iter().filter(|t| t.dst.0 == dst) {
+    for t in transfers
+        .iter()
+        .filter(|t| t.dst.0 == dst && t.elements > 0)
+    {
         let src_local = &src[t.src.0];
         for run in &t.runs {
+            if run.len == 0 {
+                continue;
+            }
             buf[run.dst_start..run.dst_start + run.len]
                 .copy_from_slice(&src_local[run.src_start..run.src_start + run.len]);
         }
@@ -205,9 +231,15 @@ impl PlanExecutor for SerialExecutor {
             .map(|&len| vec![T::default(); len])
             .collect();
         for t in transfers {
+            if t.elements == 0 {
+                continue;
+            }
             let src_local = &src[t.src.0];
             let dst_local = &mut out[t.dst.0];
             for run in &t.runs {
+                if run.len == 0 {
+                    continue;
+                }
                 dst_local[run.dst_start..run.dst_start + run.len]
                     .copy_from_slice(&src_local[run.src_start..run.src_start + run.len]);
             }
@@ -217,52 +249,136 @@ impl PlanExecutor for SerialExecutor {
 }
 
 /// The threaded backend: the destination buffers are partitioned
-/// round-robin over [`vf_machine::spmd`] worker threads, each of which
-/// allocates and fills its share (no two threads ever touch the same
-/// buffer, so no locking is needed on the data path).
+/// round-robin over worker threads, each of which allocates and fills its
+/// share (no two threads ever touch the same buffer, so no locking is
+/// needed on the data path).
+///
+/// With a [`WorkerPool`] attached (the default for [`ThreadedExecutor::
+/// auto`] and [`ExecBackend::auto`]) the partitions are submitted to the
+/// pool's *parked* workers — a condvar wake instead of the full
+/// [`vf_machine::spmd`] harness setup (fresh OS threads, channels,
+/// barrier) per execute, which is 10–25× cheaper dispatch and the reason
+/// the serial cutoff could drop from 512 KiB to 32 KiB.  Without a pool
+/// the executor falls back to the fresh-spawn harness, the pre-pool
+/// baseline the `e8_pool` bench measures against.
 ///
 /// Threading only pays above a copy-volume cutoff — below it (or with a
 /// single worker) the backend degrades to the serial loop while keeping the
 /// post/wait charge order, so results and accounting are identical either
 /// way.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ThreadedExecutor {
     workers: usize,
-    serial_cutoff_bytes: usize,
+    /// Explicit cutoff override; `None` picks the pool-dependent default.
+    cutoff_override: Option<usize>,
+    /// Persistent worker pool; `None` spawns fresh spmd workers per call.
+    pool: Option<Arc<WorkerPool>>,
 }
 
 impl ThreadedExecutor {
     /// Default copy volume (in bytes) below which threading is not worth
-    /// the spawn overhead and the copies run serially.
+    /// the **fresh-spawn** overhead and the copies run serially.  Only
+    /// applies when no worker pool is attached.
     pub const DEFAULT_SERIAL_CUTOFF_BYTES: usize = 512 * 1024;
 
-    /// A threaded executor with one worker per available hardware core.
+    /// Default copy volume (in bytes) below which even **pooled** dispatch
+    /// is not worth waking the workers.  Pooled dispatch measures 10–25×
+    /// cheaper than the fresh-spawn harness (see the `e8_pool` bench), so
+    /// the crossover sits correspondingly lower: a pool wake costs a few
+    /// microseconds, the memcpy equivalent of roughly this many bytes.
+    pub const DEFAULT_POOLED_CUTOFF_BYTES: usize = 32 * 1024;
+
+    /// A threaded executor with one worker per available hardware core,
+    /// submitting to the process-wide persistent pool
+    /// ([`vf_machine::pool::global`]).
     pub fn auto() -> Self {
-        let workers = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1);
-        Self::with_workers(workers)
+        Self::with_pool(pool::global())
     }
 
-    /// A threaded executor with exactly `workers` worker threads
-    /// (`workers` is clamped to at least 1).
-    pub fn with_workers(workers: usize) -> Self {
+    /// A threaded executor submitting to `pool` (one logical worker per
+    /// pool worker).
+    pub fn with_pool(pool: Arc<WorkerPool>) -> Self {
         Self {
-            workers: workers.max(1),
-            serial_cutoff_bytes: Self::DEFAULT_SERIAL_CUTOFF_BYTES,
+            workers: pool.workers(),
+            cutoff_override: None,
+            pool: Some(pool),
         }
     }
 
-    /// Overrides the serial cutoff (0 forces the threaded path for every
-    /// plan — used by the equivalence property tests).
-    pub fn serial_cutoff_bytes(mut self, bytes: usize) -> Self {
-        self.serial_cutoff_bytes = bytes;
+    /// A threaded executor with exactly `workers` **fresh-spawn** worker
+    /// threads (`workers` is clamped to at least 1) — the pre-pool
+    /// baseline, kept for differential tests and the dispatch bench.
+    /// Attach a pool with [`ThreadedExecutor::pooled`].
+    pub fn with_workers(workers: usize) -> Self {
+        Self {
+            workers: workers.max(1),
+            cutoff_override: None,
+            pool: None,
+        }
+    }
+
+    /// Attaches a persistent worker pool: partitions are submitted to the
+    /// pool's parked workers instead of freshly spawned threads.  The
+    /// pool's worker count takes over as the partition width.
+    pub fn pooled(mut self, pool: Arc<WorkerPool>) -> Self {
+        self.workers = pool.workers();
+        self.pool = Some(pool);
         self
+    }
+
+    /// Overrides the serial/parallel cutoff (0 forces the threaded path
+    /// for every plan — used by the equivalence property tests).
+    pub fn serial_cutoff_bytes(self, bytes: usize) -> Self {
+        self.with_serial_cutoff(bytes)
+    }
+
+    /// Overrides the serial/parallel cutoff in bytes: plans whose copy
+    /// volume is below the cutoff run on the calling thread.  Without an
+    /// override the default depends on the dispatch mechanism —
+    /// [`ThreadedExecutor::DEFAULT_POOLED_CUTOFF_BYTES`] with a pool
+    /// attached, [`ThreadedExecutor::DEFAULT_SERIAL_CUTOFF_BYTES`] for
+    /// fresh spawns.  [`ExecBackend::auto`] additionally honours the
+    /// `VF_EXEC_CUTOFF` environment variable (bytes) for benching.
+    pub fn with_serial_cutoff(mut self, bytes: usize) -> Self {
+        self.cutoff_override = Some(bytes);
+        self
+    }
+
+    /// The cutoff currently in effect (override, or the dispatch-dependent
+    /// default).
+    pub fn effective_serial_cutoff(&self) -> usize {
+        self.cutoff_override.unwrap_or(if self.pool.is_some() {
+            Self::DEFAULT_POOLED_CUTOFF_BYTES
+        } else {
+            Self::DEFAULT_SERIAL_CUTOFF_BYTES
+        })
+    }
+
+    /// The attached persistent worker pool, if any.
+    pub fn pool(&self) -> Option<&Arc<WorkerPool>> {
+        self.pool.as_ref()
     }
 
     /// The configured worker count.
     pub fn workers(&self) -> usize {
         self.workers
+    }
+
+    /// Runs `num_items` independent work items — pool dispatch when a pool
+    /// is attached, the fresh-spawn spmd harness otherwise.  Every
+    /// threaded path funnels through here, so pooled and spawned execution
+    /// can never drift in how items are partitioned (round-robin by item).
+    fn dispatch<R, F>(&self, tracker: &CommTracker, num_items: usize, work: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        match &self.pool {
+            Some(pool) => pool.run_partitioned(tracker, num_items, |_ctx, item| work(item)),
+            None => {
+                spmd::run_partitioned(self.workers, tracker, num_items, |_ctx, item| work(item))
+            }
+        }
     }
 }
 
@@ -286,7 +402,7 @@ impl PlanExecutor for ThreadedExecutor {
             }
         }
         let copy_bytes: usize = dest_bytes.iter().sum();
-        if self.workers <= 1 || copy_bytes < self.serial_cutoff_bytes {
+        if self.workers <= 1 || copy_bytes < self.effective_serial_cutoff() {
             return SerialExecutor.run_copies(transfers, src, dst_sizes, tracker);
         }
         // Skew check: the per-destination partition serialises one worker
@@ -300,7 +416,7 @@ impl PlanExecutor for ThreadedExecutor {
             .max_by_key(|&(_, b)| *b)
             .expect("dst_sizes is non-empty for a plan above the cutoff");
         let skewed = hot_bytes * self.workers > 2 * copy_bytes.max(1);
-        let mut out = spmd::run_partitioned(self.workers, tracker, dst_sizes.len(), |_ctx, dst| {
+        let mut out = self.dispatch(tracker, dst_sizes.len(), |dst| {
             if skewed && dst == hot {
                 // Filled by the split phase below.
                 return Vec::new();
@@ -325,29 +441,63 @@ impl PlanExecutor for ThreadedExecutor {
             .iter()
             .map(|u| u.len() * std::mem::size_of::<T>())
             .sum();
-        if self.workers <= 1 || total_bytes < self.serial_cutoff_bytes {
+        if self.workers <= 1 || total_bytes < self.effective_serial_cutoff() {
             SerialExecutor.run_updates(locals, updates, combine);
             return;
         }
-        // Round-robin the owners over scoped worker threads: each owner's
-        // buffer is touched by exactly one thread, and its updates apply
-        // in order, so the combine semantics are exactly the serial ones.
+        // Round-robin the owners over the workers: each owner's buffer is
+        // touched by exactly one worker, and its updates apply in order,
+        // so the combine semantics are exactly the serial ones.  Owners
+        // with no updates are skipped outright.
         type OwnerWork<'a, T> = (&'a mut Vec<T>, &'a Vec<(usize, T)>);
         let mut bins: Vec<Vec<OwnerWork<'_, T>>> = (0..self.workers).map(|_| Vec::new()).collect();
         for (i, (buf, ups)) in locals.iter_mut().zip(updates).enumerate() {
+            if ups.is_empty() {
+                continue;
+            }
             bins[i % self.workers].push((buf, ups));
         }
-        std::thread::scope(|scope| {
-            for bin in bins {
-                scope.spawn(move || {
-                    for (buf, ups) in bin {
-                        for &(off, v) in ups {
-                            buf[off] = combine(buf[off], v);
-                        }
+        let apply = |bin: &mut Vec<OwnerWork<'_, T>>| {
+            for (buf, ups) in bin {
+                for &(off, v) in *ups {
+                    buf[off] = combine(buf[off], v);
+                }
+            }
+        };
+        let apply = &apply;
+        match &self.pool {
+            // Pooled: worker `rank` drains its own bin (one uncontended
+            // lock each — the cells only exist to hand `&mut` bins through
+            // the shared job closure).
+            Some(pool) => {
+                let cells: Vec<std::sync::Mutex<Vec<OwnerWork<'_, T>>>> =
+                    bins.into_iter().map(std::sync::Mutex::new).collect();
+                pool.run(&|rank| {
+                    if let Some(cell) = cells.get(rank) {
+                        apply(&mut cell.lock().unwrap_or_else(|e| e.into_inner()));
                     }
                 });
             }
-        });
+            // Fresh-spawn baseline: one scoped thread per bin.
+            None => std::thread::scope(|scope| {
+                for mut bin in bins {
+                    scope.spawn(move || apply(&mut bin));
+                }
+            }),
+        }
+    }
+
+    fn run_indexed<R: Send>(
+        &self,
+        num_items: usize,
+        copy_bytes: usize,
+        tracker: &CommTracker,
+        work: impl Fn(usize) -> R + Sync,
+    ) -> Vec<R> {
+        if self.workers <= 1 || copy_bytes < self.effective_serial_cutoff() {
+            return (0..num_items).map(work).collect();
+        }
+        self.dispatch(tracker, num_items, work)
     }
 }
 
@@ -359,9 +509,10 @@ impl ThreadedExecutor {
     /// targeting one destination have pairwise-disjoint destination
     /// intervals; sorted by destination offset they tile the buffer in
     /// order, and cutting between runs yields independent contiguous
-    /// regions that `split_at_mut` hands to scoped worker threads — safe
-    /// parallel writes into one buffer, no locking, bitwise-identical
-    /// output.
+    /// regions that `split_at_mut` hands to the workers (the attached pool
+    /// when there is one, scoped threads in fresh-spawn mode) — safe
+    /// parallel writes into one buffer, no locking on the data path,
+    /// bitwise-identical output.
     fn copy_hot_destination_split<T: Element>(
         &self,
         transfers: &[Transfer],
@@ -371,8 +522,9 @@ impl ThreadedExecutor {
     ) -> Vec<T> {
         let mut runs: Vec<(usize, PlanRun)> = transfers
             .iter()
-            .filter(|t| t.dst.0 == hot)
+            .filter(|t| t.dst.0 == hot && t.elements > 0)
             .flat_map(|t| t.runs.iter().map(move |r| (t.src.0, *r)))
+            .filter(|(_, r)| r.len > 0)
             .collect();
         runs.sort_unstable_by_key(|(_, r)| r.dst_start);
         let total: usize = runs.iter().map(|(_, r)| r.len).sum();
@@ -394,7 +546,11 @@ impl ThreadedExecutor {
             }
         }
         chunks.push((start, runs.len()));
-        std::thread::scope(|scope| {
+        // Cut the buffer into the chunks' disjoint regions first, then
+        // hand each (base offset, region, runs) work item to a worker.
+        type HotChunk<'a, T> = (usize, &'a mut [T], &'a [(usize, PlanRun)]);
+        let mut items: Vec<HotChunk<'_, T>> = Vec::with_capacity(chunks.len());
+        {
             let mut remaining: &mut [T] = &mut buf;
             let mut offset = 0usize;
             for (k, &(lo, hi)) in chunks.iter().enumerate() {
@@ -407,24 +563,44 @@ impl ThreadedExecutor {
                     dst_size
                 };
                 let (region, tail) = remaining.split_at_mut(end - offset);
-                let chunk_runs = &runs[lo..hi];
-                let base = offset;
-                scope.spawn(move || {
-                    for &(sp, r) in chunk_runs {
-                        region[r.dst_start - base..r.dst_start - base + r.len]
-                            .copy_from_slice(&src[sp][r.src_start..r.src_start + r.len]);
-                    }
-                });
+                items.push((offset, region, &runs[lo..hi]));
                 remaining = tail;
                 offset = end;
             }
-        });
+        }
+        let copy_chunk = |(base, region, chunk_runs): &mut HotChunk<'_, T>| {
+            for &(sp, r) in *chunk_runs {
+                region[r.dst_start - *base..r.dst_start - *base + r.len]
+                    .copy_from_slice(&src[sp][r.src_start..r.src_start + r.len]);
+            }
+        };
+        match &self.pool {
+            // Pooled: worker `rank` takes chunk `rank` (at most one chunk
+            // per worker by construction); the cells only exist to hand
+            // the `&mut` regions through the shared job closure.
+            Some(pool) => {
+                let cells: Vec<std::sync::Mutex<HotChunk<'_, T>>> =
+                    items.into_iter().map(std::sync::Mutex::new).collect();
+                pool.run(&|rank| {
+                    if let Some(cell) = cells.get(rank) {
+                        copy_chunk(&mut cell.lock().unwrap_or_else(|e| e.into_inner()));
+                    }
+                });
+            }
+            // Fresh-spawn baseline: one scoped thread per chunk.
+            None => std::thread::scope(|scope| {
+                for mut item in items {
+                    let copy_chunk = &copy_chunk;
+                    scope.spawn(move || copy_chunk(&mut item));
+                }
+            }),
+        }
         buf
     }
 }
 
 /// A runtime-selectable execution backend.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub enum ExecBackend {
     /// In-process serial execution ([`SerialExecutor`]).
     #[default]
@@ -434,14 +610,38 @@ pub enum ExecBackend {
 }
 
 impl ExecBackend {
-    /// The best backend for this host: threaded when more than one hardware
-    /// core is available, serial otherwise.
+    /// The best backend for this host: threaded over the process-wide
+    /// persistent worker pool when more than one hardware core is
+    /// available, serial otherwise.
+    ///
+    /// The serial/parallel cutoff can be overridden for benching through
+    /// the `VF_EXEC_CUTOFF` environment variable (bytes; `0` forces the
+    /// threaded path for every plan).
     pub fn auto() -> Self {
-        let threaded = ThreadedExecutor::auto();
+        let mut threaded = ThreadedExecutor::auto();
+        if let Ok(raw) = std::env::var("VF_EXEC_CUTOFF") {
+            match raw.trim().parse::<usize>() {
+                Ok(cutoff) => threaded = threaded.with_serial_cutoff(cutoff),
+                // A set-but-unparseable override must not be measured
+                // silently as the default: warn loudly and keep going.
+                Err(_) => eprintln!(
+                    "warning: ignoring unparseable VF_EXEC_CUTOFF={raw:?} (expected bytes, e.g. 32768)"
+                ),
+            }
+        }
         if threaded.workers() > 1 {
             ExecBackend::Threaded(threaded)
         } else {
             ExecBackend::Serial
+        }
+    }
+
+    /// The persistent worker pool of the threaded backend, if any — the
+    /// handle a `VfScope` keeps alive across statements.
+    pub fn worker_pool(&self) -> Option<&Arc<WorkerPool>> {
+        match self {
+            ExecBackend::Serial => None,
+            ExecBackend::Threaded(t) => t.pool(),
         }
     }
 }
@@ -476,6 +676,19 @@ impl PlanExecutor for ExecBackend {
         match self {
             ExecBackend::Serial => SerialExecutor.run_updates(locals, updates, combine),
             ExecBackend::Threaded(t) => t.run_updates(locals, updates, combine),
+        }
+    }
+
+    fn run_indexed<R: Send>(
+        &self,
+        num_items: usize,
+        copy_bytes: usize,
+        tracker: &CommTracker,
+        work: impl Fn(usize) -> R + Sync,
+    ) -> Vec<R> {
+        match self {
+            ExecBackend::Serial => SerialExecutor.run_indexed(num_items, copy_bytes, tracker, work),
+            ExecBackend::Threaded(t) => t.run_indexed(num_items, copy_bytes, tracker, work),
         }
     }
 }
@@ -524,6 +737,14 @@ pub struct FusedPlan {
     /// Per crossing pair (aligned with `pair_elements`): the wire layout of
     /// the fused message, parts in fusion order.
     pair_slices: Vec<Vec<FusedSlice>>,
+    /// Per part: index of the part's transfer carrying a (src, dst) pair
+    /// (at most one — plans aggregate per pair; local pairs included).
+    /// Precomputed here so the wire executors pay no per-execute indexing.
+    pair_transfer: Vec<HashMap<(usize, usize), usize>>,
+    /// Per destination processor: indices into `pair_elements` of the
+    /// pairs arriving there — the wire executors' per-destination work
+    /// lists, precomputed for the same reason.
+    pairs_by_dst: Vec<Vec<usize>>,
 }
 
 impl FusedPlan {
@@ -583,6 +804,24 @@ impl FusedPlan {
             pair_elements.push((pair, slices.iter().map(|s| s.elements).sum()));
             pair_slices.push(slices);
         }
+        let pair_transfer = parts
+            .iter()
+            .map(|part| {
+                part.transfers()
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, t)| t.elements > 0)
+                    .map(|(i, t)| ((t.src.0, t.dst.0), i))
+                    .collect()
+            })
+            .collect();
+        let total_procs = parts.iter().map(|p| p.total_procs()).max().unwrap_or(0);
+        let mut pairs_by_dst: Vec<Vec<usize>> = vec![Vec::new(); total_procs];
+        for (i, &((_, dst), _)) in pair_elements.iter().enumerate() {
+            if let Some(list) = pairs_by_dst.get_mut(dst) {
+                list.push(i);
+            }
+        }
         Ok(Self {
             kind,
             parts,
@@ -590,6 +829,8 @@ impl FusedPlan {
             stayed_elements: stayed,
             pair_elements,
             pair_slices,
+            pair_transfer,
+            pairs_by_dst,
         })
     }
 
@@ -664,10 +905,13 @@ impl FusedPlan {
     }
 
     /// The fused message list: one `(src, dst, bytes)` entry per crossing
-    /// processor pair, payloads of all parts summed.
+    /// processor pair, payloads of all parts summed.  Zero-byte entries are
+    /// never emitted (a pair only appears with traffic, and elements are
+    /// at least one byte wide).
     pub(crate) fn message_batch(&self, elem_bytes: usize) -> Vec<(usize, usize, usize)> {
         self.pair_elements
             .iter()
+            .filter(|&&(_, elements)| elements * elem_bytes > 0)
             .map(|&((src, dst), elements)| (src, dst, elements * elem_bytes))
             .collect()
     }
@@ -769,6 +1013,248 @@ pub(crate) fn execute_fused_parts(
     ExecReport { messages, bytes }
 }
 
+/// The wire-layout execution engine of a fused plan — the path a real
+/// message-passing backend takes.
+///
+/// The simulated per-part executors copy each part's runs straight from
+/// source to destination storage; a real machine instead **packs** every
+/// (sender → receiver) pair's payload into one contiguous wire buffer laid
+/// out by [`FusedPlan::wire_slices`], ships it as a single message, and
+/// **unpacks** it at the receiver by replaying each part's run list against
+/// the slice at its wire offset.  This engine performs exactly those two
+/// memcpy streams per pair (plus the direct copies of elements that stay
+/// local), so the produced buffers are bitwise identical to the per-part
+/// executors while the charged traffic is the same one-message-per-pair
+/// batch — only the copy work is reorganised from per-part scattered runs
+/// into per-pair contiguous streams.
+/// Produces destination processor `d`'s buffers for every part of a fused
+/// plan: direct copies for elements staying on `d`, then one pack →
+/// unpack stream per sending processor, all driven by the indexes
+/// [`FusedPlan::fuse`] precomputed (`pair_transfer`, `pairs_by_dst`) — no
+/// per-execute indexing.  Each destination is written by exactly one
+/// call, so calls for different destinations are embarrassingly parallel.
+fn wire_copy_for_dest<T: Element>(
+    fused: &FusedPlan,
+    srcs: &[&[Vec<T>]],
+    dst_sizes: &[Vec<usize>],
+    d: usize,
+) -> Vec<Vec<T>> {
+    let parts = fused.parts();
+    let mut bufs: Vec<Vec<T>> = dst_sizes
+        .iter()
+        .map(|sizes| vec![T::default(); sizes.get(d).copied().unwrap_or(0)])
+        .collect();
+    // Elements that stay on `d` never touch a wire buffer.
+    for (idx, part) in parts.iter().enumerate() {
+        if let Some(&ti) = fused.pair_transfer[idx].get(&(d, d)) {
+            let t = &part.transfers()[ti];
+            let src_local = &srcs[idx][d];
+            for run in &t.runs {
+                if run.len == 0 {
+                    continue;
+                }
+                bufs[idx][run.dst_start..run.dst_start + run.len]
+                    .copy_from_slice(&src_local[run.src_start..run.src_start + run.len]);
+            }
+        }
+    }
+    // One wire message per sending processor with traffic to `d`, walked
+    // through the precomputed per-destination pair lists.
+    let arriving = fused.pairs_by_dst.get(d).map_or(&[][..], |v| v);
+    for &pi in arriving {
+        let ((s, _), total) = fused.pair_elements[pi];
+        if s == d || total == 0 {
+            continue;
+        }
+        let slices = &fused.pair_slices[pi][..];
+        // Pack: every part's payload lands at its wire offset, runs in
+        // plan order — one contiguous buffer per pair, exactly the
+        // message a real backend would post.
+        let mut wire = vec![T::default(); total];
+        for sl in slices {
+            if sl.elements == 0 {
+                continue;
+            }
+            let t = &parts[sl.part].transfers()[fused.pair_transfer[sl.part][&(s, d)]];
+            let src_local = &srcs[sl.part][s];
+            let mut off = sl.wire_offset;
+            for run in &t.runs {
+                if run.len == 0 {
+                    continue;
+                }
+                wire[off..off + run.len]
+                    .copy_from_slice(&src_local[run.src_start..run.src_start + run.len]);
+                off += run.len;
+            }
+            debug_assert_eq!(off, sl.wire_offset + sl.elements, "slice fills its window");
+        }
+        // Unpack: replay the same run lists against the receiver's
+        // per-part buffers (ghost slots / new local offsets unchanged).
+        for sl in slices {
+            if sl.elements == 0 {
+                continue;
+            }
+            let t = &parts[sl.part].transfers()[fused.pair_transfer[sl.part][&(s, d)]];
+            let mut off = sl.wire_offset;
+            for run in &t.runs {
+                if run.len == 0 {
+                    continue;
+                }
+                bufs[sl.part][run.dst_start..run.dst_start + run.len]
+                    .copy_from_slice(&wire[off..off + run.len]);
+                off += run.len;
+            }
+        }
+    }
+    bufs
+}
+
+/// Per-processor seconds of the wire copy phase under the tracker's cost
+/// model (empty at the default zero rate): packing is charged to the
+/// *sender*, unpacking (and direct local copies) to the *receiver* — the
+/// two memcpy streams a real message-passing backend performs on each side
+/// of the wire.
+fn wire_copy_seconds(fused: &FusedPlan, elem_bytes: usize, tracker: &CommTracker) -> Vec<f64> {
+    let rate = tracker.cost().copy_per_byte;
+    if rate == 0.0 {
+        return Vec::new();
+    }
+    let mut secs = vec![0.0f64; tracker.num_procs()];
+    for part in fused.parts() {
+        for t in part.transfers() {
+            if t.elements == 0 {
+                continue;
+            }
+            let s = (t.elements * elem_bytes) as f64 * rate;
+            if t.src != t.dst {
+                if let Some(x) = secs.get_mut(t.src.0) {
+                    *x += s;
+                }
+            }
+            if let Some(x) = secs.get_mut(t.dst.0) {
+                *x += s;
+            }
+        }
+    }
+    secs
+}
+
+/// The charging + copy skeleton of the wire-packed fused executors: the
+/// single-message-per-pair batch is posted, every destination's pack →
+/// unpack streams run through `executor` (one work item per destination,
+/// parallelised by the pooled backend above its cutoff), and the batch
+/// completes with the pack/unpack seconds credited as copy-overlap
+/// compute.  Returns per-part, per-processor destination buffers.
+pub(crate) fn execute_fused_wire<T: Element, E: PlanExecutor>(
+    fused: &FusedPlan,
+    tracker: &CommTracker,
+    executor: &E,
+    srcs: &[&[Vec<T>]],
+    dst_sizes: &[Vec<usize>],
+) -> (Vec<Vec<Vec<T>>>, ExecReport) {
+    for part in fused.parts() {
+        part.charge_directory(tracker);
+    }
+    let batch = fused.message_batch(T::BYTES);
+    let messages = batch.len();
+    let bytes: usize = batch.iter().map(|m| m.2).sum();
+    let pending = tracker.post_many(batch);
+    // Pack + unpack touch every crossing element twice; stayed elements
+    // copy once.  This volume drives the threaded backend's cutoff.
+    let copy_bytes = (2 * fused.moved_elements() + fused.stayed_elements()) * T::BYTES;
+    let per_dest = executor.run_indexed(fused.pairs_by_dst.len(), copy_bytes, tracker, |d| {
+        wire_copy_for_dest(fused, srcs, dst_sizes, d)
+    });
+    finish_with_copy_credit(
+        tracker,
+        pending,
+        &wire_copy_seconds(fused, T::BYTES, tracker),
+    );
+    // Transpose the destination-major results into per-part buffers.
+    let mut out: Vec<Vec<Vec<T>>> = dst_sizes
+        .iter()
+        .map(|sizes| vec![Vec::new(); sizes.len()])
+        .collect();
+    for (d, bufs) in per_dest.into_iter().enumerate() {
+        for (idx, buf) in bufs.into_iter().enumerate() {
+            if d < out[idx].len() {
+                out[idx][d] = buf;
+            }
+        }
+    }
+    (out, ExecReport { messages, bytes })
+}
+
+/// [`execute_redistribute_fused`] through the **wire-layout** path: every
+/// crossing processor pair's payload is packed into one contiguous wire
+/// buffer (laid out by [`FusedPlan::wire_slices`]), charged as exactly one
+/// message, and unpacked at the destination — per-pair memcpy streams
+/// instead of per-part scattered copies, with the pack/unpack phases run
+/// through `executor` and credited as copy-overlap compute.  Buffers,
+/// reports and charged traffic are bitwise identical to
+/// [`execute_redistribute_fused`]; only the copy organisation differs.
+///
+/// # Errors
+/// Exactly as [`execute_redistribute_fused`]: everything is validated
+/// before any data moves.
+pub fn execute_redistribute_fused_wire<T: Element, E: PlanExecutor>(
+    arrays: &mut [&mut DistArray<T>],
+    fused: &FusedPlan,
+    tracker: &CommTracker,
+    executor: &E,
+) -> Result<(Vec<RedistReport>, ExecReport)> {
+    fused.check_parts(
+        PlanKind::Redistribute,
+        "execute_redistribute_fused_wire",
+        arrays.len(),
+    )?;
+    // Validate every (array, part) pair before moving anything.
+    let mut new_dists = Vec::with_capacity(arrays.len());
+    for (array, part) in arrays.iter().zip(fused.parts()) {
+        let PlanIndex::Redistribute { new_dist } = &part.index else {
+            return Err(RuntimeError::PlanMismatch {
+                expected: part.src_fingerprint(),
+                found: array.dist().fingerprint(),
+            });
+        };
+        part.check_executable(array.dist(), tracker)?;
+        new_dists.push(new_dist.clone());
+    }
+    let dst_sizes: Vec<Vec<usize>> = fused
+        .parts()
+        .iter()
+        .zip(&new_dists)
+        .map(|(part, new_dist)| {
+            let mut sizes = vec![0usize; part.total_procs()];
+            for &q in new_dist.proc_ids() {
+                sizes[q.0] = new_dist.local_size(q);
+            }
+            sizes
+        })
+        .collect();
+    let (bufs, exec) = {
+        let srcs: Vec<&[Vec<T>]> = arrays.iter().map(|a| a.locals()).collect();
+        execute_fused_wire(fused, tracker, executor, &srcs, &dst_sizes)
+    };
+    let mut reports = Vec::with_capacity(arrays.len());
+    for (((array, part), new_dist), locals) in arrays
+        .iter_mut()
+        .zip(fused.parts())
+        .zip(new_dists)
+        .zip(bufs)
+    {
+        array.replace(new_dist, locals);
+        array.broadcast_canonical();
+        reports.push(RedistReport {
+            moved_elements: part.moved_elements(),
+            stayed_elements: part.stayed_elements(),
+            messages: part.num_messages(),
+            bytes: part.bytes_for(T::BYTES),
+        });
+    }
+    Ok((reports, exec))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -819,10 +1305,20 @@ mod tests {
         // only checks the configuration plumbing.
         let t = ThreadedExecutor::with_workers(4);
         assert_eq!(
-            t.serial_cutoff_bytes,
+            t.effective_serial_cutoff(),
             ThreadedExecutor::DEFAULT_SERIAL_CUTOFF_BYTES
         );
         assert_eq!(t.workers(), 4);
+        assert!(t.pool().is_none(), "with_workers is the fresh-spawn mode");
+        // Attaching a pool drops the default cutoff to the pooled
+        // crossover; an explicit override always wins.
+        let pooled = t.clone().pooled(vf_machine::pool::global());
+        assert_eq!(
+            pooled.effective_serial_cutoff(),
+            ThreadedExecutor::DEFAULT_POOLED_CUTOFF_BYTES
+        );
+        assert!(pooled.pool().is_some());
+        assert_eq!(pooled.with_serial_cutoff(7).effective_serial_cutoff(), 7);
         let auto = ExecBackend::auto();
         match auto {
             ExecBackend::Threaded(t) => assert!(t.workers() > 1),
@@ -857,12 +1353,21 @@ mod tests {
         let t_serial = CommTracker::new(p, CostModel::from_alpha_beta(1.0, 0.25));
         let (serial, rs) = SerialExecutor.execute(&plan, a.locals(), &dst_sizes, &t_serial, true);
         for workers in [2, 3, 5] {
-            let forced = ThreadedExecutor::with_workers(workers).serial_cutoff_bytes(0);
-            let t_thr = CommTracker::new(p, CostModel::from_alpha_beta(1.0, 0.25));
-            let (threaded, rt) = forced.execute(&plan, a.locals(), &dst_sizes, &t_thr, true);
-            assert_eq!(serial, threaded, "buffers differ with {workers} workers");
-            assert_eq!(rs, rt);
-            assert_eq!(t_serial.snapshot(), t_thr.snapshot());
+            // Both dispatch modes must split the hot destination
+            // identically: the fresh-spawn scoped threads and the
+            // persistent pool.
+            let pool = Arc::new(vf_machine::WorkerPool::new(workers));
+            for forced in [
+                ThreadedExecutor::with_workers(workers).serial_cutoff_bytes(0),
+                ThreadedExecutor::with_pool(Arc::clone(&pool)).serial_cutoff_bytes(0),
+            ] {
+                let t_thr = CommTracker::new(p, CostModel::from_alpha_beta(1.0, 0.25));
+                let (threaded, rt) = forced.execute(&plan, a.locals(), &dst_sizes, &t_thr, true);
+                assert_eq!(serial, threaded, "buffers differ with {workers} workers");
+                assert_eq!(rs, rt);
+                assert_eq!(t_serial.snapshot(), t_thr.snapshot());
+            }
+            assert!(pool.jobs_dispatched() > 0, "pooled run used the pool");
         }
         // A partial hot receiver (most but not all traffic to P1, scattered
         // run layout) exercises the gap-preserving split path too.
@@ -1038,6 +1543,92 @@ mod tests {
         let stats = tracker.snapshot();
         assert_eq!(stats.total_messages(), exec.messages);
         assert_eq!(stats.total_bytes(), exec.bytes);
+    }
+
+    #[test]
+    fn wire_fused_redistribute_matches_per_part_bitwise() {
+        // A class of three arrays with two *different* target layouts in
+        // one fusion: the wire-packed executor must produce bitwise the
+        // per-part buffers, identical reports and identical tracker
+        // traffic, serial and pooled alike.
+        let n = 48usize;
+        let p = 4usize;
+        let from = dist_1d(DistType::block1d(), n, p);
+        let to_a = dist_1d(DistType::cyclic1d(1), n, p);
+        let to_b = dist_1d(DistType::gen_block1d(vec![3, 21, 12, 12]), n, p);
+        let plan_a = Arc::new(plan_redistribute(&from, &to_a).unwrap());
+        let plan_b = Arc::new(plan_redistribute(&from, &to_b).unwrap());
+        let fused =
+            FusedPlan::fuse(vec![Arc::clone(&plan_a), Arc::clone(&plan_b), plan_a]).unwrap();
+
+        let build = || {
+            (
+                DistArray::from_fn("A", from.clone(), |pt| pt.coord(0) as f64 * 1.5),
+                DistArray::from_fn("B", from.clone(), |pt| -(pt.coord(0) as f64)),
+                DistArray::from_fn("C", from.clone(), |pt| pt.coord(0) as f64 + 0.25),
+            )
+        };
+        let (mut a1, mut b1, mut c1) = build();
+        let t1 = CommTracker::new(p, CostModel::from_alpha_beta(1.0, 0.5));
+        let (reports1, exec1) = execute_redistribute_fused(
+            &mut [&mut a1, &mut b1, &mut c1],
+            &fused,
+            &t1,
+            &SerialExecutor,
+        )
+        .unwrap();
+
+        let pool = Arc::new(vf_machine::WorkerPool::new(3));
+        for (name, executor) in [
+            ("serial-wire", ExecBackend::Serial),
+            (
+                "pooled-wire",
+                ExecBackend::Threaded(
+                    ThreadedExecutor::with_pool(Arc::clone(&pool)).with_serial_cutoff(0),
+                ),
+            ),
+        ] {
+            let (mut a2, mut b2, mut c2) = build();
+            let t2 = CommTracker::new(p, CostModel::from_alpha_beta(1.0, 0.5));
+            let (reports2, exec2) = execute_redistribute_fused_wire(
+                &mut [&mut a2, &mut b2, &mut c2],
+                &fused,
+                &t2,
+                &executor,
+            )
+            .unwrap();
+            assert_eq!(a1.to_dense(), a2.to_dense(), "{name}");
+            assert_eq!(b1.to_dense(), b2.to_dense(), "{name}");
+            assert_eq!(c1.to_dense(), c2.to_dense(), "{name}");
+            assert_eq!(reports1, reports2, "{name}");
+            assert_eq!(exec1, exec2, "{name}");
+            assert_eq!(t1.snapshot(), t2.snapshot(), "{name}");
+        }
+        // One message per crossing pair, bytes conserved over the parts.
+        assert_eq!(exec1.messages, fused.num_messages());
+        assert_eq!(exec1.bytes, reports1.iter().map(|r| r.bytes).sum::<usize>());
+        assert!(pool.jobs_dispatched() > 0, "the wire path used the pool");
+    }
+
+    #[test]
+    fn wire_fused_validates_before_moving() {
+        let from = dist_1d(DistType::block1d(), 16, 4);
+        let to = dist_1d(DistType::cyclic1d(1), 16, 4);
+        let plan = Arc::new(plan_redistribute(&from, &to).unwrap());
+        let fused = FusedPlan::fuse(vec![Arc::clone(&plan), plan]).unwrap();
+        let mut good = DistArray::from_fn("G", from, |pt| pt.coord(0) as f64);
+        let mut bad = DistArray::from_fn("B", to, |pt| pt.coord(0) as f64);
+        let before = good.to_dense();
+        let tracker = CommTracker::new(4, CostModel::zero());
+        let err = execute_redistribute_fused_wire(
+            &mut [&mut good, &mut bad],
+            &fused,
+            &tracker,
+            &SerialExecutor,
+        );
+        assert!(matches!(err, Err(RuntimeError::PlanMismatch { .. })));
+        assert_eq!(good.to_dense(), before, "no data moved on failure");
+        assert_eq!(tracker.snapshot().total_messages(), 0);
     }
 
     #[test]

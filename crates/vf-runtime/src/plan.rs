@@ -419,10 +419,14 @@ impl CommPlan {
         elem_bytes: usize,
         aggregate: bool,
     ) -> (Vec<(usize, usize, usize)>, usize, usize) {
+        // Zero-byte messages are never posted: a transfer only qualifies
+        // with at least one element, and elements are at least one byte
+        // wide, so the `b > 0` filter is a structural guarantee rather
+        // than a behavioural branch.
         let crossing = self
             .transfers
             .iter()
-            .filter(|t| t.src != t.dst && t.elements > 0);
+            .filter(|t| t.src != t.dst && t.elements * elem_bytes > 0);
         let mut batch = Vec::new();
         let mut messages = 0usize;
         let mut bytes = 0usize;

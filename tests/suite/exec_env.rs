@@ -1,0 +1,28 @@
+//! The `VF_EXEC_CUTOFF` environment override of [`ExecBackend::auto`].
+//!
+//! This lives in its own test binary with exactly **one** test: mutating
+//! the process environment while other tests run concurrently in the same
+//! binary would race libc's `getenv`/`setenv` (undefined behaviour per
+//! POSIX, and the reason `std::env::set_var` is unsafe in later editions).
+//! A single-test binary makes the set → construct → unset sequence the
+//! only environment access in the process.
+
+use vf_core::prelude::*;
+
+#[test]
+fn exec_cutoff_env_override_reaches_auto_backends() {
+    std::env::set_var("VF_EXEC_CUTOFF", "12345");
+    let auto = ExecBackend::auto();
+    std::env::remove_var("VF_EXEC_CUTOFF");
+    match auto {
+        ExecBackend::Threaded(t) => assert_eq!(t.effective_serial_cutoff(), 12345),
+        // Single-core hosts stay serial; the override has nothing to bind
+        // to, which is the documented behaviour.
+        ExecBackend::Serial => {
+            assert_eq!(
+                std::thread::available_parallelism().map(|n| n.get()).ok(),
+                Some(1)
+            );
+        }
+    }
+}
