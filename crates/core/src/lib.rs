@@ -75,7 +75,7 @@ pub use decl::{DeclKind, DynamicDecl, SecondaryDecl, StaticDecl};
 pub use distribute::{DimSpec, DistExpr, DistributeReport, DistributeStmt};
 pub use error::CoreError;
 pub use procedures::{CallReport, FormalArg, ReturnPolicy};
-pub use scope::{ClassGhosts, VfScope};
+pub use scope::{ClassGhosts, ClassHalo, ClassHaloExchange, VfScope};
 
 /// Convenience result alias for language-layer operations.
 pub type Result<T> = std::result::Result<T, CoreError>;
@@ -91,9 +91,10 @@ pub use vf_runtime;
 pub mod prelude {
     pub use crate::analysis::{Program, QueryOutcome, ReachingDistributions, Stmt};
     pub use crate::{
-        idt, idt_on, CallReport, Condition, ConnectClass, Connection, CoreError, Dcase,
-        DcaseClause, DeclKind, DimSpec, DistExpr, DistributeReport, DistributeStmt, DynamicDecl,
-        FormalArg, ReturnPolicy, SecondaryDecl, StaticDecl, VfScope,
+        idt, idt_on, CallReport, ClassGhosts, ClassHalo, ClassHaloExchange, Condition,
+        ConnectClass, Connection, CoreError, Dcase, DcaseClause, DeclKind, DimSpec, DistExpr,
+        DistributeReport, DistributeStmt, DynamicDecl, FormalArg, ReturnPolicy, SecondaryDecl,
+        StaticDecl, VfScope,
     };
     pub use vf_dist::{
         construct, Alignment, Connectivity, DimDist, DimPattern, DistPattern, DistType,
@@ -103,9 +104,10 @@ pub mod prelude {
     pub use vf_machine::{CommStats, CommTracker, CostModel, Machine, Topology, WorkerPool};
     pub use vf_runtime::{
         assign, execute_redistribute_fused, execute_redistribute_fused_wire, ghost, parti, plan,
-        redistribute, redistribute_cached, redistribute_cached_with, redistribute_with, reduce,
-        table_for, translation, ArrayDescriptor, CommPlan, DistArray, DistTranslationTable,
-        Element, ExecBackend, ExecReport, FusedPlan, PlanCache, PlanCacheStats, PlanExecutor,
-        RedistOptions, RedistReport, SerialExecutor, ThreadedExecutor, TranslationStats,
+        redistribute, redistribute_cached, redistribute_cached_with, redistribute_split,
+        redistribute_with, reduce, table_for, translation, ArrayDescriptor, CommPlan, DistArray,
+        DistTranslationTable, Element, ExecBackend, ExecReport, FusedPlan, PlanCache,
+        PlanCacheStats, PlanExecutor, RedistOptions, RedistReport, SerialExecutor, SplitExecReport,
+        SplitPhaseExchange, SplitRedistribute, ThreadedExecutor, TranslationStats,
     };
 }

@@ -9,10 +9,13 @@ use std::collections::HashMap;
 use vf_dist::{construct, DistPattern, DistType, Distribution, ProcessorView};
 use vf_index::IndexDomain;
 use vf_machine::{CommStats, CommTracker, Machine};
-use vf_runtime::ghost::{exchange_ghosts_fused_wire_with, GhostRegion};
+use vf_runtime::ghost::{
+    exchange_ghosts_fused_wire_split, exchange_ghosts_fused_wire_with, GhostRegion,
+    SplitGhostExchange,
+};
 use vf_runtime::{
     execute_redistribute_fused_wire, redistribute_cached_with, ArrayDescriptor, DistArray, Element,
-    ExecBackend, ExecReport, FusedPlan, PlanCache, RedistOptions,
+    ExecBackend, ExecReport, FusedPlan, PlanCache, RedistOptions, SplitExecReport,
 };
 
 struct Entry<T: Element> {
@@ -25,6 +28,111 @@ struct Entry<T: Element> {
 /// primary (first) and each connected secondary, in class order — see
 /// [`VfScope::exchange_class_ghosts`].
 pub type ClassGhosts<T> = Vec<(String, GhostRegion<T>)>;
+
+/// Double-buffered class halo storage for iterative split-phase sweeps.
+///
+/// The *front* buffer holds the last **completed** exchange's ghost
+/// regions and stays readable while the next exchange is in flight; when
+/// that exchange completes ([`ClassHaloExchange::wait_into`]) the fresh
+/// regions swap to the front and the previous front retires to the
+/// *back* — so a consumer never observes a half-filled halo, and the stale
+/// generation remains inspectable (e.g. for convergence deltas) until the
+/// following swap drops it.
+pub struct ClassHalo<T: Element> {
+    front: Option<ClassGhosts<T>>,
+    back: Option<ClassGhosts<T>>,
+}
+
+impl<T: Element> ClassHalo<T> {
+    /// An empty halo store (no exchange completed yet).
+    pub fn new() -> Self {
+        Self {
+            front: None,
+            back: None,
+        }
+    }
+
+    /// The last completed exchange's regions, if any.
+    pub fn front(&self) -> Option<&ClassGhosts<T>> {
+        self.front.as_ref()
+    }
+
+    /// The generation displaced by the most recent swap, if any.
+    pub fn back(&self) -> Option<&ClassGhosts<T>> {
+        self.back.as_ref()
+    }
+
+    /// Publishes a freshly completed exchange: `fresh` becomes the front
+    /// buffer and the previous front (if any) moves to the back.
+    pub fn publish(&mut self, fresh: ClassGhosts<T>) {
+        self.back = self.front.take();
+        self.front = Some(fresh);
+    }
+}
+
+impl<T: Element> Default for ClassHalo<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A class ghost exchange caught between its post and its wait — returned
+/// by [`VfScope::exchange_class_ghosts_split`].
+///
+/// The modelled messages are already posted and the crossing payloads
+/// packed; with the scope running a pooled threaded backend the per-pair
+/// unpacks stream on background workers while the caller computes.  The
+/// class arrays must not be mutated and no other scope operation that uses
+/// the executor may run while the handle is live (the pool's submission
+/// turn is held).
+pub struct ClassHaloExchange<'s, T: Element> {
+    inner: SplitGhostExchange<'s, T>,
+    names: Vec<String>,
+    tracker: &'s CommTracker,
+}
+
+impl<T: Element> ClassHaloExchange<'_, T> {
+    /// Messages posted (one per communicating processor pair, whole class).
+    pub fn messages(&self) -> usize {
+        self.inner.messages()
+    }
+
+    /// Bytes posted.
+    pub fn bytes(&self) -> usize {
+        self.inner.bytes()
+    }
+
+    /// Whether the unpack is streaming on background workers (`false`: it
+    /// already completed inline at the post).
+    pub fn is_streaming(&self) -> bool {
+        self.inner.is_streaming()
+    }
+
+    /// Blocks until processor `proc`'s ghost slots (every class member)
+    /// have landed, helping unpack while waiting; other processors' halos
+    /// may still be in flight.  [`ClassHaloExchange::wait`] or
+    /// [`ClassHaloExchange::wait_into`] is still required afterwards.
+    pub fn wait_dest(&self, proc: usize) {
+        self.inner.wait_dest(proc);
+    }
+
+    /// Completes the exchange: ghost regions bitwise identical to
+    /// [`VfScope::exchange_class_ghosts`], plus the split-phase report
+    /// with the *measured* wall-clock overlap.
+    pub fn wait(self) -> (ClassGhosts<T>, SplitExecReport) {
+        let (regions, report) = self.inner.wait(self.tracker);
+        (self.names.into_iter().zip(regions).collect(), report)
+    }
+
+    /// Completes the exchange and swaps the fresh regions into `halo`'s
+    /// front buffer (the previous front retires to the back) — the
+    /// double-buffered form of [`ClassHaloExchange::wait`].
+    pub fn wait_into(self, halo: &mut ClassHalo<T>) -> SplitExecReport {
+        let (fresh, report) = self.wait();
+        halo.publish(fresh);
+        report
+    }
+}
 
 /// A Vienna Fortran procedure scope.
 ///
@@ -322,6 +430,55 @@ impl<T: Element> VfScope<T> {
             &self.executor,
         )?;
         Ok((names.into_iter().zip(regions).collect(), exec))
+    }
+
+    /// Split-phase variant of [`VfScope::exchange_class_ghosts`]: packs the
+    /// class halo, posts the messages and **returns immediately** with an
+    /// in-flight [`ClassHaloExchange`], so the caller can run interior
+    /// compute (points whose stencil needs no ghost value) while the halo
+    /// streams in on the executor's background workers, then `wait()` for
+    /// regions bitwise identical to the blocking exchange.
+    ///
+    /// # Errors
+    /// Exactly as [`VfScope::exchange_class_ghosts`] — everything is
+    /// validated before any message is posted.
+    pub fn exchange_class_ghosts_split(
+        &self,
+        primary: &str,
+        widths: &[(usize, usize)],
+    ) -> Result<ClassHaloExchange<'_, T>> {
+        if !matches!(
+            self.arrays
+                .get(primary)
+                .ok_or_else(|| CoreError::UnknownArray {
+                    name: primary.into(),
+                })?
+                .kind,
+            DeclKind::DynamicPrimary { .. }
+        ) {
+            return Err(CoreError::NotAPrimaryArray {
+                name: primary.into(),
+            });
+        }
+        let mut names: Vec<String> = vec![primary.to_string()];
+        let class = self.classes.get(primary).cloned().unwrap_or_default();
+        names.extend(class.secondaries().map(|(name, _)| name.to_string()));
+        let mut members = Vec::with_capacity(names.len());
+        for name in &names {
+            members.push(self.array(name)?);
+        }
+        let inner = exchange_ghosts_fused_wire_split(
+            &members,
+            widths,
+            &self.tracker,
+            &self.plan_cache,
+            &self.executor,
+        )?;
+        Ok(ClassHaloExchange {
+            inner,
+            names,
+            tracker: &self.tracker,
+        })
     }
 
     /// The connect equivalence class of a primary array.

@@ -16,10 +16,9 @@ use crate::tridiag::{self, TridiagCoeffs};
 use std::collections::HashMap;
 use vf_dist::{DistType, Distribution, ProcessorView};
 use vf_index::{IndexDomain, Point};
-use vf_machine::{CommStats, Machine};
+use vf_machine::{CommStats, CommTracker, Machine};
 use vf_runtime::{
-    assign::assign_cached_with, redistribute_cached_with, DistArray, ExecBackend, PlanCache,
-    RedistOptions,
+    assign::assign_cached_with, redistribute_split, DistArray, ExecBackend, PlanCache,
 };
 
 /// The distribution strategy of an ADI run.
@@ -164,6 +163,72 @@ fn sweep(
     (messages, bytes)
 }
 
+/// The Figure 1 `DISTRIBUTE` + sweep pair, **pipelined** through the
+/// split-phase redistribution: the redistribution is posted, and as soon
+/// as one destination processor's new local block has fully landed
+/// ([`vf_runtime::SplitRedistribute::wait_dest`]) its now-local lines are
+/// solved *directly inside the in-flight destination buffer* — while the
+/// other processors' blocks are still streaming in on the executor's
+/// background workers.  `finish_into` then installs the solved buffers.
+///
+/// Every line the target layout makes local is solved with the same
+/// gathered values, the same solve, and the same per-line FLOP charge as
+/// the blocking redistribute-then-[`sweep`] sequence, and the installed
+/// buffers hold the same solutions at the same offsets — the result is
+/// bitwise identical; only the schedule overlaps.
+fn pipelined_distribute_sweep(
+    array: &mut DistArray<f64>,
+    new_dist: Distribution,
+    sweep_dim: usize,
+    tracker: &CommTracker,
+    plans: &PlanCache,
+    executor: &ExecBackend,
+) -> (usize, usize) {
+    let split = redistribute_split(array, new_dist, tracker, plans, executor).expect("same domain");
+    let dist = split.new_dist().clone();
+    let domain = dist.domain().clone();
+    let locator = dist.locator();
+    let n_sweep = domain.extent(sweep_dim);
+    let other_dim = 1 - sweep_dim;
+    let n_other = domain.extent(other_dim);
+    let point_at = |k: usize, line: usize| {
+        let coord = domain.dim(sweep_dim).lower() + k as i64;
+        let fixed = domain.dim(other_dim).lower() + line as i64;
+        if sweep_dim == 0 {
+            Point::d2(coord, fixed)
+        } else {
+            Point::d2(fixed, coord)
+        }
+    };
+    for &d in dist.proc_ids().to_vec().iter() {
+        split.wait_dest(d.0);
+        split.with_dest_mut(d.0, |buf| {
+            let mut values = vec![0.0f64; n_sweep];
+            let mut offsets = vec![0usize; n_sweep];
+            for line in 0..n_other {
+                if dist.owner(&point_at(0, line)).expect("point in domain") != d {
+                    continue;
+                }
+                for (k, (v, off)) in values.iter_mut().zip(offsets.iter_mut()).enumerate() {
+                    let (owner, o) = locator.locate(&point_at(k, line)).expect("point in domain");
+                    assert_eq!(owner, d, "the target layout keeps swept lines local");
+                    *off = o;
+                    *v = buf[o];
+                }
+                tridiag::solve_in_place(coeffs(), &mut values);
+                tracker.compute(d.0, tridiag::tridiag_flops(n_sweep));
+                for (&v, &off) in values.iter().zip(offsets.iter()) {
+                    buf[off] = v;
+                }
+            }
+        });
+    }
+    let (report, _split_report) = split
+        .finish_into(array, tracker)
+        .expect("array untouched while the handle was live");
+    (report.messages, report.bytes)
+}
+
 fn dist_for(n: usize, machine: &Machine, dist_type: DistType) -> Distribution {
     Distribution::new(
         dist_type,
@@ -206,9 +271,11 @@ pub fn run(config: &AdiConfig, machine: &Machine, initial: &[f64]) -> AdiResult 
             // Figure 1: V is DYNAMIC with initial (:, BLOCK).  The two
             // DISTRIBUTE schedules (cols->rows, rows->cols) are planned in
             // the first iteration and replayed from the cache afterwards —
-            // the inspector cost is paid once per pattern, not per step —
-            // and the replay copies run on the threaded executor when the
-            // host has spare cores.
+            // the inspector cost is paid once per pattern, not per step.
+            // Each DISTRIBUTE + sweep pair runs pipelined: destination
+            // blocks stream in split-phase, and each processor's lines are
+            // solved as soon as its block lands (see
+            // [`pipelined_distribute_sweep`]).
             let plans = PlanCache::new();
             let executor = ExecBackend::auto();
             let mut v =
@@ -216,37 +283,36 @@ pub fn run(config: &AdiConfig, machine: &Machine, initial: &[f64]) -> AdiResult 
                     .expect("initial field has N*N elements");
             for iter in 0..config.iterations {
                 if iter > 0 {
-                    // Return to the column distribution for the next x-sweep.
-                    let report = redistribute_cached_with(
+                    // Return to the column distribution and solve the
+                    // x-lines as each processor's columns arrive.
+                    let (m, b) = pipelined_distribute_sweep(
                         &mut v,
                         dist_for(n, machine, DistType::columns()),
+                        0,
                         &tracker,
-                        &RedistOptions::default(),
                         &plans,
                         &executor,
-                    )
-                    .expect("same domain");
-                    redist_messages += report.messages;
-                    redist_bytes += report.bytes;
+                    );
+                    redist_messages += m;
+                    redist_bytes += b;
+                } else {
+                    // First x-sweep: the initial layout already keeps the
+                    // columns local, nothing to redistribute.
+                    let (m, b) = sweep(&mut v, 0, &tracker);
+                    sweep_messages += m;
+                    sweep_bytes += b;
                 }
-                let (m, b) = sweep(&mut v, 0, &tracker);
-                sweep_messages += m;
-                sweep_bytes += b;
-                // DISTRIBUTE V :: (BLOCK, :)
-                let report = redistribute_cached_with(
+                // DISTRIBUTE V :: (BLOCK, :) pipelined with the y-sweep.
+                let (m, b) = pipelined_distribute_sweep(
                     &mut v,
                     dist_for(n, machine, DistType::rows()),
+                    1,
                     &tracker,
-                    &RedistOptions::default(),
                     &plans,
                     &executor,
-                )
-                .expect("same domain");
-                redist_messages += report.messages;
-                redist_bytes += report.bytes;
-                let (m, b) = sweep(&mut v, 1, &tracker);
-                sweep_messages += m;
-                sweep_bytes += b;
+                );
+                redist_messages += m;
+                redist_bytes += b;
             }
             v.to_dense()
         }

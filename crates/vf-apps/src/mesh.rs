@@ -34,7 +34,8 @@
 
 use std::sync::Arc;
 use vf_core::prelude::*;
-use vf_runtime::parti::{execute_halo, incremental_schedule_cached};
+use vf_runtime::ghost::GhostRegion;
+use vf_runtime::parti::{execute_halo_split, incremental_schedule_cached};
 
 /// A CSR unstructured mesh with 2-D node coordinates.
 #[derive(Debug, Clone)]
@@ -433,19 +434,27 @@ pub fn run_sweep(mesh: &Mesh, config: &MeshSweepConfig, machine: &Machine) -> Me
             .expect("mesh connectivity matches the domain");
         gathered_elements += schedule.num_elements();
         gather_messages += schedule.num_messages();
-        let (halo, _halo_report) = execute_halo(
+        // Post the cut-edge halo split-phase: the per-pair payloads stream
+        // in on the executor's background workers while the interior nodes
+        // (no off-processor neighbour) are swept below.
+        let split = execute_halo_split(
             scope.array("VAL").expect("distributed"),
             &schedule,
             scope.tracker(),
+            scope.executor(),
         )
         .expect("schedule matches the distribution");
 
         // Executor: Jacobi update in fixed CSR order, so the result is
-        // bitwise independent of the partition.
+        // bitwise independent of the partition.  Split-phase ordering:
+        // interior nodes run in the halo's shadow, cut-boundary nodes
+        // after the wait — every node's reads and arithmetic are
+        // unchanged.
         let mut new_values = vec![0.0f64; n];
         {
             let val = scope.array("VAL").expect("distributed");
-            for u in 0..n {
+            let tracker = scope.tracker();
+            let mut update = |u: usize, halo: Option<&GhostRegion<f64>>| {
                 let point_u = Point::d1(u as i64 + 1);
                 let own = val.get(&point_u).expect("in domain");
                 let nbrs = mesh.neighbors(u);
@@ -455,7 +464,8 @@ pub fn run_sweep(mesh: &Mesh, config: &MeshSweepConfig, machine: &Machine) -> Me
                     acc += if node_owner[v] == node_owner[u] {
                         val.get(&point_v).expect("in domain")
                     } else {
-                        halo.get(ProcId(node_owner[u]), &point_v)
+                        halo.expect("cut edges sweep after the halo lands")
+                            .get(ProcId(node_owner[u]), &point_v)
                             .expect("cut edge is in the incremental schedule")
                     };
                 }
@@ -464,9 +474,20 @@ pub fn run_sweep(mesh: &Mesh, config: &MeshSweepConfig, machine: &Machine) -> Me
                 } else {
                     (1.0 - DAMP) * own + DAMP * acc / nbrs.len() as f64
                 };
-                scope
-                    .tracker()
-                    .compute(node_owner[u], nbrs.len() * FLOPS_PER_EDGE);
+                tracker.compute(node_owner[u], nbrs.len() * FLOPS_PER_EDGE);
+            };
+            let is_interior = |u: usize| {
+                mesh.neighbors(u)
+                    .iter()
+                    .all(|&v| node_owner[v] == node_owner[u])
+            };
+            for u in (0..n).filter(|&u| is_interior(u)) {
+                update(u, None);
+            }
+            let (mut regions, _halo_report) = split.wait(tracker);
+            let halo = regions.pop().expect("exactly one halo part");
+            for u in (0..n).filter(|&u| !is_interior(u)) {
+                update(u, Some(&halo));
             }
         }
         let val = scope.array_mut("VAL").expect("distributed");

@@ -264,9 +264,17 @@ pub fn run(config: &PicConfig, machine: &Machine, initial_particles: &[Particle]
                 .expect("cell within domain");
         }
         // Neighbouring-cell field values are needed for the force on each
-        // particle: exchange the 1-wide cell halo.
-        let _ = vf_runtime::ghost::exchange_ghosts_cached(&field, &[(1, 1)], &tracker, &plans)
-            .expect("block and general block cells have contiguous segments");
+        // particle: post the 1-wide cell halo split-phase and let it stream
+        // while phase 2 pushes particles (which reads only the particle
+        // lists and the distribution, never the in-flight halo values).
+        let halo = vf_runtime::ghost::exchange_ghosts_fused_wire_split(
+            &[&field],
+            &[(1, 1)],
+            &tracker,
+            &plans,
+            &executor,
+        )
+        .expect("block and general block cells have contiguous segments");
 
         // Phase 2: update_part — move particles; those that cross to a cell
         // owned by another processor must be communicated (irregular,
@@ -301,6 +309,9 @@ pub fn run(config: &PicConfig, machine: &Machine, initial_particles: &[Particle]
         for (&(src, dst), &count) in &pair_particles {
             tracker.send(src, dst, count * PARTICLE_BYTES);
         }
+        // Complete the halo posted before the push — the whole particle
+        // phase ran in its shadow.
+        let _ = halo.wait(&tracker);
 
         per_step.push(PicStepStats {
             step,

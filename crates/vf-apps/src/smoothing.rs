@@ -19,7 +19,7 @@ use vf_dist::{DistType, Distribution, ProcessorView};
 use vf_index::{IndexDomain, Point};
 use vf_machine::{CommStats, CostModel, Machine};
 use vf_runtime::ghost::{
-    exchange_ghosts_cached_with, exchange_ghosts_fused_wire_with, get_with_ghosts, GhostRegion,
+    exchange_ghosts_cached_with, exchange_ghosts_fused_wire_split, get_with_ghosts, GhostRegion,
 };
 use vf_runtime::{DistArray, ExecBackend, PlanCache};
 
@@ -168,6 +168,91 @@ fn relax_field(
     }
 }
 
+/// Which points a split-phase relaxation pass updates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RelaxPass {
+    /// Points whose whole stencil is on-processor (plus the global
+    /// boundary copy-through) — computable while the halo is in flight.
+    Interior,
+    /// Points with at least one off-processor neighbour — these wait for
+    /// the halo.
+    Boundary,
+}
+
+/// One split-phase Jacobi pass: updates only the points selected by
+/// `pass`, reading off-processor neighbours from `ghosts` (only the
+/// boundary pass touches them) and accumulating per-processor
+/// updated-point counts into `counts` instead of charging FLOPs — the
+/// caller charges each processor **once** after both passes, so the
+/// modelled compute time is bit-identical to the single-pass
+/// [`relax_field`] kernel.
+fn relax_field_pass(
+    dist: &Distribution,
+    n: i64,
+    src: &DistArray<f64>,
+    ghosts: Option<&GhostRegion<f64>>,
+    dst: &mut DistArray<f64>,
+    pass: RelaxPass,
+    counts: &mut [usize],
+) {
+    let locator = dist.locator();
+    for &p in dist.proc_ids().to_vec().iter() {
+        let points = dist.local_points(p);
+        for (l, point) in points.into_iter().enumerate() {
+            let (i, j) = (point.coord(0), point.coord(1));
+            if i == 1 || i == n || j == 1 || j == n {
+                // Global boundary: copy-through, no neighbour reads —
+                // always safe in the interior pass.
+                if pass == RelaxPass::Interior {
+                    dst.local_mut(p)[l] = src.get(&point).expect("point in domain");
+                }
+                continue;
+            }
+            let neighbours = [
+                point.offset(0, -1),
+                point.offset(0, 1),
+                point.offset(1, -1),
+                point.offset(1, 1),
+            ];
+            let local = neighbours.iter().all(|q| {
+                locator
+                    .locate(q)
+                    .map(|(owner, _)| owner == p)
+                    .unwrap_or(false)
+            });
+            let wanted = if local {
+                RelaxPass::Interior
+            } else {
+                RelaxPass::Boundary
+            };
+            if wanted != pass {
+                continue;
+            }
+            counts[p.0] += 1;
+            let value = if local {
+                let read = |q: &Point| {
+                    let (_, off) = locator.locate(q).expect("neighbour in domain");
+                    src.local(p)[off]
+                };
+                0.25 * (read(&neighbours[0])
+                    + read(&neighbours[1])
+                    + read(&neighbours[2])
+                    + read(&neighbours[3]))
+            } else {
+                let ghosts = ghosts.expect("boundary pass runs after the halo has landed");
+                let read = |q: &Point| {
+                    get_with_ghosts(src, ghosts, p, q).expect("neighbour within 1-wide halo")
+                };
+                0.25 * (read(&neighbours[0])
+                    + read(&neighbours[1])
+                    + read(&neighbours[2])
+                    + read(&neighbours[3]))
+            };
+            dst.local_mut(p)[l] = value;
+        }
+    }
+}
+
 /// Runs the distributed smoothing kernel and returns statistics plus the
 /// final field.
 pub fn run(config: &SmoothingConfig, machine: &Machine, initial: &[f64]) -> SmoothingResult {
@@ -271,17 +356,42 @@ pub fn run_class(
     let mut bytes_per_step = 0;
     for step in 0..config.steps {
         let refs: Vec<&DistArray<f64>> = current.iter().collect();
-        // Wire-layout fused exchange: each pair's message is packed into
-        // one contiguous buffer and unpacked into every field's slots.
-        let (regions, exec): (Vec<GhostRegion<f64>>, _) =
-            exchange_ghosts_fused_wire_with(&refs, &widths, &tracker, &plans, &executor)
-                .expect("block layouts");
+        // Split-phase wire exchange: each pair's message is packed and
+        // posted up front, then the interior points of every field (whole
+        // stencil on-processor) are relaxed *while the halo is still in
+        // flight*; the boundary points run after the wait against ghost
+        // regions bitwise identical to the blocking exchange.
+        let split = exchange_ghosts_fused_wire_split(&refs, &widths, &tracker, &plans, &executor)
+            .expect("block layouts");
         if step == 0 {
-            messages_per_step = exec.messages;
-            bytes_per_step = exec.bytes;
+            messages_per_step = split.messages();
+            bytes_per_step = split.bytes();
         }
-        for (field, (src, dst)) in current.iter().zip(next.iter_mut()).enumerate() {
-            relax_field(&dist, n, src, &regions[field], dst, &tracker);
+        let mut counts: Vec<Vec<usize>> = vec![vec![0; tracker.num_procs()]; current.len()];
+        for ((src, dst), field_counts) in current.iter().zip(next.iter_mut()).zip(&mut counts) {
+            relax_field_pass(&dist, n, src, None, dst, RelaxPass::Interior, field_counts);
+        }
+        let (regions, _split_report) = split.wait(&tracker);
+        for (field, ((src, dst), field_counts)) in current
+            .iter()
+            .zip(next.iter_mut())
+            .zip(&mut counts)
+            .enumerate()
+        {
+            relax_field_pass(
+                &dist,
+                n,
+                src,
+                Some(&regions[field]),
+                dst,
+                RelaxPass::Boundary,
+                field_counts,
+            );
+            // One FLOP charge per (field, processor), exactly like the
+            // single-pass kernel.
+            for (p, &points) in field_counts.iter().enumerate() {
+                tracker.compute(p, points * FLOPS_PER_POINT);
+            }
         }
         std::mem::swap(&mut current, &mut next);
     }

@@ -44,7 +44,7 @@ mod tracker;
 
 pub use cost::CostModel;
 pub use machine::Machine;
-pub use pool::{WorkerCtx, WorkerPool};
+pub use pool::{JobTicket, WorkerCtx, WorkerPool};
 pub use stats::{CommStats, ProcStats};
 pub use topology::Topology;
 pub use tracker::{CollectiveKind, CommTracker, PendingSends};

@@ -28,6 +28,19 @@
 //! `unsafe` in this module is confined to that argument: the lifetime
 //! erasure of the job borrow and the job cell it is published through.
 //!
+//! ## Right-sized wakes and split-phase submission
+//!
+//! Dispatches carry a *width*: [`WorkerPool::run_limited`] (and
+//! [`WorkerPool::run_partitioned`], which sizes the width to
+//! `min(workers, items)`) wakes only the threads whose rank participates,
+//! so a job with two items on an eight-wide pool pays one unpark, not
+//! seven.  [`WorkerPool::submit`] additionally decouples posting a job
+//! from completing it: the woken workers stream through the job while the
+//! submitting thread runs unrelated local work, and the returned
+//! [`JobTicket`] runs rank 0's share and blocks only when the results are
+//! actually needed — the mechanism behind split-phase (post → interior
+//! compute → wait) plan execution.
+//!
 //! ## Panics and shutdown
 //!
 //! A panicking job closure never kills a worker: panics are caught on the
@@ -66,6 +79,11 @@ struct Inner {
     /// Bumped once per submitted job (`Release`); workers re-run nothing
     /// for an epoch they have already seen.
     epoch: AtomicU64,
+    /// Logical width of the current job: only ranks `0..width` run it.
+    /// Written before the epoch bump that publishes the job, so any worker
+    /// that observes the new epoch also observes the width and can re-park
+    /// without touching `remaining` when its rank is outside the job.
+    width: AtomicUsize,
     /// The current job, published by the epoch bump.
     job: JobCell,
     /// Workers that have not yet finished the current job.
@@ -122,6 +140,7 @@ impl WorkerPool {
         let workers = workers.max(1);
         let inner = Arc::new(Inner {
             epoch: AtomicU64::new(0),
+            width: AtomicUsize::new(0),
             job: JobCell(UnsafeCell::new(None)),
             remaining: AtomicUsize::new(0),
             panicked: AtomicUsize::new(0),
@@ -166,40 +185,70 @@ impl WorkerPool {
     /// If any worker's closure panics the panic is re-raised here after the
     /// job completes on the remaining workers; the pool stays usable.
     pub fn run(&self, job: &(dyn Fn(usize) + Sync)) {
+        self.run_limited(self.workers, job);
+    }
+
+    /// Runs `job` once on ranks `0..min(width, workers)` only, waking only
+    /// the `width - 1` threads that participate — right-sized wakes, so a
+    /// job with few independent items on a wide pool does not pay a
+    /// full-pool wake (and full-pool contention) for ranks that would find
+    /// nothing to do.
+    ///
+    /// Panic semantics match [`WorkerPool::run`].
+    pub fn run_limited(&self, width: usize, job: &(dyn Fn(usize) + Sync)) {
+        let width = width.clamp(1, self.workers);
         let _turn = self.submit.lock().unwrap_or_else(PoisonError::into_inner);
+        // SAFETY: `run_limited` blocks below until every participating
+        // worker has decremented `remaining`, i.e. until no worker can
+        // dereference the erased borrow again (a worker only picks a job
+        // up together with a *new* epoch).  The borrow therefore outlives
+        // every use, exactly as with scoped threads; only the type-system
+        // lifetime is erased.
+        let job: Job = unsafe {
+            std::mem::transmute::<&(dyn Fn(usize) + Sync), &'static (dyn Fn(usize) + Sync)>(job)
+        };
+        self.publish(width, job);
+        // Caller participation: the submitting thread is rank 0 and runs
+        // its share while the woken workers run theirs.
+        let inline = catch_unwind(AssertUnwindSafe(|| job(0)));
+        self.complete(inline);
+    }
+
+    /// Publishes `job` to ranks `1..width` (the submitting thread is rank
+    /// 0 and is not woken).  Requires the submit mutex to be held and no
+    /// job outstanding.
+    fn publish(&self, width: usize, job: Job) {
         assert!(
             !self.inner.shutdown.load(Ordering::Acquire),
             "worker pool already shut down"
         );
         debug_assert_eq!(self.inner.remaining.load(Ordering::Acquire), 0);
-        // SAFETY: `run` blocks below until every worker has decremented
-        // `remaining`, i.e. until no worker can dereference the erased
-        // borrow again (a worker only picks a job up together with a *new*
-        // epoch).  The borrow therefore outlives every use, exactly as
-        // with scoped threads; only the type-system lifetime is erased.
-        let job: Job = unsafe {
-            std::mem::transmute::<&(dyn Fn(usize) + Sync), &'static (dyn Fn(usize) + Sync)>(job)
-        };
         *self
             .inner
             .submitter
             .lock()
             .unwrap_or_else(PoisonError::into_inner) = Some(std::thread::current());
         self.inner.panicked.store(0, Ordering::Relaxed);
-        self.inner
-            .remaining
-            .store(self.workers - 1, Ordering::Relaxed);
+        self.inner.remaining.store(width - 1, Ordering::Relaxed);
+        self.inner.width.store(width, Ordering::Relaxed);
+        if width == 1 {
+            // Rank 0 only: nothing to publish, nobody to wake.
+            return;
+        }
         // SAFETY: no worker is running (`remaining` was 0 and only this
         // thread, holding the submit mutex, starts jobs), so writing the
-        // job cell cannot race a read; the epoch bump below publishes it.
+        // job cell cannot race a read; the epoch bump below publishes it
+        // (and the width store above) to every worker that observes it.
         unsafe { *self.inner.job.0.get() = Some(job) };
         self.inner.epoch.fetch_add(1, Ordering::Release);
-        for t in &self.threads {
+        for t in &self.threads[..width - 1] {
             t.unpark();
         }
-        // Caller participation: the submitting thread is rank 0 and runs
-        // its share while the woken workers run theirs.
-        let inline = catch_unwind(AssertUnwindSafe(|| job(0)));
+    }
+
+    /// Blocks until every participating worker has finished the current
+    /// job, then re-raises panics (rank 0's own outcome is `inline`).
+    fn complete(&self, inline: std::thread::Result<()>) {
         while self.inner.remaining.load(Ordering::Acquire) > 0 {
             std::thread::park();
         }
@@ -226,6 +275,42 @@ impl WorkerPool {
         );
     }
 
+    /// Starts `job` on ranks `1..min(width, workers)` **without blocking**
+    /// and returns a [`JobTicket`] that completes the job.  This is the
+    /// split-phase submission path: the caller posts the job, runs
+    /// unrelated local work while the woken workers stream through it, and
+    /// calls [`JobTicket::wait`] when it needs the results — rank 0's share
+    /// of the job runs at the wait (work-steal help), so `job` must be
+    /// written claim-based: every rank drains a shared item queue rather
+    /// than owning a fixed slice.
+    ///
+    /// The ticket holds the pool's submission turn until it is waited or
+    /// dropped, so the submitting thread **must not** submit or run another
+    /// job on the same pool while a ticket is outstanding (that would
+    /// deadlock, exactly like joining a thread from itself).  Dropping the
+    /// ticket without calling `wait` completes the job too (including rank
+    /// 0's share).
+    pub fn submit(&self, width: usize, job: Arc<dyn Fn(usize) + Send + Sync>) -> JobTicket<'_> {
+        let width = width.clamp(1, self.workers);
+        let turn = self.submit.lock().unwrap_or_else(PoisonError::into_inner);
+        // SAFETY: the erased borrow points into the `Arc`'s heap
+        // allocation, which the returned ticket keeps alive; the ticket's
+        // wait/drop blocks until every participating worker has
+        // decremented `remaining`, so no worker dereferences the borrow
+        // after the allocation could be freed.  Leaking the ticket leaks
+        // the `Arc` (and the submission turn), which keeps the borrow
+        // valid forever — a deadlocked pool, but no dangling reference.
+        let erased: Job = unsafe {
+            std::mem::transmute::<&(dyn Fn(usize) + Sync), &'static (dyn Fn(usize) + Sync)>(&*job)
+        };
+        self.publish(width, erased);
+        JobTicket {
+            pool: self,
+            _turn: turn,
+            job: Some(job),
+        }
+    }
+
     /// Runs `num_items` independent work items over the pool's workers
     /// (round-robin by item index) and returns the results in item order —
     /// the persistent-pool counterpart of
@@ -243,10 +328,12 @@ impl WorkerPool {
         if num_items == 0 {
             return Vec::new();
         }
-        let workers = self.workers;
+        // Right-sized wake: a job with fewer items than workers only wakes
+        // the ranks that have an item to run.
+        let workers = self.workers.min(num_items);
         let slots: Vec<Mutex<Vec<(usize, R)>>> =
             (0..workers).map(|_| Mutex::new(Vec::new())).collect();
-        self.run(&|rank| {
+        self.run_limited(workers, &|rank| {
             let mut ctx = WorkerCtx {
                 rank,
                 workers,
@@ -270,6 +357,58 @@ impl WorkerPool {
             .into_iter()
             .map(|r| r.expect("every item is assigned to exactly one worker"))
             .collect()
+    }
+}
+
+/// A handle to a job started with [`WorkerPool::submit`] but not yet
+/// completed.  Holds the pool's submission turn (so it is `!Send`: the
+/// waiter is always the submitter) and the job closure's owning `Arc` (so
+/// the borrow published to the workers outlives every use even if the
+/// ticket is leaked).
+#[must_use = "a submitted job completes when the ticket is waited or dropped"]
+pub struct JobTicket<'a> {
+    pool: &'a WorkerPool,
+    _turn: std::sync::MutexGuard<'a, ()>,
+    job: Option<Arc<dyn Fn(usize) + Send + Sync>>,
+}
+
+impl JobTicket<'_> {
+    /// Runs rank 0's share of the job (work-steal help), blocks until
+    /// every participating worker has finished, and re-raises any panic
+    /// the job closures produced — the split-phase counterpart of the
+    /// blocking return from [`WorkerPool::run`].
+    pub fn wait(mut self) {
+        self.finish();
+    }
+
+    fn finish(&mut self) {
+        let Some(job) = self.job.take() else {
+            return;
+        };
+        let inline = catch_unwind(AssertUnwindSafe(|| job(0)));
+        if std::thread::panicking() {
+            // Dropped during an unwind: still complete the job so the
+            // workers never outlive the shared state, but swallow the
+            // outcome — a second panic would abort.
+            while self.pool.inner.remaining.load(Ordering::Acquire) > 0 {
+                std::thread::park();
+            }
+            self.pool
+                .inner
+                .panic_payload
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .take();
+            self.pool.jobs.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        self.pool.complete(inline);
+    }
+}
+
+impl Drop for JobTicket<'_> {
+    fn drop(&mut self) {
+        self.finish();
     }
 }
 
@@ -303,6 +442,14 @@ fn worker_loop(inner: &Inner, rank: usize) {
             std::thread::park();
         };
         seen = epoch;
+        // The width store happens-before the `Release` epoch bump, so this
+        // `Relaxed` load (after the `Acquire` epoch read) sees the job's
+        // width.  Ranks outside the job re-park without touching
+        // `remaining` — a spuriously woken bystander must not run the job
+        // (or underflow the completion count) of a narrower dispatch.
+        if rank >= inner.width.load(Ordering::Relaxed) {
+            continue;
+        }
         // SAFETY: the `Acquire` epoch read above synchronises with the
         // submitter's `Release` bump, which happens-after the job cell
         // write; the cell is not rewritten until this worker (and all
@@ -475,6 +622,106 @@ mod tests {
             }
         });
         assert_eq!(pool.jobs_dispatched(), 100);
+    }
+
+    #[test]
+    fn run_limited_keeps_bystander_ranks_out_of_the_job() {
+        let pool = WorkerPool::new(4);
+        for round in 0..20usize {
+            let width = 1 + round % 4;
+            let ran: Vec<AtomicU64> = (0..4).map(|_| AtomicU64::new(0)).collect();
+            pool.run_limited(width, &|rank| {
+                ran[rank].fetch_add(1, Ordering::Relaxed);
+            });
+            for (rank, cell) in ran.iter().enumerate() {
+                let expected = u64::from(rank < width);
+                assert_eq!(cell.load(Ordering::Relaxed), expected, "rank {rank}");
+            }
+        }
+    }
+
+    #[test]
+    fn partitioned_width_is_bounded_by_items() {
+        let pool = WorkerPool::new(4);
+        let tracker = CommTracker::new(2, CostModel::zero());
+        // Two items on a four-wide pool: only ranks 0 and 1 participate,
+        // and the round-robin stride matches the participating width.
+        let out = pool.run_partitioned(&tracker, 2, |ctx, item| {
+            assert_eq!(ctx.num_workers(), 2);
+            assert!(ctx.rank() < 2);
+            item * 10
+        });
+        assert_eq!(out, vec![0, 10]);
+    }
+
+    #[test]
+    fn submitted_job_completes_at_wait_and_pool_stays_reusable() {
+        let pool = WorkerPool::new(3);
+        for _ in 0..10 {
+            let items: Arc<Vec<AtomicU64>> = Arc::new((0..17).map(|_| AtomicU64::new(0)).collect());
+            let claim = Arc::new(AtomicUsize::new(0));
+            let job = {
+                let items = Arc::clone(&items);
+                let claim = Arc::clone(&claim);
+                move |_rank: usize| loop {
+                    let i = claim.fetch_add(1, Ordering::Relaxed);
+                    let Some(cell) = items.get(i) else { break };
+                    cell.fetch_add(1, Ordering::Relaxed);
+                }
+            };
+            let ticket = pool.submit(3, Arc::new(job));
+            // The submitter is free to do unrelated work here.
+            ticket.wait();
+            for cell in items.iter() {
+                assert_eq!(cell.load(Ordering::Relaxed), 1);
+            }
+        }
+        // The pool still runs blocking jobs after ticketed ones.
+        let tracker = CommTracker::new(2, CostModel::zero());
+        let out = pool.run_partitioned(&tracker, 3, |_, item| item);
+        assert_eq!(out, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn dropped_ticket_still_completes_the_job() {
+        let pool = WorkerPool::new(2);
+        let done = Arc::new(AtomicU64::new(0));
+        let job = {
+            let done = Arc::clone(&done);
+            move |_rank: usize| {
+                done.fetch_add(1, Ordering::Relaxed);
+            }
+        };
+        drop(pool.submit(2, Arc::new(job)));
+        // Both ranks ran exactly once (rank 0 in the drop).
+        assert_eq!(done.load(Ordering::Relaxed), 2);
+        assert_eq!(pool.jobs_dispatched(), 1);
+    }
+
+    #[test]
+    fn submitted_job_panic_reaches_the_waiter() {
+        let pool = WorkerPool::new(2);
+        let boom = catch_unwind(AssertUnwindSafe(|| {
+            let ticket = pool.submit(1, Arc::new(|_rank: usize| panic!("split failure")));
+            ticket.wait();
+        }));
+        let payload = boom.expect_err("the job panic reaches the waiter");
+        let message = payload
+            .downcast_ref::<&str>()
+            .map(|s| s.to_string())
+            .unwrap_or_default();
+        assert!(message.contains("split failure"), "lost: {message:?}");
+        // The pool survives for the next submission.
+        let done = Arc::new(AtomicU64::new(0));
+        let done2 = Arc::clone(&done);
+        pool.submit(
+            2,
+            Arc::new(move |_| {
+                done2.fetch_add(1, Ordering::Relaxed);
+            }),
+        )
+        .wait();
+        assert_eq!(done.load(Ordering::Relaxed), 2);
     }
 
     #[test]

@@ -48,6 +48,16 @@ impl AddAssign for ProcStats {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CommStats {
     per_proc: Vec<ProcStats>,
+    /// Modelled communication seconds hidden behind overlapped local work,
+    /// summed over processors — the overlap *credit* the cost model grants
+    /// at each wait (`Σ_p min(posted_time_p, overlap_p)`).
+    credited_overlap_seconds: f64,
+    /// Measured wall-clock seconds of real compute/communication overlap
+    /// reported by split-phase executions (time the unpack workers were
+    /// busy while the submitter ran interior work between post and wait).
+    /// Zero on blocking paths; this is the measurement the overlap credit
+    /// is validated against.
+    measured_overlap_seconds: f64,
 }
 
 impl CommStats {
@@ -55,6 +65,8 @@ impl CommStats {
     pub fn new(num_procs: usize) -> Self {
         Self {
             per_proc: vec![ProcStats::default(); num_procs],
+            credited_overlap_seconds: 0.0,
+            measured_overlap_seconds: 0.0,
         }
     }
 
@@ -153,6 +165,33 @@ impl CommStats {
         }
     }
 
+    /// Modelled communication seconds hidden behind overlapped local work
+    /// (summed over processors and waits).
+    pub fn credited_overlap_seconds(&self) -> f64 {
+        self.credited_overlap_seconds
+    }
+
+    /// Measured wall-clock overlap seconds reported by split-phase
+    /// executions (zero on blocking paths).
+    pub fn measured_overlap_seconds(&self) -> f64 {
+        self.measured_overlap_seconds
+    }
+
+    /// Accumulates modelled overlap credit (non-positive values dropped).
+    pub fn record_credited_overlap(&mut self, seconds: f64) {
+        if seconds > 0.0 {
+            self.credited_overlap_seconds += seconds;
+        }
+    }
+
+    /// Accumulates measured wall-clock overlap (non-positive values
+    /// dropped).
+    pub fn record_measured_overlap(&mut self, seconds: f64) {
+        if seconds > 0.0 {
+            self.measured_overlap_seconds += seconds;
+        }
+    }
+
     /// Merges another statistics object (same processor count) into this
     /// one.
     pub fn merge(&mut self, other: &CommStats) {
@@ -164,6 +203,8 @@ impl CommStats {
         for (a, b) in self.per_proc.iter_mut().zip(other.per_proc.iter()) {
             *a += *b;
         }
+        self.credited_overlap_seconds += other.credited_overlap_seconds;
+        self.measured_overlap_seconds += other.measured_overlap_seconds;
     }
 
     /// Resets all counters to zero.
@@ -171,6 +212,8 @@ impl CommStats {
         for p in &mut self.per_proc {
             *p = ProcStats::default();
         }
+        self.credited_overlap_seconds = 0.0;
+        self.measured_overlap_seconds = 0.0;
     }
 }
 
@@ -252,6 +295,23 @@ mod tests {
         let mut a = CommStats::new(2);
         let b = CommStats::new(3);
         a.merge(&b);
+    }
+
+    #[test]
+    fn overlap_counters_merge_and_reset() {
+        let mut a = CommStats::new(2);
+        a.record_credited_overlap(0.25);
+        a.record_credited_overlap(-1.0); // dropped
+        a.record_measured_overlap(0.5);
+        a.record_measured_overlap(0.0); // dropped
+        let mut b = CommStats::new(2);
+        b.record_credited_overlap(0.75);
+        a.merge(&b);
+        assert!((a.credited_overlap_seconds() - 1.0).abs() < 1e-12);
+        assert!((a.measured_overlap_seconds() - 0.5).abs() < 1e-12);
+        a.reset();
+        assert_eq!(a.credited_overlap_seconds(), 0.0);
+        assert_eq!(a.measured_overlap_seconds(), 0.0);
     }
 
     #[test]

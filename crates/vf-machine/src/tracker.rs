@@ -175,11 +175,24 @@ impl CommTracker {
             per_proc_time[src] += t;
             per_proc_time[dst] += t;
         }
+        let mut credited = 0.0;
         for (p, t) in per_proc_time.into_iter().enumerate() {
             if t > 0.0 {
-                stats.proc_mut(p).comm_time += (t - overlap_of(p)).max(0.0);
+                let overlap = overlap_of(p);
+                stats.proc_mut(p).comm_time += (t - overlap).max(0.0);
+                credited += t.min(overlap.max(0.0));
             }
         }
+        stats.record_credited_overlap(credited);
+    }
+
+    /// Records `seconds` of *measured* wall-clock compute/communication
+    /// overlap — real time unpack workers were busy between a split-phase
+    /// post and its wait.  This is the measurement the modelled overlap
+    /// credit (accumulated by the waits) is validated against; blocking
+    /// paths never report any.
+    pub fn record_measured_overlap(&self, seconds: f64) {
+        self.stats.lock().record_measured_overlap(seconds);
     }
 
     /// Records `flops` floating-point operations on `proc`.
@@ -320,6 +333,21 @@ mod tests {
         let pending = t.post_many([(2usize, 0usize, 8usize)]);
         t.wait_overlapped(pending, &[]);
         assert!((t.snapshot().per_proc()[0].comm_time - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn waits_accumulate_the_overlap_credit() {
+        let t = CommTracker::new(3, CostModel::from_alpha_beta(1.0, 0.0));
+        let pending = t.post_many([(0usize, 1usize, 8usize), (0, 2, 8)]);
+        // P0 posted 2.0 s but only 0.5 s is overlapped; P1 fully hides its
+        // 1.0 s; P2 gets no credit (see wait_overlapped semantics).
+        t.wait_overlapped(pending, &[0.5, 5.0, 0.0]);
+        let s = t.snapshot();
+        assert!((s.credited_overlap_seconds() - 1.5).abs() < 1e-12);
+        assert_eq!(s.measured_overlap_seconds(), 0.0);
+        t.record_measured_overlap(0.25);
+        t.record_measured_overlap(-1.0); // dropped
+        assert!((t.snapshot().measured_overlap_seconds() - 0.25).abs() < 1e-12);
     }
 
     #[test]

@@ -36,8 +36,10 @@
 use crate::plan::{CommPlan, PlanIndex, PlanKind, PlanRun, Transfer};
 use crate::{DistArray, Element, RedistReport, Result, RuntimeError};
 use std::collections::{BTreeMap, HashMap};
-use std::sync::Arc;
-use vf_machine::{pool, spmd, CommTracker, WorkerPool};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::Instant;
+use vf_machine::{pool, spmd, CommTracker, JobTicket, WorkerPool};
 
 /// What executing a plan's communication charged to the cost model.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -468,11 +470,17 @@ impl PlanExecutor for ThreadedExecutor {
         match &self.pool {
             // Pooled: worker `rank` drains its own bin (one uncontended
             // lock each — the cells only exist to hand `&mut` bins through
-            // the shared job closure).
+            // the shared job closure).  Empty bins are dropped first so the
+            // dispatch wakes only as many workers as there are bins with
+            // work (right-sized wakes; owners are independent, so which
+            // rank drains which bin does not matter).
             Some(pool) => {
-                let cells: Vec<std::sync::Mutex<Vec<OwnerWork<'_, T>>>> =
-                    bins.into_iter().map(std::sync::Mutex::new).collect();
-                pool.run(&|rank| {
+                let cells: Vec<std::sync::Mutex<Vec<OwnerWork<'_, T>>>> = bins
+                    .into_iter()
+                    .filter(|bin| !bin.is_empty())
+                    .map(std::sync::Mutex::new)
+                    .collect();
+                pool.run_limited(cells.len(), &|rank| {
                     if let Some(cell) = cells.get(rank) {
                         apply(&mut cell.lock().unwrap_or_else(|e| e.into_inner()));
                     }
@@ -577,11 +585,13 @@ impl ThreadedExecutor {
         match &self.pool {
             // Pooled: worker `rank` takes chunk `rank` (at most one chunk
             // per worker by construction); the cells only exist to hand
-            // the `&mut` regions through the shared job closure.
+            // the `&mut` regions through the shared job closure.  The wake
+            // is sized to the chunk count — fewer chunks than workers
+            // never pays a full-pool wake.
             Some(pool) => {
                 let cells: Vec<std::sync::Mutex<HotChunk<'_, T>>> =
                     items.into_iter().map(std::sync::Mutex::new).collect();
-                pool.run(&|rank| {
+                pool.run_limited(cells.len(), &|rank| {
                     if let Some(cell) = cells.get(rank) {
                         copy_chunk(&mut cell.lock().unwrap_or_else(|e| e.into_inner()));
                     }
@@ -615,12 +625,23 @@ impl ExecBackend {
     /// available, serial otherwise.
     ///
     /// The serial/parallel cutoff can be overridden for benching through
-    /// the `VF_EXEC_CUTOFF` environment variable (bytes; `0` forces the
-    /// threaded path for every plan).
+    /// the `VF_EXEC_CUTOFF` environment variable (bytes; must be positive
+    /// — a zero value is rejected with a warning and the default cutoff is
+    /// kept, since forcing the threaded path for every plan is what the
+    /// [`ThreadedExecutor::serial_cutoff_bytes`] API is for).
     pub fn auto() -> Self {
         let mut threaded = ThreadedExecutor::auto();
         if let Ok(raw) = std::env::var("VF_EXEC_CUTOFF") {
             match raw.trim().parse::<usize>() {
+                // A zero cutoff would thread every one-element plan — far
+                // more likely a stray `VF_EXEC_CUTOFF=` / misunderstanding
+                // than intent.  Warn and keep the default rather than
+                // silently measuring a degenerate configuration.
+                Ok(0) => eprintln!(
+                    "warning: VF_EXEC_CUTOFF=0 is not honoured (it would force threaded \
+                     dispatch for every plan); keeping the default cutoff — use \
+                     ThreadedExecutor::serial_cutoff_bytes(0) to force threading in code"
+                ),
                 Ok(cutoff) => threaded = threaded.with_serial_cutoff(cutoff),
                 // A set-but-unparseable override must not be measured
                 // silently as the default: warn loudly and keep going.
@@ -1253,6 +1274,528 @@ pub fn execute_redistribute_fused_wire<T: Element, E: PlanExecutor>(
         });
     }
     Ok((reports, exec))
+}
+
+// ---------------------------------------------------------------------------
+// Split-phase wire execution: pack → post → interior compute → unpack/wait
+// ---------------------------------------------------------------------------
+
+/// What a split-phase wire execution charged and measured.
+///
+/// `messages`/`bytes` are exactly what the blocking wire path charges for
+/// the same fused plan; the two measured fields are the wall-clock
+/// instrumentation that makes the cost model's overlap credit falsifiable.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SplitExecReport {
+    /// Messages charged (one per crossing processor pair).
+    pub messages: usize,
+    /// Bytes charged.
+    pub bytes: usize,
+    /// Wall-clock seconds the *background* unpack workers were busy
+    /// between the post and the wait, clamped to the post→wait interval —
+    /// real compute/communication overlap.  Zero when the exchange ran
+    /// inline (serial backend, below-cutoff volume, or a 1-wide pool).
+    pub measured_overlap_seconds: f64,
+    /// Total wall-clock seconds spent unpacking wire buffers (background
+    /// workers plus caller help at the wait).
+    pub measured_unpack_seconds: f64,
+}
+
+/// The owned state a split-phase unpack job streams through: packed wire
+/// buffers in, per-(part, destination) buffers out.  Fully `'static` —
+/// packing and the stay-local copies read the *borrowed* sources at post
+/// time on the caller thread, so nothing in here borrows the arrays.
+struct SplitShared<T> {
+    fused: FusedPlan,
+    /// Indices into `fused.pair_elements` of the crossing pairs with
+    /// traffic — the independent unpack work items.
+    crossing: Vec<usize>,
+    /// Packed wire buffer per crossing pair (aligned with `crossing`).
+    wires: Vec<Vec<T>>,
+    /// Destination buffers, `bufs[part][proc]` — mutexes only hand `&mut`
+    /// access through the shared job; pairs into one destination write
+    /// pairwise-disjoint runs, so there is no contention on the data.
+    bufs: Vec<Vec<Mutex<Vec<T>>>>,
+    /// Next unclaimed index into `crossing` (work stealing).
+    claim: AtomicUsize,
+    /// Crossing pairs not yet unpacked, per destination processor —
+    /// per-pair completion, so a consumer can wait for one destination
+    /// without a global barrier.
+    remaining_by_dst: Vec<AtomicUsize>,
+    /// Nanoseconds background ranks spent unpacking (the overlap
+    /// measurement) and nanoseconds the caller spent helping (kept apart
+    /// so help at the wait is never misreported as overlap).
+    background_nanos: AtomicU64,
+    help_nanos: AtomicU64,
+}
+
+impl<T: Element> SplitShared<T> {
+    /// Unpacks crossing pair `crossing[k]` into its destination's per-part
+    /// buffers — the unpack half of [`wire_copy_for_dest`], run by
+    /// whichever rank claimed the item.
+    fn unpack_claimed(&self, k: usize, pi: usize) {
+        let ((s, d), _) = self.fused.pair_elements[pi];
+        let wire = &self.wires[k];
+        for sl in &self.fused.pair_slices[pi] {
+            if sl.elements == 0 {
+                continue;
+            }
+            let t = &self.fused.parts()[sl.part].transfers()
+                [self.fused.pair_transfer[sl.part][&(s, d)]];
+            let Some(cell) = self.bufs[sl.part].get(d) else {
+                continue;
+            };
+            let mut buf = cell.lock().unwrap_or_else(PoisonError::into_inner);
+            let mut off = sl.wire_offset;
+            for run in &t.runs {
+                if run.len == 0 {
+                    continue;
+                }
+                buf[run.dst_start..run.dst_start + run.len]
+                    .copy_from_slice(&wire[off..off + run.len]);
+                off += run.len;
+            }
+        }
+        // `Release` pairs with the `Acquire` load in `help_until_dest`:
+        // whoever observes zero also observes every buffer write above.
+        self.remaining_by_dst[d].fetch_sub(1, Ordering::Release);
+    }
+
+    /// Claims and unpacks items until none are left — the pool job body
+    /// (background ranks) and the caller's help at the wait (rank 0).
+    fn drain(&self, rank: usize) {
+        let timer = if rank == 0 {
+            &self.help_nanos
+        } else {
+            &self.background_nanos
+        };
+        loop {
+            let k = self.claim.fetch_add(1, Ordering::Relaxed);
+            let Some(&pi) = self.crossing.get(k) else {
+                break;
+            };
+            let t0 = Instant::now();
+            self.unpack_claimed(k, pi);
+            timer.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        }
+    }
+
+    /// Blocks until every pair arriving at destination `d` has been
+    /// unpacked, helping with unclaimed items (any destination) while
+    /// waiting.
+    fn help_until_dest(&self, d: usize) {
+        let Some(remaining) = self.remaining_by_dst.get(d) else {
+            return;
+        };
+        while remaining.load(Ordering::Acquire) > 0 {
+            if self.claim.load(Ordering::Relaxed) <= self.crossing.len() {
+                let k = self.claim.fetch_add(1, Ordering::Relaxed);
+                if let Some(&pi) = self.crossing.get(k) {
+                    let t0 = Instant::now();
+                    self.unpack_claimed(k, pi);
+                    self.help_nanos
+                        .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                    continue;
+                }
+            }
+            // All items claimed; the stragglers are in flight elsewhere.
+            std::thread::yield_now();
+        }
+    }
+}
+
+/// A fused wire exchange caught between its post and its wait — the
+/// [`SplitPhaseExchange`] engine.
+///
+/// Created by [`split_execute_fused_wire`] after the pack + post phases
+/// have completed on the caller thread: the modelled messages are posted,
+/// every crossing pair's payload sits packed in an owned wire buffer, and
+/// the stay-local runs are already copied.  With a multi-worker pool
+/// attached (and the volume above the backend cutoff) the pool's workers
+/// stream through the per-pair unpacks *concurrently with whatever the
+/// caller does next*; [`SplitPhaseExchange::wait`] helps drain the
+/// remaining pairs, completes the posted messages with exactly the
+/// blocking path's overlap credit, and returns buffers bitwise identical
+/// to [`execute_fused_wire`].
+///
+/// Per-pair completion is exposed through
+/// [`SplitPhaseExchange::wait_dest`]: a consumer that only needs one
+/// destination's data (pipelined sweeps) can proceed as soon as that
+/// destination's pairs have landed, while the rest are still in flight.
+///
+/// While the handle is live the submitting thread must not run other jobs
+/// on the same pool (the pool's submission turn is held — see
+/// [`WorkerPool::submit`]), and the source arrays must not be mutated
+/// (their relevant values are already packed; mutations would be silently
+/// ignored).
+pub struct SplitPhaseExchange<'e, T: Element> {
+    shared: Arc<SplitShared<T>>,
+    ticket: Option<JobTicket<'e>>,
+    pending: Option<vf_machine::PendingSends>,
+    copy_secs: Vec<f64>,
+    messages: usize,
+    bytes: usize,
+    posted_at: Instant,
+}
+
+impl<T: Element> SplitPhaseExchange<'_, T> {
+    /// Messages posted (one per crossing processor pair).
+    pub fn messages(&self) -> usize {
+        self.messages
+    }
+
+    /// Bytes posted.
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// Whether the unpack is streaming on background workers (`false`:
+    /// everything already ran inline at the post — serial backend, 1-wide
+    /// pool, or below-cutoff volume).
+    pub fn is_streaming(&self) -> bool {
+        self.ticket.is_some()
+    }
+
+    /// Blocks until every pair arriving at destination processor `d` has
+    /// been unpacked (helping with unclaimed pairs while waiting) — the
+    /// per-pair completion that lets a pipelined consumer start on `d`'s
+    /// data while other destinations are still in flight.  The full
+    /// [`SplitPhaseExchange::wait`] is still required afterwards.
+    pub fn wait_dest(&self, d: usize) {
+        self.shared.help_until_dest(d);
+    }
+
+    /// Runs `f` on destination processor `d`'s buffer for part `part`.
+    /// Call [`SplitPhaseExchange::wait_dest`]`(d)` first — the lock hands
+    /// out the buffer whether or not its pairs have all landed.
+    pub fn with_dest_mut<R>(&self, part: usize, d: usize, f: impl FnOnce(&mut Vec<T>) -> R) -> R {
+        let mut buf = self.shared.bufs[part][d]
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        f(&mut buf)
+    }
+
+    /// Completes the exchange: helps unpack the remaining pairs, blocks
+    /// until the background workers are done, charges the posted messages
+    /// with the same copy-overlap credit as the blocking wire path, and
+    /// records the *measured* overlap (background unpack seconds clamped
+    /// to the post→wait interval) with the tracker.  Returns the per-part,
+    /// per-processor destination buffers — bitwise identical to
+    /// [`execute_fused_wire`] — and the report.
+    pub fn wait(mut self, tracker: &CommTracker) -> (Vec<Vec<Vec<T>>>, SplitExecReport) {
+        let measured_overlap = if self.ticket.is_some() {
+            let elapsed = self.posted_at.elapsed().as_secs_f64();
+            let busy = self.shared.background_nanos.load(Ordering::Relaxed) as f64 * 1e-9;
+            busy.min(elapsed)
+        } else {
+            0.0
+        };
+        if let Some(ticket) = self.ticket.take() {
+            // Runs rank 0's share of the drain (work-steal help), then
+            // blocks until the background ranks have finished.
+            ticket.wait();
+        }
+        let pending = self.pending.take().expect("posted exactly once");
+        finish_with_copy_credit(tracker, pending, &self.copy_secs);
+        tracker.record_measured_overlap(measured_overlap);
+        let measured_unpack = (self.shared.background_nanos.load(Ordering::Relaxed)
+            + self.shared.help_nanos.load(Ordering::Relaxed)) as f64
+            * 1e-9;
+        let shared = Arc::try_unwrap(self.shared)
+            .ok()
+            .expect("job complete: the ticket held the only other reference");
+        let bufs = shared
+            .bufs
+            .into_iter()
+            .map(|per_proc| {
+                per_proc
+                    .into_iter()
+                    .map(|cell| cell.into_inner().unwrap_or_else(PoisonError::into_inner))
+                    .collect()
+            })
+            .collect();
+        (
+            bufs,
+            SplitExecReport {
+                messages: self.messages,
+                bytes: self.bytes,
+                measured_overlap_seconds: measured_overlap,
+                measured_unpack_seconds: measured_unpack,
+            },
+        )
+    }
+}
+
+/// The split-phase counterpart of [`execute_fused_wire`]: charges the
+/// directory fetches, posts the single-message-per-pair batch, packs every
+/// crossing pair's wire buffer and copies the stay-local runs (all on the
+/// caller thread — these phases read the borrowed sources), then hands the
+/// owned per-pair unpacks to the backend's worker pool and **returns**.
+/// The caller runs its interior compute while the pairs stream; see
+/// [`SplitPhaseExchange`] for the wait side.
+///
+/// Without a multi-worker pool (or below the backend's serial cutoff) the
+/// unpack runs inline before returning — same buffers, same charges, zero
+/// measured overlap.
+pub(crate) fn split_execute_fused_wire<'e, T: Element>(
+    fused: FusedPlan,
+    tracker: &CommTracker,
+    backend: &'e ExecBackend,
+    srcs: &[&[Vec<T>]],
+    dst_sizes: &[Vec<usize>],
+) -> SplitPhaseExchange<'e, T> {
+    for part in fused.parts() {
+        part.charge_directory(tracker);
+    }
+    let batch = fused.message_batch(T::BYTES);
+    let messages = batch.len();
+    let bytes: usize = batch.iter().map(|m| m.2).sum();
+    let pending = tracker.post_many(batch);
+    let copy_secs = wire_copy_seconds(&fused, T::BYTES, tracker);
+
+    // Destination buffers (default-filled) with the stay-local runs copied
+    // in now — exactly the local half of `wire_copy_for_dest`.
+    let mut bufs: Vec<Vec<Mutex<Vec<T>>>> = Vec::with_capacity(fused.parts().len());
+    for (idx, sizes) in dst_sizes.iter().enumerate() {
+        let part = &fused.parts()[idx];
+        let mut per_proc = Vec::with_capacity(sizes.len());
+        for (d, &len) in sizes.iter().enumerate() {
+            let mut buf = vec![T::default(); len];
+            if let Some(&ti) = fused.pair_transfer[idx].get(&(d, d)) {
+                let src_local = &srcs[idx][d];
+                for run in &part.transfers()[ti].runs {
+                    if run.len == 0 {
+                        continue;
+                    }
+                    buf[run.dst_start..run.dst_start + run.len]
+                        .copy_from_slice(&src_local[run.src_start..run.src_start + run.len]);
+                }
+            }
+            per_proc.push(Mutex::new(buf));
+        }
+        bufs.push(per_proc);
+    }
+
+    // Pack every crossing pair's wire buffer — the pack half of
+    // `wire_copy_for_dest`, reading the borrowed sources caller-side.
+    let crossing: Vec<usize> = fused
+        .pair_elements
+        .iter()
+        .enumerate()
+        .filter(|&(_, &((s, d), total))| s != d && total > 0)
+        .map(|(i, _)| i)
+        .collect();
+    let wires: Vec<Vec<T>> = crossing
+        .iter()
+        .map(|&pi| {
+            let ((s, d), total) = fused.pair_elements[pi];
+            let mut wire = vec![T::default(); total];
+            for sl in &fused.pair_slices[pi] {
+                if sl.elements == 0 {
+                    continue;
+                }
+                let t = &fused.parts()[sl.part].transfers()[fused.pair_transfer[sl.part][&(s, d)]];
+                let src_local = &srcs[sl.part][s];
+                let mut off = sl.wire_offset;
+                for run in &t.runs {
+                    if run.len == 0 {
+                        continue;
+                    }
+                    wire[off..off + run.len]
+                        .copy_from_slice(&src_local[run.src_start..run.src_start + run.len]);
+                    off += run.len;
+                }
+                debug_assert_eq!(off, sl.wire_offset + sl.elements, "slice fills its window");
+            }
+            wire
+        })
+        .collect();
+
+    let mut remaining = vec![0usize; fused.pairs_by_dst.len()];
+    for &pi in &crossing {
+        remaining[fused.pair_elements[pi].0 .1] += 1;
+    }
+    let unpack_bytes = fused.moved_elements() * T::BYTES;
+    let shared = Arc::new(SplitShared {
+        fused,
+        crossing,
+        wires,
+        bufs,
+        claim: AtomicUsize::new(0),
+        remaining_by_dst: remaining.into_iter().map(AtomicUsize::new).collect(),
+        background_nanos: AtomicU64::new(0),
+        help_nanos: AtomicU64::new(0),
+    });
+
+    // Stream through the pool when there are background workers to stream
+    // on and the volume clears the backend's cutoff; otherwise unpack
+    // inline now (no overlap, identical results).
+    let streaming_pool = match backend {
+        ExecBackend::Threaded(t)
+            if !shared.crossing.is_empty() && unpack_bytes >= t.effective_serial_cutoff() =>
+        {
+            t.pool().filter(|p| p.workers() > 1)
+        }
+        _ => None,
+    };
+    let ticket = match streaming_pool {
+        Some(pool) => {
+            let job = Arc::clone(&shared);
+            // Rank 0 (the caller) helps at the wait; wake only as many
+            // background ranks as there are pairs to unpack.
+            let width = 1 + shared.crossing.len().min(pool.workers() - 1);
+            Some(pool.submit(width, Arc::new(move |rank| job.drain(rank))))
+        }
+        None => {
+            shared.drain(0);
+            None
+        }
+    };
+    SplitPhaseExchange {
+        shared,
+        ticket,
+        pending: Some(pending),
+        copy_secs,
+        messages,
+        bytes,
+        posted_at: Instant::now(),
+    }
+}
+
+/// A single-array redistribution caught between its post and its wait —
+/// the split-phase counterpart of
+/// [`redistribute_cached_with`](crate::redistribute_cached_with), built on
+/// [`SplitPhaseExchange`].
+///
+/// Created by [`redistribute_split`] after packing the crossing payloads
+/// and posting the modelled messages.  The caller can then:
+///
+/// 1. run any work that does not touch the array while the destination
+///    buffers stream in on the pool's background workers,
+/// 2. pipeline per-destination: [`SplitRedistribute::wait_dest`]`(d)`
+///    followed by [`SplitRedistribute::with_dest_mut`]`(d, ..)` operates
+///    on destination `d`'s *new* local buffer while other destinations
+///    are still in flight (the ADI sweep works this way),
+/// 3. call [`SplitRedistribute::finish_into`] to install the new locals
+///    and descriptor — results bitwise identical to the blocking path.
+pub struct SplitRedistribute<'e, T: Element> {
+    inner: SplitPhaseExchange<'e, T>,
+    new_dist: vf_dist::Distribution,
+    src_fingerprint: u64,
+    moved: usize,
+    stayed: usize,
+    plan_messages: usize,
+    plan_bytes: usize,
+}
+
+impl<T: Element> SplitRedistribute<'_, T> {
+    /// The distribution the array will have after
+    /// [`SplitRedistribute::finish_into`].
+    pub fn new_dist(&self) -> &vf_dist::Distribution {
+        &self.new_dist
+    }
+
+    /// Whether the unpack is streaming on background workers.
+    pub fn is_streaming(&self) -> bool {
+        self.inner.is_streaming()
+    }
+
+    /// Blocks until destination processor `d`'s new local buffer is fully
+    /// assembled (helping unpack while waiting); other destinations may
+    /// still be in flight.
+    pub fn wait_dest(&self, d: usize) {
+        self.inner.wait_dest(d);
+    }
+
+    /// Runs `f` on destination processor `d`'s new local buffer.  Call
+    /// [`SplitRedistribute::wait_dest`]`(d)` first; mutations made here are
+    /// what [`SplitRedistribute::finish_into`] installs.
+    pub fn with_dest_mut<R>(&self, d: usize, f: impl FnOnce(&mut Vec<T>) -> R) -> R {
+        self.inner.with_dest_mut(0, d, f)
+    }
+
+    /// Completes the exchange and installs the new locals and descriptor
+    /// into `array` (which must still carry the distribution the plan was
+    /// posted from), broadcasting to replicated copies exactly like the
+    /// blocking path.
+    ///
+    /// # Errors
+    /// [`RuntimeError::PlanMismatch`] if `array` was redistributed between
+    /// the post and this call.
+    pub fn finish_into(
+        self,
+        array: &mut DistArray<T>,
+        tracker: &CommTracker,
+    ) -> Result<(RedistReport, SplitExecReport)> {
+        if array.dist().fingerprint() != self.src_fingerprint {
+            return Err(RuntimeError::PlanMismatch {
+                expected: self.src_fingerprint,
+                found: array.dist().fingerprint(),
+            });
+        }
+        let (mut bufs, report) = self.inner.wait(tracker);
+        let locals = bufs.pop().expect("exactly one fused part");
+        array.replace(self.new_dist, locals);
+        array.broadcast_canonical();
+        Ok((
+            RedistReport {
+                moved_elements: self.moved,
+                stayed_elements: self.stayed,
+                messages: self.plan_messages,
+                bytes: self.plan_bytes,
+            },
+            report,
+        ))
+    }
+}
+
+/// Posts a split-phase redistribution of `array` to `new_dist`: plans (or
+/// reuses) the schedule through `cache`, packs the crossing payloads,
+/// posts the aggregated messages, copies the stay-local runs, and returns
+/// with the per-destination unpacks streaming on `backend`'s pool (inline
+/// when the backend is serial or the volume is below its cutoff).  The
+/// array itself is untouched until [`SplitRedistribute::finish_into`];
+/// it must not be mutated while the handle is live (the packed payloads
+/// would silently ignore the mutation).
+///
+/// # Errors
+/// Exactly as [`redistribute_cached_with`](crate::redistribute_cached_with):
+/// everything is validated before any message is posted.
+pub fn redistribute_split<'e, T: Element>(
+    array: &DistArray<T>,
+    new_dist: vf_dist::Distribution,
+    tracker: &CommTracker,
+    cache: &crate::plan::PlanCache,
+    backend: &'e ExecBackend,
+) -> Result<SplitRedistribute<'e, T>> {
+    let plan = cache.redistribute_plan(array.dist(), &new_dist)?;
+    plan.check_executable(array.dist(), tracker)?;
+    let fused = FusedPlan::fuse(vec![plan])?;
+    let (dst_sizes, src_fingerprint, moved, stayed, plan_messages, plan_bytes) = {
+        let part = &fused.parts()[0];
+        let mut sizes = vec![0usize; part.total_procs()];
+        for &q in new_dist.proc_ids() {
+            sizes[q.0] = new_dist.local_size(q);
+        }
+        (
+            sizes,
+            part.src_fingerprint(),
+            part.moved_elements(),
+            part.stayed_elements(),
+            part.num_messages(),
+            part.bytes_for(T::BYTES),
+        )
+    };
+    let inner = split_execute_fused_wire(fused, tracker, backend, &[array.locals()], &[dst_sizes]);
+    Ok(SplitRedistribute {
+        inner,
+        new_dist,
+        src_fingerprint,
+        moved,
+        stayed,
+        plan_messages,
+        plan_bytes,
+    })
 }
 
 #[cfg(test)]

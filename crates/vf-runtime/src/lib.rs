@@ -58,8 +58,9 @@ pub use descriptor::ArrayDescriptor;
 pub use element::{decode_slice, encode_slice, Element};
 pub use error::RuntimeError;
 pub use exec::{
-    execute_redistribute_fused, execute_redistribute_fused_wire, ExecBackend, ExecReport,
-    FusedPlan, FusedSlice, PlanExecutor, SerialExecutor, ThreadedExecutor,
+    execute_redistribute_fused, execute_redistribute_fused_wire, redistribute_split, ExecBackend,
+    ExecReport, FusedPlan, FusedSlice, PlanExecutor, SerialExecutor, SplitExecReport,
+    SplitPhaseExchange, SplitRedistribute, ThreadedExecutor,
 };
 pub use plan::{CommPlan, PlanCache, PlanCacheStats, PlanKind, PlanRun, Transfer};
 pub use redistribute_impl::{

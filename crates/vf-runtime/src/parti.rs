@@ -18,8 +18,11 @@
 //! * [`execute_scatter`] — pushes updates to owners with a user-supplied
 //!   combine function, placement planned through [`crate::plan::plan_scatter`].
 
-use crate::exec::{PlanExecutor, SerialExecutor};
-use crate::ghost::{exchange_ghosts_planned_with, GhostRegion, GhostReport};
+use crate::exec::{ExecBackend, PlanExecutor, SerialExecutor};
+use crate::ghost::{
+    exchange_ghosts_planned_split, exchange_ghosts_planned_with, GhostRegion, GhostReport,
+    SplitGhostExchange,
+};
 use crate::plan::{
     plan_gather, plan_ghost_irregular, plan_scatter, CommPlan, PlanCache, PlanIndex, PlanKind,
 };
@@ -215,6 +218,19 @@ pub fn execute_halo_with<T: Element, E: PlanExecutor>(
     executor: &E,
 ) -> Result<(GhostRegion<T>, GhostReport)> {
     exchange_ghosts_planned_with(array, &schedule.plan, tracker, executor)
+}
+
+/// Split-phase variant of [`execute_halo_with`]: packs and posts the halo
+/// immediately and returns an in-flight [`SplitGhostExchange`], so the
+/// caller can sweep interior nodes (all neighbours same-owner) while the
+/// cut-edge halo streams in, then `wait()` and finish the boundary nodes.
+pub fn execute_halo_split<'e, T: Element>(
+    array: &DistArray<T>,
+    schedule: &IncrementalSchedule,
+    tracker: &CommTracker,
+    backend: &'e ExecBackend,
+) -> Result<SplitGhostExchange<'e, T>> {
+    exchange_ghosts_planned_split(array, &schedule.plan, tracker, backend)
 }
 
 /// The values fetched by [`execute_gather`], addressable by global index
