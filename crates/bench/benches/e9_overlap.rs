@@ -150,7 +150,7 @@ fn main() {
     assert_eq!(split.messages(), exec.messages, "messages not conserved");
     assert_eq!(split.bytes(), exec.bytes, "bytes not conserved");
     let streaming = split.is_streaming();
-    let (split_regions, probe) = split.wait(&tracker);
+    let (split_regions, probe) = split.wait(&tracker).unwrap();
     for (a, b) in blocking_regions.iter().zip(&split_regions) {
         for proc in dist.proc_ids() {
             assert_eq!(a.len(*proc), b.len(*proc), "ghost slot counts differ");
@@ -214,7 +214,7 @@ fn main() {
         let split =
             exchange_ghosts_fused_wire_split(refs, &WIDTHS, tracker, cache, backend).unwrap();
         let acc = black_box(compute_kernel(dense, iters));
-        let (_, report) = split.wait(tracker);
+        let (_, report) = split.wait(tracker).unwrap();
         (vec![acc], report)
     }
     let (credited, report) = overlap_once(iters);

@@ -116,21 +116,36 @@ impl<T: Element> ClassHaloExchange<'_, T> {
         self.inner.wait_dest(proc);
     }
 
+    /// Cancels the exchange without taking the regions: the in-flight
+    /// unpack is drained and the posted charges settled (the messages were
+    /// already sent).  Equivalent to dropping the handle.
+    pub fn cancel(self) {
+        self.inner.cancel();
+    }
+
     /// Completes the exchange: ghost regions bitwise identical to
     /// [`VfScope::exchange_class_ghosts`], plus the split-phase report
     /// with the *measured* wall-clock overlap.
-    pub fn wait(self) -> (ClassGhosts<T>, SplitExecReport) {
-        let (regions, report) = self.inner.wait(self.tracker);
-        (self.names.into_iter().zip(regions).collect(), report)
+    ///
+    /// # Errors
+    /// An unrepairable [`vf_runtime::RuntimeError::CorruptMessage`] —
+    /// charges are settled and the corrupt payload is never unpacked.
+    pub fn wait(self) -> Result<(ClassGhosts<T>, SplitExecReport)> {
+        let (regions, report) = self.inner.wait(self.tracker)?;
+        Ok((self.names.into_iter().zip(regions).collect(), report))
     }
 
     /// Completes the exchange and swaps the fresh regions into `halo`'s
     /// front buffer (the previous front retires to the back) — the
     /// double-buffered form of [`ClassHaloExchange::wait`].
-    pub fn wait_into(self, halo: &mut ClassHalo<T>) -> SplitExecReport {
-        let (fresh, report) = self.wait();
+    ///
+    /// # Errors
+    /// Exactly as [`ClassHaloExchange::wait`]; `halo` is left untouched on
+    /// error.
+    pub fn wait_into(self, halo: &mut ClassHalo<T>) -> Result<SplitExecReport> {
+        let (fresh, report) = self.wait()?;
         halo.publish(fresh);
-        report
+        Ok(report)
     }
 }
 

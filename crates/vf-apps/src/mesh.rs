@@ -484,7 +484,9 @@ pub fn run_sweep(mesh: &Mesh, config: &MeshSweepConfig, machine: &Machine) -> Me
             for u in (0..n).filter(|&u| is_interior(u)) {
                 update(u, None);
             }
-            let (mut regions, _halo_report) = split.wait(tracker);
+            let (mut regions, _halo_report) = split
+                .wait(tracker)
+                .expect("split-phase halo exchange survives injected faults");
             let halo = regions.pop().expect("exactly one halo part");
             for u in (0..n).filter(|&u| !is_interior(u)) {
                 update(u, Some(&halo));

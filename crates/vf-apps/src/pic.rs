@@ -311,7 +311,8 @@ pub fn run(config: &PicConfig, machine: &Machine, initial_particles: &[Particle]
         }
         // Complete the halo posted before the push — the whole particle
         // phase ran in its shadow.
-        let _ = halo.wait(&tracker);
+        halo.wait(&tracker)
+            .expect("split-phase halo exchange survives injected faults");
 
         per_step.push(PicStepStats {
             step,

@@ -371,7 +371,9 @@ pub fn run_class(
         for ((src, dst), field_counts) in current.iter().zip(next.iter_mut()).zip(&mut counts) {
             relax_field_pass(&dist, n, src, None, dst, RelaxPass::Interior, field_counts);
         }
-        let (regions, _split_report) = split.wait(&tracker);
+        let (regions, _split_report) = split
+            .wait(&tracker)
+            .expect("split-phase ghost exchange survives injected faults");
         for (field, ((src, dst), field_counts)) in current
             .iter()
             .zip(next.iter_mut())

@@ -35,6 +35,7 @@
 #![warn(missing_docs)]
 
 mod cost;
+pub mod fault;
 mod machine;
 pub mod pool;
 pub mod spmd;
@@ -43,6 +44,7 @@ mod topology;
 mod tracker;
 
 pub use cost::CostModel;
+pub use fault::{CorruptSpec, FaultInjector, FaultKind, FaultPlan};
 pub use machine::Machine;
 pub use pool::{JobTicket, WorkerCtx, WorkerPool};
 pub use stats::{CommStats, ProcStats};

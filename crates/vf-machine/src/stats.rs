@@ -58,6 +58,17 @@ pub struct CommStats {
     /// Zero on blocking paths; this is the measurement the overlap credit
     /// is validated against.
     measured_overlap_seconds: f64,
+    /// Modelled message retransmissions performed by the recovery paths
+    /// (transient send failures, detected wire corruption).  Always zero
+    /// on fault-free runs.
+    retries: usize,
+    /// Faults the [`FaultInjector`](crate::FaultInjector) fired and the
+    /// stack acted upon; chaos tests assert this matches the injector's
+    /// own count.
+    faults_injected: usize,
+    /// Degraded-mode transitions taken (pooled → fresh-spawn/serial on a
+    /// worker death, split-phase → blocking on a cancelled handle).
+    fallbacks: usize,
 }
 
 impl CommStats {
@@ -67,6 +78,9 @@ impl CommStats {
             per_proc: vec![ProcStats::default(); num_procs],
             credited_overlap_seconds: 0.0,
             measured_overlap_seconds: 0.0,
+            retries: 0,
+            faults_injected: 0,
+            fallbacks: 0,
         }
     }
 
@@ -192,6 +206,36 @@ impl CommStats {
         }
     }
 
+    /// Modelled message retransmissions performed by the recovery paths.
+    pub fn retries(&self) -> usize {
+        self.retries
+    }
+
+    /// Injected faults the execution stack acted upon.
+    pub fn faults_injected(&self) -> usize {
+        self.faults_injected
+    }
+
+    /// Degraded-mode transitions taken.
+    pub fn fallbacks(&self) -> usize {
+        self.fallbacks
+    }
+
+    /// Counts `n` modelled retransmissions.
+    pub fn record_retries(&mut self, n: usize) {
+        self.retries += n;
+    }
+
+    /// Counts `n` injected faults acted upon.
+    pub fn record_faults(&mut self, n: usize) {
+        self.faults_injected += n;
+    }
+
+    /// Counts `n` degraded-mode transitions.
+    pub fn record_fallbacks(&mut self, n: usize) {
+        self.fallbacks += n;
+    }
+
     /// Merges another statistics object (same processor count) into this
     /// one.
     pub fn merge(&mut self, other: &CommStats) {
@@ -205,6 +249,9 @@ impl CommStats {
         }
         self.credited_overlap_seconds += other.credited_overlap_seconds;
         self.measured_overlap_seconds += other.measured_overlap_seconds;
+        self.retries += other.retries;
+        self.faults_injected += other.faults_injected;
+        self.fallbacks += other.fallbacks;
     }
 
     /// Resets all counters to zero.
@@ -214,6 +261,9 @@ impl CommStats {
         }
         self.credited_overlap_seconds = 0.0;
         self.measured_overlap_seconds = 0.0;
+        self.retries = 0;
+        self.faults_injected = 0;
+        self.fallbacks = 0;
     }
 }
 
@@ -228,7 +278,15 @@ impl fmt::Display for CommStats {
             self.total_compute_time(),
             self.critical_time(),
             self.load_imbalance()
-        )
+        )?;
+        if self.faults_injected > 0 {
+            write!(
+                f,
+                ", {} faults ({} retries, {} fallbacks)",
+                self.faults_injected, self.retries, self.fallbacks
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -321,5 +379,26 @@ mod tests {
         let txt = s.to_string();
         assert!(txt.contains("1 msgs"));
         assert!(txt.contains("8 bytes"));
+        assert!(!txt.contains("faults"), "fault-free display stays terse");
+        s.record_faults(2);
+        s.record_retries(3);
+        assert!(s.to_string().contains("2 faults (3 retries, 0 fallbacks)"));
+    }
+
+    #[test]
+    fn fault_counters_merge_and_reset() {
+        let mut a = CommStats::new(2);
+        a.record_retries(2);
+        a.record_faults(1);
+        a.record_fallbacks(1);
+        let mut b = CommStats::new(2);
+        b.record_retries(1);
+        b.record_faults(4);
+        a.merge(&b);
+        assert_eq!(a.retries(), 3);
+        assert_eq!(a.faults_injected(), 5);
+        assert_eq!(a.fallbacks(), 1);
+        a.reset();
+        assert_eq!((a.retries(), a.faults_injected(), a.fallbacks()), (0, 0, 0));
     }
 }

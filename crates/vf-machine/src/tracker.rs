@@ -1,5 +1,6 @@
 //! Shared communication tracker used by the master-managed runtime.
 
+use crate::fault::FaultInjector;
 use crate::{CommStats, CostModel};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
@@ -64,6 +65,7 @@ impl PendingSends {
 pub struct CommTracker {
     cost: CostModel,
     stats: Arc<Mutex<CommStats>>,
+    injector: Option<Arc<FaultInjector>>,
 }
 
 impl CommTracker {
@@ -72,7 +74,22 @@ impl CommTracker {
         Self {
             cost,
             stats: Arc::new(Mutex::new(CommStats::new(num_procs))),
+            injector: None,
         }
+    }
+
+    /// Attaches a [`FaultInjector`]: posted batches and page fetches may
+    /// then suffer injected transient failures and delays, and the
+    /// executors holding this tracker poll the injector for corruption,
+    /// worker-death and cancellation faults.
+    pub fn with_fault_injector(mut self, injector: Arc<FaultInjector>) -> Self {
+        self.injector = Some(injector);
+        self
+    }
+
+    /// The attached fault injector, if any.
+    pub fn fault_injector(&self) -> Option<&Arc<FaultInjector>> {
+        self.injector.as_ref()
     }
 
     /// The cost model in use.
@@ -120,23 +137,156 @@ impl CommTracker {
     ///
     /// `post_many` + `wait(.., 0.0)` charges exactly what
     /// [`CommTracker::send_many`] charges for the same batch.
+    /// With a fault injector attached, posting is also the *message post*
+    /// injection point: a transient send failure adds the modelled
+    /// retransmissions plus exponential backoff to one message's duration
+    /// (and counts the retries), a delayed delivery adds extra latency.
+    /// Message and byte counts stay those of the logical batch.
     pub fn post_many<I>(&self, messages: I) -> PendingSends
     where
         I: IntoIterator<Item = (usize, usize, usize)>,
     {
-        PendingSends {
-            messages: messages
-                .into_iter()
-                .map(|(src, dst, bytes)| {
-                    (
-                        src,
-                        dst,
-                        bytes,
-                        self.cost.message_time_between(bytes, src, dst),
-                    )
-                })
-                .collect(),
+        let mut messages: Vec<_> = messages
+            .into_iter()
+            .map(|(src, dst, bytes)| {
+                (
+                    src,
+                    dst,
+                    bytes,
+                    self.cost.message_time_between(bytes, src, dst),
+                )
+            })
+            .collect();
+        if let Some(inj) = &self.injector {
+            self.inject_post_faults(inj, &mut messages);
         }
+        PendingSends { messages }
+    }
+
+    /// Applies message-post faults to a freshly posted batch (self
+    /// messages are never victims — they are free and carry no wire).
+    fn inject_post_faults(&self, inj: &FaultInjector, messages: &mut [(usize, usize, usize, f64)]) {
+        let crossing: Vec<usize> = messages
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| m.0 != m.1)
+            .map(|(i, _)| i)
+            .collect();
+        if crossing.is_empty() {
+            return;
+        }
+        let mut faults = 0;
+        let mut retries = 0;
+        if let Some(attempts) = inj.transient_send() {
+            let k = crossing[inj.pick(crossing.len())];
+            let base = messages[k].3;
+            messages[k].3 += attempts as f64 * base + inj.plan().backoff_seconds(attempts);
+            faults += 1;
+            retries += attempts;
+        }
+        if let Some(delay) = inj.delayed_delivery() {
+            let k = crossing[inj.pick(crossing.len())];
+            messages[k].3 += delay;
+            faults += 1;
+        }
+        if faults > 0 {
+            let mut stats = self.stats.lock();
+            stats.record_faults(faults);
+            stats.record_retries(retries);
+        }
+    }
+
+    /// [`CommTracker::send_many`] for translation-page fetches — the
+    /// *page fetch* injection point.  With an injector attached, one fetch
+    /// of the batch may fail transiently: its modelled retransmissions
+    /// plus backoff are charged to both endpoints and the retries
+    /// counted.
+    pub fn send_page_fetches<I>(&self, messages: I)
+    where
+        I: IntoIterator<Item = (usize, usize, usize)>,
+    {
+        let messages: Vec<_> = messages.into_iter().collect();
+        let fault = self.injector.as_ref().and_then(|inj| {
+            let crossing: Vec<usize> = messages
+                .iter()
+                .enumerate()
+                .filter(|(_, m)| m.0 != m.1)
+                .map(|(i, _)| i)
+                .collect();
+            if crossing.is_empty() {
+                return None;
+            }
+            inj.transient_send().map(|attempts| {
+                (
+                    crossing[inj.pick(crossing.len())],
+                    attempts,
+                    inj.plan().backoff_seconds(attempts),
+                )
+            })
+        });
+        let mut stats = self.stats.lock();
+        for (i, &(src, dst, bytes)) in messages.iter().enumerate() {
+            if src == dst {
+                continue;
+            }
+            let t = self.cost.message_time_between(bytes, src, dst);
+            stats.record_message(src, dst, bytes, t);
+            if let Some((k, attempts, backoff)) = fault {
+                if k == i {
+                    let extra = attempts as f64 * t + backoff;
+                    stats.proc_mut(src).comm_time += extra;
+                    stats.proc_mut(dst).comm_time += extra;
+                }
+            }
+        }
+        if let Some((_, attempts, _)) = fault {
+            stats.record_faults(1);
+            stats.record_retries(attempts);
+        }
+    }
+
+    /// Charges `attempts` modelled retransmissions of a `(src → dst,
+    /// bytes)` message plus exponential backoff as communication time on
+    /// both endpoints, and counts the retries — what the wire executors
+    /// charge when a frame checksum detects corruption and the payload is
+    /// resent.
+    pub fn charge_retransmissions(&self, src: usize, dst: usize, bytes: usize, attempts: usize) {
+        if attempts == 0 || src == dst {
+            return;
+        }
+        let backoff = self
+            .injector
+            .as_ref()
+            .map(|i| i.plan().backoff_seconds(attempts))
+            .unwrap_or(0.0);
+        let t = attempts as f64 * self.cost.message_time_between(bytes, src, dst) + backoff;
+        let mut stats = self.stats.lock();
+        stats.proc_mut(src).comm_time += t;
+        stats.proc_mut(dst).comm_time += t;
+        stats.record_retries(attempts);
+    }
+
+    /// Counts one injected fault acted upon by the execution stack.
+    pub fn record_fault(&self) {
+        self.stats.lock().record_faults(1);
+    }
+
+    /// Counts one degraded-mode transition (pooled → fresh-spawn/serial,
+    /// split-phase → blocking).
+    pub fn record_fallback(&self) {
+        self.stats.lock().record_fallbacks(1);
+    }
+
+    /// Flushes fault counters accumulated off-thread (e.g. by streaming
+    /// unpack workers) into the statistics in one lock acquisition.
+    pub fn record_fault_counters(&self, faults: usize, retries: usize, fallbacks: usize) {
+        if faults == 0 && retries == 0 && fallbacks == 0 {
+            return;
+        }
+        let mut stats = self.stats.lock();
+        stats.record_faults(faults);
+        stats.record_retries(retries);
+        stats.record_fallbacks(fallbacks);
     }
 
     /// Completes a posted batch: message and byte counts are recorded in
@@ -403,6 +553,91 @@ mod tests {
         t.collective(CollectiveKind::AllReduce, 0);
         let s = t.snapshot();
         assert_eq!(s.per_proc()[0].messages_sent, 4); // 2 * log2(4)
+    }
+
+    #[test]
+    fn injected_transient_send_charges_retries() {
+        use crate::fault::{FaultInjector, FaultKind, FaultPlan};
+        let plan = FaultPlan::new(1)
+            .with_rate(1.0)
+            .with_kinds(&[FaultKind::TransientSend]);
+        let inj = Arc::new(FaultInjector::new(plan));
+        let t = CommTracker::new(2, CostModel::from_alpha_beta(1.0, 0.0))
+            .with_fault_injector(Arc::clone(&inj));
+        let pending = t.post_many([(0usize, 1usize, 8usize)]);
+        t.wait(pending, 0.0);
+        let s = t.snapshot();
+        assert_eq!(s.faults_injected(), inj.faults_injected());
+        assert_eq!(s.retries(), inj.expected_retries());
+        assert!(s.retries() >= 1);
+        // The logical message count is unchanged; only time grows.
+        assert_eq!(s.total_messages(), 1);
+        assert!(s.per_proc()[0].comm_time > 1.0);
+    }
+
+    #[test]
+    fn self_only_batches_are_never_fault_victims() {
+        use crate::fault::{FaultInjector, FaultPlan};
+        let inj = Arc::new(FaultInjector::new(FaultPlan::new(2).with_rate(1.0)));
+        let t = CommTracker::new(2, CostModel::from_alpha_beta(1.0, 0.0)).with_fault_injector(inj);
+        let pending = t.post_many([(1usize, 1usize, 8usize)]);
+        t.wait(pending, 0.0);
+        let s = t.snapshot();
+        assert_eq!(s.faults_injected(), 0);
+        assert_eq!(s.retries(), 0);
+    }
+
+    #[test]
+    fn page_fetches_match_send_many_without_injector() {
+        let a = CommTracker::new(4, CostModel::from_alpha_beta(1.0, 0.5));
+        let b = CommTracker::new(4, CostModel::from_alpha_beta(1.0, 0.5));
+        let messages = [(0usize, 1usize, 10usize), (2, 3, 4), (1, 1, 99)];
+        a.send_page_fetches(messages);
+        b.send_many(messages);
+        assert_eq!(a.snapshot(), b.snapshot());
+    }
+
+    #[test]
+    fn page_fetch_faults_add_time_and_retries() {
+        use crate::fault::{FaultInjector, FaultKind, FaultPlan};
+        let plan = FaultPlan::new(6)
+            .with_rate(1.0)
+            .with_kinds(&[FaultKind::TransientSend]);
+        let inj = Arc::new(FaultInjector::new(plan));
+        let t = CommTracker::new(2, CostModel::from_alpha_beta(1.0, 0.0))
+            .with_fault_injector(Arc::clone(&inj));
+        t.send_page_fetches([(0usize, 1usize, 8usize)]);
+        let s = t.snapshot();
+        assert_eq!(s.faults_injected(), 1);
+        assert_eq!(s.retries(), inj.expected_retries());
+        assert!(s.per_proc()[1].comm_time > 1.0);
+    }
+
+    #[test]
+    fn charge_retransmissions_counts_and_charges() {
+        let t = CommTracker::new(2, CostModel::from_alpha_beta(1.0, 0.0));
+        t.charge_retransmissions(0, 1, 8, 2);
+        let s = t.snapshot();
+        assert_eq!(s.retries(), 2);
+        assert!((s.per_proc()[0].comm_time - 2.0).abs() < 1e-12);
+        assert!((s.per_proc()[1].comm_time - 2.0).abs() < 1e-12);
+        // Self messages and zero attempts are no-ops.
+        t.charge_retransmissions(1, 1, 8, 3);
+        t.charge_retransmissions(0, 1, 8, 0);
+        assert_eq!(t.snapshot().retries(), 2);
+    }
+
+    #[test]
+    fn fault_counter_records_accumulate() {
+        let t = CommTracker::new(2, CostModel::zero());
+        t.record_fault();
+        t.record_fallback();
+        t.record_fault_counters(2, 3, 1);
+        t.record_fault_counters(0, 0, 0); // no-op
+        let s = t.snapshot();
+        assert_eq!(s.faults_injected(), 3);
+        assert_eq!(s.retries(), 3);
+        assert_eq!(s.fallbacks(), 2);
     }
 
     #[test]

@@ -16,6 +16,24 @@ pub trait Element: Copy + Send + Sync + Default + PartialEq + std::fmt::Debug + 
 
     /// Decodes a value from exactly [`Element::BYTES`] bytes.
     fn read_bytes(bytes: &[u8]) -> Self;
+
+    /// The value's stored bit pattern widened to 64 bits — the unit the
+    /// wire-frame checksum folds over.  Values that compare equal must
+    /// produce equal bits, and distinct bit patterns must produce
+    /// distinct `to_bits64` results (within the low `BYTES · 8` bits).
+    fn to_bits64(&self) -> u64;
+
+    /// Reconstructs a value from [`Element::to_bits64`] output (only the
+    /// low `BYTES · 8` bits are significant).
+    fn from_bits64(bits: u64) -> Self;
+
+    /// The value with stored bit `bit % (BYTES · 8)` flipped — guaranteed
+    /// to differ bitwise from `self`, which is what makes injected wire
+    /// corruption always detectable by the frame checksum.
+    fn flip_bit(self, bit: u32) -> Self {
+        let width = (Self::BYTES * 8) as u32;
+        Self::from_bits64(self.to_bits64() ^ (1u64 << (bit % width)))
+    }
 }
 
 macro_rules! impl_element_num {
@@ -30,6 +48,18 @@ macro_rules! impl_element_num {
 
                 fn read_bytes(bytes: &[u8]) -> Self {
                     <$t>::from_le_bytes(bytes[..$n].try_into().expect("enough bytes"))
+                }
+
+                #[inline]
+                fn to_bits64(&self) -> u64 {
+                    let mut bits = [0u8; 8];
+                    bits[..$n].copy_from_slice(&self.to_le_bytes());
+                    u64::from_le_bytes(bits)
+                }
+
+                #[inline]
+                fn from_bits64(bits: u64) -> Self {
+                    <$t>::from_le_bytes(bits.to_le_bytes()[..$n].try_into().expect("enough bytes"))
                 }
             }
         )*
@@ -55,6 +85,23 @@ impl Element for bool {
 
     fn read_bytes(bytes: &[u8]) -> Self {
         bytes[0] != 0
+    }
+
+    #[inline]
+    fn to_bits64(&self) -> u64 {
+        u64::from(*self)
+    }
+
+    #[inline]
+    fn from_bits64(bits: u64) -> Self {
+        bits & 1 != 0
+    }
+
+    /// All stored bit patterns of a `bool` map to the two values, so the
+    /// only flip that is guaranteed to change the *value* (not just an
+    /// ignored padding bit) is logical negation.
+    fn flip_bit(self, _bit: u32) -> Self {
+        !self
     }
 }
 
@@ -91,6 +138,32 @@ mod tests {
         check(&[7u32, 9]);
         check(&[0u8, 255]);
         check(&[true, false, true]);
+    }
+
+    #[test]
+    fn bit_flips_always_change_the_value() {
+        fn check<T: Element>(values: &[T]) {
+            let width = (T::BYTES * 8) as u32;
+            for &v in values {
+                assert_eq!(T::from_bits64(v.to_bits64()), v);
+                for bit in 0..width {
+                    let flipped = v.flip_bit(bit);
+                    assert_ne!(
+                        flipped.to_bits64(),
+                        v.to_bits64(),
+                        "{v:?} bit {bit} must change the stored pattern"
+                    );
+                }
+            }
+        }
+        check(&[0.0f64, 1.5, -2.0, f64::MAX]);
+        check(&[0.0f32, 1.5, -2.0]);
+        check(&[0i64, -7, i64::MAX]);
+        check(&[0i32, -7]);
+        check(&[0u64, 7, u64::MAX]);
+        check(&[0u32, 7]);
+        check(&[0u8, 255]);
+        check(&[true, false]);
     }
 
     #[test]

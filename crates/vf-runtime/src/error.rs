@@ -61,6 +61,24 @@ pub enum RuntimeError {
         /// What went wrong.
         reason: String,
     },
+    /// A fused wire buffer failed checksum validation at unpack and could
+    /// not be repaired by retransmission.  The payload is never unpacked
+    /// into destination arrays when this is reported.
+    CorruptMessage {
+        /// Sending processor.
+        src: usize,
+        /// Receiving processor.
+        dst: usize,
+        /// Sequence number from the message's wire frame.
+        seq: u64,
+    },
+    /// A split-phase handle was waited on after its results were already
+    /// taken (or after an explicit cancel) — the handle no longer holds
+    /// pending communication.
+    HandleConsumed {
+        /// Which handle type was misused.
+        handle: &'static str,
+    },
 }
 
 impl fmt::Display for RuntimeError {
@@ -93,6 +111,14 @@ impl fmt::Display for RuntimeError {
             RuntimeError::FusionMismatch { reason } => {
                 write!(f, "communication plans cannot be fused: {reason}")
             }
+            RuntimeError::CorruptMessage { src, dst, seq } => write!(
+                f,
+                "wire message {seq} from processor {src} to {dst} failed checksum validation and could not be repaired"
+            ),
+            RuntimeError::HandleConsumed { handle } => write!(
+                f,
+                "{handle} was already waited on or cancelled; it holds no pending communication"
+            ),
         }
     }
 }
@@ -146,5 +172,17 @@ mod tests {
             dist_procs: 8,
         };
         assert!(std::error::Error::source(&e).is_none());
+        let e = RuntimeError::CorruptMessage {
+            src: 2,
+            dst: 5,
+            seq: 41,
+        };
+        let shown = e.to_string();
+        assert!(shown.contains("message 41"));
+        assert!(shown.contains("from processor 2 to 5"));
+        let e = RuntimeError::HandleConsumed {
+            handle: "SplitPhaseExchange",
+        };
+        assert!(e.to_string().contains("SplitPhaseExchange"));
     }
 }

@@ -58,9 +58,10 @@ pub use descriptor::ArrayDescriptor;
 pub use element::{decode_slice, encode_slice, Element};
 pub use error::RuntimeError;
 pub use exec::{
-    execute_redistribute_fused, execute_redistribute_fused_wire, redistribute_split, ExecBackend,
-    ExecReport, FusedPlan, FusedSlice, PlanExecutor, SerialExecutor, SplitExecReport,
-    SplitPhaseExchange, SplitRedistribute, ThreadedExecutor,
+    execute_redistribute_fused, execute_redistribute_fused_wire, redistribute_split,
+    set_wire_framing, wire_framing_enabled, ExecBackend, ExecReport, FusedPlan, FusedSlice,
+    PlanExecutor, SerialExecutor, SplitExecReport, SplitPhaseExchange, SplitRedistribute,
+    ThreadedExecutor,
 };
 pub use plan::{CommPlan, PlanCache, PlanCacheStats, PlanKind, PlanRun, Transfer};
 pub use redistribute_impl::{

@@ -333,10 +333,13 @@ impl CommPlan {
 
     /// Charges any pending directory messages to `tracker` (blocking
     /// sends: the inspector's page fetches complete before data moves).
+    /// Routed through the tracker's page-fetch path so an armed fault
+    /// injector can subject the translation-page traffic to transient
+    /// fetch failures (retried with backoff and counted).
     pub(crate) fn charge_directory(&self, tracker: &CommTracker) {
         let dir = self.take_directory_messages();
         if !dir.is_empty() {
-            tracker.send_many(dir);
+            tracker.send_page_fetches(dir);
         }
     }
 

@@ -243,7 +243,10 @@ impl DistTranslationTable {
         let pending = std::mem::take(&mut self.lock().pending);
         let messages = pending.iter().filter(|m| m.0 != m.1).count();
         let bytes: usize = pending.iter().filter(|m| m.0 != m.1).map(|m| m.2).sum();
-        tracker.send_many(pending);
+        // The page-fetch path lets an armed fault injector fail one fetch
+        // transiently (retried with backoff, charged and counted); without
+        // an injector it charges exactly like `send_many`.
+        tracker.send_page_fetches(pending);
         (messages, bytes)
     }
 

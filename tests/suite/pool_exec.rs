@@ -422,6 +422,71 @@ fn worker_panic_leaves_the_pool_usable_for_executors() {
 }
 
 #[test]
+fn worker_panic_leaves_the_pool_usable_for_streaming_split_phase() {
+    // Panic containment extended to the streaming unpack path: after a
+    // poisoned job, the same pool must still stream a split-phase ghost
+    // exchange to completion — bitwise equal to the blocking wire path,
+    // with no array left partially unpacked and identical tracker charges.
+    let n = 16usize;
+    let p = 4usize;
+    let pool = Arc::new(WorkerPool::new(3));
+    let t0 = CommTracker::new(p, CostModel::zero());
+    let boom = catch_unwind(AssertUnwindSafe(|| {
+        pool.run_partitioned(&t0, 3, |_, item| {
+            assert!(item != 2, "injected worker failure");
+            item
+        })
+    }));
+    assert!(
+        boom.is_err(),
+        "the worker panic propagates to the submitter"
+    );
+
+    let dist = dist_2d(DistType::blocks2d(), n, n, p);
+    let arrays: Vec<DistArray<f64>> = (0..2)
+        .map(|k| {
+            DistArray::from_fn("P", dist.clone(), |pt| {
+                (pt.coord(0) * 100 + pt.coord(1)) as f64 * (k + 1) as f64
+            })
+        })
+        .collect();
+    let refs: Vec<&DistArray<f64>> = arrays.iter().collect();
+    let widths = [(1, 1), (1, 1)];
+
+    let t_block = tracker(p);
+    let (blocking, _) =
+        vf_runtime::ghost::exchange_ghosts_fused_wire(&refs, &widths, &t_block, &PlanCache::new())
+            .unwrap();
+
+    let backend = ExecBackend::Threaded(
+        ThreadedExecutor::with_pool(Arc::clone(&pool)).serial_cutoff_bytes(0),
+    );
+    let t_split = tracker(p);
+    let split = vf_runtime::ghost::exchange_ghosts_fused_wire_split(
+        &refs,
+        &widths,
+        &t_split,
+        &PlanCache::new(),
+        &backend,
+    )
+    .unwrap();
+    assert!(split.is_streaming(), "the poisoned pool still streams");
+    let (regions, _) = split.wait(&t_split).unwrap();
+    for (k, array) in arrays.iter().enumerate() {
+        for proc in array.dist().proc_ids() {
+            for point in array.domain().iter() {
+                assert_eq!(
+                    regions[k].get(*proc, &point),
+                    blocking[k].get(*proc, &point),
+                    "array {k} at {point:?} on {proc:?}"
+                );
+            }
+        }
+    }
+    assert_eq!(t_split.snapshot().per_proc(), t_block.snapshot().per_proc());
+}
+
+#[test]
 fn zero_width_halo_posts_no_messages_through_the_wire_path() {
     let p = 4usize;
     let (_, _, pooled, _pool) = executors();

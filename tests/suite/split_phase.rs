@@ -68,7 +68,7 @@ fn split_fused_ghost_equals_blocking_wire_bitwise() {
                     .unwrap();
             assert_eq!(split.messages(), exec.messages, "{t} {label}");
             assert_eq!(split.bytes(), exec.bytes, "{t} {label}");
-            let (regions, report) = split.wait(&t_split);
+            let (regions, report) = split.wait(&t_split).unwrap();
             assert_eq!(report.messages, exec.messages, "{t} {label}");
             assert_eq!(report.bytes, exec.bytes, "{t} {label}");
             for (k, array) in arrays.iter().enumerate() {
@@ -244,7 +244,7 @@ fn forced_streaming_overlaps_compute_with_the_halo() {
         exchange_ghosts_fused_wire_split(&refs, &WIDTHS, &tracker, &cache, &backend).unwrap();
     assert!(split.is_streaming(), "zero cutoff + 3 workers must stream");
     std::thread::sleep(std::time::Duration::from_millis(50));
-    let (_regions, report) = split.wait(&tracker);
+    let (_regions, report) = split.wait(&tracker).unwrap();
     assert!(
         report.measured_overlap_seconds > 0.0,
         "background unpack ran while the caller slept"
@@ -290,7 +290,7 @@ fn scope_split_class_exchange_equals_blocking() {
         let halo = s.exchange_class_ghosts_split("U", &widths).unwrap();
         assert_eq!(halo.messages(), exec.messages, "streaming={streaming}");
         assert_eq!(halo.bytes(), exec.bytes, "streaming={streaming}");
-        let (regions, report) = halo.wait();
+        let (regions, report) = halo.wait().unwrap();
         assert_eq!(report.messages, exec.messages, "streaming={streaming}");
         let u = s.array("U").unwrap();
         assert_eq!(regions.len(), blocking.len());
@@ -331,7 +331,7 @@ fn class_halo_double_buffer_swaps_front_to_back() {
     // Generation 0: front filled, back still empty.
     fill(&mut s, 0.0);
     let ex = s.exchange_class_ghosts_split("U", &widths).unwrap();
-    ex.wait_into(&mut halo);
+    ex.wait_into(&mut halo).unwrap();
     assert!(halo.front().is_some());
     assert!(halo.back().is_none(), "first publish displaces nothing");
 
@@ -339,7 +339,7 @@ fn class_halo_double_buffer_swaps_front_to_back() {
     // code can read generation k-1's halo while k's is current.
     fill(&mut s, 1000.0);
     let ex = s.exchange_class_ghosts_split("U", &widths).unwrap();
-    ex.wait_into(&mut halo);
+    ex.wait_into(&mut halo).unwrap();
     let (front, back) = (halo.front().unwrap(), halo.back().unwrap());
     let u = s.array("U").unwrap();
     let mut ghost_points = 0usize;
