@@ -52,12 +52,17 @@ fn write_json(timings: (f64, f64, f64), traffic: (usize, usize), chaos: (usize, 
     let (framed_ns, unframed_ns, ratio) = timings;
     let (messages, bytes) = traffic;
     let (faults, retries, fallbacks) = chaos;
-    let body = format!(
-        "{{\n  \"wire_framed_256k\": {{ \"ns_per_op\": {framed_ns:.1}, \"messages\": {messages}, \"bytes\": {bytes} }},\n  \"wire_unframed_256k\": {{ \"ns_per_op\": {unframed_ns:.1}, \"messages\": {messages}, \"bytes\": {bytes} }},\n  \"framing_overhead_ratio\": {ratio:.4},\n  \"chaos\": {{ \"faults_injected\": {faults}, \"retries\": {retries}, \"fallbacks\": {fallbacks}, \"bitwise_equal\": true }}\n}}\n"
-    );
-    let path = std::env::var("VF_E10_BENCH_JSON").unwrap_or_else(|_| "BENCH_e10.json".into());
-    std::fs::write(&path, body).expect("write BENCH_e10.json");
-    println!("\nwrote {path}");
+    let mut report = vf_bench::json::BenchReport::new();
+    report.record("wire_framed_256k", framed_ns, messages, bytes);
+    report.record("wire_unframed_256k", unframed_ns, messages, bytes);
+    report.entry("framing_overhead").ratio("ratio", ratio);
+    report
+        .entry("chaos")
+        .int("faults_injected", faults)
+        .int("retries", retries)
+        .int("fallbacks", fallbacks)
+        .flag("bitwise_equal", true);
+    report.write("BENCH_e10.json", "VF_E10_BENCH_JSON");
 }
 
 fn main() {

@@ -77,6 +77,7 @@ fn main() {
     println!("## serial vs threaded executor (BLOCK -> CYCLIC, {PROCS} procs)\n");
     println!("| elements | serial | threaded | speedup |");
     println!("|---|---|---|---|");
+    let mut report = vf_bench::json::BenchReport::new();
     let mut guard_times: Option<(f64, f64)> = None;
     for &n in &[1usize << 16, 1 << 18, 1 << 20] {
         let case = cyclic_case(n);
@@ -94,6 +95,19 @@ fn main() {
             secs(t_serial),
             secs(t_threaded),
             secs(t_serial) / secs(t_threaded)
+        );
+        let messages = case.plan.num_messages();
+        report.record(
+            &format!("exec_serial_{n}"),
+            secs(t_serial) * 1e9,
+            messages,
+            serial_bytes,
+        );
+        report.record(
+            &format!("exec_threaded_{n}"),
+            secs(t_threaded) * 1e9,
+            messages,
+            threaded_bytes,
         );
         if n == 1 << 18 {
             guard_times = Some((secs(t_serial), secs(t_threaded)));
@@ -152,6 +166,20 @@ fn main() {
         threaded.name(),
         secs(t_unfused) / secs(t_fused)
     );
+    let fused_bytes = fused.bytes_for(8);
+    report.record(
+        "distribute_unfused_4x256k",
+        secs(t_unfused) * 1e9,
+        unfused_messages,
+        fused_bytes,
+    );
+    report.record(
+        "distribute_fused_4x256k",
+        secs(t_fused) * 1e9,
+        fused.num_messages(),
+        fused_bytes,
+    );
+    report.write("BENCH_e5.json", "VF_E5_BENCH_JSON");
 
     // CI guard: the auto threaded executor must not regress past 1.5x the
     // serial time on the 256k case (guards lock contention and bad

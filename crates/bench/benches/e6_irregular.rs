@@ -55,11 +55,20 @@ fn main() {
     );
     println!("| distribution | edge cut | gathered elems | messages | modelled time |");
     println!("|---|---|---|---|---|");
+    let mut report = vf_bench::json::BenchReport::new();
     let mut results = Vec::new();
-    for (name, partition) in [
-        ("BLOCK by id", MeshPartition::Block),
-        ("INDIRECT(coordinate)", MeshPartition::Coordinate),
-        ("INDIRECT(greedy)", MeshPartition::Greedy),
+    for (name, key, partition) in [
+        ("BLOCK by id", "mesh_sweep_block", MeshPartition::Block),
+        (
+            "INDIRECT(coordinate)",
+            "mesh_sweep_coordinate",
+            MeshPartition::Coordinate,
+        ),
+        (
+            "INDIRECT(greedy)",
+            "mesh_sweep_greedy",
+            MeshPartition::Greedy,
+        ),
     ] {
         let r = run_sweep(
             &mesh,
@@ -77,6 +86,13 @@ fn main() {
             r.stats.total_messages(),
             r.stats.critical_time()
         );
+        report
+            .entry(key)
+            .num("modelled_ns", r.stats.critical_time() * 1e9)
+            .int("messages", r.stats.total_messages())
+            .int("bytes", r.stats.total_bytes())
+            .int("edge_cut", r.edge_cut_initial)
+            .int("gathered_elements", r.gathered_elements);
         results.push(r);
     }
     assert!(
@@ -145,6 +161,19 @@ fn main() {
         secs(t_cached),
         ratio
     );
+    report
+        .entry("translation_table")
+        .int("pages", table.num_pages())
+        .int("page_fetches_cold", cold.page_fetches as usize)
+        .int("fetched_bytes_cold", cold.fetched_bytes);
+    report
+        .entry("indirect_plan_cold")
+        .num("ns_per_op", secs(t_cold) * 1e9);
+    report
+        .entry("indirect_plan_cached")
+        .num("ns_per_op", secs(t_cached) * 1e9);
+    report.entry("plan_cache").ratio("speedup", ratio);
+    report.write("BENCH_e6.json", "VF_E6_BENCH_JSON");
 
     // CI guard: cached indirect planning must stay >= 10x faster than cold.
     if std::env::var_os("VF_E6_SKIP_GUARD").is_some() {

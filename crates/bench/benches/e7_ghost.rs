@@ -57,14 +57,23 @@ fn main() {
     println!("## class-fused halo exchange ({n}x{n} grid, {fields} fields, {PROCS} procs)\n");
     println!("| layout | fused msg/step | per-field msg/step | bytes/step |");
     println!("|---|---|---|---|");
+    let mut report = vf_bench::json::BenchReport::new();
     let mut fused_ok = true;
-    for layout in [SmoothingLayout::Columns, SmoothingLayout::Blocks2D] {
+    for (key, layout) in [
+        ("fused_halo_columns", SmoothingLayout::Columns),
+        ("fused_halo_blocks2d", SmoothingLayout::Blocks2D),
+    ] {
         let machine = Machine::new(PROCS, CostModel::ipsc860(PROCS));
         let class = run_class(&SmoothingConfig { n, steps, layout }, &machine, &initials);
         println!(
             "| {layout:?} | {} | {} | {} |",
             class.messages_per_step, class.unfused_messages_per_step, class.bytes_per_step
         );
+        report
+            .entry(key)
+            .int("messages_per_step", class.messages_per_step)
+            .int("unfused_messages_per_step", class.unfused_messages_per_step)
+            .int("bytes_per_step", class.bytes_per_step);
         fused_ok &= class.messages_per_step <= class.unfused_messages_per_step
             && fields * class.messages_per_step == class.unfused_messages_per_step;
         // The fused run is field-for-field bitwise identical to
@@ -164,6 +173,14 @@ fn main() {
         secs(t_cold),
         secs(t_warm)
     );
+    report
+        .entry("incremental_plan_cold")
+        .num("ns_per_op", secs(t_cold) * 1e9);
+    report
+        .entry("incremental_plan_warm")
+        .num("ns_per_op", secs(t_warm) * 1e9);
+    report.entry("schedule_reuse").ratio("speedup", ratio);
+    report.write("BENCH_e7.json", "VF_E7_BENCH_JSON");
 
     // CI guards.
     if std::env::var_os("VF_E7_SKIP_GUARD").is_some() {

@@ -64,19 +64,11 @@ struct Record {
 }
 
 fn write_json(records: &[Record]) {
-    let entries: Vec<String> = records
-        .iter()
-        .map(|r| {
-            format!(
-                "  \"{}\": {{ \"ns_per_op\": {:.1}, \"messages\": {}, \"bytes\": {} }}",
-                r.name, r.ns_per_op, r.messages, r.bytes
-            )
-        })
-        .collect();
-    let body = format!("{{\n{}\n}}\n", entries.join(",\n"));
-    let path = std::env::var("VF_E9_BENCH_JSON").unwrap_or_else(|_| "BENCH_e9.json".into());
-    std::fs::write(&path, body).expect("write BENCH_e9.json");
-    println!("\nwrote {path}");
+    let mut report = vf_bench::json::BenchReport::new();
+    for r in records {
+        report.record(r.name, r.ns_per_op, r.messages, r.bytes);
+    }
+    report.write("BENCH_e9.json", "VF_E9_BENCH_JSON");
 }
 
 /// The interior-compute stand-in: a streaming pass over the dense field

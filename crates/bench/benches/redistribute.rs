@@ -1,7 +1,7 @@
 //! Criterion bench for E4: the DISTRIBUTE statement across distribution
 //! type pairs and planning strategies.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, BenchmarkId, Criterion};
 use vf_core::prelude::*;
 
 fn bench_redistribute(c: &mut Criterion) {
@@ -107,4 +107,12 @@ fn bench_schedule_reuse(c: &mut Criterion) {
 }
 
 criterion_group!(benches, bench_redistribute, bench_schedule_reuse);
-criterion_main!(benches);
+
+fn main() {
+    benches();
+    let mut report = vf_bench::json::BenchReport::new();
+    for (name, mean_seconds) in criterion::take_measurements() {
+        report.entry(&name).num("ns_per_op", mean_seconds * 1e9);
+    }
+    report.write("BENCH_e4.json", "VF_E4_BENCH_JSON");
+}

@@ -1,0 +1,64 @@
+//! Asserts a Chrome trace file contains at least one span per named phase.
+//!
+//! CI smoke check: after running an app with `VF_TRACE=1`, this bin proves
+//! the emitted `trace.json` is parseable and actually covers the phases the
+//! workload exercises.
+//!
+//! ```text
+//! trace_check <trace.json> <phase-name>...
+//! ```
+//!
+//! Phase names are the `Phase::name()` strings (e.g. `ghost-exchange`,
+//! `unpack`, `wait`).  Exits nonzero — listing what is missing — when the
+//! file fails to parse or any named phase has zero events.
+
+use vf_machine::trace::{parse_chrome_trace, Phase};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let Some(path) = args.next() else {
+        eprintln!("usage: trace_check <trace.json> <phase-name>...");
+        std::process::exit(2);
+    };
+    let required: Vec<String> = args.collect();
+    if required.is_empty() {
+        eprintln!("usage: trace_check <trace.json> <phase-name>...");
+        std::process::exit(2);
+    }
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("trace_check: cannot read {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let events = match parse_chrome_trace(&text) {
+        Ok(ev) => ev,
+        Err(e) => {
+            eprintln!("trace_check: {path} is not a valid Chrome trace: {e}");
+            std::process::exit(1);
+        }
+    };
+    let mut failed = false;
+    for name in &required {
+        let Some(phase) = Phase::from_name(name) else {
+            eprintln!("trace_check: unknown phase name '{name}'");
+            failed = true;
+            continue;
+        };
+        let count = events.iter().filter(|ev| ev.phase == phase).count();
+        if count == 0 {
+            eprintln!("trace_check: {path} has no '{name}' spans");
+            failed = true;
+        } else {
+            println!("{name}: {count} events");
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!(
+        "{path}: {} events, all required phases present",
+        events.len()
+    );
+}

@@ -11,4 +11,5 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod json;
 pub mod table;

@@ -8,7 +8,7 @@ use crate::{CoreError, Result};
 use std::collections::HashMap;
 use vf_dist::{construct, DistPattern, DistType, Distribution, ProcessorView};
 use vf_index::IndexDomain;
-use vf_machine::{CommStats, CommTracker, Machine};
+use vf_machine::{trace, CommStats, CommTracker, Machine};
 use vf_runtime::ghost::{
     exchange_ghosts_fused_wire_split, exchange_ghosts_fused_wire_with, GhostRegion,
     SplitGhostExchange,
@@ -260,6 +260,16 @@ impl<T: Element> VfScope<T> {
         self.tracker.take()
     }
 
+    /// The runtime profile report: per-phase span counts, measured seconds
+    /// and latency percentiles from the global [`trace`] registry, plus a
+    /// drift section comparing the measured seconds against the modelled
+    /// (credited) seconds in this scope's [`CommStats`].  `Display` renders
+    /// the human-readable table; [`trace::MetricsReport::to_json`] the
+    /// machine-readable artifact.  Empty when `VF_TRACE` is off.
+    pub fn profile(&self) -> trace::MetricsReport {
+        self.machine.metrics_report(&self.stats())
+    }
+
     /// Names of all declared arrays, in declaration order.
     pub fn declared_names(&self) -> &[String] {
         &self.order
@@ -430,6 +440,9 @@ impl<T: Element> VfScope<T> {
                 name: primary.into(),
             });
         }
+        let _span = trace::OpenSpan::begin_with(trace::Phase::Statement, || {
+            format!("exchange-ghosts {primary}")
+        });
         let mut names: Vec<String> = vec![primary.to_string()];
         let class = self.classes.get(primary).cloned().unwrap_or_default();
         names.extend(class.secondaries().map(|(name, _)| name.to_string()));
@@ -475,6 +488,9 @@ impl<T: Element> VfScope<T> {
                 name: primary.into(),
             });
         }
+        let _span = trace::OpenSpan::begin_with(trace::Phase::Statement, || {
+            format!("exchange-ghosts-split {primary}")
+        });
         let mut names: Vec<String> = vec![primary.to_string()];
         let class = self.classes.get(primary).cloned().unwrap_or_default();
         names.extend(class.secondaries().map(|(name, _)| name.to_string()));
@@ -590,6 +606,9 @@ impl<T: Element> VfScope<T> {
     /// [`DistributeReport::fused`]).  The copies run on the scope's
     /// [`ExecBackend`].
     pub fn distribute(&mut self, stmt: DistributeStmt) -> Result<DistributeReport> {
+        let _span = trace::OpenSpan::begin_with(trace::Phase::Statement, || {
+            format!("distribute {}", stmt.arrays.join(","))
+        });
         let (dist_type, explicit_target) = self.resolve_expr(&stmt)?;
 
         // Validate NOTRANSFER: every name must be a secondary array in one

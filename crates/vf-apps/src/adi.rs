@@ -16,7 +16,7 @@ use crate::tridiag::{self, TridiagCoeffs};
 use std::collections::HashMap;
 use vf_dist::{DistType, Distribution, ProcessorView};
 use vf_index::{IndexDomain, Point};
-use vf_machine::{CommStats, CommTracker, Machine};
+use vf_machine::{trace, CommStats, CommTracker, Machine};
 use vf_runtime::{
     assign::assign_cached_with, redistribute_split, DistArray, ExecBackend, PlanCache,
 };
@@ -120,6 +120,9 @@ fn sweep(
     let mut messages = 0usize;
     let mut bytes = 0usize;
 
+    let _span = trace::OpenSpan::begin_with(trace::Phase::InteriorCompute, || {
+        format!("sweep dim {sweep_dim}")
+    });
     for line in 0..n_other {
         let fixed = domain.dim(other_dim).lower() + line as i64;
         // Collect the line and the owners of its elements.
@@ -202,6 +205,9 @@ fn pipelined_distribute_sweep(
     };
     for &d in dist.proc_ids().to_vec().iter() {
         split.wait_dest(d.0);
+        let _solve_span = trace::OpenSpan::begin_with(trace::Phase::InteriorCompute, || {
+            format!("sweep dest {}", d.0)
+        });
         split.with_dest_mut(d.0, |buf| {
             let mut values = vec![0.0f64; n_sweep];
             let mut offsets = vec![0usize; n_sweep];
@@ -282,6 +288,8 @@ pub fn run(config: &AdiConfig, machine: &Machine, initial: &[f64]) -> AdiResult 
                 DistArray::from_dense("V", dist_for(n, machine, DistType::columns()), initial)
                     .expect("initial field has N*N elements");
             for iter in 0..config.iterations {
+                let _step_span =
+                    trace::OpenSpan::begin_with(trace::Phase::Step, || format!("iter {iter}"));
                 if iter > 0 {
                     // Return to the column distribution and solve the
                     // x-lines as each processor's columns arrive.
@@ -328,6 +336,8 @@ pub fn run(config: &AdiConfig, machine: &Machine, initial: &[f64]) -> AdiResult 
             let mut v_rows: DistArray<f64> =
                 DistArray::new("V2", dist_for(n, machine, DistType::rows()));
             for iter in 0..config.iterations {
+                let _step_span =
+                    trace::OpenSpan::begin_with(trace::Phase::Step, || format!("iter {iter}"));
                 if iter > 0 {
                     let report =
                         assign_cached_with(&mut v_cols, &v_rows, &tracker, &plans, &executor)

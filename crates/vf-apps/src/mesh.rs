@@ -36,6 +36,7 @@ use std::sync::Arc;
 use vf_core::prelude::*;
 use vf_runtime::ghost::GhostRegion;
 use vf_runtime::parti::{execute_halo_split, incremental_schedule_cached};
+use vf_runtime::trace;
 
 /// A CSR unstructured mesh with 2-D node coordinates.
 #[derive(Debug, Clone)]
@@ -387,6 +388,7 @@ pub fn run_sweep(mesh: &Mesh, config: &MeshSweepConfig, machine: &Machine) -> Me
 
     let conn = mesh.connectivity();
     for step in 0..config.steps {
+        let _step_span = trace::OpenSpan::begin_with(trace::Phase::Step, || format!("step {step}"));
         if config.repartition_at == Some(step) {
             // The partitioner *produces* the new mapping array; the
             // executable DISTRIBUTE moves the whole connect class (VAL and
@@ -481,9 +483,12 @@ pub fn run_sweep(mesh: &Mesh, config: &MeshSweepConfig, machine: &Machine) -> Me
                     .iter()
                     .all(|&v| node_owner[v] == node_owner[u])
             };
+            let interior_span =
+                trace::OpenSpan::begin_static(trace::Phase::InteriorCompute, "interior");
             for u in (0..n).filter(|&u| is_interior(u)) {
                 update(u, None);
             }
+            interior_span.end();
             let (mut regions, _halo_report) = split
                 .wait(tracker)
                 .expect("split-phase halo exchange survives injected faults");

@@ -18,7 +18,7 @@ use crate::workloads::{particles_per_cell, Particle};
 use std::collections::HashMap;
 use vf_dist::{DistType, Distribution, ProcId, ProcessorView};
 use vf_index::{IndexDomain, Point};
-use vf_machine::{CommStats, Machine};
+use vf_machine::{trace, CommStats, Machine};
 use vf_runtime::{redistribute_cached_with, DistArray, ExecBackend, PlanCache, RedistOptions};
 
 /// Flops charged per particle per phase (field contribution + position
@@ -207,6 +207,7 @@ pub fn run(config: &PicConfig, machine: &Machine, initial_particles: &[Particle]
     let mut rebalance_bytes = 0usize;
 
     for step in 0..config.steps {
+        let _step_span = trace::OpenSpan::begin_with(trace::Phase::Step, || format!("step {step}"));
         let counts = particles_per_cell(&particles, ncell);
         let per_proc = particles_per_proc(&counts, field.dist(), nprocs);
         let imbalance = imbalance_of(&per_proc);
@@ -279,6 +280,9 @@ pub fn run(config: &PicConfig, machine: &Machine, initial_particles: &[Particle]
         // Phase 2: update_part — move particles; those that cross to a cell
         // owned by another processor must be communicated (irregular,
         // aggregated per processor pair as the inspector/executor would).
+        let push_span = trace::OpenSpan::begin_with(trace::Phase::InteriorCompute, || {
+            format!("push {} particles", particles.len())
+        });
         let mut migrated = 0usize;
         let mut pair_particles: HashMap<(usize, usize), usize> = HashMap::new();
         for particle in &mut particles {
@@ -306,6 +310,7 @@ pub fn run(config: &PicConfig, machine: &Machine, initial_particles: &[Particle]
                     .or_insert(0) += 1;
             }
         }
+        push_span.end();
         for (&(src, dst), &count) in &pair_particles {
             tracker.send(src, dst, count * PARTICLE_BYTES);
         }

@@ -17,7 +17,7 @@
 
 use vf_dist::{DistType, Distribution, ProcessorView};
 use vf_index::{IndexDomain, Point};
-use vf_machine::{CommStats, CostModel, Machine};
+use vf_machine::{trace, CommStats, CostModel, Machine};
 use vf_runtime::ghost::{
     exchange_ghosts_cached_with, exchange_ghosts_fused_wire_split, get_with_ghosts, GhostRegion,
 };
@@ -273,6 +273,7 @@ pub fn run(config: &SmoothingConfig, machine: &Machine, initial: &[f64]) -> Smoo
     let mut bytes_per_step = 0;
 
     for step in 0..config.steps {
+        let _step_span = trace::OpenSpan::begin_with(trace::Phase::Step, || format!("step {step}"));
         let (ghosts, report) =
             exchange_ghosts_cached_with(&current, &[(1, 1), (1, 1)], &tracker, &plans, &executor)
                 .expect("block layouts");
@@ -280,7 +281,10 @@ pub fn run(config: &SmoothingConfig, machine: &Machine, initial: &[f64]) -> Smoo
             messages_per_step = report.messages;
             bytes_per_step = report.bytes;
         }
+        let relax_span =
+            trace::OpenSpan::begin_static(trace::Phase::InteriorCompute, "relax-field");
         relax_field(&dist, n, &current, &ghosts, &mut next, &tracker);
+        relax_span.end();
         std::mem::swap(&mut current, &mut next);
     }
 
@@ -355,6 +359,7 @@ pub fn run_class(
     let mut messages_per_step = 0;
     let mut bytes_per_step = 0;
     for step in 0..config.steps {
+        let _step_span = trace::OpenSpan::begin_with(trace::Phase::Step, || format!("step {step}"));
         let refs: Vec<&DistArray<f64>> = current.iter().collect();
         // Split-phase wire exchange: each pair's message is packed and
         // posted up front, then the interior points of every field (whole
@@ -368,9 +373,13 @@ pub fn run_class(
             bytes_per_step = split.bytes();
         }
         let mut counts: Vec<Vec<usize>> = vec![vec![0; tracker.num_procs()]; current.len()];
+        let interior_span = trace::OpenSpan::begin_with(trace::Phase::InteriorCompute, || {
+            format!("interior {} fields", current.len())
+        });
         for ((src, dst), field_counts) in current.iter().zip(next.iter_mut()).zip(&mut counts) {
             relax_field_pass(&dist, n, src, None, dst, RelaxPass::Interior, field_counts);
         }
+        interior_span.end();
         let (regions, _split_report) = split
             .wait(&tracker)
             .expect("split-phase ghost exchange survives injected faults");

@@ -41,6 +41,7 @@ pub mod pool;
 pub mod spmd;
 mod stats;
 mod topology;
+pub mod trace;
 mod tracker;
 
 pub use cost::CostModel;
@@ -49,4 +50,5 @@ pub use machine::Machine;
 pub use pool::{JobTicket, WorkerCtx, WorkerPool};
 pub use stats::{CommStats, ProcStats};
 pub use topology::Topology;
+pub use trace::{DriftReport, MetricsReport, Phase, TraceSnapshot};
 pub use tracker::{CollectiveKind, CommTracker, PendingSends};

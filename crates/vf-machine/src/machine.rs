@@ -73,6 +73,15 @@ impl Machine {
             None => tracker,
         }
     }
+
+    /// The machine-readable metrics summary: per-phase measured counts,
+    /// totals and latency percentiles from the global
+    /// [`trace`](crate::trace) registry, plus the `drift` section
+    /// comparing them against the modelled seconds in `stats`.  Empty
+    /// (all-zero) when tracing is disabled.
+    pub fn metrics_report(&self, stats: &crate::CommStats) -> crate::trace::MetricsReport {
+        crate::trace::MetricsReport::new(self.num_procs, stats)
+    }
 }
 
 #[cfg(test)]

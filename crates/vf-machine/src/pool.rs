@@ -197,6 +197,7 @@ impl WorkerPool {
     /// Panic semantics match [`WorkerPool::run`].
     pub fn run_limited(&self, width: usize, job: &(dyn Fn(usize) + Sync)) {
         let width = width.clamp(1, self.workers);
+        let _span = crate::span!(crate::trace::Phase::PoolDispatch, "run w{width}");
         let _turn = self.submit.lock().unwrap_or_else(PoisonError::into_inner);
         // SAFETY: `run_limited` blocks below until every participating
         // worker has decremented `remaining`, i.e. until no worker can
@@ -292,6 +293,7 @@ impl WorkerPool {
     /// 0's share).
     pub fn submit(&self, width: usize, job: Arc<dyn Fn(usize) + Send + Sync>) -> JobTicket<'_> {
         let width = width.clamp(1, self.workers);
+        let span = crate::span!(crate::trace::Phase::PoolDispatch, "submit w{width}");
         let turn = self.submit.lock().unwrap_or_else(PoisonError::into_inner);
         // SAFETY: the erased borrow points into the `Arc`'s heap
         // allocation, which the returned ticket keeps alive; the ticket's
@@ -304,6 +306,7 @@ impl WorkerPool {
             std::mem::transmute::<&(dyn Fn(usize) + Sync), &'static (dyn Fn(usize) + Sync)>(&*job)
         };
         self.publish(width, erased);
+        span.end(); // the publish/wake only; the job itself runs detached
         JobTicket {
             pool: self,
             _turn: turn,
@@ -427,6 +430,9 @@ impl Drop for WorkerPool {
 }
 
 fn worker_loop(inner: &Inner, rank: usize) {
+    // One trace lane per pool rank (the submitting caller is rank 0 and
+    // traces on lane 0), so a Chrome trace shows the pool's real shape.
+    crate::trace::set_thread_lane(rank as u32);
     let mut seen = 0u64;
     loop {
         // Park until a new epoch is published (or shutdown).  `park` may

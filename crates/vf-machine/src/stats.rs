@@ -221,19 +221,25 @@ impl CommStats {
         self.fallbacks
     }
 
-    /// Counts `n` modelled retransmissions.
+    /// Counts `n` modelled retransmissions.  This is the single choke
+    /// point every recovery path funnels through, so the matching trace
+    /// events equal the counter by construction ([`merge`](CommStats::merge)
+    /// aggregates already-counted stats and does not re-emit).
     pub fn record_retries(&mut self, n: usize) {
         self.retries += n;
+        crate::trace::instant_n(crate::trace::Phase::Retry, n);
     }
 
     /// Counts `n` injected faults acted upon.
     pub fn record_faults(&mut self, n: usize) {
         self.faults_injected += n;
+        crate::trace::instant_n(crate::trace::Phase::Fault, n);
     }
 
     /// Counts `n` degraded-mode transitions.
     pub fn record_fallbacks(&mut self, n: usize) {
         self.fallbacks += n;
+        crate::trace::instant_n(crate::trace::Phase::Fallback, n);
     }
 
     /// Merges another statistics object (same processor count) into this
@@ -279,7 +285,14 @@ impl fmt::Display for CommStats {
             self.critical_time(),
             self.load_imbalance()
         )?;
-        if self.faults_injected > 0 {
+        if self.measured_overlap_seconds > 0.0 || self.credited_overlap_seconds > 0.0 {
+            write!(
+                f,
+                ", overlap {:.3e}s measured / {:.3e}s credited",
+                self.measured_overlap_seconds, self.credited_overlap_seconds
+            )?;
+        }
+        if self.faults_injected > 0 || self.retries > 0 || self.fallbacks > 0 {
             write!(
                 f,
                 ", {} faults ({} retries, {} fallbacks)",
@@ -380,9 +393,22 @@ mod tests {
         assert!(txt.contains("1 msgs"));
         assert!(txt.contains("8 bytes"));
         assert!(!txt.contains("faults"), "fault-free display stays terse");
+        assert!(
+            !txt.contains("overlap"),
+            "no overlap line before any split run"
+        );
+        s.record_measured_overlap(0.5);
+        s.record_credited_overlap(0.25);
+        assert!(s
+            .to_string()
+            .contains("overlap 5.000e-1s measured / 2.500e-1s credited"));
         s.record_faults(2);
         s.record_retries(3);
         assert!(s.to_string().contains("2 faults (3 retries, 0 fallbacks)"));
+        // Retries alone (no injected fault acted on) must render too.
+        let mut r = CommStats::new(2);
+        r.record_retries(1);
+        assert!(r.to_string().contains("0 faults (1 retries, 0 fallbacks)"));
     }
 
     #[test]

@@ -206,6 +206,10 @@ impl CommTracker {
         I: IntoIterator<Item = (usize, usize, usize)>,
     {
         let messages: Vec<_> = messages.into_iter().collect();
+        crate::trace::instant_n(
+            crate::trace::Phase::PageFetch,
+            messages.iter().filter(|m| m.0 != m.1).count(),
+        );
         let fault = self.injector.as_ref().and_then(|inj| {
             let crossing: Vec<usize> = messages
                 .iter()

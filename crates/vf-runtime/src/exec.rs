@@ -39,7 +39,7 @@ use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
 use std::time::Instant;
-use vf_machine::{pool, spmd, CommTracker, JobTicket, WorkerPool};
+use vf_machine::{pool, spmd, trace, CommTracker, JobTicket, WorkerPool};
 
 /// What executing a plan's communication charged to the cost model.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -140,13 +140,19 @@ pub trait PlanExecutor {
         // report.
         plan.charge_directory(tracker);
         let (batch, messages, bytes) = plan.message_batch(T::BYTES, aggregate);
+        let post = trace::OpenSpan::begin_with(trace::Phase::Post, || format!("{messages} msgs"));
         let pending = tracker.post_many(batch);
+        post.end();
+        let copy = trace::OpenSpan::begin(trace::Phase::Unpack);
         let out = self.run_copies(plan.transfers(), src, dst_sizes, tracker);
+        copy.end();
+        let wait = trace::OpenSpan::begin(trace::Phase::Wait);
         finish_with_copy_credit(
             tracker,
             pending,
             &copy_seconds(plan.transfers(), T::BYTES, tracker),
         );
+        wait.end();
         (out, ExecReport { messages, bytes })
     }
 }
@@ -801,6 +807,8 @@ impl FusedPlan {
     /// [`RuntimeError::FusionMismatch`] when `parts` is empty, mixes plan
     /// kinds, or contains a gather/scatter plan.
     pub fn fuse(parts: Vec<Arc<CommPlan>>) -> Result<Self> {
+        let _span =
+            trace::OpenSpan::begin_with(trace::Phase::Fuse, || format!("{} parts", parts.len()));
         let Some(first) = parts.first() else {
             return Err(RuntimeError::FusionMismatch {
                 reason: "no plans to fuse".into(),
@@ -1242,6 +1250,13 @@ fn wire_copy_for_dest<T: Element>(
     sabotage: Option<(usize, u64, u32)>,
 ) -> Result<Vec<Vec<T>>> {
     let parts = fused.parts();
+    // One span covers this destination's whole copy stream (local copies,
+    // pack, verify, unpack): per-destination is the granularity the pool
+    // dispatches at, and coarse enough that tracing a dispatch-dominated
+    // exchange stays within the e11 bench's enabled-overhead guard even on
+    // a single-core host (the split streaming path keeps per-pair spans —
+    // there the caller's overlapped compute absorbs the recording cost).
+    let _span = trace::OpenSpan::begin_dest(trace::Phase::Unpack, d);
     let mut bufs: Vec<Vec<T>> = dst_sizes
         .iter()
         .map(|sizes| vec![T::default(); sizes.get(d).copied().unwrap_or(0)])
@@ -1321,6 +1336,7 @@ fn wire_copy_for_dest<T: Element>(
                     wire[e] = orig;
                 }
                 verify_wire(&wire, frame, s, d)?;
+                trace::instant(trace::Phase::CorruptionRepair);
             }
         }
         // Unpack: replay the same run lists against the receiver's
@@ -1399,7 +1415,9 @@ pub(crate) fn execute_fused_wire<T: Element, E: PlanExecutor>(
     let batch = fused.message_batch(T::BYTES);
     let messages = batch.len();
     let bytes: usize = batch.iter().map(|m| m.2).sum();
+    let post = trace::OpenSpan::begin_with(trace::Phase::Post, || format!("{messages} msgs"));
     let pending = tracker.post_many(batch);
+    post.end();
     let framing = wire_framing_enabled().then(|| WireFraming {
         seq_base: NEXT_WIRE_SEQ.fetch_add(fused.pair_elements.len() as u64, Ordering::Relaxed),
         verify: tracker.fault_injector().is_some(),
@@ -1422,11 +1440,13 @@ pub(crate) fn execute_fused_wire<T: Element, E: PlanExecutor>(
     });
     // Settle the posted batch before any `?` — charges must never leak on
     // the corrupt-message path.
+    let wait = trace::OpenSpan::begin(trace::Phase::Wait);
     finish_with_copy_credit(
         tracker,
         pending,
         &wire_copy_seconds(fused, T::BYTES, tracker),
     );
+    wait.end();
     // Transpose the destination-major results into per-part buffers.
     let mut out: Vec<Vec<Vec<T>>> = dst_sizes
         .iter()
@@ -1616,6 +1636,7 @@ impl<T: Element> SplitShared<T> {
     /// wait reports the error and no corrupt element reaches a caller.
     fn unpack_claimed(&self, k: usize, pi: usize) {
         let ((s, d), _) = self.fused.pair_elements[pi];
+        let _span = trace::OpenSpan::begin_pair(trace::Phase::Unpack, s, d);
         {
             let mut wire = self.wires[k].lock().unwrap_or_else(PoisonError::into_inner);
             let valid = match &self.frames[k] {
@@ -1626,6 +1647,7 @@ impl<T: Element> SplitShared<T> {
                         }
                     }
                     verify_wire(&wire, frame, s, d)
+                        .map(|()| trace::instant(trace::Phase::CorruptionRepair))
                 }),
                 _ => Ok(()),
             };
@@ -1801,6 +1823,12 @@ pub struct SplitPhaseExchange<'e, T: Element> {
     /// settle the pending charges without the caller re-supplying it.
     tracker: CommTracker,
     posted_at: Instant,
+    /// The explicitly begun/ended [`trace::Phase::SplitPending`] span
+    /// covering the post→settle in-flight window.  Ended in
+    /// [`SplitPhaseExchange::settle_unpack`] so `wait`, `cancel` and a
+    /// bare drop all balance it; the `OpenSpan` drop guard backstops any
+    /// path that skips the settle.
+    span: Option<trace::OpenSpan>,
 }
 
 impl<T: Element> SplitPhaseExchange<'_, T> {
@@ -1827,6 +1855,7 @@ impl<T: Element> SplitPhaseExchange<'_, T> {
     /// data while other destinations are still in flight.  The full
     /// [`SplitPhaseExchange::wait`] is still required afterwards.
     pub fn wait_dest(&self, d: usize) {
+        let _span = trace::OpenSpan::begin_dest(trace::Phase::Wait, d);
         self.shared.help_until_dest(d);
     }
 
@@ -1858,6 +1887,9 @@ impl<T: Element> SplitPhaseExchange<'_, T> {
             ticket.wait();
         }
         self.shared.recover_abandoned();
+        if let Some(span) = self.span.take() {
+            span.end();
+        }
         measured_overlap
     }
 
@@ -1888,6 +1920,9 @@ impl<T: Element> SplitPhaseExchange<'_, T> {
     /// than a panic so wrapper types never have a reachable `expect` in
     /// their wait path.
     pub fn wait(mut self, tracker: &CommTracker) -> Result<(Vec<Vec<Vec<T>>>, SplitExecReport)> {
+        let messages = self.messages;
+        let _wait_span =
+            trace::OpenSpan::begin_with(trace::Phase::Wait, || format!("{messages} msgs"));
         let measured_overlap = self.settle_unpack();
         let Some(pending) = self.pending.take() else {
             return Err(RuntimeError::HandleConsumed {
@@ -1952,6 +1987,7 @@ impl<T: Element> Drop for SplitPhaseExchange<'_, T> {
         if self.ticket.is_none() && self.pending.is_none() {
             return;
         }
+        let _span = trace::OpenSpan::begin_static(trace::Phase::Wait, "cancel");
         let measured_overlap = self.settle_unpack();
         if let Some(pending) = self.pending.take() {
             finish_with_copy_credit(&self.tracker, pending, &self.copy_secs);
@@ -1984,11 +2020,14 @@ pub(crate) fn split_execute_fused_wire<'e, T: Element>(
     let batch = fused.message_batch(T::BYTES);
     let messages = batch.len();
     let bytes: usize = batch.iter().map(|m| m.2).sum();
+    let post_span = trace::OpenSpan::begin_with(trace::Phase::Post, || format!("{messages} msgs"));
     let pending = tracker.post_many(batch);
+    post_span.end();
     let copy_secs = wire_copy_seconds(&fused, T::BYTES, tracker);
 
     // Destination buffers (default-filled) with the stay-local runs copied
     // in now — exactly the local half of `wire_copy_for_dest`.
+    let pack_span = trace::OpenSpan::begin_static(trace::Phase::WirePack, "split pack");
     let mut bufs: Vec<Vec<Mutex<Vec<T>>>> = Vec::with_capacity(fused.parts().len());
     for (idx, sizes) in dst_sizes.iter().enumerate() {
         let part = &fused.parts()[idx];
@@ -2055,6 +2094,7 @@ pub(crate) fn split_execute_fused_wire<'e, T: Element>(
     } else {
         vec![None; wires.len()]
     };
+    pack_span.end();
     let sabotage = arm_corruption(&fused, tracker).map(|(pi, elem_seed, bit)| {
         let k = crossing
             .iter()
@@ -2158,6 +2198,10 @@ pub(crate) fn split_execute_fused_wire<'e, T: Element>(
         bytes,
         tracker: tracker.clone(),
         posted_at: Instant::now(),
+        span: Some(trace::OpenSpan::begin_with(
+            trace::Phase::SplitPending,
+            || format!("{messages} msgs"),
+        )),
     }
 }
 
@@ -2279,6 +2323,7 @@ pub fn redistribute_split<'e, T: Element>(
 ) -> Result<SplitRedistribute<'e, T>> {
     let plan = cache.redistribute_plan(array.dist(), &new_dist)?;
     plan.check_executable(array.dist(), tracker)?;
+    let _span = trace::OpenSpan::begin_static(trace::Phase::Redistribute, "split post");
     let fused = FusedPlan::fuse(vec![plan])?;
     let (dst_sizes, src_fingerprint, moved, stayed, plan_messages, plan_bytes) = {
         let part = &fused.parts()[0];

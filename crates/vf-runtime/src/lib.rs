@@ -69,6 +69,7 @@ pub use redistribute_impl::{
     redistribute_cached_with, redistribute_with, RedistOptions, RedistReport,
 };
 pub use translation::{invalidate, table_for, DistTranslationTable, TranslationStats};
+pub use vf_machine::trace;
 
 /// Convenience result alias for fallible runtime operations.
 pub type Result<T> = std::result::Result<T, RuntimeError>;

@@ -30,7 +30,7 @@ use crate::{DistArray, Element, Result, RuntimeError};
 use std::sync::Arc;
 use vf_dist::{Connectivity, Distribution, ProcId};
 use vf_index::Point;
-use vf_machine::CommTracker;
+use vf_machine::{trace, CommTracker};
 
 /// A translation table: for every element (by column-major global offset)
 /// the owning processor and the local offset on that owner.
@@ -116,6 +116,7 @@ impl CommSchedule {
 /// accesses are dropped; repeated accesses to the same element are fetched
 /// once (the "buffering scheme" of the PARTI routines).
 pub fn inspector(dist: &Distribution, accesses: &[(ProcId, Point)]) -> Result<CommSchedule> {
+    let _span = trace::OpenSpan::begin_static(trace::Phase::Plan, "inspector");
     Ok(CommSchedule {
         plan: Arc::new(plan_gather(dist, accesses)?),
     })
@@ -176,6 +177,7 @@ pub fn incremental_schedule(
     dist: &Distribution,
     conn: &Connectivity,
 ) -> Result<IncrementalSchedule> {
+    let _span = trace::OpenSpan::begin_static(trace::Phase::Plan, "incremental-schedule");
     Ok(IncrementalSchedule {
         plan: Arc::new(plan_ghost_irregular(dist, conn)?),
     })
@@ -217,6 +219,7 @@ pub fn execute_halo_with<T: Element, E: PlanExecutor>(
     tracker: &CommTracker,
     executor: &E,
 ) -> Result<(GhostRegion<T>, GhostReport)> {
+    let _span = trace::OpenSpan::begin(trace::Phase::HaloExchange);
     exchange_ghosts_planned_with(array, &schedule.plan, tracker, executor)
 }
 
@@ -289,6 +292,9 @@ pub fn execute_gather_with<T: Element, E: PlanExecutor>(
         });
     }
     plan.check_executable(array.dist(), tracker)?;
+    let _span = trace::OpenSpan::begin_with(trace::Phase::Gather, || {
+        format!("{} elements", plan.moved_elements())
+    });
     let dst_sizes: Vec<usize> = (0..plan.total_procs())
         .map(|p| plan.gather_len(ProcId(p)))
         .collect();
@@ -389,6 +395,8 @@ fn scatter_planned_with<T: Element, E: PlanExecutor>(
         // inherently cross-owner order, kept on the serial path.
         return scatter_planned(array, updates, plan, tracker, combine);
     }
+    let _span =
+        trace::OpenSpan::begin_with(trace::Phase::Scatter, || format!("{} updates", ops.len()));
     // Partition the updates by owner, preserving program order per owner.
     let total_procs = plan.total_procs();
     let mut per_owner: Vec<Vec<(usize, T)>> = vec![Vec::new(); total_procs];
@@ -421,6 +429,8 @@ fn scatter_planned<T: Element>(
         });
     }
     let replicated = *replicated;
+    let _span =
+        trace::OpenSpan::begin_with(trace::Phase::Scatter, || format!("{} updates", ops.len()));
     let all_procs: Vec<ProcId> = array.dist().proc_ids().to_vec();
     for (op, (_, _, value)) in ops.iter().zip(updates.iter()) {
         if replicated {

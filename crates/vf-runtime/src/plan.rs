@@ -44,7 +44,7 @@ use std::hash::{Hash, Hasher};
 use std::sync::{Arc, Mutex, PoisonError};
 use vf_dist::{Connectivity, Distribution, Locator, ProcId};
 use vf_index::{DimRange, IndexDomain, Point};
-use vf_machine::CommTracker;
+use vf_machine::{trace, CommTracker};
 
 /// Session-local translation-table state of one planning run: which pages
 /// each requester has fetched *during this session*, the lookup counters,
@@ -1170,10 +1170,15 @@ impl PlanCache {
             }
             found
         } {
+            trace::instant(trace::Phase::PlanCacheHit);
             return Ok(found);
         }
         // Plan outside the lock: planning is the expensive part.
-        let planned = Arc::new(plan()?);
+        trace::instant(trace::Phase::PlanCacheMiss);
+        let planned = {
+            let _span = trace::OpenSpan::begin(trace::Phase::Plan);
+            Arc::new(plan()?)
+        };
         let size = planned.estimated_bytes();
         let mut inner = self.lock();
         inner.misses += 1;
@@ -1201,6 +1206,7 @@ impl PlanCache {
                 };
                 if let Some((_, evicted_size, _)) = inner.map.remove(&oldest) {
                     inner.resident_bytes -= evicted_size;
+                    trace::instant(trace::Phase::PlanEvict);
                 }
             }
         }

@@ -11,7 +11,7 @@ use crate::exec::{PlanExecutor, SerialExecutor};
 use crate::plan::{plan_redistribute, CommPlan, PlanCache, PlanIndex, PlanKind};
 use crate::{DistArray, Element, Result, RuntimeError};
 use vf_dist::Distribution;
-use vf_machine::CommTracker;
+use vf_machine::{trace, CommTracker};
 
 /// Options controlling how a redistribution is carried out.
 #[derive(Debug, Clone)]
@@ -219,6 +219,9 @@ pub fn execute_redistribute_with<T: Element, E: PlanExecutor>(
     debug_assert_eq!(plan.kind(), PlanKind::Redistribute);
     plan.check_executable(array.dist(), tracker)?;
 
+    let _span = trace::OpenSpan::begin_with(trace::Phase::Redistribute, || {
+        format!("{} moved", plan.moved_elements())
+    });
     let mut dst_sizes = vec![0usize; plan.total_procs()];
     for &q in new_dist.proc_ids() {
         dst_sizes[q.0] = new_dist.local_size(q);

@@ -301,7 +301,11 @@ pub fn table_for(dist: &Distribution) -> Arc<DistTranslationTable> {
         reg.push(entry);
         return table;
     }
+    let span = vf_machine::trace::OpenSpan::begin_with(vf_machine::trace::Phase::Plan, || {
+        "translation-table build".into()
+    });
     let table = Arc::new(DistTranslationTable::build(dist));
+    span.end();
     reg.push((fp, Arc::clone(&table)));
     if reg.len() > REGISTRY_CAP {
         reg.remove(0);
@@ -322,6 +326,7 @@ pub fn invalidate(fingerprint: u64) -> bool {
     match reg.iter().position(|(k, _)| *k == fingerprint) {
         Some(pos) => {
             reg.remove(pos);
+            vf_machine::trace::instant(vf_machine::trace::Phase::Invalidate);
             true
         }
         None => false,

@@ -113,4 +113,10 @@ fn main() {
         "the mesh-aware map must cut fewer edges than BLOCK-by-id"
     );
     println!("\nok: values bitwise identical across all distributions");
+
+    // Under VF_TRACE=1 leave a Chrome trace of the whole run behind
+    // (VF_TRACE_OUT overrides the path; load it at ui.perfetto.dev).
+    if let Some(path) = vf_runtime::trace::write_chrome_trace_if_env().unwrap() {
+        println!("wrote {path}");
+    }
 }

@@ -112,11 +112,41 @@ impl BenchmarkGroup<'_> {
             "{}/{}: {} iterations, mean {:.3e} s/iter",
             self.name, id, b.iterations, mean
         );
+        record(format!("{}/{}", self.name, id), mean);
         let _ = &self.criterion;
     }
 
     /// Ends the group (mirror of `BenchmarkGroup::finish`).
     pub fn finish(&mut self) {}
+}
+
+/// The process-wide measurement log: `(bench id, mean seconds)` in run
+/// order.  Real criterion persists its estimates to `target/criterion`;
+/// this stand-in keeps them in memory so a bench `main` can export a
+/// machine-readable artifact after its groups run (see
+/// [`take_measurements`]).
+fn measurements() -> &'static std::sync::Mutex<Vec<(String, f64)>> {
+    static LOG: std::sync::OnceLock<std::sync::Mutex<Vec<(String, f64)>>> =
+        std::sync::OnceLock::new();
+    LOG.get_or_init(|| std::sync::Mutex::new(Vec::new()))
+}
+
+fn record(id: String, mean_seconds: f64) {
+    measurements()
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .push((id, mean_seconds));
+}
+
+/// Drains every measurement reported so far: `(group/id, mean seconds)`
+/// in run order.  Offline extension (not part of the real criterion API)
+/// used by the bench mains to emit their `BENCH_e*.json` artifacts.
+pub fn take_measurements() -> Vec<(String, f64)> {
+    std::mem::take(
+        &mut measurements()
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner),
+    )
 }
 
 /// The bench context, mirror of `criterion::Criterion`.
