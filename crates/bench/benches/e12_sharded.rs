@@ -1,0 +1,188 @@
+//! E12 — distributed-memory backend cost: rank-local shards over real
+//! SPMD channels versus the shared-memory wire path.
+//!
+//! The sharded executor moves every fused halo message through a real
+//! channel (pack → send → recv → checksum → unpack, one SPMD region per
+//! exchange) where the shared wire path memcpys the packed buffer across
+//! a `Vec`.  That is real extra work — the entry point also scatters the
+//! global arrays into rank-local shards and gathers them back (8 MB per
+//! call on this fixture, against a 56 KB halo), which persistent-shard
+//! workloads amortise over a whole run but a single exchange pays in
+//! full.  The guard is therefore a **bounded factor**, not parity: on
+//! the e8 fixture (4-field stencil class, (:, BLOCK) over a 128x2048
+//! grid, 256k elements per field) the sharded exchange must stay within
+//! **40x** of the shared wire exchange measured back to back in the same
+//! process (typically ~25x; `VF_E12_MAX_FACTOR` overrides the limit).
+//!
+//! Custom harness (no criterion): emits `BENCH_e12.json`
+//! (`VF_E12_BENCH_JSON` overrides the path) recording both times, the
+//! factor, and the per-exchange wire traffic — which the harness also
+//! cross-checks against the tracker's *real* channel counters before
+//! timing anything.  `VF_E12_SKIP_GUARD=1` skips the timing guard on
+//! hosts too noisy to time reliably; the traffic cross-check always
+//! runs.
+
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use vf_core::prelude::*;
+use vf_machine::pool::WorkerPool;
+use vf_runtime::ghost::{
+    exchange_ghosts_fused_planned_sharded, exchange_ghosts_fused_planned_wire_with,
+};
+
+const PROCS: usize = 8;
+const REPS: usize = 7;
+
+fn time_min<R>(mut f: impl FnMut() -> R) -> Duration {
+    let mut best = Duration::MAX;
+    for _ in 0..REPS {
+        let start = Instant::now();
+        black_box(f());
+        best = best.min(start.elapsed());
+    }
+    best
+}
+
+fn ns(d: Duration) -> f64 {
+    d.as_nanos() as f64
+}
+
+fn main() {
+    println!("# E12 — sharded (real channels) vs shared wire ghost exchange\n");
+    let fields = 4usize;
+    let dist = Distribution::new(
+        DistType::columns(),
+        IndexDomain::d2(128, 2048),
+        ProcessorView::linear(PROCS),
+    )
+    .unwrap();
+    let arrays: Vec<DistArray<f64>> = (0..fields)
+        .map(|k| {
+            DistArray::from_fn(format!("F{k}"), dist.clone(), |pt| {
+                (pt.coord(0) * 7 + pt.coord(1) * 3 + k as i64) as f64
+            })
+        })
+        .collect();
+    let refs: Vec<&DistArray<f64>> = arrays.iter().collect();
+    let cache = PlanCache::new();
+    let widths = [(0, 0), (1, 1)];
+    let plan = cache.ghost_plan(&dist, &widths).unwrap();
+    let fused = FusedPlan::fuse(vec![plan; fields]).unwrap();
+
+    let pool = Arc::new(WorkerPool::new(PROCS));
+    let pooled = ThreadedExecutor::with_pool(Arc::clone(&pool)).with_serial_cutoff(0);
+    let sharded_exec = ShardedExecutor::with_pool(Arc::clone(&pool));
+
+    // Correctness + traffic cross-check before timing: the sharded ghost
+    // values are bitwise the shared wire values, and the channel moved
+    // exactly the modelled wire bytes.
+    let t_shared = CommTracker::new(PROCS, CostModel::zero());
+    let (g_shared, exec) =
+        exchange_ghosts_fused_planned_wire_with(&refs, &fused, &t_shared, &pooled).unwrap();
+    let t_sharded = CommTracker::new(PROCS, CostModel::zero());
+    let (g_sharded, exec_sharded) =
+        exchange_ghosts_fused_planned_sharded(&refs, &fused, &t_sharded, &sharded_exec).unwrap();
+    assert_eq!(exec, exec_sharded, "sharded exec report diverges");
+    for (field, (gs, gw)) in g_sharded.iter().zip(&g_shared).enumerate() {
+        for q in 0..PROCS {
+            for point in dist.domain().iter() {
+                assert_eq!(
+                    gs.get(ProcId(q), &point),
+                    gw.get(ProcId(q), &point),
+                    "field {field} ghost mismatch at P{q}"
+                );
+            }
+        }
+    }
+    let stats = t_sharded.snapshot();
+    assert_eq!(
+        stats.channel_messages(),
+        exec.messages,
+        "real vs modelled messages"
+    );
+    assert_eq!(stats.channel_bytes(), exec.bytes, "real vs modelled bytes");
+    println!(
+        "traffic cross-check ok: {} channel messages, {} bytes == modelled wire traffic\n",
+        exec.messages, exec.bytes
+    );
+
+    let tracker = CommTracker::new(PROCS, CostModel::zero());
+    let shared = || {
+        exchange_ghosts_fused_planned_wire_with(&refs, &fused, &tracker, &pooled)
+            .unwrap()
+            .1
+    };
+    let sharded = || {
+        exchange_ghosts_fused_planned_sharded(&refs, &fused, &tracker, &sharded_exec)
+            .unwrap()
+            .1
+    };
+
+    let measure = || {
+        let s = ns(time_min(shared));
+        let d = ns(time_min(sharded));
+        (s, d)
+    };
+    let (mut shared_ns, mut sharded_ns) = measure();
+    let mut factor = sharded_ns / shared_ns;
+
+    println!("## fused 4-field halo, 256k elements per field, {PROCS} ranks\n");
+    println!("| path | exchange | factor |");
+    println!("|---|---|---|");
+    println!(
+        "| shared wire (pooled) | {:.0} us | 1.00x |",
+        shared_ns / 1e3
+    );
+    println!(
+        "| sharded (real channels) | {:.0} us | {:.2}x |",
+        sharded_ns / 1e3,
+        factor
+    );
+
+    let mut report = vf_bench::json::BenchReport::new();
+    report.record(
+        "ghost_fused_wire_256k_shared",
+        shared_ns,
+        exec.messages,
+        exec.bytes,
+    );
+    report.record(
+        "ghost_fused_sharded_256k",
+        sharded_ns,
+        exec.messages,
+        exec.bytes,
+    );
+    report
+        .entry("sharded_over_shared")
+        .ratio("factor", factor)
+        .int("channel_messages", stats.channel_messages())
+        .int("channel_bytes", stats.channel_bytes());
+    report.write("BENCH_e12.json", "VF_E12_BENCH_JSON");
+
+    if std::env::var_os("VF_E12_SKIP_GUARD").is_some() {
+        println!("\nguard skipped (VF_E12_SKIP_GUARD set)");
+        return;
+    }
+    let limit: f64 = std::env::var("VF_E12_MAX_FACTOR")
+        .ok()
+        .and_then(|raw| raw.trim().parse().ok())
+        .unwrap_or(40.0);
+    // Re-measure before declaring a regression on a noisy shared runner.
+    for _ in 0..3 {
+        if factor <= limit {
+            break;
+        }
+        let (s, d) = measure();
+        shared_ns = s;
+        sharded_ns = d;
+        factor = sharded_ns / shared_ns;
+    }
+    if factor > limit {
+        eprintln!(
+            "FAIL: sharded exchange is {factor:.1}x the shared wire path (limit {limit:.0}x)"
+        );
+        std::process::exit(1);
+    }
+    println!("\nguard ok: sharded/shared factor {factor:.2}x (limit {limit:.0}x)");
+}

@@ -103,11 +103,13 @@ pub mod prelude {
     pub use vf_index::{DimRange, IndexDomain, Point, Section, Triplet};
     pub use vf_machine::{CommStats, CommTracker, CostModel, Machine, Topology, WorkerPool};
     pub use vf_runtime::{
-        assign, execute_redistribute_fused, execute_redistribute_fused_wire, ghost, parti, plan,
-        redistribute, redistribute_cached, redistribute_cached_with, redistribute_split,
-        redistribute_with, reduce, table_for, translation, ArrayDescriptor, CommPlan, DistArray,
-        DistTranslationTable, Element, ExecBackend, ExecReport, FusedPlan, PlanCache,
-        PlanCacheStats, PlanExecutor, RedistOptions, RedistReport, SerialExecutor, SplitExecReport,
-        SplitPhaseExchange, SplitRedistribute, ThreadedExecutor, TranslationStats,
+        assign, execute_redistribute_fused, execute_redistribute_fused_sharded,
+        execute_redistribute_fused_wire, ghost, parti, plan, redistribute, redistribute_cached,
+        redistribute_cached_with, redistribute_sharded, redistribute_split, redistribute_with,
+        reduce, table_for, translation, ArrayDescriptor, CommPlan, DistArray, DistTranslationTable,
+        Element, ExecBackend, ExecReport, FusedPlan, PlanCache, PlanCacheStats, PlanExecutor,
+        RedistOptions, RedistReport, SerialExecutor, ShardedArray, ShardedExecutor,
+        ShardedHaloExchange, SplitExecReport, SplitPhaseExchange, SplitRedistribute,
+        ThreadedExecutor, TranslationStats,
     };
 }

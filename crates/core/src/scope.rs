@@ -10,12 +10,13 @@ use vf_dist::{construct, DistPattern, DistType, Distribution, ProcessorView};
 use vf_index::IndexDomain;
 use vf_machine::{trace, CommStats, CommTracker, Machine};
 use vf_runtime::ghost::{
-    exchange_ghosts_fused_wire_split, exchange_ghosts_fused_wire_with, GhostRegion,
-    SplitGhostExchange,
+    exchange_ghosts_fused_sharded, exchange_ghosts_fused_wire_split,
+    exchange_ghosts_fused_wire_with, GhostRegion, SplitGhostExchange,
 };
 use vf_runtime::{
-    execute_redistribute_fused_wire, redistribute_cached_with, ArrayDescriptor, DistArray, Element,
-    ExecBackend, ExecReport, FusedPlan, PlanCache, RedistOptions, SplitExecReport,
+    execute_redistribute_fused_sharded, execute_redistribute_fused_wire, redistribute_cached_with,
+    redistribute_sharded, ArrayDescriptor, DistArray, Element, ExecBackend, ExecReport, FusedPlan,
+    PlanCache, RedistOptions, SplitExecReport,
 };
 
 struct Entry<T: Element> {
@@ -450,13 +451,27 @@ impl<T: Element> VfScope<T> {
         for name in &names {
             members.push(self.array(name)?);
         }
-        let (regions, exec) = exchange_ghosts_fused_wire_with(
-            &members,
-            widths,
-            &self.tracker,
-            &self.plan_cache,
-            &self.executor,
-        )?;
+        // The distributed-memory backend routes the class halo over real
+        // SPMD channels (rank-local shards); every other backend packs the
+        // same wire buffers through shared memory.  Regions and charges
+        // are bitwise identical either way.
+        let (regions, exec) = if let ExecBackend::Sharded(sharded) = &self.executor {
+            exchange_ghosts_fused_sharded(
+                &members,
+                widths,
+                &self.tracker,
+                &self.plan_cache,
+                sharded,
+            )?
+        } else {
+            exchange_ghosts_fused_wire_with(
+                &members,
+                widths,
+                &self.tracker,
+                &self.plan_cache,
+                &self.executor,
+            )?
+        };
         Ok((names.into_iter().zip(regions).collect(), exec))
     }
 
@@ -677,14 +692,24 @@ impl<T: Element> VfScope<T> {
                 let work = &works[idx];
                 let entry = self.arrays.get_mut(&work.name).expect("validated above");
                 let data = entry.data.as_mut().expect("phase 2 saw data");
-                reports[idx] = Some(redistribute_cached_with(
-                    data,
-                    work.new_dist.clone(),
-                    &self.tracker,
-                    &RedistOptions::default(),
-                    &self.plan_cache,
-                    &self.executor,
-                )?);
+                reports[idx] = Some(if let ExecBackend::Sharded(sharded) = &self.executor {
+                    redistribute_sharded(
+                        data,
+                        &work.new_dist,
+                        &self.tracker,
+                        &self.plan_cache,
+                        sharded,
+                    )?
+                } else {
+                    redistribute_cached_with(
+                        data,
+                        work.new_dist.clone(),
+                        &self.tracker,
+                        &RedistOptions::default(),
+                        &self.plan_cache,
+                        &self.executor,
+                    )?
+                });
                 None
             }
             _ => {
@@ -718,12 +743,21 @@ impl<T: Element> VfScope<T> {
                 // streams on the scope's (pooled) backend.
                 let result = {
                     let mut refs: Vec<&mut DistArray<T>> = datas.iter_mut().collect();
-                    execute_redistribute_fused_wire(
-                        &mut refs,
-                        &fused,
-                        &self.tracker,
-                        &self.executor,
-                    )
+                    if let ExecBackend::Sharded(sharded) = &self.executor {
+                        execute_redistribute_fused_sharded(
+                            &mut refs,
+                            &fused,
+                            &self.tracker,
+                            sharded,
+                        )
+                    } else {
+                        execute_redistribute_fused_wire(
+                            &mut refs,
+                            &fused,
+                            &self.tracker,
+                            &self.executor,
+                        )
+                    }
                 };
                 // Put the arrays back whether or not execution succeeded
                 // (a failed fused execute validates before moving, so the
@@ -1142,6 +1176,86 @@ mod tests {
                 s.array(name).unwrap().to_dense()
             );
         }
+    }
+
+    #[test]
+    fn sharded_backend_matches_serial_at_the_language_level() {
+        let p = 4usize;
+        let n = 32usize;
+        // Run the same program — declare a class, seed data, DISTRIBUTE
+        // the class, exchange its halo — once per backend.
+        let run = |backend: Option<vf_runtime::ShardedExecutor>| {
+            let mut s = scope(p);
+            match backend {
+                Some(sharded) => {
+                    s.set_executor(ExecBackend::Sharded(sharded));
+                    assert_eq!(vf_runtime::PlanExecutor::name(s.executor()), "sharded");
+                }
+                // Pin the baseline: `auto()` may itself resolve to the
+                // sharded backend under VF_EXEC_BACKEND=sharded.
+                None => s.set_executor(ExecBackend::Serial),
+            }
+            s.declare_dynamic(
+                DynamicDecl::new("B", IndexDomain::d1(n)).initial(DistType::block1d()),
+            )
+            .unwrap();
+            s.declare_secondary(SecondaryDecl::extraction("A1", IndexDomain::d1(n), "B"))
+                .unwrap();
+            for i in 1..=n as i64 {
+                for name in ["B", "A1"] {
+                    s.array_mut(name)
+                        .unwrap()
+                        .set(&Point::d1(i), (i * i) as f64)
+                        .unwrap();
+                }
+            }
+            s.take_stats();
+            // Fused multi-array DISTRIBUTE, then a single-array one, then a
+            // fused class halo exchange — all three channel-backed paths.
+            let d1 = s
+                .distribute(DistributeStmt::new("B", DistType::cyclic1d(1)))
+                .unwrap();
+            let d2 = s
+                .distribute(DistributeStmt::new("B", DistType::block1d()).notransfer(["A1"]))
+                .unwrap();
+            let (regions, exec) = s.exchange_class_ghosts("B", &[(1, 1)]).unwrap();
+            let ghost_values: Vec<Option<f64>> = (0..p)
+                .flat_map(|q| {
+                    (1..=n as i64)
+                        .map(move |i| (q, i))
+                        .collect::<Vec<_>>()
+                        .into_iter()
+                })
+                .map(|(q, i)| regions[0].1.get(vf_dist::ProcId(q), &Point::d1(i)))
+                .collect();
+            let stats = s.take_stats();
+            let dense: Vec<Vec<f64>> = ["B", "A1"]
+                .iter()
+                .map(|name| s.array(name).unwrap().to_dense())
+                .collect();
+            (d1, d2, exec, ghost_values, stats, dense)
+        };
+
+        let serial = run(None);
+        let sharded = run(Some(vf_runtime::ShardedExecutor::new()));
+
+        // Language-level results are bitwise identical.
+        assert_eq!(sharded.0, serial.0, "fused DISTRIBUTE reports differ");
+        assert_eq!(sharded.1, serial.1, "NOTRANSFER DISTRIBUTE reports differ");
+        assert_eq!(sharded.2, serial.2, "ghost exchange reports differ");
+        assert_eq!(sharded.3, serial.3, "ghost values differ");
+        assert_eq!(sharded.5, serial.5, "gathered array data differs");
+        // Modelled charges identical; the sharded run additionally pushed
+        // every wire message over a real channel.
+        assert_eq!(sharded.4.total_messages(), serial.4.total_messages());
+        assert_eq!(sharded.4.total_bytes(), serial.4.total_bytes());
+        assert_eq!(serial.4.channel_messages(), 0);
+        assert_eq!(
+            sharded.4.channel_messages(),
+            sharded.4.total_messages(),
+            "every modelled wire message crosses a channel"
+        );
+        assert_eq!(sharded.4.channel_bytes(), sharded.4.total_bytes());
     }
 
     #[test]

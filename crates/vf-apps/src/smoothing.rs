@@ -15,13 +15,18 @@
 //! analytic per-step cost model quoted above, and the runtime chooser that
 //! a Vienna Fortran program would express with `DISTRIBUTE` inside an `IF`.
 
-use vf_dist::{DistType, Distribution, ProcessorView};
+use std::sync::Mutex;
+
+use vf_dist::{DistType, Distribution, ProcId, ProcessorView};
 use vf_index::{IndexDomain, Point};
-use vf_machine::{trace, CommStats, CostModel, Machine};
+use vf_machine::{trace, CommStats, CostModel, Machine, PendingSends};
 use vf_runtime::ghost::{
     exchange_ghosts_cached_with, exchange_ghosts_fused_wire_split, get_with_ghosts, GhostRegion,
 };
-use vf_runtime::{DistArray, ExecBackend, PlanCache};
+use vf_runtime::{
+    DistArray, ExecBackend, FusedPlan, PlanCache, ShardedArray, ShardedExecutor,
+    ShardedHaloExchange,
+};
 
 /// The two candidate layouts of the N×N grid discussed in §4.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -300,6 +305,120 @@ pub fn run(config: &SmoothingConfig, machine: &Machine, initial: &[f64]) -> Smoo
     }
 }
 
+/// Runs the smoothing kernel on the **distributed-memory backend**: the
+/// field is scattered into rank-local shards once, every rank then loops
+/// over all time steps inside a *single* SPMD region — exchanging its
+/// 1-wide halo over real [`vf_machine::spmd`] channels each step and
+/// relaxing only its own shard — and the shards are gathered back into a
+/// global array only after the last step.  No rank ever reads another
+/// rank's shard directly; off-shard neighbours come exclusively from the
+/// wire-exchanged ghost buffer.  The gathered field is bitwise identical
+/// to [`run`]'s, and the tracker's `channel_*` counters record the real
+/// per-step wire traffic alongside the modelled costs.
+pub fn run_sharded(
+    config: &SmoothingConfig,
+    machine: &Machine,
+    initial: &[f64],
+) -> SmoothingResult {
+    let tracker = machine.tracker();
+    let plans = PlanCache::new();
+    let executor = ShardedExecutor::new();
+    let dist = grid_distribution(config.layout, config.n, machine);
+    let widths = [(1, 1), (1, 1)];
+    let mut current =
+        DistArray::from_dense("U", dist.clone(), initial).expect("initial field has N*N elements");
+
+    // Identical halo geometry in every step: one plan, fused once, reused
+    // by every rank for the whole run.
+    let plan = plans.ghost_plan(&dist, &widths).expect("block layouts");
+    let fused = FusedPlan::fuse(vec![plan]).expect("a single ghost part always fuses");
+    let halo = ShardedHaloExchange::new(fused, executor.timeout())
+        .expect("ghost plans build halo exchanges");
+    let messages_per_step = halo.fused().num_messages();
+    let bytes_per_step = halo.fused().bytes_for(8);
+
+    let shards = ShardedArray::scatter(&current);
+    let procs = machine.num_procs();
+    let n = config.n as i64;
+    let steps = config.steps;
+    let locator = dist.locator();
+    // Rank 0 charges the modelled step traffic between barriers so the
+    // post → copies → settle order matches the shared-memory executors.
+    let pending_slot: Mutex<Option<PendingSends>> = Mutex::new(None);
+
+    executor.run_region(procs, &tracker, |ctx| {
+        let r = ctx.rank();
+        let me = ProcId(r);
+        let points = dist.local_points(me);
+        let mut my = shards.take(r);
+        let mut next = vec![0.0f64; my.len()];
+        for step in 0..steps {
+            ctx.barrier();
+            let step_span = (r == 0).then(|| {
+                trace::OpenSpan::begin_with(trace::Phase::Step, || format!("sharded step {step}"))
+            });
+            if r == 0 {
+                *pending_slot.lock().expect("pending slot") = Some(halo.post(&tracker, 8));
+            }
+            ctx.barrier();
+            let bufs = halo
+                .exchange_on_rank(ctx, &[&my])
+                .expect("sharded halo exchange over channels");
+            let ghosts =
+                halo.ghost_region_on_rank(0, r, bufs.into_iter().next().expect("one part"));
+            let relax_span = trace::OpenSpan::begin_dest(trace::Phase::InteriorCompute, r);
+            let mut interior = 0usize;
+            for (l, point) in points.iter().enumerate() {
+                let (i, j) = (point.coord(0), point.coord(1));
+                next[l] = if i == 1 || i == n || j == 1 || j == n {
+                    my[l]
+                } else {
+                    interior += 1;
+                    let read = |q: Point| {
+                        let (owner, off) = locator.locate(&q).expect("neighbour in domain");
+                        if owner == me {
+                            my[off]
+                        } else {
+                            ghosts.get(me, &q).expect("neighbour within 1-wide halo")
+                        }
+                    };
+                    0.25 * (read(point.offset(0, -1))
+                        + read(point.offset(0, 1))
+                        + read(point.offset(1, -1))
+                        + read(point.offset(1, 1)))
+                };
+            }
+            ctx.charge_compute(interior * FLOPS_PER_POINT);
+            relax_span.end();
+            ctx.barrier();
+            if r == 0 {
+                let pending = pending_slot
+                    .lock()
+                    .expect("pending slot")
+                    .take()
+                    .expect("posted this step");
+                halo.settle(&tracker, pending, 8);
+            }
+            if let Some(span) = step_span {
+                span.end();
+            }
+            std::mem::swap(&mut my, &mut next);
+        }
+        shards.put(r, my);
+    });
+
+    shards.gather_into(&mut current);
+    let field = current.to_dense();
+    let checksum = field.iter().sum();
+    SmoothingResult {
+        stats: tracker.snapshot(),
+        messages_per_step,
+        bytes_per_step,
+        checksum,
+        field,
+    }
+}
+
 /// Result of a class (multi-field) smoothing run whose halos are exchanged
 /// as **one fused ghost exchange** per step.
 #[derive(Debug, Clone)]
@@ -475,6 +594,45 @@ mod tests {
             assert_eq!(
                 class.stats.total_messages(),
                 steps * class.messages_per_step
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_run_matches_shared_run_bitwise_with_real_channel_traffic() {
+        let n = 16;
+        let steps = 3;
+        let initial = workloads::initial_grid(n, 11);
+        for layout in [SmoothingLayout::Columns, SmoothingLayout::Blocks2D] {
+            let machine = Machine::new(4, CostModel::zero());
+            let shared = run(&SmoothingConfig { n, steps, layout }, &machine, &initial);
+            let machine = Machine::new(4, CostModel::zero());
+            let sharded = run_sharded(&SmoothingConfig { n, steps, layout }, &machine, &initial);
+            // The gathered rank-local result is bitwise the shared-memory
+            // result, and both runs model identical traffic.
+            assert_eq!(
+                sharded.field, shared.field,
+                "{layout:?} gathered field diverges from the shared-memory run"
+            );
+            assert_eq!(sharded.checksum, shared.checksum);
+            assert_eq!(sharded.messages_per_step, shared.messages_per_step);
+            assert_eq!(sharded.bytes_per_step, shared.bytes_per_step);
+            assert_eq!(
+                sharded.stats.total_messages(),
+                shared.stats.total_messages(),
+                "{layout:?} modelled message counts diverge"
+            );
+            assert_eq!(sharded.stats.total_bytes(), shared.stats.total_bytes());
+            // Only the sharded run moved real bytes over channels — and
+            // exactly as many as the model claims, every step.
+            assert_eq!(shared.stats.channel_messages(), 0);
+            assert_eq!(
+                sharded.stats.channel_messages(),
+                steps * sharded.messages_per_step
+            );
+            assert_eq!(
+                sharded.stats.channel_bytes(),
+                steps * sharded.bytes_per_step
             );
         }
     }

@@ -48,6 +48,7 @@ pub use cost::CostModel;
 pub use fault::{CorruptSpec, FaultInjector, FaultKind, FaultPlan};
 pub use machine::Machine;
 pub use pool::{JobTicket, WorkerCtx, WorkerPool};
+pub use spmd::{SpmdError, WireFrameMsg};
 pub use stats::{CommStats, ProcStats};
 pub use topology::Topology;
 pub use trace::{DriftReport, MetricsReport, Phase, TraceSnapshot};

@@ -7,10 +7,156 @@
 //! explicit message passing over channels; every message is also charged to
 //! the shared [`CommTracker`] so the modelled cost of a threaded run matches
 //! the master-managed simulation.
+//!
+//! Messaging calls return [`SpmdError`] instead of panicking: a peer that
+//! has left the region (its thread returned or died) surfaces as
+//! [`SpmdError::PeerDead`] / [`SpmdError::RecvTimeout`], so a rank failure
+//! degrades into the fault taxonomy instead of aborting the process.
 
 use crate::CommTracker;
-use crossbeam::channel::{unbounded, Receiver, Sender};
-use std::sync::{Arc, Barrier};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+use std::sync::{Arc, Barrier, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+/// Message tag reserved for fused wire-buffer exchanges
+/// ([`ProcCtx::send_wire`] / [`ProcCtx::recv_wire`]).  Each processor pair
+/// carries at most one wire buffer per exchange, so a single tag suffices;
+/// it sits below the collective tags (`u64::MAX - 1 ..= u64::MAX - 5`).
+pub const WIRE_TAG: u64 = u64::MAX - 6;
+
+/// Size of the [`WireFrameMsg`] header prefix on a wire message.
+pub const WIRE_FRAME_BYTES: usize = 24;
+
+/// Structured failure of an SPMD messaging call.
+///
+/// These are the message-layer members of the fault taxonomy: the runtime
+/// maps them into its own error type so injected rank death degrades a
+/// region instead of aborting it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpmdError {
+    /// A send failed because the destination rank's receiver is gone (its
+    /// thread returned or died mid-region).
+    PeerDead {
+        /// Rank the send was issued from.
+        rank: usize,
+        /// Destination rank whose receiver is gone.
+        peer: usize,
+        /// Message tag of the failed send.
+        tag: u64,
+    },
+    /// A receive failed because every sender handle is gone.
+    ChannelClosed {
+        /// Rank the receive was issued from.
+        rank: usize,
+        /// Message tag being waited for.
+        tag: u64,
+    },
+    /// A bounded receive gave up before a matching message arrived —
+    /// the liveness-preserving signal for a dead or wedged peer.
+    RecvTimeout {
+        /// Rank the receive was issued from.
+        rank: usize,
+        /// Specific source being waited for, if any.
+        src: Option<usize>,
+        /// Message tag being waited for.
+        tag: u64,
+        /// How long the receive waited before giving up.
+        waited_ms: u64,
+    },
+    /// A payload's length is not a whole number of elements — a truncated
+    /// or corrupt message that must not silently decode to fewer values.
+    TruncatedPayload {
+        /// Actual payload length in bytes.
+        len: usize,
+        /// Element size the payload failed to divide into.
+        elem_bytes: usize,
+    },
+    /// A wire message is shorter than its mandatory frame header.
+    MalformedFrame {
+        /// Actual message length in bytes.
+        len: usize,
+    },
+}
+
+impl fmt::Display for SpmdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpmdError::PeerDead { rank, peer, tag } => write!(
+                f,
+                "rank {rank}: send to peer {peer} (tag {tag}) failed: receiver is gone"
+            ),
+            SpmdError::ChannelClosed { rank, tag } => {
+                write!(f, "rank {rank}: channel closed while receiving (tag {tag})")
+            }
+            SpmdError::RecvTimeout {
+                rank,
+                src,
+                tag,
+                waited_ms,
+            } => match src {
+                Some(s) => write!(
+                    f,
+                    "rank {rank}: receive from {s} (tag {tag}) timed out after {waited_ms} ms"
+                ),
+                None => write!(
+                    f,
+                    "rank {rank}: receive (tag {tag}) timed out after {waited_ms} ms"
+                ),
+            },
+            SpmdError::TruncatedPayload { len, elem_bytes } => write!(
+                f,
+                "payload of {len} bytes is not a whole number of {elem_bytes}-byte elements"
+            ),
+            SpmdError::MalformedFrame { len } => write!(
+                f,
+                "wire message of {len} bytes is shorter than the {WIRE_FRAME_BYTES}-byte frame header"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SpmdError {}
+
+/// Frame header carried in front of every fused wire buffer sent over a
+/// channel: the sequence number, element count, and GF(2)-linear checksum
+/// the receiver validates before unpacking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireFrameMsg {
+    /// Globally unique sequence number of this wire buffer.
+    pub seq: u64,
+    /// Number of elements packed in the payload.
+    pub elements: u64,
+    /// Checksum over the packed payload bits.
+    pub checksum: u64,
+}
+
+impl WireFrameMsg {
+    /// Encodes the frame as a fixed-size little-endian header.
+    pub fn to_bytes(&self) -> [u8; WIRE_FRAME_BYTES] {
+        let mut out = [0u8; WIRE_FRAME_BYTES];
+        out[0..8].copy_from_slice(&self.seq.to_le_bytes());
+        out[8..16].copy_from_slice(&self.elements.to_le_bytes());
+        out[16..24].copy_from_slice(&self.checksum.to_le_bytes());
+        out
+    }
+
+    /// Decodes a frame from the first [`WIRE_FRAME_BYTES`] of `bytes`.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, SpmdError> {
+        if bytes.len() < WIRE_FRAME_BYTES {
+            return Err(SpmdError::MalformedFrame { len: bytes.len() });
+        }
+        let word = |i: usize| {
+            u64::from_le_bytes(bytes[i * 8..i * 8 + 8].try_into().expect("8-byte slice"))
+        };
+        Ok(Self {
+            seq: word(0),
+            elements: word(1),
+            checksum: word(2),
+        })
+    }
+}
 
 /// A message exchanged between simulated processors.
 #[derive(Debug, Clone)]
@@ -26,7 +172,12 @@ pub struct ProcCtx {
     num_procs: usize,
     senders: Vec<Sender<Msg>>,
     receiver: Receiver<Msg>,
-    pending: Vec<Msg>,
+    /// Already-delivered messages that did not match a receive, indexed by
+    /// tag with per-tag FIFO order.  Receives that skip messages are O(1)
+    /// per skipped message (one push) and a matching receive is O(1) for
+    /// wildcard-source / front-of-queue matches, instead of the former
+    /// O(pending) scan plus O(pending) `Vec::remove` shift per receive.
+    pending: HashMap<u64, VecDeque<Msg>>,
     barrier: Arc<Barrier>,
     tracker: CommTracker,
 }
@@ -47,52 +198,169 @@ impl ProcCtx {
         &self.tracker
     }
 
-    /// Sends `payload` to processor `dst` under message tag `tag`.
-    pub fn send(&self, dst: usize, tag: u64, payload: Vec<u8>) {
+    /// Sends `payload` to processor `dst` under message tag `tag`,
+    /// charging the modelled message cost and counting the real channel
+    /// traffic.
+    pub fn send(&self, dst: usize, tag: u64, payload: Vec<u8>) -> Result<(), SpmdError> {
         self.tracker.send(self.rank, dst, payload.len());
+        self.tracker.record_channel_message(payload.len());
         self.senders[dst]
             .send(Msg {
                 src: self.rank,
                 tag,
                 payload,
             })
-            .expect("receiver thread alive for the duration of the SPMD region");
+            .map_err(|_| SpmdError::PeerDead {
+                rank: self.rank,
+                peer: dst,
+                tag,
+            })
     }
 
     /// Sends a slice of `f64` values to `dst` (little-endian encoding).
-    pub fn send_f64s(&self, dst: usize, tag: u64, values: &[f64]) {
-        self.send(dst, tag, f64s_to_bytes(values));
+    pub fn send_f64s(&self, dst: usize, tag: u64, values: &[f64]) -> Result<(), SpmdError> {
+        self.send(dst, tag, f64s_to_bytes(values))
+    }
+
+    /// Sends a framed wire buffer to `dst`: the frame header is prepended
+    /// to `payload` and only the payload bytes are counted as channel
+    /// traffic (the header is envelope metadata), so a correct wire path
+    /// reconciles exactly with the modelled byte count.  Unlike
+    /// [`ProcCtx::send`] this does **not** charge the modelled cost — the
+    /// executor posts the whole exchange's batch through the tracker, and
+    /// charging per send as well would double-count it.
+    pub fn send_wire(
+        &self,
+        dst: usize,
+        tag: u64,
+        frame: WireFrameMsg,
+        payload: &[u8],
+    ) -> Result<(), SpmdError> {
+        let _span = crate::span!(
+            crate::trace::Phase::Post,
+            "wire send {}B p{} -> p{dst}",
+            payload.len(),
+            self.rank
+        );
+        let mut buf = Vec::with_capacity(WIRE_FRAME_BYTES + payload.len());
+        buf.extend_from_slice(&frame.to_bytes());
+        buf.extend_from_slice(payload);
+        self.tracker.record_channel_message(payload.len());
+        self.senders[dst]
+            .send(Msg {
+                src: self.rank,
+                tag,
+                payload: buf,
+            })
+            .map_err(|_| SpmdError::PeerDead {
+                rank: self.rank,
+                peer: dst,
+                tag,
+            })
+    }
+
+    /// Receives a framed wire buffer (see [`ProcCtx::send_wire`]), waiting
+    /// at most `timeout` so a dead sender degrades into
+    /// [`SpmdError::RecvTimeout`] instead of wedging the region.  Returns
+    /// the source rank, the decoded frame, and the payload.
+    pub fn recv_wire(
+        &mut self,
+        src: Option<usize>,
+        tag: u64,
+        timeout: Duration,
+    ) -> Result<(usize, WireFrameMsg, Vec<u8>), SpmdError> {
+        let _span = crate::span!(crate::trace::Phase::Wait, "wire recv p{}", self.rank);
+        let (s, mut bytes) = self.recv_timeout(src, tag, timeout)?;
+        let frame = WireFrameMsg::from_bytes(&bytes)?;
+        let payload = bytes.split_off(WIRE_FRAME_BYTES);
+        Ok((s, frame, payload))
+    }
+
+    /// Pops the first pending message matching `src`/`tag`, if any.
+    fn take_pending(&mut self, src: Option<usize>, tag: u64) -> Option<Msg> {
+        let queue = self.pending.get_mut(&tag)?;
+        let msg = match src {
+            None => queue.pop_front(),
+            Some(s) => {
+                let pos = queue.iter().position(|m| m.src == s)?;
+                queue.remove(pos)
+            }
+        };
+        if queue.is_empty() {
+            self.pending.remove(&tag);
+        }
+        msg
     }
 
     /// Receives the next message with tag `tag`, optionally from a specific
     /// source, blocking until it arrives.  Returns the source rank and the
-    /// payload.
-    pub fn recv(&mut self, src: Option<usize>, tag: u64) -> (usize, Vec<u8>) {
-        // First look in the pending queue for an already-delivered match.
-        if let Some(pos) = self
-            .pending
-            .iter()
-            .position(|m| m.tag == tag && src.map(|s| s == m.src).unwrap_or(true))
-        {
-            let m = self.pending.remove(pos);
-            return (m.src, m.payload);
+    /// payload.  Matching order is pinned: among messages with the same
+    /// tag (and source, when one is given), receives complete in arrival
+    /// order.
+    pub fn recv(&mut self, src: Option<usize>, tag: u64) -> Result<(usize, Vec<u8>), SpmdError> {
+        if let Some(m) = self.take_pending(src, tag) {
+            return Ok((m.src, m.payload));
         }
         loop {
-            let m = self
-                .receiver
-                .recv()
-                .expect("senders alive for the duration of the SPMD region");
+            let m = self.receiver.recv().map_err(|_| SpmdError::ChannelClosed {
+                rank: self.rank,
+                tag,
+            })?;
             if m.tag == tag && src.map(|s| s == m.src).unwrap_or(true) {
-                return (m.src, m.payload);
+                return Ok((m.src, m.payload));
             }
-            self.pending.push(m);
+            self.pending.entry(m.tag).or_default().push_back(m);
+        }
+    }
+
+    /// [`ProcCtx::recv`] with a deadline: gives up with
+    /// [`SpmdError::RecvTimeout`] if no matching message arrives within
+    /// `timeout`, so a dead peer is detected instead of deadlocking.
+    pub fn recv_timeout(
+        &mut self,
+        src: Option<usize>,
+        tag: u64,
+        timeout: Duration,
+    ) -> Result<(usize, Vec<u8>), SpmdError> {
+        if let Some(m) = self.take_pending(src, tag) {
+            return Ok((m.src, m.payload));
+        }
+        let deadline = Instant::now() + timeout;
+        loop {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            match self.receiver.recv_timeout(remaining) {
+                Ok(m) => {
+                    if m.tag == tag && src.map(|s| s == m.src).unwrap_or(true) {
+                        return Ok((m.src, m.payload));
+                    }
+                    self.pending.entry(m.tag).or_default().push_back(m);
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    return Err(SpmdError::RecvTimeout {
+                        rank: self.rank,
+                        src,
+                        tag,
+                        waited_ms: timeout.as_millis() as u64,
+                    })
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    return Err(SpmdError::ChannelClosed {
+                        rank: self.rank,
+                        tag,
+                    })
+                }
+            }
         }
     }
 
     /// Receives a slice of `f64` values (see [`ProcCtx::send_f64s`]).
-    pub fn recv_f64s(&mut self, src: Option<usize>, tag: u64) -> (usize, Vec<f64>) {
-        let (s, bytes) = self.recv(src, tag);
-        (s, bytes_to_f64s(&bytes))
+    pub fn recv_f64s(
+        &mut self,
+        src: Option<usize>,
+        tag: u64,
+    ) -> Result<(usize, Vec<f64>), SpmdError> {
+        let (s, bytes) = self.recv(src, tag)?;
+        Ok((s, bytes_to_f64s(&bytes)?))
     }
 
     /// Synchronises all processors.
@@ -108,69 +376,69 @@ impl ProcCtx {
 
     /// Global sum of one value per processor; every processor receives the
     /// result (gather to rank 0, then broadcast).
-    pub fn allreduce_sum(&mut self, value: f64) -> f64 {
+    pub fn allreduce_sum(&mut self, value: f64) -> Result<f64, SpmdError> {
         const TAG_GATHER: u64 = u64::MAX - 1;
         const TAG_BCAST: u64 = u64::MAX - 2;
         if self.num_procs == 1 {
-            return value;
+            return Ok(value);
         }
         if self.rank == 0 {
             let mut acc = value;
             for _ in 1..self.num_procs {
-                let (_, v) = self.recv_f64s(None, TAG_GATHER);
+                let (_, v) = self.recv_f64s(None, TAG_GATHER)?;
                 acc += v[0];
             }
             for dst in 1..self.num_procs {
-                self.send_f64s(dst, TAG_BCAST, &[acc]);
+                self.send_f64s(dst, TAG_BCAST, &[acc])?;
             }
-            acc
+            Ok(acc)
         } else {
-            self.send_f64s(0, TAG_GATHER, &[value]);
-            let (_, v) = self.recv_f64s(Some(0), TAG_BCAST);
-            v[0]
+            self.send_f64s(0, TAG_GATHER, &[value])?;
+            let (_, v) = self.recv_f64s(Some(0), TAG_BCAST)?;
+            Ok(v[0])
         }
     }
 
     /// Global maximum of one value per processor.
-    pub fn allreduce_max(&mut self, value: f64) -> f64 {
+    pub fn allreduce_max(&mut self, value: f64) -> Result<f64, SpmdError> {
         const TAG_GATHER: u64 = u64::MAX - 3;
         const TAG_BCAST: u64 = u64::MAX - 4;
         if self.num_procs == 1 {
-            return value;
+            return Ok(value);
         }
         if self.rank == 0 {
             let mut acc = value;
             for _ in 1..self.num_procs {
-                let (_, v) = self.recv_f64s(None, TAG_GATHER);
+                let (_, v) = self.recv_f64s(None, TAG_GATHER)?;
                 acc = acc.max(v[0]);
             }
             for dst in 1..self.num_procs {
-                self.send_f64s(dst, TAG_BCAST, &[acc]);
+                self.send_f64s(dst, TAG_BCAST, &[acc])?;
             }
-            acc
+            Ok(acc)
         } else {
-            self.send_f64s(0, TAG_GATHER, &[value]);
-            let (_, v) = self.recv_f64s(Some(0), TAG_BCAST);
-            v[0]
+            self.send_f64s(0, TAG_GATHER, &[value])?;
+            let (_, v) = self.recv_f64s(Some(0), TAG_BCAST)?;
+            Ok(v[0])
         }
     }
 
     /// Gathers one `f64` slice from every processor onto rank 0; rank 0
     /// receives all slices ordered by rank, other ranks receive an empty
     /// vector.
-    pub fn gather_to_root(&mut self, values: &[f64]) -> Vec<Vec<f64>> {
+    pub fn gather_to_root(&mut self, values: &[f64]) -> Result<Vec<Vec<f64>>, SpmdError> {
         const TAG: u64 = u64::MAX - 5;
         if self.rank == 0 {
             let mut out = vec![Vec::new(); self.num_procs];
             out[0] = values.to_vec();
             for _ in 1..self.num_procs {
-                let (src, v) = self.recv_f64s(None, TAG);
+                let (src, v) = self.recv_f64s(None, TAG)?;
                 out[src] = v;
             }
-            out
+            Ok(out)
         } else {
-            self.send_f64s(0, TAG, values);
-            Vec::new()
+            self.send_f64s(0, TAG, values)?;
+            Ok(Vec::new())
         }
     }
 }
@@ -185,25 +453,26 @@ pub fn f64s_to_bytes(values: &[f64]) -> Vec<u8> {
 }
 
 /// Decodes a little-endian byte buffer into `f64` values.
-pub fn bytes_to_f64s(bytes: &[u8]) -> Vec<f64> {
-    bytes
+///
+/// A length that is not a multiple of 8 is a truncated or corrupt payload
+/// and is rejected with [`SpmdError::TruncatedPayload`] rather than
+/// silently dropping the trailing partial value.
+pub fn bytes_to_f64s(bytes: &[u8]) -> Result<Vec<f64>, SpmdError> {
+    if !bytes.len().is_multiple_of(8) {
+        return Err(SpmdError::TruncatedPayload {
+            len: bytes.len(),
+            elem_bytes: 8,
+        });
+    }
+    Ok(bytes
         .chunks_exact(8)
         .map(|c| f64::from_le_bytes(c.try_into().expect("chunk of 8 bytes")))
-        .collect()
+        .collect())
 }
 
-/// Runs `body` as an SPMD region over `num_procs` simulated processors,
-/// one OS thread per processor, and returns the per-processor results in
-/// rank order.
-///
-/// Deadlocks in the body (e.g. mismatched sends/receives) will hang the
-/// call, exactly as they would on a real message-passing machine.
-pub fn run<R, F>(num_procs: usize, tracker: &CommTracker, body: F) -> Vec<R>
-where
-    R: Send,
-    F: Fn(&mut ProcCtx) -> R + Sync,
-{
-    assert!(num_procs > 0, "SPMD region needs at least one processor");
+/// Builds the per-rank contexts for an SPMD region over `num_procs`
+/// processors sharing `tracker`.
+fn make_contexts(num_procs: usize, tracker: &CommTracker) -> Vec<ProcCtx> {
     let mut senders = Vec::with_capacity(num_procs);
     let mut receivers = Vec::with_capacity(num_procs);
     for _ in 0..num_procs {
@@ -212,9 +481,7 @@ where
         receivers.push(r);
     }
     let barrier = Arc::new(Barrier::new(num_procs));
-    let body = &body;
-
-    let mut contexts: Vec<ProcCtx> = receivers
+    receivers
         .into_iter()
         .enumerate()
         .map(|(rank, receiver)| ProcCtx {
@@ -222,14 +489,31 @@ where
             num_procs,
             senders: senders.clone(),
             receiver,
-            pending: Vec::new(),
+            pending: HashMap::new(),
             barrier: Arc::clone(&barrier),
             tracker: tracker.clone(),
         })
-        .collect();
-    // Drop the original sender handles so channels close when contexts drop.
-    drop(senders);
+        .collect()
+    // The original sender handles drop here, so each rank's channel closes
+    // once every surviving context drops its clones.
+}
 
+/// Runs `body` as an SPMD region over `num_procs` simulated processors,
+/// one OS thread per processor, and returns the per-processor results in
+/// rank order.
+///
+/// Deadlocks in the body (e.g. mismatched sends/receives) will hang the
+/// call, exactly as they would on a real message-passing machine; use
+/// [`ProcCtx::recv_timeout`] / [`ProcCtx::recv_wire`] where a peer death
+/// must degrade instead.
+pub fn run<R, F>(num_procs: usize, tracker: &CommTracker, body: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(&mut ProcCtx) -> R + Sync,
+{
+    assert!(num_procs > 0, "SPMD region needs at least one processor");
+    let mut contexts = make_contexts(num_procs, tracker);
+    let body = &body;
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(num_procs);
         for mut ctx in contexts.drain(..) {
@@ -240,6 +524,53 @@ where
             .map(|h| h.join().expect("SPMD processor thread panicked"))
             .collect()
     })
+}
+
+/// Runs an SPMD region on the parked threads of a [`WorkerPool`] instead
+/// of spawning fresh OS threads: the submitting thread hosts rank 0 and
+/// `num_procs - 1` pool workers host the remaining ranks.
+///
+/// Every rank must be hosted concurrently (ranks block in receives waiting
+/// for each other), so when the pool is narrower than `num_procs` this
+/// falls back to the fresh-spawn [`run`] rather than deadlocking on a
+/// clamped dispatch.
+pub fn run_on_pool<R, F>(
+    pool: &crate::pool::WorkerPool,
+    num_procs: usize,
+    tracker: &CommTracker,
+    body: F,
+) -> Vec<R>
+where
+    R: Send,
+    F: Fn(&mut ProcCtx) -> R + Sync,
+{
+    assert!(num_procs > 0, "SPMD region needs at least one processor");
+    if pool.workers() < num_procs {
+        return run(num_procs, tracker, body);
+    }
+    let slots: Vec<Mutex<Option<ProcCtx>>> = make_contexts(num_procs, tracker)
+        .into_iter()
+        .map(|ctx| Mutex::new(Some(ctx)))
+        .collect();
+    let results: Vec<Mutex<Option<R>>> = (0..num_procs).map(|_| Mutex::new(None)).collect();
+    pool.run_limited(num_procs, &|rank| {
+        let mut ctx = slots[rank]
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .take()
+            .expect("each rank is hosted exactly once");
+        let r = body(&mut ctx);
+        *results[rank].lock().unwrap_or_else(PoisonError::into_inner) = Some(r);
+        // `ctx` drops here, closing this rank's sender clones.
+    });
+    results
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .unwrap_or_else(PoisonError::into_inner)
+                .expect("every rank ran")
+        })
+        .collect()
 }
 
 /// Runs `num_items` independent work items over up to `workers` SPMD worker
@@ -302,8 +633,8 @@ mod tests {
         let tracker = CommTracker::new(4, CostModel::from_alpha_beta(1.0, 0.0));
         let results = run(4, &tracker, |ctx| {
             let right = (ctx.rank() + 1) % ctx.num_procs();
-            ctx.send_f64s(right, 7, &[ctx.rank() as f64]);
-            let (src, v) = ctx.recv_f64s(None, 7);
+            ctx.send_f64s(right, 7, &[ctx.rank() as f64]).unwrap();
+            let (src, v) = ctx.recv_f64s(None, 7).unwrap();
             (src, v[0])
         });
         for (rank, (src, v)) in results.iter().enumerate() {
@@ -314,23 +645,28 @@ mod tests {
         let stats = tracker.snapshot();
         assert_eq!(stats.total_messages(), 4);
         assert_eq!(stats.total_bytes(), 4 * 8);
+        // Real channel traffic reconciles with the modelled counts.
+        assert_eq!(stats.channel_messages(), 4);
+        assert_eq!(stats.channel_bytes(), 4 * 8);
     }
 
     #[test]
     fn allreduce_sum_and_max() {
         let tracker = CommTracker::new(5, CostModel::zero());
         let sums = run(5, &tracker, |ctx| {
-            ctx.allreduce_sum((ctx.rank() + 1) as f64)
+            ctx.allreduce_sum((ctx.rank() + 1) as f64).unwrap()
         });
         assert!(sums.iter().all(|&s| s == 15.0));
-        let maxes = run(5, &tracker, |ctx| ctx.allreduce_max(ctx.rank() as f64));
+        let maxes = run(5, &tracker, |ctx| {
+            ctx.allreduce_max(ctx.rank() as f64).unwrap()
+        });
         assert!(maxes.iter().all(|&m| m == 4.0));
     }
 
     #[test]
     fn single_processor_allreduce_is_identity() {
         let tracker = CommTracker::new(1, CostModel::zero());
-        let r = run(1, &tracker, |ctx| ctx.allreduce_sum(42.0));
+        let r = run(1, &tracker, |ctx| ctx.allreduce_sum(42.0).unwrap());
         assert_eq!(r, vec![42.0]);
         assert_eq!(tracker.snapshot().total_messages(), 0);
     }
@@ -340,7 +676,7 @@ mod tests {
         let tracker = CommTracker::new(3, CostModel::zero());
         let results = run(3, &tracker, |ctx| {
             let data = vec![ctx.rank() as f64; ctx.rank() + 1];
-            ctx.gather_to_root(&data)
+            ctx.gather_to_root(&data).unwrap()
         });
         let root = &results[0];
         assert_eq!(root.len(), 3);
@@ -355,17 +691,173 @@ mod tests {
         let tracker = CommTracker::new(2, CostModel::zero());
         let results = run(2, &tracker, |ctx| {
             if ctx.rank() == 0 {
-                ctx.send_f64s(1, 1, &[1.0]);
-                ctx.send_f64s(1, 2, &[2.0]);
+                ctx.send_f64s(1, 1, &[1.0]).unwrap();
+                ctx.send_f64s(1, 2, &[2.0]).unwrap();
                 0.0
             } else {
                 // Receive tag 2 first even though tag 1 was sent first.
-                let (_, b) = ctx.recv_f64s(Some(0), 2);
-                let (_, a) = ctx.recv_f64s(Some(0), 1);
+                let (_, b) = ctx.recv_f64s(Some(0), 2).unwrap();
+                let (_, a) = ctx.recv_f64s(Some(0), 1).unwrap();
                 a[0] * 10.0 + b[0]
             }
         });
         assert_eq!(results[1], 12.0);
+    }
+
+    #[test]
+    fn pending_messages_complete_in_arrival_order() {
+        // Same-tag messages forced through the pending queue must come
+        // back in send (= arrival) order, for both wildcard and
+        // specific-source receives.
+        let tracker = CommTracker::new(2, CostModel::zero());
+        let results = run(2, &tracker, |ctx| {
+            if ctx.rank() == 0 {
+                for v in [10.0, 11.0, 12.0] {
+                    ctx.send_f64s(1, 1, &[v]).unwrap();
+                }
+                ctx.send_f64s(1, 2, &[99.0]).unwrap();
+                Vec::new()
+            } else {
+                // Receiving tag 2 first drains all three tag-1 messages
+                // into the pending queue.
+                let (_, sentinel) = ctx.recv_f64s(Some(0), 2).unwrap();
+                assert_eq!(sentinel, vec![99.0]);
+                let a = ctx.recv_f64s(None, 1).unwrap().1[0];
+                let b = ctx.recv_f64s(Some(0), 1).unwrap().1[0];
+                let c = ctx.recv_f64s(None, 1).unwrap().1[0];
+                vec![a, b, c]
+            }
+        });
+        assert_eq!(results[1], vec![10.0, 11.0, 12.0]);
+    }
+
+    #[test]
+    fn many_pending_out_of_order_receives() {
+        // Receive in reverse tag order so all but one message is matched
+        // out of the pending index; formerly an O(n^2) scan over one
+        // flat vector.
+        const N: usize = 2000;
+        let tracker = CommTracker::new(2, CostModel::zero());
+        run(2, &tracker, |ctx| {
+            if ctx.rank() == 0 {
+                for i in 0..N {
+                    ctx.send_f64s(1, i as u64, &[i as f64]).unwrap();
+                }
+            } else {
+                for i in (0..N).rev() {
+                    let (_, v) = ctx.recv_f64s(Some(0), i as u64).unwrap();
+                    assert_eq!(v, vec![i as f64]);
+                }
+            }
+        });
+        let stats = tracker.snapshot();
+        assert_eq!(stats.total_messages(), N);
+        assert_eq!(stats.channel_messages(), N);
+    }
+
+    #[test]
+    fn send_to_finished_rank_is_structured_error() {
+        let tracker = CommTracker::new(2, CostModel::zero());
+        let results = run(2, &tracker, |ctx| {
+            if ctx.rank() == 1 {
+                // Rank 1 leaves the region immediately; its context (and
+                // receiver) drop.
+                return Ok(());
+            }
+            // Rank 0 keeps sending until the peer's channel disconnects.
+            loop {
+                ctx.send(1, 9, vec![0u8; 8])?;
+                std::thread::yield_now();
+            }
+        });
+        assert_eq!(
+            results[0],
+            Err(SpmdError::PeerDead {
+                rank: 0,
+                peer: 1,
+                tag: 9
+            })
+        );
+    }
+
+    #[test]
+    fn recv_timeout_detects_dead_peer() {
+        let tracker = CommTracker::new(2, CostModel::zero());
+        let results = run(2, &tracker, |ctx| {
+            if ctx.rank() == 1 {
+                return None; // dies without sending
+            }
+            Some(ctx.recv_timeout(Some(1), 3, Duration::from_millis(20)))
+        });
+        match &results[0] {
+            Some(Err(SpmdError::RecvTimeout {
+                rank: 0,
+                src: Some(1),
+                tag: 3,
+                ..
+            })) => {}
+            other => panic!("expected RecvTimeout, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_f64_payload_is_an_error() {
+        let bytes = f64s_to_bytes(&[1.0, 2.0]);
+        assert_eq!(bytes_to_f64s(&bytes).unwrap(), vec![1.0, 2.0]);
+        assert!(bytes_to_f64s(&[]).unwrap().is_empty());
+        assert_eq!(
+            bytes_to_f64s(&bytes[..15]),
+            Err(SpmdError::TruncatedPayload {
+                len: 15,
+                elem_bytes: 8
+            })
+        );
+    }
+
+    #[test]
+    fn wire_frames_round_trip_with_channel_accounting() {
+        let tracker = CommTracker::new(2, CostModel::from_alpha_beta(1.0, 0.0));
+        let frame = WireFrameMsg {
+            seq: 7,
+            elements: 2,
+            checksum: 0xDEAD_BEEF,
+        };
+        let results = run(2, &tracker, |ctx| {
+            if ctx.rank() == 0 {
+                let payload = f64s_to_bytes(&[3.5, -4.25]);
+                ctx.send_wire(1, WIRE_TAG, frame, &payload).unwrap();
+                None
+            } else {
+                Some(
+                    ctx.recv_wire(Some(0), WIRE_TAG, Duration::from_secs(5))
+                        .unwrap(),
+                )
+            }
+        });
+        let (src, got_frame, payload) = results[1].clone().unwrap();
+        assert_eq!(src, 0);
+        assert_eq!(got_frame, frame);
+        assert_eq!(bytes_to_f64s(&payload).unwrap(), vec![3.5, -4.25]);
+        let stats = tracker.snapshot();
+        // Wire sends count real traffic (payload only) but leave modelled
+        // charging to the executor's posted batch.
+        assert_eq!(stats.channel_messages(), 1);
+        assert_eq!(stats.channel_bytes(), 16);
+        assert_eq!(stats.total_messages(), 0);
+    }
+
+    #[test]
+    fn malformed_wire_frame_is_rejected() {
+        assert_eq!(
+            WireFrameMsg::from_bytes(&[0u8; 10]),
+            Err(SpmdError::MalformedFrame { len: 10 })
+        );
+        let frame = WireFrameMsg {
+            seq: u64::MAX,
+            elements: 0,
+            checksum: 1,
+        };
+        assert_eq!(WireFrameMsg::from_bytes(&frame.to_bytes()).unwrap(), frame);
     }
 
     #[test]
@@ -380,6 +872,30 @@ mod tests {
         let s = tracker.snapshot();
         assert_eq!(s.max_compute_time(), 20.0);
         assert_eq!(s.total_compute_time(), 30.0);
+    }
+
+    #[test]
+    fn run_on_pool_matches_fresh_spawn() {
+        let pool = crate::pool::WorkerPool::new(4);
+        let tracker = CommTracker::new(4, CostModel::from_alpha_beta(1.0, 0.0));
+        let results = run_on_pool(&pool, 4, &tracker, |ctx| {
+            let right = (ctx.rank() + 1) % ctx.num_procs();
+            ctx.send_f64s(right, 7, &[ctx.rank() as f64]).unwrap();
+            let (src, v) = ctx.recv_f64s(None, 7).unwrap();
+            (src, v[0])
+        });
+        for (rank, (src, v)) in results.iter().enumerate() {
+            let left = (rank + 4 - 1) % 4;
+            assert_eq!(*src, left);
+            assert_eq!(*v, left as f64);
+        }
+        // A region wider than the pool falls back to fresh spawns rather
+        // than deadlocking on a clamped dispatch.
+        let wide_tracker = CommTracker::new(6, CostModel::zero());
+        let sums = run_on_pool(&pool, 6, &wide_tracker, |ctx| {
+            ctx.allreduce_sum(1.0).unwrap()
+        });
+        assert_eq!(sums, vec![6.0; 6]);
     }
 
     #[test]
@@ -400,7 +916,7 @@ mod tests {
     #[test]
     fn f64_byte_round_trip() {
         let values = vec![1.5, -2.25, 0.0, f64::MAX];
-        assert_eq!(bytes_to_f64s(&f64s_to_bytes(&values)), values);
-        assert!(bytes_to_f64s(&[]).is_empty());
+        assert_eq!(bytes_to_f64s(&f64s_to_bytes(&values)).unwrap(), values);
+        assert!(bytes_to_f64s(&[]).unwrap().is_empty());
     }
 }

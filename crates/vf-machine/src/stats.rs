@@ -69,6 +69,18 @@ pub struct CommStats {
     /// Degraded-mode transitions taken (pooled → fresh-spawn/serial on a
     /// worker death, split-phase → blocking on a cancelled handle).
     fallbacks: usize,
+    /// Messages *actually carried* over [`spmd`](crate::spmd) channels, as
+    /// opposed to the modelled counts in `per_proc`.  On shared-memory
+    /// executors this stays zero; the sharded backend records every real
+    /// wire send here so the cost model can be cross-checked against
+    /// counted traffic.
+    #[serde(default)]
+    channel_messages: usize,
+    /// Payload bytes actually carried over spmd channels (framing headers
+    /// excluded, so a correct wire path satisfies
+    /// `channel_bytes == modelled wire bytes` exactly).
+    #[serde(default)]
+    channel_bytes: usize,
 }
 
 impl CommStats {
@@ -81,6 +93,8 @@ impl CommStats {
             retries: 0,
             faults_injected: 0,
             fallbacks: 0,
+            channel_messages: 0,
+            channel_bytes: 0,
         }
     }
 
@@ -242,6 +256,24 @@ impl CommStats {
         crate::trace::instant_n(crate::trace::Phase::Fallback, n);
     }
 
+    /// Messages actually carried over spmd channels (zero on
+    /// shared-memory executors).
+    pub fn channel_messages(&self) -> usize {
+        self.channel_messages
+    }
+
+    /// Payload bytes actually carried over spmd channels (framing headers
+    /// excluded).
+    pub fn channel_bytes(&self) -> usize {
+        self.channel_bytes
+    }
+
+    /// Counts one real channel message of `bytes` payload bytes.
+    pub fn record_channel_message(&mut self, bytes: usize) {
+        self.channel_messages += 1;
+        self.channel_bytes += bytes;
+    }
+
     /// Merges another statistics object (same processor count) into this
     /// one.
     pub fn merge(&mut self, other: &CommStats) {
@@ -258,6 +290,8 @@ impl CommStats {
         self.retries += other.retries;
         self.faults_injected += other.faults_injected;
         self.fallbacks += other.fallbacks;
+        self.channel_messages += other.channel_messages;
+        self.channel_bytes += other.channel_bytes;
     }
 
     /// Resets all counters to zero.
@@ -270,6 +304,8 @@ impl CommStats {
         self.retries = 0;
         self.faults_injected = 0;
         self.fallbacks = 0;
+        self.channel_messages = 0;
+        self.channel_bytes = 0;
     }
 }
 
@@ -290,6 +326,13 @@ impl fmt::Display for CommStats {
                 f,
                 ", overlap {:.3e}s measured / {:.3e}s credited",
                 self.measured_overlap_seconds, self.credited_overlap_seconds
+            )?;
+        }
+        if self.channel_messages > 0 {
+            write!(
+                f,
+                ", {} channel msgs ({} bytes on the wire)",
+                self.channel_messages, self.channel_bytes
             )?;
         }
         if self.faults_injected > 0 || self.retries > 0 || self.fallbacks > 0 {

@@ -1050,7 +1050,19 @@ pub fn parse_chrome_trace(text: &str) -> Result<Vec<TraceEvent>, String> {
             .and_then(Json::as_str)
             .ok_or("event without name")?;
         let phase = Phase::from_name(name).ok_or_else(|| format!("unknown phase '{name}'"))?;
-        let us_to_ns = |v: &Json| (v.as_f64().unwrap_or(0.0) * 1000.0).round() as u64;
+        // A missing or non-numeric `ts`/`dur` is a corrupt event; mapping
+        // it to 0 would round-trip the corruption "successfully" as a
+        // zeroed span, so reject it instead.
+        let us_to_ns = |field: &str| -> Result<u64, String> {
+            let v = item
+                .get(field)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("event '{name}' has a missing or non-numeric '{field}'"))?;
+            if !v.is_finite() || v < 0.0 {
+                return Err(format!("event '{name}' has an invalid '{field}' ({v})"));
+            }
+            Ok((v * 1000.0).round() as u64)
+        };
         out.push(TraceEvent {
             phase,
             label: item
@@ -1060,8 +1072,8 @@ pub fn parse_chrome_trace(text: &str) -> Result<Vec<TraceEvent>, String> {
                 .unwrap_or("")
                 .to_string(),
             lane: item.get("tid").and_then(Json::as_f64).unwrap_or(0.0) as u32,
-            start_ns: item.get("ts").map(&us_to_ns).unwrap_or(0),
-            dur_ns: item.get("dur").map(&us_to_ns).unwrap_or(0),
+            start_ns: us_to_ns("ts")?,
+            dur_ns: us_to_ns("dur")?,
         });
     }
     Ok(out)
@@ -1311,6 +1323,31 @@ mod tests {
             "{\"traceEvents\":[{\"name\":\"no-such-phase\",\"ts\":0,\"dur\":0,\"tid\":0}]}"
         )
         .is_err());
+    }
+
+    #[test]
+    fn parse_rejects_malformed_timestamps() {
+        // Corrupt events must not round-trip "successfully" as zeroed
+        // spans: missing ts, missing dur, and non-numeric values are all
+        // parse errors.
+        let make = |ts_dur: &str| {
+            format!("{{\"traceEvents\":[{{\"name\":\"retry\",{ts_dur}\"tid\":0}}]}}")
+        };
+        let missing_ts = make("\"dur\":1,");
+        let err = parse_chrome_trace(&missing_ts).unwrap_err();
+        assert!(err.contains("'ts'"), "unexpected error: {err}");
+        let missing_dur = make("\"ts\":1,");
+        let err = parse_chrome_trace(&missing_dur).unwrap_err();
+        assert!(err.contains("'dur'"), "unexpected error: {err}");
+        let non_numeric = make("\"ts\":\"soon\",\"dur\":1,");
+        assert!(parse_chrome_trace(&non_numeric).is_err());
+        let negative = make("\"ts\":-5,\"dur\":1,");
+        assert!(parse_chrome_trace(&negative).is_err());
+        // A well-formed event with the same shape still parses.
+        let good = make("\"ts\":1.5,\"dur\":0.001,");
+        let parsed = parse_chrome_trace(&good).expect("well-formed event parses");
+        assert_eq!(parsed[0].start_ns, 1_500);
+        assert_eq!(parsed[0].dur_ns, 1);
     }
 
     #[test]

@@ -112,6 +112,15 @@ impl CommTracker {
         self.stats.lock().record_message(src, dst, bytes, t);
     }
 
+    /// Counts one message of `bytes` payload bytes *actually carried* over
+    /// an spmd channel.  This is the real-traffic side of the modelled
+    /// ledger: shared-memory executors never call it, the sharded backend
+    /// calls it once per wire send, and differential tests assert the two
+    /// sides agree (`channel_bytes == modelled wire bytes`).
+    pub fn record_channel_message(&self, bytes: usize) {
+        self.stats.lock().record_channel_message(bytes);
+    }
+
     /// Records a batch of point-to-point messages `(src, dst, bytes)` under
     /// a single lock acquisition — the aggregated charge a communication
     /// plan makes after executing all of its transfers.  Messages to self

@@ -79,6 +79,11 @@ pub enum RuntimeError {
         /// Which handle type was misused.
         handle: &'static str,
     },
+    /// A real channel operation of the sharded (distributed-memory)
+    /// backend failed: a peer rank died mid-region, a bounded receive
+    /// timed out, or a payload arrived truncated.  The region degrades
+    /// with this error instead of aborting the process.
+    Channel(vf_machine::SpmdError),
 }
 
 impl fmt::Display for RuntimeError {
@@ -119,6 +124,7 @@ impl fmt::Display for RuntimeError {
                 f,
                 "{handle} was already waited on or cancelled; it holds no pending communication"
             ),
+            RuntimeError::Channel(e) => write!(f, "channel failure: {e}"),
         }
     }
 }
@@ -128,8 +134,15 @@ impl std::error::Error for RuntimeError {
         match self {
             RuntimeError::Dist(e) => Some(e),
             RuntimeError::Index(e) => Some(e),
+            RuntimeError::Channel(e) => Some(e),
             _ => None,
         }
+    }
+}
+
+impl From<vf_machine::SpmdError> for RuntimeError {
+    fn from(e: vf_machine::SpmdError) -> Self {
+        RuntimeError::Channel(e)
     }
 }
 

@@ -647,6 +647,12 @@ pub enum ExecBackend {
     Serial,
     /// Threaded per-destination execution ([`ThreadedExecutor`]).
     Threaded(ThreadedExecutor),
+    /// Distributed-memory execution ([`crate::shard::ShardedExecutor`]):
+    /// each rank holds only its local shard and fused wire buffers travel
+    /// over real [`vf_machine::spmd`] channels.  Non-wire plan phases
+    /// (scatter updates, plain per-part copies) fall back to the serial
+    /// shared-memory oracle.
+    Sharded(crate::shard::ShardedExecutor),
 }
 
 impl ExecBackend {
@@ -680,6 +686,16 @@ impl ExecBackend {
                 ),
             }
         }
+        if let Ok(raw) = std::env::var("VF_EXEC_BACKEND") {
+            match raw.trim() {
+                "sharded" => return ExecBackend::Sharded(crate::shard::ShardedExecutor::new()),
+                "serial" => return ExecBackend::Serial,
+                "threaded" => {}
+                other => eprintln!(
+                    "warning: ignoring unknown VF_EXEC_BACKEND={other:?} (expected serial, threaded or sharded)"
+                ),
+            }
+        }
         if threaded.workers() > 1 {
             ExecBackend::Threaded(threaded)
         } else {
@@ -693,6 +709,7 @@ impl ExecBackend {
         match self {
             ExecBackend::Serial => None,
             ExecBackend::Threaded(t) => t.pool(),
+            ExecBackend::Sharded(s) => s.pool(),
         }
     }
 }
@@ -702,6 +719,7 @@ impl PlanExecutor for ExecBackend {
         match self {
             ExecBackend::Serial => SerialExecutor.name(),
             ExecBackend::Threaded(t) => t.name(),
+            ExecBackend::Sharded(s) => s.name(),
         }
     }
 
@@ -715,6 +733,7 @@ impl PlanExecutor for ExecBackend {
         match self {
             ExecBackend::Serial => SerialExecutor.run_copies(transfers, src, dst_sizes, tracker),
             ExecBackend::Threaded(t) => t.run_copies(transfers, src, dst_sizes, tracker),
+            ExecBackend::Sharded(s) => s.run_copies(transfers, src, dst_sizes, tracker),
         }
     }
 
@@ -727,6 +746,7 @@ impl PlanExecutor for ExecBackend {
         match self {
             ExecBackend::Serial => SerialExecutor.run_updates(locals, updates, combine),
             ExecBackend::Threaded(t) => t.run_updates(locals, updates, combine),
+            ExecBackend::Sharded(s) => s.run_updates(locals, updates, combine),
         }
     }
 
@@ -740,6 +760,7 @@ impl PlanExecutor for ExecBackend {
         match self {
             ExecBackend::Serial => SerialExecutor.run_indexed(num_items, copy_bytes, tracker, work),
             ExecBackend::Threaded(t) => t.run_indexed(num_items, copy_bytes, tracker, work),
+            ExecBackend::Sharded(s) => s.run_indexed(num_items, copy_bytes, tracker, work),
         }
     }
 }
@@ -784,18 +805,18 @@ pub struct FusedPlan {
     stayed_elements: usize,
     /// Crossing (src, dst) pairs with traffic in any part, with the summed
     /// element count — one fused message each.
-    pair_elements: Vec<((usize, usize), usize)>,
+    pub(crate) pair_elements: Vec<((usize, usize), usize)>,
     /// Per crossing pair (aligned with `pair_elements`): the wire layout of
     /// the fused message, parts in fusion order.
-    pair_slices: Vec<Vec<FusedSlice>>,
+    pub(crate) pair_slices: Vec<Vec<FusedSlice>>,
     /// Per part: index of the part's transfer carrying a (src, dst) pair
     /// (at most one — plans aggregate per pair; local pairs included).
     /// Precomputed here so the wire executors pay no per-execute indexing.
-    pair_transfer: Vec<HashMap<(usize, usize), usize>>,
+    pub(crate) pair_transfer: Vec<HashMap<(usize, usize), usize>>,
     /// Per destination processor: indices into `pair_elements` of the
     /// pairs arriving there — the wire executors' per-destination work
     /// lists, precomputed for the same reason.
-    pairs_by_dst: Vec<Vec<usize>>,
+    pub(crate) pairs_by_dst: Vec<Vec<usize>>,
 }
 
 impl FusedPlan {
@@ -825,6 +846,20 @@ impl FusedPlan {
                 reason: format!("cannot fuse a {:?} plan with {kind:?} plans", odd.kind()),
             });
         }
+        Ok(Self::build(kind, parts))
+    }
+
+    /// Wraps one plan of *any* kind in the fused wire layout — the entry
+    /// the channel-backed sharded gather uses.  Safe for every planner
+    /// output because [`crate::plan::CommPlan`] carries at most one
+    /// transfer per `(src, dst)` pair, which is the only structural
+    /// assumption the pair index makes.  Not public: multi-plan fusion of
+    /// gather/scatter schedules remains rejected by [`FusedPlan::fuse`].
+    pub(crate) fn fuse_one(part: Arc<CommPlan>) -> Self {
+        Self::build(part.kind(), vec![part])
+    }
+
+    fn build(kind: PlanKind, parts: Vec<Arc<CommPlan>>) -> Self {
         let mut pairs: BTreeMap<(usize, usize), Vec<FusedSlice>> = BTreeMap::new();
         let mut moved = 0usize;
         let mut stayed = 0usize;
@@ -875,7 +910,7 @@ impl FusedPlan {
                 list.push(i);
             }
         }
-        Ok(Self {
+        Self {
             kind,
             parts,
             moved_elements: moved,
@@ -884,7 +919,7 @@ impl FusedPlan {
             pair_slices,
             pair_transfer,
             pairs_by_dst,
-        })
+        }
     }
 
     /// What kind of plans were fused (redistribution or ghost).
@@ -1134,8 +1169,16 @@ struct WireFraming {
 /// validation — and because the wire buffer is contiguous, the xor is one
 /// sequential sweep at cache speed ([`xor_bits`]), which is what keeps
 /// framing inside the e10 bench's 5% overhead guard.
-fn wire_checksum<T: Element>(wire: &[T]) -> u64 {
+pub(crate) fn wire_checksum<T: Element>(wire: &[T]) -> u64 {
     finish_checksum(xor_bits(wire), wire.len())
+}
+
+/// Reserves a block of `n` wire sequence numbers (one uncontended
+/// `fetch_add`) and returns the first — the same reservation scheme the
+/// in-process wire executors use, shared with the channel-backed sharded
+/// exchange so sequence numbers stay globally unique across backends.
+pub(crate) fn next_wire_seq_block(n: u64) -> u64 {
+    NEXT_WIRE_SEQ.fetch_add(n, Ordering::Relaxed)
 }
 
 /// Xor of the stored bit patterns of `xs`, eight lanes wide so the loop
@@ -1365,7 +1408,11 @@ fn wire_copy_for_dest<T: Element>(
 /// *sender*, unpacking (and direct local copies) to the *receiver* — the
 /// two memcpy streams a real message-passing backend performs on each side
 /// of the wire.
-fn wire_copy_seconds(fused: &FusedPlan, elem_bytes: usize, tracker: &CommTracker) -> Vec<f64> {
+pub(crate) fn wire_copy_seconds(
+    fused: &FusedPlan,
+    elem_bytes: usize,
+    tracker: &CommTracker,
+) -> Vec<f64> {
     let rate = tracker.cost().copy_per_byte;
     if rate == 0.0 {
         return Vec::new();
@@ -2425,6 +2472,9 @@ mod tests {
                     Some(1)
                 );
             }
+            // Only reachable when the test environment sets
+            // VF_EXEC_BACKEND=sharded explicitly.
+            ExecBackend::Sharded(s) => assert_eq!(s.name(), "sharded"),
         }
         assert_eq!(ExecBackend::default().name(), "serial");
     }

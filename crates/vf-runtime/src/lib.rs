@@ -51,6 +51,7 @@ pub mod parti;
 pub mod plan;
 mod redistribute_impl;
 pub mod reduce;
+pub mod shard;
 pub mod translation;
 
 pub use array::DistArray;
@@ -65,9 +66,11 @@ pub use exec::{
 };
 pub use plan::{CommPlan, PlanCache, PlanCacheStats, PlanKind, PlanRun, Transfer};
 pub use redistribute_impl::{
-    execute_redistribute, execute_redistribute_with, redistribute, redistribute_cached,
-    redistribute_cached_with, redistribute_with, RedistOptions, RedistReport,
+    execute_redistribute, execute_redistribute_fused_sharded, execute_redistribute_with,
+    redistribute, redistribute_cached, redistribute_cached_with, redistribute_sharded,
+    redistribute_with, RedistOptions, RedistReport,
 };
+pub use shard::{ShardedArray, ShardedExecutor, ShardedHaloExchange};
 pub use translation::{invalidate, table_for, DistTranslationTable, TranslationStats};
 pub use vf_machine::trace;
 

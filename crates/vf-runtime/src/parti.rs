@@ -18,7 +18,7 @@
 //! * [`execute_scatter`] — pushes updates to owners with a user-supplied
 //!   combine function, placement planned through [`crate::plan::plan_scatter`].
 
-use crate::exec::{ExecBackend, PlanExecutor, SerialExecutor};
+use crate::exec::{ExecBackend, FusedPlan, PlanExecutor, SerialExecutor};
 use crate::ghost::{
     exchange_ghosts_planned_split, exchange_ghosts_planned_with, GhostRegion, GhostReport,
     SplitGhostExchange,
@@ -26,6 +26,7 @@ use crate::ghost::{
 use crate::plan::{
     plan_gather, plan_ghost_irregular, plan_scatter, CommPlan, PlanCache, PlanIndex, PlanKind,
 };
+use crate::shard::{ShardedArray, ShardedExecutor};
 use crate::{DistArray, Element, Result, RuntimeError};
 use std::sync::Arc;
 use vf_dist::{Connectivity, Distribution, ProcId};
@@ -244,6 +245,14 @@ pub struct GatherResult<T> {
     values: Vec<Vec<T>>,
 }
 
+impl<T> GatherResult<T> {
+    /// Assembles a result from a plan and per-processor fetch buffers —
+    /// the constructor the channel-backed sharded gather uses.
+    pub(crate) fn from_parts(plan: Arc<CommPlan>, values: Vec<Vec<T>>) -> Self {
+        Self { plan, values }
+    }
+}
+
 impl<T: Copy> GatherResult<T> {
     /// The fetched value of `point` on behalf of `proc`, if scheduled.
     pub fn get(&self, proc: ProcId, dist: &Distribution, point: &Point) -> Option<T> {
@@ -303,6 +312,55 @@ pub fn execute_gather_with<T: Element, E: PlanExecutor>(
         plan: Arc::clone(plan),
         values,
     })
+}
+
+/// The executor phase for reads through the distributed-memory backend:
+/// the owner's values travel to each requester over a real
+/// [`vf_machine::spmd`] channel as one framed wire message per
+/// (owner → reader) pair — the fetch buffers, the modelled charges and
+/// the slot addressing are bitwise identical to [`execute_gather_with`],
+/// and the real channel traffic is additionally counted in the tracker's
+/// channel statistics.
+///
+/// # Errors
+/// As [`execute_gather_with`], plus [`RuntimeError::Channel`] when a
+/// rank's channel operation fails mid-region.
+pub fn execute_gather_sharded<T: Element>(
+    array: &DistArray<T>,
+    schedule: &CommSchedule,
+    tracker: &CommTracker,
+    executor: &ShardedExecutor,
+) -> Result<GatherResult<T>> {
+    let plan = &schedule.plan;
+    if plan.kind() != PlanKind::Gather {
+        return Err(RuntimeError::PlanMismatch {
+            expected: plan.src_fingerprint(),
+            found: array.dist().fingerprint(),
+        });
+    }
+    plan.check_executable(array.dist(), tracker)?;
+    let _span = trace::OpenSpan::begin_with(trace::Phase::Gather, || {
+        format!("sharded {} elements", plan.moved_elements())
+    });
+    // Gather schedules are never multi-plan fused (their buffers are
+    // access-pattern-specific), but a single plan wears the fused wire
+    // layout fine: one transfer per pair means one slice per message.
+    let fused = FusedPlan::fuse_one(Arc::clone(plan));
+    let shards = ShardedArray::scatter(array);
+    // The shared gather charges only the destination's unpack as copy
+    // credit (`copy_seconds`), unlike the wire exchanges which also
+    // charge the sender's pack — match it exactly.
+    let copy_secs = crate::exec::copy_seconds(plan.transfers(), T::BYTES, tracker);
+    let (bufs, _) = crate::shard::sharded_fused_exchange(
+        &fused,
+        tracker,
+        executor,
+        &[&shards],
+        &|_, r| plan.gather_len(ProcId(r)),
+        &copy_secs,
+    )?;
+    let values = bufs.into_iter().next().unwrap_or_default();
+    Ok(GatherResult::from_parts(Arc::clone(plan), values))
 }
 
 /// The executor phase for writes: each update `(from, point, value)` is
@@ -503,6 +561,39 @@ mod tests {
         assert_eq!(schedule.owners_for(ProcId(0)), vec![ProcId(1), ProcId(2)]);
         assert_eq!(schedule.owners_for(ProcId(3)), vec![ProcId(0)]);
         assert!(schedule.owners_for(ProcId(1)).is_empty());
+    }
+
+    #[test]
+    fn sharded_gather_matches_shared_oracle() {
+        let a = cyclic_array(24, 4);
+        // A spread of cross-processor reads, duplicates included, plus one
+        // local read that never leaves its rank.
+        let accesses: Vec<(ProcId, Point)> = (0..20)
+            .map(|i| (ProcId(i % 4), Point::d1(((i * 7) % 24) as i64 + 1)))
+            .collect();
+        let schedule = inspector(a.dist(), &accesses).unwrap();
+
+        let oracle_tracker = CommTracker::new(4, CostModel::zero());
+        let oracle = execute_gather(&a, &schedule, &oracle_tracker).unwrap();
+
+        let tracker = CommTracker::new(4, CostModel::zero());
+        let exec = crate::shard::ShardedExecutor::new();
+        let sharded = execute_gather_sharded(&a, &schedule, &tracker, &exec).unwrap();
+
+        for &(p, ref pt) in &accesses {
+            assert_eq!(
+                sharded.get(p, a.dist(), pt),
+                oracle.get(p, a.dist(), pt),
+                "gather mismatch for proc {p:?} at {pt:?}"
+            );
+        }
+        let stats = tracker.snapshot();
+        let shared = oracle_tracker.snapshot();
+        assert_eq!(stats.total_messages(), shared.total_messages());
+        assert_eq!(stats.total_bytes(), shared.total_bytes());
+        // Every modelled byte crossed a real channel, and nothing else did.
+        assert_eq!(stats.channel_messages(), shared.total_messages());
+        assert_eq!(stats.channel_bytes(), shared.total_bytes());
     }
 
     #[test]

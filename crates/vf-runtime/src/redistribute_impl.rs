@@ -7,8 +7,9 @@
 //! one aggregated cost-model charge per message.  Iterative codes reuse
 //! plans through a [`PlanCache`] via [`redistribute_cached`].
 
-use crate::exec::{PlanExecutor, SerialExecutor};
+use crate::exec::{FusedPlan, PlanExecutor, SerialExecutor};
 use crate::plan::{plan_redistribute, CommPlan, PlanCache, PlanIndex, PlanKind};
+use crate::shard::{ShardedArray, ShardedExecutor};
 use crate::{DistArray, Element, Result, RuntimeError};
 use vf_dist::Distribution;
 use vf_machine::{trace, CommTracker};
@@ -238,6 +239,104 @@ pub fn execute_redistribute_with<T: Element, E: PlanExecutor>(
         messages: exec.messages,
         bytes: exec.bytes,
     })
+}
+
+/// [`crate::exec::execute_redistribute_fused_wire`] through the
+/// distributed-memory backend: the arrays are scattered into rank-private
+/// shards, every crossing pair's wire buffer travels over a real
+/// [`vf_machine::spmd`] channel, and the new per-rank locals are gathered
+/// back into the arrays.  Buffers, reports and modelled charges are
+/// bitwise identical to the shared wire path; the real channel traffic is
+/// additionally counted in the tracker's channel statistics.
+///
+/// # Errors
+/// As the shared wire path (everything is validated before any data
+/// moves), plus [`RuntimeError::Channel`] when a rank's channel operation
+/// fails mid-region — the arrays are left on their *old* distribution in
+/// that case.
+pub fn execute_redistribute_fused_sharded<T: Element>(
+    arrays: &mut [&mut DistArray<T>],
+    fused: &FusedPlan,
+    tracker: &CommTracker,
+    executor: &ShardedExecutor,
+) -> Result<(Vec<RedistReport>, crate::ExecReport)> {
+    fused.check_parts(
+        PlanKind::Redistribute,
+        "execute_redistribute_fused_sharded",
+        arrays.len(),
+    )?;
+    // Validate every (array, part) pair before moving anything.
+    let mut new_dists = Vec::with_capacity(arrays.len());
+    for (array, part) in arrays.iter().zip(fused.parts()) {
+        let PlanIndex::Redistribute { new_dist } = &part.index else {
+            return Err(RuntimeError::PlanMismatch {
+                expected: part.src_fingerprint(),
+                found: array.dist().fingerprint(),
+            });
+        };
+        part.check_executable(array.dist(), tracker)?;
+        new_dists.push(new_dist.clone());
+    }
+    let _span = trace::OpenSpan::begin_with(trace::Phase::Redistribute, || {
+        format!("sharded {} arrays", arrays.len())
+    });
+    let dst_sizes: Vec<Vec<usize>> = fused
+        .parts()
+        .iter()
+        .zip(&new_dists)
+        .map(|(part, new_dist)| {
+            let mut sizes = vec![0usize; part.total_procs()];
+            for &q in new_dist.proc_ids() {
+                sizes[q.0] = new_dist.local_size(q);
+            }
+            sizes
+        })
+        .collect();
+    let shard_sets: Vec<ShardedArray<T>> =
+        arrays.iter().map(|a| ShardedArray::scatter(a)).collect();
+    let srcs: Vec<&ShardedArray<T>> = shard_sets.iter().collect();
+    let copy_secs = crate::exec::wire_copy_seconds(fused, T::BYTES, tracker);
+    let (bufs, exec) = crate::shard::sharded_fused_exchange(
+        fused,
+        tracker,
+        executor,
+        &srcs,
+        &|idx, r| dst_sizes[idx].get(r).copied().unwrap_or(0),
+        &copy_secs,
+    )?;
+    let mut reports = Vec::with_capacity(arrays.len());
+    for (((array, part), new_dist), locals) in arrays
+        .iter_mut()
+        .zip(fused.parts())
+        .zip(new_dists)
+        .zip(bufs)
+    {
+        array.replace(new_dist, locals);
+        array.broadcast_canonical();
+        reports.push(RedistReport {
+            moved_elements: part.moved_elements(),
+            stayed_elements: part.stayed_elements(),
+            messages: part.num_messages(),
+            bytes: part.bytes_for(T::BYTES),
+        });
+    }
+    Ok((reports, exec))
+}
+
+/// Single-array `DISTRIBUTE` through the distributed-memory backend, with
+/// plan reuse through `cache` — the sharded counterpart of
+/// [`redistribute_cached_with`] (always aggregated, never `NOTRANSFER`).
+pub fn redistribute_sharded<T: Element>(
+    array: &mut DistArray<T>,
+    new_dist: &Distribution,
+    tracker: &CommTracker,
+    cache: &PlanCache,
+    executor: &ShardedExecutor,
+) -> Result<RedistReport> {
+    let plan = cache.redistribute_plan(array.dist(), new_dist)?;
+    let fused = FusedPlan::fuse(vec![plan])?;
+    let (reports, _) = execute_redistribute_fused_sharded(&mut [array], &fused, tracker, executor)?;
+    Ok(reports.into_iter().next().unwrap_or_default())
 }
 
 #[cfg(test)]

@@ -24,5 +24,11 @@ fn exec_cutoff_env_override_reaches_auto_backends() {
                 Some(1)
             );
         }
+        // Only selected when VF_EXEC_BACKEND=sharded is exported, which
+        // this single-env-test binary never does.
+        ExecBackend::Sharded(s) => {
+            assert_eq!(std::env::var("VF_EXEC_BACKEND").as_deref(), Ok("sharded"));
+            assert_eq!(vf_runtime::PlanExecutor::name(&s), "sharded");
+        }
     }
 }

@@ -1,0 +1,214 @@
+//! Property suite for the distributed-memory backend: a sharded run —
+//! rank-local shards exchanged over real SPMD channels — must be
+//! **bitwise identical** to the shared-memory wire path (same locals,
+//! same reports, same modelled tracker charges) across redistribution,
+//! ghost exchange and PARTI gather on random block and INDIRECT
+//! layouts, and the real channel traffic it counts must equal the
+//! modelled wire traffic exactly.
+
+use proptest::prelude::*;
+use proptest::strategy::ValueTree;
+use std::sync::Arc;
+use vf_core::prelude::*;
+use vf_integration::dist_1d;
+use vf_runtime::ghost::{exchange_ghosts_fused_sharded, exchange_ghosts_fused_wire_with};
+use vf_runtime::parti::{execute_gather, execute_gather_sharded, inspector};
+
+/// Strategy for an arbitrary 1-D distribution type valid for `n` elements
+/// on `p` processors — block, cyclic, generalised block, or a
+/// mapping-array INDIRECT layout with arbitrary owners.
+fn arb_dist_type(n: usize, p: usize) -> impl Strategy<Value = DistType> {
+    prop_oneof![
+        Just(DistType::block1d()),
+        (1usize..6).prop_map(DistType::cyclic1d),
+        proptest::collection::vec(0usize..(2 * n / p + 1), p).prop_map(move |mut sizes| {
+            let mut total: usize = sizes.iter().sum();
+            let mut i = 0;
+            while total > n {
+                let take = (total - n).min(sizes[i % p]);
+                sizes[i % p] -= take;
+                total -= take;
+                i += 1;
+            }
+            if total < n {
+                sizes[p - 1] += n - total;
+            }
+            DistType::gen_block1d(sizes)
+        }),
+        proptest::collection::vec(0usize..p, n).prop_map(|owners| {
+            DistType::indirect1d(Arc::new(IndirectMap::new(owners).expect("non-empty")))
+        }),
+    ]
+}
+
+/// Asserts the modelled charges agree and that only the sharded tracker
+/// moved real bytes — exactly as many as the executor reports.
+fn assert_stats_parity(sharded: &CommStats, shared: &CommStats, exec: &ExecReport) {
+    assert_eq!(sharded.total_messages(), shared.total_messages());
+    assert_eq!(sharded.total_bytes(), shared.total_bytes());
+    assert_eq!(
+        shared.channel_messages(),
+        0,
+        "oracle never touches a channel"
+    );
+    assert_eq!(sharded.channel_messages(), exec.messages);
+    assert_eq!(sharded.channel_bytes(), exec.bytes);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Fused redistribution through rank-local shards and real channels
+    /// is bitwise identical to the shared-memory wire executor.
+    #[test]
+    fn prop_sharded_redistribute_is_bitwise_identical(
+        n in 8usize..64,
+        p in 2usize..5,
+        arrays in 1usize..3,
+        seed in 0u64..1000,
+    ) {
+        let mut runner = proptest::test_runner::TestRunner::deterministic();
+        let from_t = arb_dist_type(n, p).new_tree(&mut runner).unwrap().current();
+        let to_t = arb_dist_type(n, p).new_tree(&mut runner).unwrap().current();
+        let from = dist_1d(from_t, n, p);
+        let to = dist_1d(to_t, n, p);
+        let init = |k: usize| move |pt: &Point| {
+            (pt.coord(0) as f64) * 1.5 + (seed + k as u64 * 10_000) as f64
+        };
+
+        // One independently planned fused schedule per run: directory
+        // page charges are consumed on first execution, so sharing one
+        // plan would hide them from the second run.
+        let plan_once = || {
+            FusedPlan::fuse(
+                (0..arrays)
+                    .map(|_| Ok(Arc::new(plan::plan_redistribute(&from, &to)?)))
+                    .collect::<Result<Vec<_>, vf_runtime::RuntimeError>>()
+                    .unwrap(),
+            )
+            .unwrap()
+        };
+        let fused = plan_once();
+
+        let t_shared = CommTracker::new(p, CostModel::ipsc860(p));
+        let mut a_shared: Vec<DistArray<f64>> = (0..arrays)
+            .map(|k| DistArray::from_fn(format!("A{k}"), from.clone(), init(k)))
+            .collect();
+        let mut refs: Vec<&mut DistArray<f64>> = a_shared.iter_mut().collect();
+        let (r_shared, e_shared) =
+            execute_redistribute_fused_wire(&mut refs, &fused, &t_shared, &SerialExecutor)
+                .unwrap();
+
+        let t_sharded = CommTracker::new(p, CostModel::ipsc860(p));
+        let mut a_sharded: Vec<DistArray<f64>> = (0..arrays)
+            .map(|k| DistArray::from_fn(format!("A{k}"), from.clone(), init(k)))
+            .collect();
+        let mut refs: Vec<&mut DistArray<f64>> = a_sharded.iter_mut().collect();
+        let fused2 = plan_once();
+        let (r_sharded, e_sharded) = execute_redistribute_fused_sharded(
+            &mut refs, &fused2, &t_sharded, &ShardedExecutor::new(),
+        )
+        .unwrap();
+
+        prop_assert_eq!(r_shared, r_sharded);
+        prop_assert_eq!(&e_shared, &e_sharded);
+        for (a, b) in a_shared.iter().zip(&a_sharded) {
+            for q in 0..p {
+                prop_assert_eq!(a.local(ProcId(q)), b.local(ProcId(q)), "locals of P{}", q);
+            }
+            prop_assert_eq!(a.to_dense(), b.to_dense());
+            b.check_invariants().unwrap();
+        }
+        assert_stats_parity(&t_sharded.snapshot(), &t_shared.snapshot(), &e_sharded);
+    }
+
+    /// Fused ghost exchange over real channels fills exactly the ghost
+    /// values of the shared-memory wire exchange — including on INDIRECT
+    /// layouts, whose halos are irregular per-element chains.
+    #[test]
+    fn prop_sharded_ghost_exchange_is_bitwise_identical(
+        n in 8usize..48,
+        p in 2usize..5,
+        lo in 1usize..3,
+        hi in 1usize..3,
+    ) {
+        let mut runner = proptest::test_runner::TestRunner::deterministic();
+        let t = arb_dist_type(n, p).new_tree(&mut runner).unwrap().current();
+        let dist = dist_1d(t, n, p);
+        let a = DistArray::from_fn("G", dist.clone(), |pt| (pt.coord(0) * 37) as f64 * 0.25);
+        let widths = [(lo, hi)];
+
+        let t_shared = CommTracker::new(p, CostModel::ipsc860(p));
+        let (g_shared, e_shared) = exchange_ghosts_fused_wire_with(
+            &[&a], &widths, &t_shared, &PlanCache::new(), &SerialExecutor,
+        )
+        .unwrap();
+
+        let t_sharded = CommTracker::new(p, CostModel::ipsc860(p));
+        let (g_sharded, e_sharded) = exchange_ghosts_fused_sharded(
+            &[&a], &widths, &t_sharded, &PlanCache::new(), &ShardedExecutor::new(),
+        )
+        .unwrap();
+
+        prop_assert_eq!(&e_shared, &e_sharded);
+        for q in 0..p {
+            prop_assert_eq!(g_shared[0].len(ProcId(q)), g_sharded[0].len(ProcId(q)));
+            for point in dist.domain().iter() {
+                prop_assert_eq!(
+                    g_shared[0].get(ProcId(q), &point),
+                    g_sharded[0].get(ProcId(q), &point)
+                );
+            }
+        }
+        assert_stats_parity(&t_sharded.snapshot(), &t_shared.snapshot(), &e_sharded);
+    }
+
+    /// PARTI gathers through rank-local shards fetch exactly the values
+    /// of the shared-memory executor and charge identically.
+    #[test]
+    fn prop_sharded_gather_is_bitwise_identical(
+        n in 8usize..64,
+        p in 2usize..5,
+        stride in 1usize..5,
+        spin in 1usize..11,
+    ) {
+        let mut runner = proptest::test_runner::TestRunner::deterministic();
+        let t = arb_dist_type(n, p).new_tree(&mut runner).unwrap().current();
+        let dist = dist_1d(t, n, p);
+        let a = DistArray::from_fn("X", dist.clone(), |pt| pt.coord(0) as f64 * 2.5);
+        let accesses: Vec<(ProcId, Point)> = (1..=n as i64)
+            .step_by(stride)
+            .map(|i| (ProcId(((i as usize) * spin) % p), Point::d1(i)))
+            .collect();
+        // One schedule per run — directory page charges are consumed on
+        // first execution.
+        let schedule = inspector(&dist, &accesses).unwrap();
+        let schedule2 = inspector(&dist, &accesses).unwrap();
+
+        let t_shared = CommTracker::new(p, CostModel::ipsc860(p));
+        let g_shared = execute_gather(&a, &schedule, &t_shared).unwrap();
+
+        let t_sharded = CommTracker::new(p, CostModel::ipsc860(p));
+        let g_sharded =
+            execute_gather_sharded(&a, &schedule2, &t_sharded, &ShardedExecutor::new()).unwrap();
+
+        for q in 0..p {
+            prop_assert_eq!(g_shared.len(ProcId(q)), g_sharded.len(ProcId(q)));
+        }
+        for (proc, point) in &accesses {
+            prop_assert_eq!(
+                g_shared.get(*proc, &dist, point),
+                g_sharded.get(*proc, &dist, point)
+            );
+        }
+        let shared = t_shared.snapshot();
+        let sharded = t_sharded.snapshot();
+        prop_assert_eq!(sharded.total_messages(), shared.total_messages());
+        prop_assert_eq!(sharded.total_bytes(), shared.total_bytes());
+        prop_assert_eq!(shared.channel_messages(), 0);
+        // Gather moves exactly the schedule's aggregated messages over
+        // the wire — one channel frame per crossing processor pair.
+        prop_assert_eq!(sharded.channel_messages(), schedule.num_messages());
+        prop_assert_eq!(sharded.channel_bytes(), schedule.plan().bytes_for(8));
+    }
+}

@@ -6,7 +6,7 @@
 
 /// Multi-producer single-consumer channels mirroring `crossbeam::channel`.
 pub mod channel {
-    pub use std::sync::mpsc::{Receiver, SendError, Sender};
+    pub use std::sync::mpsc::{Receiver, RecvTimeoutError, SendError, Sender};
 
     /// Creates an unbounded channel, mirroring
     /// `crossbeam::channel::unbounded`.
