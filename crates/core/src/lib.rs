@@ -106,10 +106,10 @@ pub mod prelude {
         assign, execute_redistribute_fused, execute_redistribute_fused_sharded,
         execute_redistribute_fused_wire, ghost, parti, plan, redistribute, redistribute_cached,
         redistribute_cached_with, redistribute_sharded, redistribute_split, redistribute_with,
-        reduce, table_for, translation, ArrayDescriptor, CommPlan, DistArray, DistTranslationTable,
-        Element, ExecBackend, ExecReport, FusedPlan, PlanCache, PlanCacheStats, PlanExecutor,
-        RedistOptions, RedistReport, SerialExecutor, ShardedArray, ShardedExecutor,
-        ShardedHaloExchange, SplitExecReport, SplitPhaseExchange, SplitRedistribute,
-        ThreadedExecutor, TranslationStats,
+        reduce, table_for, translation, ArrayDescriptor, CheckpointStore, CommPlan, DistArray,
+        DistTranslationTable, Element, ExecBackend, ExecReport, FusedPlan, PlanCache,
+        PlanCacheStats, PlanExecutor, RedistOptions, RedistReport, RestoredCheckpoint,
+        SerialExecutor, ShardedArray, ShardedExecutor, ShardedHaloExchange, SplitExecReport,
+        SplitPhaseExchange, SplitRedistribute, ThreadedExecutor, TranslationStats,
     };
 }

@@ -305,6 +305,22 @@ fn dist_type_for(mesh: &Mesh, partition: MeshPartition, nprocs: usize) -> DistTy
 /// Runs the edge sweep on `machine` and returns statistics plus the final
 /// values.
 pub fn run_sweep(mesh: &Mesh, config: &MeshSweepConfig, machine: &Machine) -> MeshSweepResult {
+    run_sweep_inner(mesh, config, machine, None, 0).0
+}
+
+/// The sweep engine behind [`run_sweep`]: optionally seeds `VAL` from
+/// `initial` (dense by node id) instead of the analytic formula and starts
+/// the step loop at `start_step` — running steps `start_step..config.steps`
+/// with `repartition_at` still interpreted as an absolute step index.  Also
+/// returns the final distribution of `VAL`, which the checkpoint/restart
+/// driver saves under.
+fn run_sweep_inner(
+    mesh: &Mesh,
+    config: &MeshSweepConfig,
+    machine: &Machine,
+    initial: Option<&[f64]>,
+    start_step: usize,
+) -> (MeshSweepResult, Distribution) {
     let n = mesh.num_nodes();
     let nprocs = machine.num_procs();
     let mut scope: VfScope<f64> = VfScope::new(machine.clone());
@@ -326,10 +342,14 @@ pub fn run_sweep(mesh: &Mesh, config: &MeshSweepConfig, machine: &Machine) -> Me
     for u in 0..n {
         let point = Point::d1(u as i64 + 1);
         let x = u as f64;
+        let value = match initial {
+            Some(values) => values[u],
+            None => (x * 0.37).sin(),
+        };
         scope
             .array_mut("VAL")
             .expect("distributed")
-            .set(&point, (x * 0.37).sin())
+            .set(&point, value)
             .expect("in domain");
         scope
             .array_mut("FLUX")
@@ -387,7 +407,7 @@ pub fn run_sweep(mesh: &Mesh, config: &MeshSweepConfig, machine: &Machine) -> Me
     );
 
     let conn = mesh.connectivity();
-    for step in 0..config.steps {
+    for step in start_step..config.steps {
         let _step_span = trace::OpenSpan::begin_with(trace::Phase::Step, || format!("step {step}"));
         if config.repartition_at == Some(step) {
             // The partitioner *produces* the new mapping array; the
@@ -513,7 +533,7 @@ pub fn run_sweep(mesh: &Mesh, config: &MeshSweepConfig, machine: &Machine) -> Me
         directory.fetched_bytes += now.fetched_bytes - baseline.fetched_bytes;
     }
     let final_dist = scope.array("VAL").expect("distributed").dist().clone();
-    MeshSweepResult {
+    let result = MeshSweepResult {
         stats: scope.stats(),
         values: scope.array("VAL").expect("distributed").to_dense(),
         gathered_elements,
@@ -524,7 +544,76 @@ pub fn run_sweep(mesh: &Mesh, config: &MeshSweepConfig, machine: &Machine) -> Me
         dcase_arm,
         directory,
         plan_cache: scope.plan_cache().stats(),
-    }
+    };
+    (result, final_dist)
+}
+
+/// Runs the sweep to `checkpoint_at`, checkpoints `VAL` under its
+/// *current* distribution (post-repartition when `config.repartition_at`
+/// fell inside the first phase), restores the checkpoint into
+/// `resume_partition` through redistribute-on-read, and finishes steps
+/// `checkpoint_at..config.steps` under the new partition — the
+/// driver-level checkpoint/repartition/restart the paper's dynamic
+/// `DISTRIBUTE` makes natural.  The final values are bitwise identical to
+/// an uninterrupted [`run_sweep`] because the sweep order is fixed by the
+/// CSR layout and the restore preserves every element bit-for-bit.
+///
+/// The returned result describes the *second* phase (its stats, edge cuts
+/// and cache counters cover steps `checkpoint_at..`); the values are the
+/// full run's.
+///
+/// # Errors
+/// Checkpoint validation failures ([`vf_runtime::RuntimeError`]) from the
+/// save/restore path.
+pub fn run_sweep_with_restart(
+    mesh: &Mesh,
+    config: &MeshSweepConfig,
+    machine: &Machine,
+    checkpoint_at: usize,
+    resume_partition: MeshPartition,
+    store: &vf_runtime::CheckpointStore,
+) -> vf_runtime::Result<MeshSweepResult> {
+    assert!(
+        checkpoint_at <= config.steps,
+        "checkpoint step exceeds the sweep length"
+    );
+    let n = mesh.num_nodes();
+    let nprocs = machine.num_procs();
+    let phase1 = MeshSweepConfig {
+        steps: checkpoint_at,
+        partition: config.partition,
+        repartition_at: config.repartition_at.filter(|&r| r < checkpoint_at),
+    };
+    let (first, dist_at_ckpt) = run_sweep_inner(mesh, &phase1, machine, None, 0);
+    let tracker = machine.tracker();
+    let val = DistArray::from_dense("VAL", dist_at_ckpt, &first.values)?;
+    store.save(&val, checkpoint_at as u64, &tracker)?;
+
+    // Redistribute-on-read: the file distribution (whatever phase 1 ended
+    // under, INDIRECT included) is re-mapped onto the resume partition by
+    // an ordinary cached communication plan.
+    let live = Distribution::new(
+        dist_type_for(mesh, resume_partition, nprocs),
+        IndexDomain::d1(n),
+        ProcessorView::linear(nprocs),
+    )?;
+    let cache = PlanCache::new();
+    let restored = store.restore_into::<f64, _>(&live, &tracker, &cache, &SerialExecutor)?;
+    let resumed = restored.array.to_dense();
+
+    let phase2 = MeshSweepConfig {
+        steps: config.steps,
+        partition: resume_partition,
+        repartition_at: config.repartition_at.filter(|&r| r >= checkpoint_at),
+    };
+    let (second, _) = run_sweep_inner(
+        mesh,
+        &phase2,
+        machine,
+        Some(&resumed),
+        restored.step as usize,
+    );
+    Ok(second)
 }
 
 #[cfg(test)]
@@ -641,6 +730,35 @@ mod tests {
         // After the remap the gather schedule was replanned (different
         // fingerprint), before it the cached schedule was reused.
         assert!(result.plan_cache.hits > 0);
+    }
+
+    #[test]
+    fn checkpoint_restart_with_repartition_is_bitwise_transparent() {
+        let m = mesh();
+        let dir = std::env::temp_dir().join(format!("vf_mesh_ckpt_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = vf_runtime::CheckpointStore::new(dir);
+        // Phase 1 starts Coordinate-INDIRECT and repartitions to Greedy at
+        // step 1; the checkpoint at step 3 is therefore written under the
+        // *greedy* INDIRECT distribution; the restore redistributes it
+        // INDIRECT → BLOCK for phase 2.
+        let config = MeshSweepConfig {
+            steps: 5,
+            partition: MeshPartition::Coordinate,
+            repartition_at: Some(1),
+        };
+        let uninterrupted = run_sweep(&m, &config, &machine(4));
+        let restarted =
+            run_sweep_with_restart(&m, &config, &machine(4), 3, MeshPartition::Block, &store)
+                .expect("checkpoint/restart round-trips");
+        assert_eq!(
+            restarted.values, uninterrupted.values,
+            "restarted sweep diverges from the uninterrupted run"
+        );
+        assert_eq!(store.latest_step(), Some(3));
+        // Phase 2 ran the regular DCASE arm under the BLOCK resume
+        // partition.
+        assert_eq!(restarted.dcase_arm, "regular");
     }
 
     #[test]

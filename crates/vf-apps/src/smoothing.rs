@@ -24,8 +24,8 @@ use vf_runtime::ghost::{
     exchange_ghosts_cached_with, exchange_ghosts_fused_wire_split, get_with_ghosts, GhostRegion,
 };
 use vf_runtime::{
-    DistArray, ExecBackend, FusedPlan, PlanCache, ShardedArray, ShardedExecutor,
-    ShardedHaloExchange,
+    CheckpointStore, DistArray, ExecBackend, FusedPlan, PlanCache, RuntimeError, SerialExecutor,
+    ShardedArray, ShardedExecutor, ShardedHaloExchange,
 };
 
 /// The two candidate layouts of the N×N grid discussed in §4.
@@ -419,6 +419,309 @@ pub fn run_sharded(
     }
 }
 
+/// Outcome of [`recover_and_resume`]: the completed run plus how many
+/// crashed regions were recovered by restoring a checkpoint.
+#[derive(Debug, Clone)]
+pub struct RecoveredSmoothing {
+    /// The completed run — bitwise identical to an uninterrupted one.
+    pub result: SmoothingResult,
+    /// Region failures that were recovered by restoring the last good
+    /// checkpoint generation (or restarting from the initial field when
+    /// no checkpoint had been written yet).
+    pub restarts: usize,
+}
+
+/// Runs the sharded smoothing kernel with a checkpoint of the field every
+/// `ckpt_every` steps: the run is split into fallible SPMD segments, and
+/// after each segment the gathered field is saved into `store`
+/// (write-new + atomic rename, two rotating generations).  The final field
+/// is bitwise identical to [`run_sharded`]'s.
+///
+/// # Errors
+/// [`RuntimeError::Channel`] when a rank dies (or a channel times out)
+/// mid-segment — the region degrades with a structured error instead of
+/// hanging; drive [`recover_and_resume`] to restart from the last
+/// checkpoint.  Checkpoint I/O failures surface as
+/// [`RuntimeError::CorruptCheckpoint`].
+pub fn run_sharded_checkpointed(
+    config: &SmoothingConfig,
+    machine: &Machine,
+    initial: &[f64],
+    store: &CheckpointStore,
+    ckpt_every: usize,
+) -> vf_runtime::Result<SmoothingResult> {
+    let tracker = machine.tracker();
+    run_checkpointed_attempt(
+        config,
+        machine,
+        initial,
+        store,
+        ckpt_every,
+        &tracker,
+        &ShardedExecutor::new(),
+        false,
+    )
+}
+
+/// [`run_sharded_checkpointed`] with an explicit executor (to bound the
+/// channel timeout in crash tests).
+pub fn run_sharded_checkpointed_with(
+    config: &SmoothingConfig,
+    machine: &Machine,
+    initial: &[f64],
+    store: &CheckpointStore,
+    ckpt_every: usize,
+    executor: &ShardedExecutor,
+) -> vf_runtime::Result<SmoothingResult> {
+    let tracker = machine.tracker();
+    run_checkpointed_attempt(
+        config, machine, initial, store, ckpt_every, &tracker, executor, false,
+    )
+}
+
+/// The crash-recovery driver: runs [`run_sharded_checkpointed`] and, when
+/// a segment fails with a channel error (injected rank death, peer loss,
+/// receive timeout), restores the newest checkpoint generation — falling
+/// back to the initial field when none was written — and resumes from the
+/// checkpointed step.  At most `max_restarts` recoveries are attempted.
+///
+/// One tracker (and therefore one fault-injection schedule) spans all
+/// attempts, so a bounded fault budget ([`vf_machine::FaultPlan`]
+/// `max_faults`) is honoured across the restarts.
+///
+/// # Errors
+/// The final channel error when the restart budget is exhausted, or any
+/// non-channel error immediately.
+pub fn recover_and_resume(
+    config: &SmoothingConfig,
+    machine: &Machine,
+    initial: &[f64],
+    store: &CheckpointStore,
+    ckpt_every: usize,
+    max_restarts: usize,
+) -> vf_runtime::Result<RecoveredSmoothing> {
+    recover_and_resume_with(
+        config,
+        machine,
+        initial,
+        store,
+        ckpt_every,
+        max_restarts,
+        &ShardedExecutor::new(),
+    )
+}
+
+/// [`recover_and_resume`] with an explicit executor (to bound the channel
+/// timeout in crash tests).
+pub fn recover_and_resume_with(
+    config: &SmoothingConfig,
+    machine: &Machine,
+    initial: &[f64],
+    store: &CheckpointStore,
+    ckpt_every: usize,
+    max_restarts: usize,
+    executor: &ShardedExecutor,
+) -> vf_runtime::Result<RecoveredSmoothing> {
+    let tracker = machine.tracker();
+    let mut restarts = 0usize;
+    loop {
+        let attempt = run_checkpointed_attempt(
+            config,
+            machine,
+            initial,
+            store,
+            ckpt_every,
+            &tracker,
+            executor,
+            restarts > 0,
+        );
+        match attempt {
+            Ok(result) => return Ok(RecoveredSmoothing { result, restarts }),
+            Err(e @ RuntimeError::Channel(_)) => {
+                if restarts >= max_restarts {
+                    return Err(e);
+                }
+                restarts += 1;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// One attempt of the checkpointed run: resolves the starting state
+/// (initial field, or the newest checkpoint when `resume` is set), then
+/// alternates fallible SPMD segments with checkpoint saves on a stable
+/// cadence (every `ckpt_every` steps from step 0, so restarts rejoin the
+/// same checkpoint schedule).
+#[allow(clippy::too_many_arguments)]
+fn run_checkpointed_attempt(
+    config: &SmoothingConfig,
+    machine: &Machine,
+    initial: &[f64],
+    store: &CheckpointStore,
+    ckpt_every: usize,
+    tracker: &vf_machine::CommTracker,
+    executor: &ShardedExecutor,
+    resume: bool,
+) -> vf_runtime::Result<SmoothingResult> {
+    assert!(ckpt_every > 0, "checkpoint cadence must be positive");
+    let plans = PlanCache::new();
+    let dist = grid_distribution(config.layout, config.n, machine);
+    let widths = [(1, 1), (1, 1)];
+
+    let from_initial = || {
+        DistArray::from_dense("U", dist.clone(), initial).expect("initial field has N*N elements")
+    };
+    let (mut current, start_step) = if resume {
+        // Redistribute-on-read: a checkpoint written under any distribution
+        // restores into the live grid distribution.  An empty (or fully
+        // corrupt) store means the crash predated the first save — restart
+        // from the initial field.
+        match store.restore_into::<f64, _>(&dist, tracker, &plans, &SerialExecutor) {
+            Ok(r) => {
+                let step = (r.step as usize).min(config.steps);
+                (r.array, step)
+            }
+            Err(RuntimeError::CorruptCheckpoint { .. }) => (from_initial(), 0),
+            Err(e) => return Err(e),
+        }
+    } else {
+        (from_initial(), 0)
+    };
+
+    let plan = plans.ghost_plan(&dist, &widths).expect("block layouts");
+    let fused = FusedPlan::fuse(vec![plan]).expect("a single ghost part always fuses");
+    let halo = ShardedHaloExchange::new(fused, executor.timeout())
+        .expect("ghost plans build halo exchanges");
+    let messages_per_step = halo.fused().num_messages();
+    let bytes_per_step = halo.fused().bytes_for(8);
+    let n = config.n as i64;
+
+    let mut done = start_step;
+    while done < config.steps {
+        let seg_end = config.steps.min((done / ckpt_every + 1) * ckpt_every);
+        run_fallible_segment(
+            &dist,
+            &halo,
+            executor,
+            tracker,
+            &mut current,
+            done,
+            seg_end,
+            n,
+        )?;
+        store.save(&current, seg_end as u64, tracker)?;
+        done = seg_end;
+    }
+
+    let field = current.to_dense();
+    let checksum = field.iter().sum();
+    Ok(SmoothingResult {
+        stats: tracker.snapshot(),
+        messages_per_step,
+        bytes_per_step,
+        checksum,
+        field,
+    })
+}
+
+/// Runs steps `start..end` of the sharded relaxation as **one fallible
+/// SPMD region**: every barrier is deadline-checked and every channel
+/// error propagates as a structured region failure instead of a hang or a
+/// panic.  On success the shards are gathered back into `current`; on
+/// failure `current` is left at its pre-segment state (the damaged shards
+/// — the victim's is lost with its context — are discarded wholesale) and
+/// any step charges rank 0 posted but could not settle are settled so the
+/// tracker stays balanced.
+#[allow(clippy::too_many_arguments)]
+fn run_fallible_segment(
+    dist: &Distribution,
+    halo: &ShardedHaloExchange,
+    executor: &ShardedExecutor,
+    tracker: &vf_machine::CommTracker,
+    current: &mut DistArray<f64>,
+    start: usize,
+    end: usize,
+    n: i64,
+) -> vf_runtime::Result<()> {
+    let locator = dist.locator();
+    let timeout = executor.timeout();
+    let shards = ShardedArray::scatter(current);
+    let procs = tracker.num_procs();
+    let pending_slot: Mutex<Option<PendingSends>> = Mutex::new(None);
+
+    let results: Vec<vf_runtime::Result<()>> = executor.run_region(procs, tracker, |ctx| {
+        let r = ctx.rank();
+        let me = ProcId(r);
+        let points = dist.local_points(me);
+        let mut my = shards.take(r);
+        let mut next = vec![0.0f64; my.len()];
+        for step in start..end {
+            ctx.barrier_checked(timeout)?;
+            let step_span = (r == 0).then(|| {
+                trace::OpenSpan::begin_with(trace::Phase::Step, || {
+                    format!("ckpt-sharded step {step}")
+                })
+            });
+            if r == 0 {
+                *pending_slot.lock().expect("pending slot") = Some(halo.post(tracker, 8));
+            }
+            ctx.barrier_checked(timeout)?;
+            let bufs = halo.exchange_on_rank(ctx, &[&my])?;
+            let ghosts =
+                halo.ghost_region_on_rank(0, r, bufs.into_iter().next().expect("one part"));
+            let relax_span = trace::OpenSpan::begin_dest(trace::Phase::InteriorCompute, r);
+            let mut interior = 0usize;
+            for (l, point) in points.iter().enumerate() {
+                let (i, j) = (point.coord(0), point.coord(1));
+                next[l] = if i == 1 || i == n || j == 1 || j == n {
+                    my[l]
+                } else {
+                    interior += 1;
+                    let read = |q: Point| {
+                        let (owner, off) = locator.locate(&q).expect("neighbour in domain");
+                        if owner == me {
+                            my[off]
+                        } else {
+                            ghosts.get(me, &q).expect("neighbour within 1-wide halo")
+                        }
+                    };
+                    0.25 * (read(point.offset(0, -1))
+                        + read(point.offset(0, 1))
+                        + read(point.offset(1, -1))
+                        + read(point.offset(1, 1)))
+                };
+            }
+            ctx.charge_compute(interior * FLOPS_PER_POINT);
+            relax_span.end();
+            ctx.barrier_checked(timeout)?;
+            if r == 0 {
+                let pending = pending_slot
+                    .lock()
+                    .expect("pending slot")
+                    .take()
+                    .expect("posted this step");
+                halo.settle(tracker, pending, 8);
+            }
+            if let Some(span) = step_span {
+                span.end();
+            }
+            std::mem::swap(&mut my, &mut next);
+        }
+        shards.put(r, my);
+        Ok(())
+    });
+
+    if let Some(err) = results.into_iter().find_map(|r| r.err()) {
+        if let Some(pending) = pending_slot.lock().expect("pending slot").take() {
+            halo.settle(tracker, pending, 8);
+        }
+        return Err(err);
+    }
+    shards.gather_into(current);
+    Ok(())
+}
+
 /// Result of a class (multi-field) smoothing run whose halos are exchanged
 /// as **one fused ghost exchange** per step.
 #[derive(Debug, Clone)]
@@ -635,6 +938,83 @@ mod tests {
                 steps * sharded.bytes_per_step
             );
         }
+    }
+
+    fn ckpt_store(tag: &str) -> CheckpointStore {
+        let dir = std::env::temp_dir().join(format!("vf_smooth_ckpt_{}_{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        CheckpointStore::new(dir)
+    }
+
+    #[test]
+    fn checkpointed_run_matches_uninterrupted_run_bitwise() {
+        let n = 16;
+        let steps = 5;
+        let initial = workloads::initial_grid(n, 11);
+        for layout in [SmoothingLayout::Columns, SmoothingLayout::Blocks2D] {
+            let machine = Machine::new(4, CostModel::zero());
+            let plain = run_sharded(&SmoothingConfig { n, steps, layout }, &machine, &initial);
+            let store = ckpt_store(match layout {
+                SmoothingLayout::Columns => "cols",
+                SmoothingLayout::Blocks2D => "blk",
+            });
+            let machine = Machine::new(4, CostModel::zero());
+            let ckpt = run_sharded_checkpointed(
+                &SmoothingConfig { n, steps, layout },
+                &machine,
+                &initial,
+                &store,
+                2,
+            )
+            .expect("fault-free checkpointed run succeeds");
+            assert_eq!(
+                ckpt.field, plain.field,
+                "{layout:?} checkpointed field diverges from the plain sharded run"
+            );
+            assert_eq!(ckpt.messages_per_step, plain.messages_per_step);
+            assert_eq!(ckpt.bytes_per_step, plain.bytes_per_step);
+            // The last checkpoint holds the final step, and its I/O was
+            // charged to the tracker.
+            assert_eq!(store.latest_step(), Some(steps as u64));
+            assert!(ckpt.stats.ckpt_bytes_written() > 0);
+            assert_eq!(ckpt.stats.ckpt_bytes_read(), 0);
+        }
+    }
+
+    #[test]
+    fn rank_death_recovers_from_checkpoint_bitwise() {
+        use vf_machine::{FaultKind, FaultPlan};
+        let n = 16;
+        let steps = 6;
+        let layout = SmoothingLayout::Columns;
+        let initial = workloads::initial_grid(n, 23);
+        let machine = Machine::new(4, CostModel::zero());
+        let clean = run_sharded(&SmoothingConfig { n, steps, layout }, &machine, &initial);
+
+        // One guaranteed rank death, then a clean rest of the schedule.
+        let plan = FaultPlan::new(77)
+            .with_rate(1.0)
+            .with_kinds(&[FaultKind::RankDeath])
+            .with_max_faults(1);
+        let machine = Machine::new(4, CostModel::zero()).with_fault_plan(plan);
+        let store = ckpt_store("recover");
+        let executor = ShardedExecutor::new().with_timeout(std::time::Duration::from_millis(500));
+        let recovered = recover_and_resume_with(
+            &SmoothingConfig { n, steps, layout },
+            &machine,
+            &initial,
+            &store,
+            2,
+            3,
+            &executor,
+        )
+        .expect("the driver recovers from a single injected rank death");
+        assert_eq!(recovered.restarts, 1, "exactly one region crashed");
+        assert_eq!(
+            recovered.result.field, clean.field,
+            "recovered field diverges from the fault-free run"
+        );
+        assert_eq!(recovered.result.checksum, clean.checksum);
     }
 
     #[test]

@@ -49,11 +49,28 @@ pub enum FaultKind {
     /// A split-phase handle is cancelled before streaming can be made
     /// safe: the exchange falls back to blocking unpack.
     CancelHandle,
+    /// A whole rank dies mid-region: its channel endpoints drop and the
+    /// surviving ranks must surface a structured error instead of hanging.
+    /// Unlike the other kinds this is *not* transparently recoverable
+    /// in-exchange — recovery happens at the driver level by restoring a
+    /// checkpoint — so it is opt-in and never part of the default plan.
+    RankDeath,
 }
 
 impl FaultKind {
     /// All fault kinds, in a fixed order (the per-kind counter index).
-    pub const ALL: [FaultKind; 5] = [
+    pub const ALL: [FaultKind; 6] = [
+        FaultKind::TransientSend,
+        FaultKind::DelayedDelivery,
+        FaultKind::CorruptWire,
+        FaultKind::WorkerDeath,
+        FaultKind::CancelHandle,
+        FaultKind::RankDeath,
+    ];
+
+    /// The kinds the recovery paths absorb without driver intervention —
+    /// the default set for [`FaultPlan::new`].
+    pub const RECOVERABLE: [FaultKind; 5] = [
         FaultKind::TransientSend,
         FaultKind::DelayedDelivery,
         FaultKind::CorruptWire,
@@ -68,6 +85,7 @@ impl FaultKind {
             FaultKind::CorruptWire => 2,
             FaultKind::WorkerDeath => 3,
             FaultKind::CancelHandle => 4,
+            FaultKind::RankDeath => 5,
         }
     }
 }
@@ -99,12 +117,14 @@ pub struct FaultPlan {
 }
 
 impl FaultPlan {
-    /// A plan with all fault kinds enabled at a moderate rate.
+    /// A plan with every transparently recoverable fault kind enabled at
+    /// a moderate rate.  [`FaultKind::RankDeath`] is opt-in via
+    /// [`FaultPlan::with_kinds`] because it needs a driver-level restart.
     pub fn new(seed: u64) -> Self {
         Self {
             seed,
             rate: 0.05,
-            kinds: FaultKind::ALL.to_vec(),
+            kinds: FaultKind::RECOVERABLE.to_vec(),
             max_faults: 64,
             backoff_base_seconds: 5e-4,
             max_attempts: 4,
@@ -187,6 +207,22 @@ pub struct CorruptSpec {
     pub bit: u32,
 }
 
+/// The armed form of a [`FaultKind::RankDeath`]: which rank dies and how
+/// many channel operations it completes first.
+///
+/// Drawn on the caller thread before a region launches (honouring the
+/// caller-thread-only polling contract) and carried into the SPMD region
+/// as plain data; the victim's context decrements the fuse on every
+/// channel operation and drops dead when it reaches zero.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RankDeathSpec {
+    /// The rank whose channel endpoints are dropped.  Never rank 0, which
+    /// carries the charging/settling duties of a region.
+    pub victim: usize,
+    /// Number of channel operations the victim completes before dying.
+    pub after_ops: usize,
+}
+
 /// A seeded fault source shared by every layer of one tracker's execution
 /// stack.
 ///
@@ -197,7 +233,7 @@ pub struct CorruptSpec {
 pub struct FaultInjector {
     plan: FaultPlan,
     rng: Mutex<SmallRng>,
-    fired: [AtomicUsize; 5],
+    fired: [AtomicUsize; 6],
     retries_caused: AtomicUsize,
     dead_workers: AtomicUsize,
 }
@@ -284,6 +320,21 @@ impl FaultInjector {
     /// declared unsafe and the exchange must fall back to blocking unpack.
     pub fn cancel_streaming(&self) -> bool {
         self.roll(FaultKind::CancelHandle)
+    }
+
+    /// Polls for a rank death at region launch (caller-thread injection
+    /// point).  Returns the armed spec — victim drawn from `1..num_ranks`
+    /// (rank 0 is the charging rank and never dies) plus a small
+    /// operation fuse — or `None` when the kind is disabled, the budget
+    /// is spent, or there is no killable rank (`num_ranks < 2`).
+    pub fn rank_death(&self, num_ranks: usize) -> Option<RankDeathSpec> {
+        if num_ranks < 2 || !self.roll(FaultKind::RankDeath) {
+            return None;
+        }
+        let mut rng = self.rng.lock();
+        let victim = rng.gen_range(1..num_ranks);
+        let after_ops = rng.gen_range(0usize..8);
+        Some(RankDeathSpec { victim, after_ops })
     }
 
     /// Deterministically picks a victim index in `0..n` (`n > 0`).
@@ -434,6 +485,43 @@ mod tests {
         let inj = FaultInjector::new(FaultPlan::new(4));
         for n in 1..20 {
             assert!(inj.pick(n) < n);
+        }
+    }
+
+    #[test]
+    fn rank_death_is_opt_in_and_spares_rank_zero() {
+        // The default plan never draws a rank death — and because roll()
+        // returns before touching the RNG for disabled kinds, adding the
+        // kind must not shift the schedule of a pre-existing seeded plan.
+        let default = FaultInjector::new(FaultPlan::new(7).with_rate(1.0));
+        assert!(default.rank_death(8).is_none());
+        assert_eq!(default.fired_of(FaultKind::RankDeath), 0);
+
+        let inj = FaultInjector::new(
+            FaultPlan::new(13)
+                .with_rate(1.0)
+                .with_kinds(&[FaultKind::RankDeath]),
+        );
+        // No killable rank when fewer than two ranks exist.
+        assert!(inj.rank_death(1).is_none());
+        assert_eq!(inj.fired_of(FaultKind::RankDeath), 0);
+        for _ in 0..32 {
+            let spec = inj.rank_death(4).expect("rate 1.0 always fires");
+            assert!((1..4).contains(&spec.victim), "victim must not be rank 0");
+            assert!(spec.after_ops < 8);
+        }
+        assert_eq!(inj.fired_of(FaultKind::RankDeath), 32);
+    }
+
+    #[test]
+    fn rank_death_schedule_is_deterministic() {
+        let plan = FaultPlan::new(21)
+            .with_rate(0.5)
+            .with_kinds(&[FaultKind::RankDeath]);
+        let a = FaultInjector::new(plan.clone());
+        let b = FaultInjector::new(plan);
+        for _ in 0..100 {
+            assert_eq!(a.rank_death(6), b.rank_death(6));
         }
     }
 

@@ -45,7 +45,7 @@ pub mod trace;
 mod tracker;
 
 pub use cost::CostModel;
-pub use fault::{CorruptSpec, FaultInjector, FaultKind, FaultPlan};
+pub use fault::{CorruptSpec, FaultInjector, FaultKind, FaultPlan, RankDeathSpec};
 pub use machine::Machine;
 pub use pool::{JobTicket, WorkerCtx, WorkerPool};
 pub use spmd::{SpmdError, WireFrameMsg};

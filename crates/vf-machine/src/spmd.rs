@@ -13,11 +13,13 @@
 //! [`SpmdError::PeerDead`] / [`SpmdError::RecvTimeout`], so a rank failure
 //! degrades into the fault taxonomy instead of aborting the process.
 
+use crate::fault::RankDeathSpec;
 use crate::CommTracker;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use std::cell::Cell;
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
-use std::sync::{Arc, Barrier, Mutex, PoisonError};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 /// Message tag reserved for fused wire-buffer exchanges
@@ -25,6 +27,10 @@ use std::time::{Duration, Instant};
 /// carries at most one wire buffer per exchange, so a single tag suffices;
 /// it sits below the collective tags (`u64::MAX - 1 ..= u64::MAX - 5`).
 pub const WIRE_TAG: u64 = u64::MAX - 6;
+
+/// Pseudo-tag reported by [`SpmdError::RecvTimeout`] when the wait that
+/// timed out was a [`ProcCtx::barrier_checked`] rather than a receive.
+pub const BARRIER_TAG: u64 = u64::MAX - 7;
 
 /// Size of the [`WireFrameMsg`] header prefix on a wire message.
 pub const WIRE_FRAME_BYTES: usize = 24;
@@ -78,6 +84,20 @@ pub enum SpmdError {
         /// Actual message length in bytes.
         len: usize,
     },
+    /// This rank's injected death fuse expired: the operation is refused
+    /// and the rank is expected to leave the region, dropping its channel
+    /// endpoints so peers observe [`SpmdError::PeerDead`] /
+    /// [`SpmdError::RecvTimeout`].
+    RankKilled {
+        /// The rank that was killed.
+        rank: usize,
+    },
+    /// A barrier wait was abandoned because a participant left the region
+    /// (its context dropped) before arriving.
+    BarrierBroken {
+        /// Rank whose barrier wait was abandoned.
+        rank: usize,
+    },
 }
 
 impl fmt::Display for SpmdError {
@@ -112,6 +132,13 @@ impl fmt::Display for SpmdError {
             SpmdError::MalformedFrame { len } => write!(
                 f,
                 "wire message of {len} bytes is shorter than the {WIRE_FRAME_BYTES}-byte frame header"
+            ),
+            SpmdError::RankKilled { rank } => {
+                write!(f, "rank {rank}: killed by injected rank death")
+            }
+            SpmdError::BarrierBroken { rank } => write!(
+                f,
+                "rank {rank}: barrier broken: a participant left the region"
             ),
         }
     }
@@ -166,6 +193,110 @@ struct Msg {
     payload: Vec<u8>,
 }
 
+/// A generation barrier that survives rank death.
+///
+/// `std::sync::Barrier` blocks forever when a participant never arrives; a
+/// killed rank would wedge every survivor at the next synchronisation
+/// point.  This barrier lets a departing rank *defect* (called from
+/// [`ProcCtx`]'s `Drop`), which permanently breaks the barrier and wakes
+/// all waiters so they surface [`SpmdError::BarrierBroken`] instead of
+/// hanging.  Well-formed SPMD bodies execute matching barrier counts on
+/// every rank, so a defect at normal region exit never wakes a real
+/// waiter.
+#[derive(Debug)]
+struct RegionBarrier {
+    state: Mutex<BarrierState>,
+    cvar: Condvar,
+}
+
+#[derive(Debug)]
+struct BarrierState {
+    participants: usize,
+    waiting: usize,
+    generation: u64,
+    broken: bool,
+}
+
+impl RegionBarrier {
+    fn new(participants: usize) -> Self {
+        Self {
+            state: Mutex::new(BarrierState {
+                participants,
+                waiting: 0,
+                generation: 0,
+                broken: false,
+            }),
+            cvar: Condvar::new(),
+        }
+    }
+
+    /// Blocks until every live participant arrives.  Fails once the
+    /// barrier is broken (a participant dropped out) or, when a `timeout`
+    /// is given, after waiting that long — the liveness backstop against a
+    /// wedged-but-alive peer.
+    fn wait_checked(&self, rank: usize, timeout: Option<Duration>) -> Result<(), SpmdError> {
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        if state.broken {
+            return Err(SpmdError::BarrierBroken { rank });
+        }
+        state.waiting += 1;
+        if state.waiting == state.participants {
+            state.waiting = 0;
+            state.generation = state.generation.wrapping_add(1);
+            self.cvar.notify_all();
+            return Ok(());
+        }
+        let generation = state.generation;
+        let deadline = timeout.map(|t| Instant::now() + t);
+        loop {
+            let timed_out = match deadline {
+                None => {
+                    state = self
+                        .cvar
+                        .wait(state)
+                        .unwrap_or_else(PoisonError::into_inner);
+                    false
+                }
+                Some(d) => {
+                    let remaining = d.saturating_duration_since(Instant::now());
+                    let (next, res) = self
+                        .cvar
+                        .wait_timeout(state, remaining)
+                        .unwrap_or_else(PoisonError::into_inner);
+                    state = next;
+                    res.timed_out()
+                }
+            };
+            if state.generation != generation {
+                return Ok(());
+            }
+            if state.broken {
+                state.waiting = state.waiting.saturating_sub(1);
+                return Err(SpmdError::BarrierBroken { rank });
+            }
+            if timed_out {
+                state.waiting = state.waiting.saturating_sub(1);
+                return Err(SpmdError::RecvTimeout {
+                    rank,
+                    src: None,
+                    tag: BARRIER_TAG,
+                    waited_ms: timeout.map(|t| t.as_millis() as u64).unwrap_or(0),
+                });
+            }
+        }
+    }
+
+    /// Marks this barrier broken: one participant has left the region.
+    /// Every current and future wait fails fast instead of blocking on a
+    /// rank that will never arrive.
+    fn defect(&self) {
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        state.broken = true;
+        state.participants = state.participants.saturating_sub(1);
+        self.cvar.notify_all();
+    }
+}
+
 /// Per-processor execution context handed to the SPMD body.
 pub struct ProcCtx {
     rank: usize,
@@ -178,8 +309,20 @@ pub struct ProcCtx {
     /// wildcard-source / front-of-queue matches, instead of the former
     /// O(pending) scan plus O(pending) `Vec::remove` shift per receive.
     pending: HashMap<u64, VecDeque<Msg>>,
-    barrier: Arc<Barrier>,
+    barrier: Arc<RegionBarrier>,
     tracker: CommTracker,
+    /// Armed rank-death fuse: remaining channel operations before this
+    /// rank dies ([`SpmdError::RankKilled`]).  `None` on healthy ranks.
+    doom: Option<Cell<usize>>,
+}
+
+impl Drop for ProcCtx {
+    fn drop(&mut self) {
+        // A departing rank (normal exit, error return or injected death)
+        // defects from the region barrier so survivors waiting on it fail
+        // fast instead of hanging forever.
+        self.barrier.defect();
+    }
 }
 
 impl ProcCtx {
@@ -198,10 +341,26 @@ impl ProcCtx {
         &self.tracker
     }
 
+    /// Burns one unit of an armed death fuse; once it is spent every
+    /// channel operation on this rank is refused with
+    /// [`SpmdError::RankKilled`] so the body returns and the context (and
+    /// with it this rank's channel endpoints) drops.
+    fn check_doom(&self) -> Result<(), SpmdError> {
+        if let Some(fuse) = &self.doom {
+            let left = fuse.get();
+            if left == 0 {
+                return Err(SpmdError::RankKilled { rank: self.rank });
+            }
+            fuse.set(left - 1);
+        }
+        Ok(())
+    }
+
     /// Sends `payload` to processor `dst` under message tag `tag`,
     /// charging the modelled message cost and counting the real channel
     /// traffic.
     pub fn send(&self, dst: usize, tag: u64, payload: Vec<u8>) -> Result<(), SpmdError> {
+        self.check_doom()?;
         self.tracker.send(self.rank, dst, payload.len());
         self.tracker.record_channel_message(payload.len());
         self.senders[dst]
@@ -236,6 +395,7 @@ impl ProcCtx {
         frame: WireFrameMsg,
         payload: &[u8],
     ) -> Result<(), SpmdError> {
+        self.check_doom()?;
         let _span = crate::span!(
             crate::trace::Phase::Post,
             "wire send {}B p{} -> p{dst}",
@@ -298,6 +458,7 @@ impl ProcCtx {
     /// tag (and source, when one is given), receives complete in arrival
     /// order.
     pub fn recv(&mut self, src: Option<usize>, tag: u64) -> Result<(usize, Vec<u8>), SpmdError> {
+        self.check_doom()?;
         if let Some(m) = self.take_pending(src, tag) {
             return Ok((m.src, m.payload));
         }
@@ -322,6 +483,7 @@ impl ProcCtx {
         tag: u64,
         timeout: Duration,
     ) -> Result<(usize, Vec<u8>), SpmdError> {
+        self.check_doom()?;
         if let Some(m) = self.take_pending(src, tag) {
             return Ok((m.src, m.payload));
         }
@@ -364,8 +526,23 @@ impl ProcCtx {
     }
 
     /// Synchronises all processors.
+    ///
+    /// If a participant has left the region (dropped its context) the
+    /// barrier is broken and this returns immediately instead of hanging;
+    /// use [`ProcCtx::barrier_checked`] where that breakage must surface
+    /// as a structured error.
     pub fn barrier(&self) {
-        self.barrier.wait();
+        let _ = self.barrier.wait_checked(self.rank, None);
+    }
+
+    /// [`ProcCtx::barrier`] with failure reporting and a deadline: fails
+    /// with [`SpmdError::BarrierBroken`] when a participant has left the
+    /// region, [`SpmdError::RecvTimeout`] (tag [`BARRIER_TAG`]) when
+    /// `timeout` elapses first, or [`SpmdError::RankKilled`] when this
+    /// rank's own death fuse expires at the synchronisation point.
+    pub fn barrier_checked(&self, timeout: Duration) -> Result<(), SpmdError> {
+        self.check_doom()?;
+        self.barrier.wait_checked(self.rank, Some(timeout))
     }
 
     /// Charges `flops` floating-point operations of local work to this
@@ -471,8 +648,13 @@ pub fn bytes_to_f64s(bytes: &[u8]) -> Result<Vec<f64>, SpmdError> {
 }
 
 /// Builds the per-rank contexts for an SPMD region over `num_procs`
-/// processors sharing `tracker`.
-fn make_contexts(num_procs: usize, tracker: &CommTracker) -> Vec<ProcCtx> {
+/// processors sharing `tracker`.  When a death spec is armed, the victim
+/// rank's context carries the operation fuse.
+fn make_contexts(
+    num_procs: usize,
+    tracker: &CommTracker,
+    death: Option<RankDeathSpec>,
+) -> Vec<ProcCtx> {
     let mut senders = Vec::with_capacity(num_procs);
     let mut receivers = Vec::with_capacity(num_procs);
     for _ in 0..num_procs {
@@ -480,7 +662,7 @@ fn make_contexts(num_procs: usize, tracker: &CommTracker) -> Vec<ProcCtx> {
         senders.push(s);
         receivers.push(r);
     }
-    let barrier = Arc::new(Barrier::new(num_procs));
+    let barrier = Arc::new(RegionBarrier::new(num_procs));
     receivers
         .into_iter()
         .enumerate()
@@ -492,6 +674,9 @@ fn make_contexts(num_procs: usize, tracker: &CommTracker) -> Vec<ProcCtx> {
             pending: HashMap::new(),
             barrier: Arc::clone(&barrier),
             tracker: tracker.clone(),
+            doom: death
+                .filter(|d| d.victim == rank)
+                .map(|d| Cell::new(d.after_ops)),
         })
         .collect()
     // The original sender handles drop here, so each rank's channel closes
@@ -511,8 +696,28 @@ where
     R: Send,
     F: Fn(&mut ProcCtx) -> R + Sync,
 {
+    run_with_death(num_procs, tracker, None, body)
+}
+
+/// [`run`] with an optional armed rank death: the victim rank's context
+/// carries the spec's operation fuse, so after `after_ops` channel
+/// operations every further one fails with [`SpmdError::RankKilled`] and
+/// the victim leaves the region, dropping its endpoints.  Survivors then
+/// observe [`SpmdError::PeerDead`] on sends to the victim,
+/// [`SpmdError::RecvTimeout`] on bounded receives from it, and
+/// [`SpmdError::BarrierBroken`] at checked barriers.
+pub fn run_with_death<R, F>(
+    num_procs: usize,
+    tracker: &CommTracker,
+    death: Option<RankDeathSpec>,
+    body: F,
+) -> Vec<R>
+where
+    R: Send,
+    F: Fn(&mut ProcCtx) -> R + Sync,
+{
     assert!(num_procs > 0, "SPMD region needs at least one processor");
-    let mut contexts = make_contexts(num_procs, tracker);
+    let mut contexts = make_contexts(num_procs, tracker, death);
     let body = &body;
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(num_procs);
@@ -544,11 +749,27 @@ where
     R: Send,
     F: Fn(&mut ProcCtx) -> R + Sync,
 {
+    run_on_pool_with_death(pool, num_procs, tracker, None, body)
+}
+
+/// [`run_on_pool`] with an optional armed rank death (see
+/// [`run_with_death`]).
+pub fn run_on_pool_with_death<R, F>(
+    pool: &crate::pool::WorkerPool,
+    num_procs: usize,
+    tracker: &CommTracker,
+    death: Option<RankDeathSpec>,
+    body: F,
+) -> Vec<R>
+where
+    R: Send,
+    F: Fn(&mut ProcCtx) -> R + Sync,
+{
     assert!(num_procs > 0, "SPMD region needs at least one processor");
     if pool.workers() < num_procs {
-        return run(num_procs, tracker, body);
+        return run_with_death(num_procs, tracker, death, body);
     }
-    let slots: Vec<Mutex<Option<ProcCtx>>> = make_contexts(num_procs, tracker)
+    let slots: Vec<Mutex<Option<ProcCtx>>> = make_contexts(num_procs, tracker, death)
         .into_iter()
         .map(|ctx| Mutex::new(Some(ctx)))
         .collect();
@@ -911,6 +1132,137 @@ mod tests {
         assert!(empty.is_empty());
         let single = run_partitioned(8, &tracker, 2, |ctx, item| (ctx.num_procs(), item));
         assert_eq!(single, vec![(2, 0), (2, 1)]);
+    }
+
+    #[test]
+    fn armed_rank_death_kills_victim_and_survivors_degrade() {
+        // 4-rank ring under an armed death of rank 2 with a zero-op fuse:
+        // the victim's first channel operation is refused, it leaves the
+        // region, and every survivor must get a structured error (never a
+        // hang) within a small multiple of the timeout.
+        let timeout = Duration::from_millis(100);
+        let tracker = CommTracker::new(4, CostModel::zero());
+        let death = Some(RankDeathSpec {
+            victim: 2,
+            after_ops: 0,
+        });
+        let started = Instant::now();
+        let results = run_with_death(4, &tracker, death, |ctx| match ctx.rank() {
+            // Victim: its very first channel operation is refused.
+            2 => ctx.send_f64s(3, 7, &[2.0]).map(|_| 0.0),
+            // Waits on the message the victim never sent.
+            3 => ctx.recv_timeout(Some(2), 7, timeout).map(|(_, v)| {
+                let vals = bytes_to_f64s(&v).unwrap();
+                vals[0]
+            }),
+            // Keeps sending into the victim's channel until it closes.
+            1 => loop {
+                ctx.send(2, 8, vec![0u8; 8])?;
+                std::thread::yield_now();
+            },
+            _ => Ok(0.0),
+        });
+        assert!(
+            started.elapsed() < 8 * timeout,
+            "dead rank must not wedge the region"
+        );
+        assert_eq!(results[0], Ok(0.0));
+        assert_eq!(results[2], Err(SpmdError::RankKilled { rank: 2 }));
+        assert_eq!(
+            results[1],
+            Err(SpmdError::PeerDead {
+                rank: 1,
+                peer: 2,
+                tag: 8
+            })
+        );
+        assert!(matches!(
+            results[3],
+            Err(SpmdError::RecvTimeout { rank: 3, .. })
+        ));
+    }
+
+    #[test]
+    fn death_fuse_counts_operations_before_firing() {
+        let tracker = CommTracker::new(2, CostModel::zero());
+        let death = Some(RankDeathSpec {
+            victim: 1,
+            after_ops: 2,
+        });
+        let results = run_with_death(2, &tracker, death, |ctx| {
+            if ctx.rank() == 0 {
+                // Receive the two messages the victim gets out before
+                // dying, then observe its death via timeout.
+                let a = ctx.recv_timeout(Some(1), 1, Duration::from_secs(5))?;
+                let b = ctx.recv_timeout(Some(1), 2, Duration::from_secs(5))?;
+                let dead = ctx.recv_timeout(Some(1), 3, Duration::from_millis(50));
+                assert!(matches!(dead, Err(SpmdError::RecvTimeout { .. })));
+                Ok((a.1.len() + b.1.len()) as f64)
+            } else {
+                ctx.send(0, 1, vec![1u8; 8])?;
+                ctx.send(0, 2, vec![2u8; 8])?;
+                ctx.send(0, 3, vec![3u8; 8])?;
+                Ok(0.0)
+            }
+        });
+        assert_eq!(results[0], Ok(16.0));
+        assert_eq!(results[1], Err(SpmdError::RankKilled { rank: 1 }));
+    }
+
+    #[test]
+    fn broken_barrier_releases_survivors() {
+        // Rank 1 dies before its barrier; survivors at barrier_checked
+        // must fail fast with BarrierBroken, long before the timeout.
+        let timeout = Duration::from_secs(30);
+        let tracker = CommTracker::new(3, CostModel::zero());
+        let death = Some(RankDeathSpec {
+            victim: 1,
+            after_ops: 0,
+        });
+        let started = Instant::now();
+        let results = run_with_death(3, &tracker, death, |ctx| {
+            if ctx.rank() == 1 {
+                // The victim's fuse fires at its own checked barrier.
+                ctx.barrier_checked(timeout)
+            } else {
+                ctx.barrier_checked(timeout)
+            }
+        });
+        assert!(started.elapsed() < Duration::from_secs(5));
+        assert_eq!(results[1], Err(SpmdError::RankKilled { rank: 1 }));
+        for rank in [0, 2] {
+            assert_eq!(results[rank], Err(SpmdError::BarrierBroken { rank }));
+        }
+    }
+
+    #[test]
+    fn barrier_checked_succeeds_and_times_out() {
+        let tracker = CommTracker::new(3, CostModel::zero());
+        let oks = run(3, &tracker, |ctx| {
+            ctx.barrier_checked(Duration::from_secs(5)).is_ok()
+        });
+        assert_eq!(oks, vec![true; 3]);
+        // A lone late rank times out with the barrier pseudo-tag.
+        let tracker2 = CommTracker::new(2, CostModel::zero());
+        let results = run(2, &tracker2, |ctx| {
+            if ctx.rank() == 0 {
+                ctx.barrier_checked(Duration::from_millis(30))
+            } else {
+                // Rank 1 stays busy (no barrier, no exit) past the
+                // deadline so the barrier is late but not broken.
+                std::thread::sleep(Duration::from_millis(300));
+                Ok(())
+            }
+        });
+        assert!(matches!(
+            results[0],
+            Err(SpmdError::RecvTimeout {
+                rank: 0,
+                src: None,
+                tag: BARRIER_TAG,
+                ..
+            })
+        ));
     }
 
     #[test]

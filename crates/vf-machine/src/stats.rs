@@ -81,6 +81,14 @@ pub struct CommStats {
     /// `channel_bytes == modelled wire bytes` exactly).
     #[serde(default)]
     channel_bytes: usize,
+    /// Bytes written to checkpoint files (segments plus manifest framing),
+    /// so persistence traffic shows up next to communication traffic and
+    /// the byte-conservation guards can cover it.
+    #[serde(default)]
+    ckpt_bytes_written: usize,
+    /// Bytes read back from checkpoint files during restore.
+    #[serde(default)]
+    ckpt_bytes_read: usize,
 }
 
 impl CommStats {
@@ -95,6 +103,8 @@ impl CommStats {
             fallbacks: 0,
             channel_messages: 0,
             channel_bytes: 0,
+            ckpt_bytes_written: 0,
+            ckpt_bytes_read: 0,
         }
     }
 
@@ -274,6 +284,29 @@ impl CommStats {
         self.channel_bytes += bytes;
     }
 
+    /// Bytes written to checkpoint files so far.
+    pub fn ckpt_bytes_written(&self) -> usize {
+        self.ckpt_bytes_written
+    }
+
+    /// Bytes read back from checkpoint files so far.
+    pub fn ckpt_bytes_read(&self) -> usize {
+        self.ckpt_bytes_read
+    }
+
+    /// Counts `bytes` written to a checkpoint file, emitting a matching
+    /// trace instant so the drift guard sees persistence traffic.
+    pub fn record_ckpt_write(&mut self, bytes: usize) {
+        self.ckpt_bytes_written += bytes;
+        crate::trace::instant_n(crate::trace::Phase::CkptWrite, bytes);
+    }
+
+    /// Counts `bytes` read back from a checkpoint file.
+    pub fn record_ckpt_read(&mut self, bytes: usize) {
+        self.ckpt_bytes_read += bytes;
+        crate::trace::instant_n(crate::trace::Phase::CkptRead, bytes);
+    }
+
     /// Merges another statistics object (same processor count) into this
     /// one.
     pub fn merge(&mut self, other: &CommStats) {
@@ -292,6 +325,8 @@ impl CommStats {
         self.fallbacks += other.fallbacks;
         self.channel_messages += other.channel_messages;
         self.channel_bytes += other.channel_bytes;
+        self.ckpt_bytes_written += other.ckpt_bytes_written;
+        self.ckpt_bytes_read += other.ckpt_bytes_read;
     }
 
     /// Resets all counters to zero.
@@ -306,6 +341,8 @@ impl CommStats {
         self.fallbacks = 0;
         self.channel_messages = 0;
         self.channel_bytes = 0;
+        self.ckpt_bytes_written = 0;
+        self.ckpt_bytes_read = 0;
     }
 }
 
@@ -340,6 +377,13 @@ impl fmt::Display for CommStats {
                 f,
                 ", {} faults ({} retries, {} fallbacks)",
                 self.faults_injected, self.retries, self.fallbacks
+            )?;
+        }
+        if self.ckpt_bytes_written > 0 || self.ckpt_bytes_read > 0 {
+            write!(
+                f,
+                ", ckpt {} bytes written / {} bytes read",
+                self.ckpt_bytes_written, self.ckpt_bytes_read
             )?;
         }
         Ok(())
@@ -452,6 +496,25 @@ mod tests {
         let mut r = CommStats::new(2);
         r.record_retries(1);
         assert!(r.to_string().contains("0 faults (1 retries, 0 fallbacks)"));
+    }
+
+    #[test]
+    fn ckpt_counters_merge_reset_and_display() {
+        let mut a = CommStats::new(2);
+        assert!(!a.to_string().contains("ckpt"), "zero counters stay terse");
+        a.record_ckpt_write(100);
+        a.record_ckpt_write(20);
+        a.record_ckpt_read(60);
+        let mut b = CommStats::new(2);
+        b.record_ckpt_read(40);
+        a.merge(&b);
+        assert_eq!(a.ckpt_bytes_written(), 120);
+        assert_eq!(a.ckpt_bytes_read(), 100);
+        assert!(a
+            .to_string()
+            .contains("ckpt 120 bytes written / 100 bytes read"));
+        a.reset();
+        assert_eq!((a.ckpt_bytes_written(), a.ckpt_bytes_read()), (0, 0));
     }
 
     #[test]

@@ -121,10 +121,17 @@ pub enum Phase {
     /// settled (at the wait or at a cancelling drop).  Caller compute
     /// overlaps this span; its duration bounds the achievable overlap.
     SplitPending,
+    /// Writing a checkpoint generation to disk (spans cover the file I/O;
+    /// instants carry the byte counts, matching
+    /// [`CommStats::ckpt_bytes_written`](crate::CommStats::ckpt_bytes_written)).
+    CkptWrite,
+    /// Reading a checkpoint generation back during restore (matching
+    /// [`CommStats::ckpt_bytes_read`](crate::CommStats::ckpt_bytes_read)).
+    CkptRead,
 }
 
 /// Number of [`Phase`] kinds.
-pub const NUM_PHASES: usize = 25;
+pub const NUM_PHASES: usize = 27;
 
 impl Phase {
     /// Every phase kind, in declaration order.
@@ -154,6 +161,8 @@ impl Phase {
         Phase::Statement,
         Phase::Step,
         Phase::SplitPending,
+        Phase::CkptWrite,
+        Phase::CkptRead,
     ];
 
     /// The stable kebab-case name used in exports.
@@ -184,6 +193,8 @@ impl Phase {
             Phase::Statement => "statement",
             Phase::Step => "step",
             Phase::SplitPending => "split-pending",
+            Phase::CkptWrite => "ckpt-write",
+            Phase::CkptRead => "ckpt-read",
         }
     }
 
@@ -1147,6 +1158,12 @@ impl DriftReport {
                 name: "overlap (measured/credited)".into(),
                 measured_seconds: stats.measured_overlap_seconds(),
                 modelled_seconds: stats.credited_overlap_seconds(),
+            },
+            DriftRow {
+                name: "ckpt io (write+read)".into(),
+                measured_seconds: metrics.seconds(Phase::CkptWrite)
+                    + metrics.seconds(Phase::CkptRead),
+                modelled_seconds: 0.0,
             },
         ];
         DriftReport { rows }

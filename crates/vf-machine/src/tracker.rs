@@ -121,6 +121,17 @@ impl CommTracker {
         self.stats.lock().record_channel_message(bytes);
     }
 
+    /// Counts `bytes` written to a checkpoint file (segments plus manifest
+    /// framing) — the persistence side of the traffic ledger.
+    pub fn record_ckpt_write(&self, bytes: usize) {
+        self.stats.lock().record_ckpt_write(bytes);
+    }
+
+    /// Counts `bytes` read back from a checkpoint file during restore.
+    pub fn record_ckpt_read(&self, bytes: usize) {
+        self.stats.lock().record_ckpt_read(bytes);
+    }
+
     /// Records a batch of point-to-point messages `(src, dst, bytes)` under
     /// a single lock acquisition — the aggregated charge a communication
     /// plan makes after executing all of its transfers.  Messages to self

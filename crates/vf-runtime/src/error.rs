@@ -84,6 +84,17 @@ pub enum RuntimeError {
     /// timed out, or a payload arrived truncated.  The region degrades
     /// with this error instead of aborting the process.
     Channel(vf_machine::SpmdError),
+    /// A checkpoint file failed validation on restore: torn write, bad
+    /// magic, checksum mismatch, truncated segment, or a manifest that
+    /// contradicts itself.  Restore falls back to the previous generation
+    /// before surfacing this for the whole store.
+    CorruptCheckpoint {
+        /// Path of the offending checkpoint file (or the store directory
+        /// when no generation is usable).
+        path: String,
+        /// What failed to validate.
+        reason: String,
+    },
 }
 
 impl fmt::Display for RuntimeError {
@@ -125,6 +136,9 @@ impl fmt::Display for RuntimeError {
                 "{handle} was already waited on or cancelled; it holds no pending communication"
             ),
             RuntimeError::Channel(e) => write!(f, "channel failure: {e}"),
+            RuntimeError::CorruptCheckpoint { path, reason } => {
+                write!(f, "corrupt checkpoint {path}: {reason}")
+            }
         }
     }
 }
@@ -197,5 +211,12 @@ mod tests {
             handle: "SplitPhaseExchange",
         };
         assert!(e.to_string().contains("SplitPhaseExchange"));
+        let e = RuntimeError::CorruptCheckpoint {
+            path: "/tmp/ckpt/gen0.vfck".into(),
+            reason: "whole-file checksum mismatch".into(),
+        };
+        let shown = e.to_string();
+        assert!(shown.contains("corrupt checkpoint /tmp/ckpt/gen0.vfck"));
+        assert!(shown.contains("checksum mismatch"));
     }
 }

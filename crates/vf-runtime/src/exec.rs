@@ -665,6 +665,9 @@ impl ExecBackend {
     /// — a zero value is rejected with a warning and the default cutoff is
     /// kept, since forcing the threaded path for every plan is what the
     /// [`ThreadedExecutor::serial_cutoff_bytes`] API is for).
+    ///
+    /// With `VF_EXEC_BACKEND=sharded`, the sharded receive bound can be
+    /// tuned through `VF_SHARD_TIMEOUT` (milliseconds; positive).
     pub fn auto() -> Self {
         let mut threaded = ThreadedExecutor::auto();
         if let Ok(raw) = std::env::var("VF_EXEC_CUTOFF") {
@@ -688,7 +691,25 @@ impl ExecBackend {
         }
         if let Ok(raw) = std::env::var("VF_EXEC_BACKEND") {
             match raw.trim() {
-                "sharded" => return ExecBackend::Sharded(crate::shard::ShardedExecutor::new()),
+                "sharded" => {
+                    let mut exec = crate::shard::ShardedExecutor::new();
+                    // The sharded receive bound is tunable per run: chaos
+                    // suites shrink it so dead-peer detection is fast, and
+                    // slow CI hosts can widen it.  Unparseable or zero
+                    // values are rejected loudly, mirroring VF_EXEC_CUTOFF.
+                    if let Ok(raw) = std::env::var("VF_SHARD_TIMEOUT") {
+                        match raw.trim().parse::<u64>() {
+                            Ok(ms) if ms > 0 => {
+                                exec = exec.with_timeout(std::time::Duration::from_millis(ms));
+                            }
+                            _ => eprintln!(
+                                "warning: ignoring unparseable VF_SHARD_TIMEOUT={raw:?} \
+                                 (expected positive milliseconds, e.g. 30000)"
+                            ),
+                        }
+                    }
+                    return ExecBackend::Sharded(exec);
+                }
                 "serial" => return ExecBackend::Serial,
                 "threaded" => {}
                 other => eprintln!(

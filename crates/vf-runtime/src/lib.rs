@@ -42,6 +42,7 @@
 
 mod array;
 pub mod assign;
+pub mod checkpoint;
 mod descriptor;
 mod element;
 mod error;
@@ -55,6 +56,7 @@ pub mod shard;
 pub mod translation;
 
 pub use array::DistArray;
+pub use checkpoint::{CheckpointStore, RestoredCheckpoint};
 pub use descriptor::ArrayDescriptor;
 pub use element::{decode_slice, encode_slice, Element};
 pub use error::RuntimeError;

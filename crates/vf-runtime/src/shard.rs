@@ -198,14 +198,28 @@ impl ShardedExecutor {
     /// persistent pool when one is attached, on fresh threads otherwise.
     /// Application workloads use this to keep shards rank-resident across
     /// many time steps (one region for the whole run).
+    ///
+    /// If the tracker carries a [`vf_machine::FaultInjector`] whose plan
+    /// enables [`vf_machine::FaultKind::RankDeath`], the injector is polled
+    /// *here*, on the caller thread (honouring the injector's
+    /// caller-thread-only determinism contract), and an armed death is
+    /// carried into the region as data: after its operation fuse burns
+    /// down, the victim rank's channel endpoints drop mid-region and the
+    /// survivors surface structured errors instead of hanging.
     pub fn run_region<R, F>(&self, num_procs: usize, tracker: &CommTracker, body: F) -> Vec<R>
     where
         R: Send,
         F: Fn(&mut ProcCtx) -> R + Sync,
     {
+        let death = tracker
+            .fault_injector()
+            .and_then(|inj| inj.rank_death(num_procs));
+        if death.is_some() {
+            tracker.record_fault();
+        }
         match &self.pool {
-            Some(pool) => spmd::run_on_pool(pool, num_procs, tracker, body),
-            None => spmd::run(num_procs, tracker, body),
+            Some(pool) => spmd::run_on_pool_with_death(pool, num_procs, tracker, death, body),
+            None => spmd::run_with_death(num_procs, tracker, death, body),
         }
     }
 }
@@ -676,5 +690,42 @@ mod tests {
         assert!(exec.timeout() > Duration::ZERO);
         let tuned = exec.with_timeout(Duration::from_millis(5));
         assert_eq!(tuned.timeout(), Duration::from_millis(5));
+    }
+
+    #[test]
+    fn dead_rank_region_returns_within_twice_the_timeout() {
+        use vf_machine::{FaultInjector, FaultKind, FaultPlan, SpmdError};
+        let timeout = Duration::from_millis(500);
+        let plan = FaultPlan::new(9)
+            .with_rate(1.0)
+            .with_kinds(&[FaultKind::RankDeath])
+            .with_max_faults(1);
+        let tracker = CommTracker::new(4, CostModel::zero())
+            .with_fault_injector(Arc::new(FaultInjector::new(plan)));
+        let exec = ShardedExecutor::new().with_timeout(timeout);
+        let start = std::time::Instant::now();
+        // Enough checked barriers that the victim's fuse (< 8 channel ops)
+        // always burns down mid-region.
+        let results: Vec<std::result::Result<(), SpmdError>> =
+            exec.run_region(4, &tracker, |ctx| {
+                for _ in 0..10 {
+                    ctx.barrier_checked(timeout)?;
+                }
+                Ok(())
+            });
+        let elapsed = start.elapsed();
+        assert!(
+            elapsed < timeout * 2,
+            "region with a dead rank took {elapsed:?} against a {timeout:?} receive bound"
+        );
+        let killed = results
+            .iter()
+            .filter(|r| matches!(r, Err(SpmdError::RankKilled { .. })))
+            .count();
+        assert_eq!(killed, 1, "exactly one rank dies: {results:?}");
+        assert!(
+            results.iter().all(|r| r.is_err()),
+            "no rank silently completes a broken region: {results:?}"
+        );
     }
 }
